@@ -1,0 +1,33 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figure series and
+records the formatted rows under ``benchmarks/results/`` so the output
+survives pytest's capture.  Run with ``-s`` to also see tables inline.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def record(results_dir):
+    """Write an ExperimentResult (or text) to results/<name>.txt and echo."""
+
+    def _record(name: str, result) -> None:
+        text = result if isinstance(result, str) else result.format()
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[recorded to {path}]")
+
+    return _record

@@ -1,0 +1,55 @@
+"""Ablation: the ``moving_rate`` (elastic alpha) hyper-parameter.
+
+The paper fixes alpha = 0.2.  This sweep shows why the elastic middle
+ground matters: a tiny alpha decouples the replicas from the centre (the
+global weights lag), while alpha -> 1 effectively serialises replicas
+through W_g every iteration.
+"""
+
+import numpy as np
+
+from repro.experiments.convergence import ConvergenceSetup
+from repro.experiments.report import ExperimentResult
+from repro.platforms import shmcaffe
+
+ALPHAS = (0.05, 0.2, 0.5, 0.9)
+
+
+def test_moving_rate_sweep(benchmark, record):
+    setup = ConvergenceSetup(
+        epochs=4, train_per_class=100, noise=1.0, batch_size=10,
+        base_lr=0.05,
+    )
+    dataset = setup.dataset()
+    iterations = setup.iterations(dataset, workers=4)
+    solver_config = setup.solver_config(dataset, workers=4)
+
+    def sweep():
+        result = ExperimentResult(
+            "ablation/moving_rate",
+            "final accuracy vs moving_rate alpha (4 async workers)",
+        )
+        for alpha in ALPHAS:
+            outcome = shmcaffe.train_async(
+                setup.spec_factory(), dataset, solver_config,
+                batch_size=setup.batch_size, iterations=iterations,
+                num_workers=4, moving_rate=alpha,
+                update_interval=setup.update_interval, seed=setup.seed,
+            )
+            result.rows.append(
+                {
+                    "moving_rate": alpha,
+                    "final_acc": round(outcome.final_accuracy, 3),
+                    "final_loss": round(outcome.final_loss, 3),
+                }
+            )
+        return result
+
+    result = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record("ablation_moving_rate", result)
+
+    accs = dict(zip(ALPHAS, result.column("final_acc")))
+    # The paper's alpha=0.2 must be a sane choice: competitive with the
+    # best of the sweep.
+    assert accs[0.2] >= max(accs.values()) - 0.15
+    assert all(np.isfinite(list(accs.values())))

@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Checkpointing a distributed run and resuming it later.
+
+Trains ShmCaffe-A for a first leg, snapshots the *global* weights (the
+elastic centre on the SMB server) to disk, then starts a brand-new
+distributed job seeded from the snapshot and trains a second leg —
+the workflow for long jobs on shared clusters.
+
+Run:
+    python examples/checkpoint_resume.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.caffe import (
+    FlatParams,
+    Net,
+    SolverConfig,
+    SyntheticImageDataset,
+    load_net,
+    models,
+    save_net,
+)
+from repro.core import (
+    DistributedTrainingManager,
+    ShmCaffeConfig,
+)
+from repro.platforms import evaluate_weights
+
+
+def spec_factory():
+    return models.scaled_spec("inception_v1", batch_size=10, image_size=12)
+
+
+def run_leg(dataset, iterations, checkpoint=None, seed=7):
+    """One training leg; if ``checkpoint`` is given, resume from it."""
+    initial_weights = None
+    if checkpoint is not None:
+        template = Net(spec_factory(), seed=seed)
+        load_net(template, checkpoint)
+        initial_weights = FlatParams(template).get_vector()
+
+    manager = DistributedTrainingManager(
+        spec_factory=spec_factory,
+        config=ShmCaffeConfig(
+            solver=SolverConfig(base_lr=0.05, momentum=0.9),
+            moving_rate=0.2,
+            max_iterations=iterations,
+        ),
+        dataset=dataset,
+        batch_size=10,
+        num_workers=4,
+        seed=seed,
+        initial_weights=initial_weights,
+    )
+    return manager.run(timeout=600)
+
+
+def main() -> None:
+    dataset = SyntheticImageDataset(
+        num_classes=10, image_size=12, train_per_class=120,
+        test_per_class=20, noise=0.9, seed=7,
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        checkpoint = Path(tmp) / "global_weights.npz"
+
+        print("leg 1: 120 iterations from scratch...")
+        first = run_leg(dataset, iterations=120)
+        metrics = evaluate_weights(
+            spec_factory, first.final_global_weights, dataset
+        )
+        print(f"  after leg 1: acc {metrics['accuracy_top1']:.3f}")
+
+        # Snapshot the elastic centre.
+        net = Net(spec_factory(), seed=7)
+        FlatParams(net).set_vector(first.final_global_weights)
+        save_net(net, checkpoint)
+        print(f"  checkpoint written: {checkpoint.name}")
+
+        print("leg 2: 120 more iterations resumed from the checkpoint...")
+        second = run_leg(dataset, iterations=120, checkpoint=checkpoint)
+        metrics = evaluate_weights(
+            spec_factory, second.final_global_weights, dataset
+        )
+        print(f"  after leg 2: acc {metrics['accuracy_top1']:.3f}")
+
+
+if __name__ == "__main__":
+    main()

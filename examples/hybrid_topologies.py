@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Explore hybrid (S# x A#) topologies: how should 16 GPUs be grouped?
+
+The paper's Table III fixes a handful of configurations; this example
+sweeps *every* factorisation of a worker count, showing the timing
+trade-off with the performance model and then spot-checking convergence
+with real training for two of them.
+
+Run:
+    python examples/hybrid_topologies.py
+"""
+
+from repro.caffe import SolverConfig, SyntheticImageDataset, models
+from repro.perfmodel import model_profile, shmcaffe_h
+from repro.platforms import shmcaffe
+
+WORKERS = 16
+
+
+def factorisations(workers):
+    return [s for s in range(1, workers + 1) if workers % s == 0]
+
+
+def main() -> None:
+    print(f"timing model: Inception-ResNet-v2, {WORKERS} GPUs")
+    print(f"{'config':16s} {'comm ms':>8s} {'comm %':>7s} {'iter ms':>8s}")
+    profile = model_profile("inception_resnet_v2")
+    for group_size in factorisations(WORKERS):
+        breakdown = shmcaffe_h(profile, WORKERS, group_size)
+        groups = WORKERS // group_size
+        label = f"S{group_size} x A{groups}"
+        print(
+            f"{label:16s} {breakdown.comm_ms:8.1f} "
+            f"{breakdown.comm_ratio * 100:6.1f}% "
+            f"{breakdown.iteration_ms:8.1f}"
+        )
+
+    print("\nconvergence spot check (scaled model, 8 workers):")
+    dataset = SyntheticImageDataset(
+        num_classes=10, image_size=12, train_per_class=160,
+        test_per_class=20, noise=1.0, seed=7,
+    )
+    solver = SolverConfig(
+        base_lr=0.05, momentum=0.9, lr_policy="step", gamma=0.1,
+        stepsize=120,
+    )
+    for group_size in (1, 2, 4):
+        result = shmcaffe.train(
+            spec_factory=lambda: models.scaled_spec(
+                "inception_v1", batch_size=10, image_size=12
+            ),
+            dataset=dataset,
+            solver_config=solver,
+            batch_size=10,
+            iterations=160,
+            num_workers=8,
+            group_size=group_size,
+        )
+        label = (
+            "pure async (A8)" if group_size == 1
+            else f"S{group_size} x A{8 // group_size}"
+        )
+        print(
+            f"  {label:16s} final acc {result.final_accuracy:.3f}, "
+            f"loss {result.final_loss:.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Compare the four platforms on one task: a miniature Fig. 8 + Fig. 10.
+
+Trains BVLC Caffe (1 GPU and 4-GPU NCCL SSGD), Caffe-MPI (star SSGD),
+MPICaffe (allreduce SSGD) and ShmCaffe (hybrid) on the same synthetic
+dataset and recipe, then prints a convergence table next to the paper-
+scale per-iteration timing model for the same worker count.
+
+Run:
+    python examples/platform_comparison.py
+"""
+
+from repro.caffe import SolverConfig, SyntheticImageDataset, models
+from repro.perfmodel import model_profile, platform_breakdown
+from repro.platforms import bvlc_caffe, caffe_mpi, mpi_caffe, shmcaffe
+
+WORKERS = 4
+BATCH = 10
+ITERATIONS = 200
+
+
+def main() -> None:
+    dataset = SyntheticImageDataset(
+        num_classes=10, image_size=12, train_per_class=120,
+        test_per_class=20, noise=0.9, seed=7,
+    )
+    solver = SolverConfig(
+        base_lr=0.05, momentum=0.9, lr_policy="step", gamma=0.1,
+        stepsize=150,
+    )
+    spec_factory = lambda: models.scaled_spec(  # noqa: E731
+        "inception_v1", batch_size=BATCH, image_size=12
+    )
+    common = dict(
+        spec_factory=spec_factory, dataset=dataset, solver_config=solver,
+        batch_size=BATCH, iterations=ITERATIONS, eval_every=ITERATIONS,
+    )
+
+    print("training (scaled Inception-v1, synthetic data)...")
+    runs = {
+        "caffe x1": bvlc_caffe.train_standalone(**common),
+        "caffe x4 (NCCL SSGD)": bvlc_caffe.train_multi_gpu(
+            num_workers=WORKERS, **common
+        ),
+        "caffe-mpi (star SSGD)": caffe_mpi.train(
+            num_workers=WORKERS, **common
+        ),
+        "mpicaffe (allreduce)": mpi_caffe.train(
+            num_workers=WORKERS, **common
+        ),
+        "shmcaffe-h (S2 x A2)": shmcaffe.train_hybrid(
+            num_workers=WORKERS, group_size=2, **common
+        ),
+    }
+
+    print(f"\n{'platform':24s} {'test acc':>9s} {'test loss':>10s}")
+    for name, result in runs.items():
+        print(
+            f"{name:24s} {result.final_accuracy:9.3f} "
+            f"{result.final_loss:10.3f}"
+        )
+
+    print("\npaper-scale per-iteration timing (Inception-v1, 16 GPUs):")
+    profile = model_profile("inception_v1")
+    print(f"{'platform':24s} {'comp ms':>8s} {'comm ms':>8s} {'comm %':>7s}")
+    for name in ("caffe", "caffe_mpi", "mpi_caffe", "shmcaffe"):
+        breakdown = platform_breakdown(name, profile, 16)
+        print(
+            f"{name:24s} {breakdown.compute_ms:8.1f} "
+            f"{breakdown.comm_ms:8.1f} {breakdown.comm_ratio * 100:6.1f}%"
+        )
+
+
+if __name__ == "__main__":
+    main()

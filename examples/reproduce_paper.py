@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Regenerate every table and figure series of the ShmCaffe paper.
+
+Analytic experiments (Figs. 7, 9, 10, 12-15; Tables II-VI) run in
+seconds; the two real-training experiments (Figs. 8 and 11) take a few
+minutes in quick mode.
+
+Run:
+    python examples/reproduce_paper.py            # everything, quick
+    python examples/reproduce_paper.py --analytic # model-only, seconds
+    python examples/reproduce_paper.py --full     # full-length training
+"""
+
+import argparse
+
+from repro.experiments import runner
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--analytic", action="store_true",
+        help="skip the real-training experiments (Figs. 8 and 11)",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the full-length (15-epoch) training experiments",
+    )
+    args = parser.parse_args()
+
+    print(
+        runner.run_all(
+            quick=not args.full,
+            include_training=not args.analytic,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro: a Python reproduction of ShmCaffe (ICDCS 2018).
+
+ShmCaffe is a distributed deep-learning platform that shares training
+parameters through a remote shared-memory server (the Soft Memory Box)
+instead of a parameter server, using the SEASGD elastic-averaging update
+and a hybrid intra-node-synchronous / inter-node-asynchronous mode.
+
+Package map:
+
+* :mod:`repro.core` -- SEASGD, the overlap worker, hybrid SGD, trainer;
+* :mod:`repro.smb` -- the Soft Memory Box server and client library;
+* :mod:`repro.mpi` -- mini-MPI SPMD substrate (bring-up + baselines);
+* :mod:`repro.nccl` -- ring collectives for intra-node groups;
+* :mod:`repro.caffe` -- NumPy Caffe: layers, nets, solver, models, data;
+* :mod:`repro.platforms` -- BVLC Caffe / Caffe-MPI / MPICaffe / ShmCaffe;
+* :mod:`repro.perfmodel` -- the calibrated testbed performance model;
+* :mod:`repro.experiments` -- one module per paper table/figure.
+
+Quick start::
+
+    from repro.caffe import SyntheticImageDataset, SolverConfig, models
+    from repro.platforms import shmcaffe
+
+    dataset = SyntheticImageDataset()
+    result = shmcaffe.train_async(
+        lambda: models.scaled_spec("inception_v1", batch_size=16),
+        dataset,
+        SolverConfig(base_lr=0.05, momentum=0.9),
+        batch_size=16,
+        iterations=100,
+        num_workers=4,
+    )
+    print(result.final_accuracy)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "caffe",
+    "core",
+    "experiments",
+    "mpi",
+    "nccl",
+    "perfmodel",
+    "platforms",
+    "smb",
+]

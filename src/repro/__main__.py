@@ -1,0 +1,158 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``reproduce``   — regenerate the paper's tables/figures
+  (``--analytic`` for the model-only ones, ``--full`` for full-length
+  training).
+* ``train``       — run one platform on the synthetic task.
+* ``smb-server``  — start a standalone TCP Soft Memory Box server.
+* ``bandwidth``   — run the Fig. 7 measurement against a server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+
+def _cmd_reproduce(args: argparse.Namespace) -> int:
+    from .experiments import runner
+
+    print(
+        runner.run_all(
+            quick=not args.full, include_training=not args.analytic
+        )
+    )
+    return 0
+
+
+def _cmd_train(args: argparse.Namespace) -> int:
+    from .experiments.convergence import ConvergenceSetup, run_platform
+
+    setup = ConvergenceSetup(
+        model=args.model,
+        epochs=args.epochs,
+        train_per_class=args.samples_per_class,
+        noise=args.noise,
+        batch_size=args.batch_size,
+        base_lr=args.lr,
+        moving_rate=args.moving_rate,
+        update_interval=args.update_interval,
+    )
+    result = run_platform(
+        setup, args.platform, workers=args.workers,
+        group_size=args.group_size,
+    )
+    print(f"platform:   {result.platform}")
+    print(f"workers:    {result.num_workers}")
+    print(f"final acc:  {result.final_accuracy:.3f}")
+    print(f"final loss: {result.final_loss:.3f}")
+    return 0
+
+
+def _cmd_smb_server(args: argparse.Namespace) -> int:
+    from .smb import TcpSMBServer
+
+    server = TcpSMBServer(
+        host=args.host, port=args.port,
+        capacity=int(args.capacity_mb * 1e6),
+    ).start()
+    print(f"SMB server listening on {server.address[0]}:{server.address[1]} "
+          f"(capacity {args.capacity_mb:.0f} MB); Ctrl-C to stop")
+    try:
+        import time
+
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        server.stop()
+        print("stopped")
+    return 0
+
+
+def _cmd_bandwidth(args: argparse.Namespace) -> int:
+    from .perfmodel import measure_smb_bandwidth, modeled_bandwidth_gbs
+
+    address = None
+    if args.connect:
+        host, _, port = args.connect.partition(":")
+        address = (host, int(port))
+    print(f"{'procs':>6s} {'modeled GB/s':>13s} {'measured GB/s':>14s}")
+    for processes in (2, 4, 8, 16, 32):
+        sample = measure_smb_bandwidth(
+            processes, buffer_mb=args.buffer_mb,
+            operations=args.operations, address=address,
+        )
+        print(
+            f"{processes:6d} {modeled_bandwidth_gbs(processes):13.2f} "
+            f"{sample.gbs:14.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    reproduce = commands.add_parser(
+        "reproduce", help="regenerate the paper's tables and figures"
+    )
+    reproduce.add_argument("--analytic", action="store_true",
+                           help="model-only experiments (seconds)")
+    reproduce.add_argument("--full", action="store_true",
+                           help="full-length training experiments")
+    reproduce.set_defaults(entry=_cmd_reproduce)
+
+    train = commands.add_parser(
+        "train", help="train one platform on the synthetic task"
+    )
+    train.add_argument("--platform", default="shmcaffe_a",
+                       choices=["caffe", "caffe_mpi", "mpi_caffe",
+                                "shmcaffe_a", "shmcaffe_h"])
+    train.add_argument("--model", default="inception_v1",
+                       choices=["inception_v1", "resnet_50",
+                                "inception_resnet_v2", "vgg16"])
+    train.add_argument("--workers", type=int, default=4)
+    train.add_argument("--group-size", type=int, default=1)
+    train.add_argument("--epochs", type=int, default=8)
+    train.add_argument("--batch-size", type=int, default=10)
+    train.add_argument("--samples-per-class", type=int, default=200)
+    train.add_argument("--noise", type=float, default=0.9)
+    train.add_argument("--lr", type=float, default=0.05)
+    train.add_argument("--moving-rate", type=float, default=0.2)
+    train.add_argument("--update-interval", type=int, default=1)
+    train.set_defaults(entry=_cmd_train)
+
+    smb = commands.add_parser(
+        "smb-server", help="run a standalone TCP Soft Memory Box server"
+    )
+    smb.add_argument("--host", default="127.0.0.1")
+    smb.add_argument("--port", type=int, default=0)
+    smb.add_argument("--capacity-mb", type=float, default=1024.0)
+    smb.set_defaults(entry=_cmd_smb_server)
+
+    bandwidth = commands.add_parser(
+        "bandwidth", help="Fig. 7 bandwidth sweep against an SMB server"
+    )
+    bandwidth.add_argument(
+        "--connect", default="",
+        help="host:port of a running server (default: in-process)",
+    )
+    bandwidth.add_argument("--buffer-mb", type=float, default=2.0)
+    bandwidth.add_argument("--operations", type=int, default=10)
+    bandwidth.set_defaults(entry=_cmd_bandwidth)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.entry(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,66 @@
+"""A NumPy reproduction of the BVLC Caffe substrate ShmCaffe extends.
+
+Blobs, a layer zoo, DAG nets built from prototxt-like specs, the SGD solver
+with Caffe's LR policies, flat parameter views for distributed sharing, and
+a synthetic data pipeline with LMDB-style storage and prefetch.
+"""
+
+from . import layers, models
+from .blob import Blob, msra_fill, xavier_fill
+from .data import (
+    LmdbStore,
+    Minibatch,
+    Prefetcher,
+    SyntheticImageDataset,
+    decode_datum,
+    encode_datum,
+)
+from .net import Net
+from .netspec import InferenceResult, LayerSpec, NetSpec, infer
+from . import prototxt
+from .params import FlatParams
+from .snapshot import (
+    SnapshotError,
+    load_net,
+    load_solver_state,
+    save_net,
+    save_solver_state,
+)
+from .solver import LR_POLICIES, SGDSolver, SolverConfig
+from .solvers_extra import AdaGradSolver, AdamSolver, NesterovSolver
+from .transforms import TransformError, TransformParams, Transformer
+
+__all__ = [
+    "AdaGradSolver",
+    "AdamSolver",
+    "Blob",
+    "FlatParams",
+    "InferenceResult",
+    "LayerSpec",
+    "LmdbStore",
+    "LR_POLICIES",
+    "Minibatch",
+    "NesterovSolver",
+    "Net",
+    "NetSpec",
+    "Prefetcher",
+    "prototxt",
+    "SGDSolver",
+    "SnapshotError",
+    "SolverConfig",
+    "SyntheticImageDataset",
+    "TransformError",
+    "TransformParams",
+    "Transformer",
+    "decode_datum",
+    "encode_datum",
+    "infer",
+    "layers",
+    "load_net",
+    "load_solver_state",
+    "models",
+    "msra_fill",
+    "save_net",
+    "save_solver_state",
+    "xavier_fill",
+]

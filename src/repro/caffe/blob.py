@@ -1,0 +1,94 @@
+"""Blobs: the named tensors Caffe passes between layers.
+
+A blob pairs a ``data`` array with a same-shaped ``diff`` (gradient) array,
+exactly as in BVLC Caffe.  Learnable parameters are blobs too; the solver
+consumes ``diff`` and updates ``data``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+import numpy as np
+
+Shape = Tuple[int, ...]
+
+
+class Blob:
+    """A named (data, diff) tensor pair with a fixed shape."""
+
+    def __init__(
+        self,
+        shape: Iterable[int],
+        name: str = "",
+        data: Optional[np.ndarray] = None,
+    ) -> None:
+        self.shape: Shape = tuple(int(dim) for dim in shape)
+        if any(dim <= 0 for dim in self.shape):
+            raise ValueError(f"blob dims must be positive, got {self.shape}")
+        self.name = name
+        if data is not None:
+            data = np.asarray(data, dtype=np.float32)
+            if data.shape != self.shape:
+                raise ValueError(
+                    f"data shape {data.shape} != blob shape {self.shape}"
+                )
+            self.data = data.copy()
+        else:
+            self.data = np.zeros(self.shape, dtype=np.float32)
+        self.diff = np.zeros(self.shape, dtype=np.float32)
+
+    @property
+    def count(self) -> int:
+        """Number of elements."""
+        return int(np.prod(self.shape))
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the data array (what crosses the network when shared)."""
+        return self.count * 4
+
+    def zero_diff(self) -> None:
+        """Clear accumulated gradients (start of a solver step)."""
+        self.diff.fill(0.0)
+
+    def reshape_like(self, other: "Blob") -> None:
+        """Adopt another blob's shape, reallocating storage."""
+        self.shape = other.shape
+        self.data = np.zeros(self.shape, dtype=np.float32)
+        self.diff = np.zeros(self.shape, dtype=np.float32)
+
+    def copy_from(self, other: "Blob", copy_diff: bool = False) -> None:
+        """Copy data (and optionally diff) from a same-shaped blob."""
+        if other.shape != self.shape:
+            raise ValueError(f"shape mismatch: {other.shape} vs {self.shape}")
+        np.copyto(self.data, other.data)
+        if copy_diff:
+            np.copyto(self.diff, other.diff)
+
+    def __repr__(self) -> str:
+        return f"Blob(name={self.name!r}, shape={self.shape})"
+
+
+def fan_in_out(weight_shape: Shape) -> Tuple[int, int]:
+    """Fan-in/fan-out of a weight tensor (conv ``OIHW`` or FC ``OI``)."""
+    if len(weight_shape) < 2:
+        raise ValueError(f"weights need >=2 dims, got {weight_shape}")
+    receptive = int(np.prod(weight_shape[2:])) if len(weight_shape) > 2 else 1
+    fan_in = weight_shape[1] * receptive
+    fan_out = weight_shape[0] * receptive
+    return fan_in, fan_out
+
+
+def xavier_fill(shape: Shape, rng: np.random.Generator) -> np.ndarray:
+    """Caffe's ``xavier`` filler: uniform in ±sqrt(3 / fan_in)."""
+    fan_in, _ = fan_in_out(shape)
+    scale = float(np.sqrt(3.0 / fan_in))
+    return rng.uniform(-scale, scale, size=shape).astype(np.float32)
+
+
+def msra_fill(shape: Shape, rng: np.random.Generator) -> np.ndarray:
+    """Caffe's ``msra`` (He) filler: normal with std sqrt(2 / fan_in)."""
+    fan_in, _ = fan_in_out(shape)
+    std = float(np.sqrt(2.0 / fan_in))
+    return (rng.standard_normal(shape) * std).astype(np.float32)

@@ -1,0 +1,174 @@
+"""Convolution and inner-product (fully connected) layers."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..blob import Blob, Shape, xavier_fill
+from .base import Layer, LayerError, conv_output_dim, register_layer
+from .im2col import as_pair, col2im, im2col
+
+IntPair = Tuple[int, int]
+
+
+@register_layer("Convolution")
+class Convolution(Layer):
+    """2-D convolution lowered to GEMM via im2col, as BVLC Caffe does.
+
+    Args:
+        name: Layer name.
+        num_output: Output channels.
+        kernel: Kernel side, or an ``(kh, kw)`` pair for asymmetric kernels
+            (Inception-ResNet-v2's factorised 1x7 / 7x1 convolutions).
+        stride: Stride, int or pair.
+        pad: Zero padding, int or pair.
+        bias: Learn an additive per-channel bias.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_output: int,
+        kernel: Union[int, IntPair],
+        stride: Union[int, IntPair] = 1,
+        pad: Union[int, IntPair] = 0,
+        bias: bool = True,
+    ) -> None:
+        super().__init__(name)
+        self.kernel = as_pair(kernel)
+        self.stride = as_pair(stride)
+        self.pad = as_pair(pad)
+        if (
+            num_output <= 0
+            or min(self.kernel) <= 0
+            or min(self.stride) <= 0
+            or min(self.pad) < 0
+        ):
+            raise LayerError(f"bad conv geometry in {name!r}")
+        self.num_output = num_output
+        self.bias = bias
+        self._columns: np.ndarray | None = None
+
+    def _out_hw(self, h: int, w: int) -> IntPair:
+        return (
+            conv_output_dim(h, self.kernel[0], self.stride[0], self.pad[0]),
+            conv_output_dim(w, self.kernel[1], self.stride[1], self.pad[1]),
+        )
+
+    def setup(
+        self, bottom_shapes: Sequence[Shape], rng: np.random.Generator
+    ) -> List[Shape]:
+        (shape,) = bottom_shapes
+        n, c, h, w = shape
+        out_h, out_w = self._out_hw(h, w)
+        weight_shape = (self.num_output, c, self.kernel[0], self.kernel[1])
+        self._register_param(
+            Blob(weight_shape, f"{self.name}.weight",
+                 data=xavier_fill(weight_shape, rng))
+        )
+        if self.bias:
+            self._register_param(
+                Blob((self.num_output,), f"{self.name}.bias"),
+                lr_mult=2.0,
+                decay_mult=0.0,
+            )
+        return [(n, self.num_output, out_h, out_w)]
+
+    def forward(
+        self, bottoms: Sequence[np.ndarray], train: bool
+    ) -> List[np.ndarray]:
+        (bottom,) = bottoms
+        n = bottom.shape[0]
+        self._columns = im2col(bottom, self.kernel, self.stride, self.pad)
+        weight = self.params[0].data.reshape(self.num_output, -1)
+        # (O, C*kh*kw) @ (N, C*kh*kw, HW) -> (N, O, HW)
+        top = np.matmul(weight, self._columns)
+        if self.bias:
+            top += self.params[1].data[None, :, None]
+        out_h, out_w = self._out_hw(bottom.shape[2], bottom.shape[3])
+        return [top.reshape(n, self.num_output, out_h, out_w)]
+
+    def backward(
+        self,
+        top_diffs: Sequence[np.ndarray],
+        bottoms: Sequence[np.ndarray],
+        tops: Sequence[np.ndarray],
+    ) -> List[np.ndarray]:
+        (top_diff,) = top_diffs
+        (bottom,) = bottoms
+        n = top_diff.shape[0]
+        flat_diff = top_diff.reshape(n, self.num_output, -1)
+
+        if self._columns is None:
+            self._columns = im2col(bottom, self.kernel, self.stride, self.pad)
+        # dW = sum_n top_diff @ columns^T
+        grad_w = np.einsum("nop,ncp->oc", flat_diff, self._columns)
+        self.params[0].diff += grad_w.reshape(self.params[0].shape)
+        if self.bias:
+            self.params[1].diff += flat_diff.sum(axis=(0, 2))
+
+        weight = self.params[0].data.reshape(self.num_output, -1)
+        col_diff = np.matmul(weight.T, flat_diff)
+        bottom_diff = col2im(
+            col_diff, bottom.shape, self.kernel, self.stride, self.pad
+        )
+        self._columns = None
+        return [bottom_diff]
+
+
+@register_layer("InnerProduct")
+class InnerProduct(Layer):
+    """Fully connected layer: flattens the bottom and applies ``xW^T + b``."""
+
+    def __init__(self, name: str, num_output: int, bias: bool = True) -> None:
+        super().__init__(name)
+        if num_output <= 0:
+            raise LayerError(f"bad num_output in {name!r}")
+        self.num_output = num_output
+        self.bias = bias
+
+    def setup(
+        self, bottom_shapes: Sequence[Shape], rng: np.random.Generator
+    ) -> List[Shape]:
+        (shape,) = bottom_shapes
+        n = shape[0]
+        dim = int(np.prod(shape[1:]))
+        weight_shape = (self.num_output, dim)
+        self._register_param(
+            Blob(weight_shape, f"{self.name}.weight",
+                 data=xavier_fill(weight_shape, rng))
+        )
+        if self.bias:
+            self._register_param(
+                Blob((self.num_output,), f"{self.name}.bias"),
+                lr_mult=2.0,
+                decay_mult=0.0,
+            )
+        return [(n, self.num_output)]
+
+    def forward(
+        self, bottoms: Sequence[np.ndarray], train: bool
+    ) -> List[np.ndarray]:
+        (bottom,) = bottoms
+        flat = bottom.reshape(bottom.shape[0], -1)
+        top = flat @ self.params[0].data.T
+        if self.bias:
+            top += self.params[1].data
+        return [top]
+
+    def backward(
+        self,
+        top_diffs: Sequence[np.ndarray],
+        bottoms: Sequence[np.ndarray],
+        tops: Sequence[np.ndarray],
+    ) -> List[np.ndarray]:
+        (top_diff,) = top_diffs
+        (bottom,) = bottoms
+        flat = bottom.reshape(bottom.shape[0], -1)
+        self.params[0].diff += top_diff.T @ flat
+        if self.bias:
+            self.params[1].diff += top_diff.sum(axis=0)
+        bottom_diff = top_diff @ self.params[0].data
+        return [bottom_diff.reshape(bottom.shape)]

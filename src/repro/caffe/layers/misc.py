@@ -1,0 +1,150 @@
+"""Additional Caffe layers: Scale, Softmax, Power.
+
+These round out the substrate to Caffe's commonly used layer set:
+``Scale`` is the learned-affine half Caffe pairs with its BatchNorm (our
+BatchNorm fuses it, but standalone Scale appears in many prototxts),
+``Softmax`` is the inference-time probability head, and ``Power``
+implements Caffe's ``(shift + scale * x) ^ power`` element-wise map.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..blob import Blob, Shape
+from .base import Layer, LayerError, register_layer
+from .loss import softmax as _softmax
+
+
+@register_layer("Scale")
+class Scale(Layer):
+    """Learned per-channel ``y = gamma * x (+ beta)`` (Caffe Scale layer)."""
+
+    def __init__(self, name: str, bias: bool = True) -> None:
+        super().__init__(name)
+        self.bias = bias
+        self.channels = 0
+
+    def setup(self, bottom_shapes, rng) -> List[Shape]:
+        (shape,) = bottom_shapes
+        if len(shape) < 2:
+            raise LayerError(f"{self.name!r}: Scale needs >= 2 dims")
+        self.channels = shape[1]
+        gamma = Blob((self.channels,), f"{self.name}.gamma")
+        gamma.data.fill(1.0)
+        self._register_param(gamma, decay_mult=0.0)
+        if self.bias:
+            self._register_param(
+                Blob((self.channels,), f"{self.name}.beta"), decay_mult=0.0
+            )
+        return [shape]
+
+    def _expand(self, vector: np.ndarray, ndim: int) -> np.ndarray:
+        shape = [1, self.channels] + [1] * (ndim - 2)
+        return vector.reshape(shape)
+
+    def forward(
+        self, bottoms: Sequence[np.ndarray], train: bool
+    ) -> List[np.ndarray]:
+        (bottom,) = bottoms
+        out = bottom * self._expand(self.params[0].data, bottom.ndim)
+        if self.bias:
+            out = out + self._expand(self.params[1].data, bottom.ndim)
+        return [out.astype(np.float32)]
+
+    def backward(
+        self,
+        top_diffs: Sequence[np.ndarray],
+        bottoms: Sequence[np.ndarray],
+        tops: Sequence[np.ndarray],
+    ) -> List[np.ndarray]:
+        (top_diff,) = top_diffs
+        (bottom,) = bottoms
+        axes = tuple(a for a in range(bottom.ndim) if a != 1)
+        self.params[0].diff += (top_diff * bottom).sum(axis=axes)
+        if self.bias:
+            self.params[1].diff += top_diff.sum(axis=axes)
+        return [
+            top_diff * self._expand(self.params[0].data, bottom.ndim)
+        ]
+
+
+@register_layer("Softmax")
+class Softmax(Layer):
+    """Probabilities over the last axis (inference head, no loss)."""
+
+    def setup(self, bottom_shapes, rng) -> List[Shape]:
+        (shape,) = bottom_shapes
+        return [shape]
+
+    def forward(
+        self, bottoms: Sequence[np.ndarray], train: bool
+    ) -> List[np.ndarray]:
+        (bottom,) = bottoms
+        return [_softmax(bottom)]
+
+    def backward(
+        self,
+        top_diffs: Sequence[np.ndarray],
+        bottoms: Sequence[np.ndarray],
+        tops: Sequence[np.ndarray],
+    ) -> List[np.ndarray]:
+        (top_diff,) = top_diffs
+        (top,) = tops
+        # dL/dx_i = p_i * (g_i - sum_j g_j p_j)
+        dot = (top_diff * top).sum(axis=-1, keepdims=True)
+        return [(top * (top_diff - dot)).astype(np.float32)]
+
+
+@register_layer("Power")
+class Power(Layer):
+    """Caffe's Power layer: ``y = (shift + scale * x) ^ power``."""
+
+    def __init__(
+        self,
+        name: str,
+        power: float = 1.0,
+        scale: float = 1.0,
+        shift: float = 0.0,
+    ) -> None:
+        super().__init__(name)
+        self.power = power
+        self.scale = scale
+        self.shift = shift
+        self._base: Optional[np.ndarray] = None
+
+    def setup(self, bottom_shapes, rng) -> List[Shape]:
+        (shape,) = bottom_shapes
+        return [shape]
+
+    def forward(
+        self, bottoms: Sequence[np.ndarray], train: bool
+    ) -> List[np.ndarray]:
+        (bottom,) = bottoms
+        base = self.shift + self.scale * bottom
+        self._base = base
+        if self.power == 1.0:
+            return [base.astype(np.float32)]
+        return [np.power(base, self.power).astype(np.float32)]
+
+    def backward(
+        self,
+        top_diffs: Sequence[np.ndarray],
+        bottoms: Sequence[np.ndarray],
+        tops: Sequence[np.ndarray],
+    ) -> List[np.ndarray]:
+        (top_diff,) = top_diffs
+        if self._base is None:
+            raise LayerError("backward before forward in Power")
+        base = self._base
+        self._base = None
+        if self.power == 1.0:
+            grad = np.full_like(base, self.scale)
+        else:
+            grad = (
+                self.power * self.scale
+                * np.power(base, self.power - 1.0)
+            )
+        return [(top_diff * grad).astype(np.float32)]

@@ -1,0 +1,155 @@
+"""Max and average pooling layers (Caffe ceil-mode geometry)."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..blob import Shape
+from .base import Layer, LayerError, pool_output_dim, register_layer
+
+
+@register_layer("Pooling")
+class Pooling(Layer):
+    """Spatial pooling over square windows.
+
+    Args:
+        name: Layer name.
+        method: ``"max"`` or ``"ave"``.
+        kernel: Window side; ignored when ``global_pool`` is set.
+        stride: Window stride.
+        pad: Zero padding (average pooling counts padding into the mean,
+            matching Caffe).
+        global_pool: Pool the whole spatial extent to 1x1.
+        ceil: Caffe's ceil-mode output size (default); ``False`` uses
+            floor ("valid") semantics as TensorFlow-style Inception stems
+            expect, so stride-2 pools align with stride-2 valid convs.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        method: str = "max",
+        kernel: int = 2,
+        stride: int = 2,
+        pad: int = 0,
+        global_pool: bool = False,
+        ceil: bool = True,
+    ) -> None:
+        super().__init__(name)
+        if method not in ("max", "ave"):
+            raise LayerError(f"unknown pooling method {method!r}")
+        self.method = method
+        self.kernel = kernel
+        self.stride = stride
+        self.pad = pad
+        self.global_pool = global_pool
+        self.ceil = ceil
+        self._argmax: Optional[np.ndarray] = None
+
+    def _geometry(self, shape: Shape) -> tuple:
+        _, _, h, w = shape
+        if self.global_pool:
+            return h, w, 1, 1, h, 1, 0  # kernel covers everything
+        out_h = pool_output_dim(h, self.kernel, self.stride, self.pad,
+                                ceil=self.ceil)
+        out_w = pool_output_dim(w, self.kernel, self.stride, self.pad,
+                                ceil=self.ceil)
+        return h, w, out_h, out_w, self.kernel, self.stride, self.pad
+
+    def setup(self, bottom_shapes, rng) -> List[Shape]:
+        (shape,) = bottom_shapes
+        n, c = shape[0], shape[1]
+        _, _, out_h, out_w, _, _, _ = self._geometry(shape)
+        return [(n, c, out_h, out_w)]
+
+    def forward(
+        self, bottoms: Sequence[np.ndarray], train: bool
+    ) -> List[np.ndarray]:
+        (bottom,) = bottoms
+        n, c, h, w = bottom.shape
+        _, _, out_h, out_w, kernel, stride, pad = self._geometry(bottom.shape)
+
+        if self.method == "max":
+            fill = -np.inf
+        else:
+            fill = 0.0
+        if pad > 0:
+            padded = np.full(
+                (n, c, h + 2 * pad, w + 2 * pad), fill, dtype=bottom.dtype
+            )
+            padded[:, :, pad:pad + h, pad:pad + w] = bottom
+        else:
+            padded = bottom
+
+        top = np.empty((n, c, out_h, out_w), dtype=bottom.dtype)
+        if self.method == "max":
+            self._argmax = np.empty((n, c, out_h, out_w), dtype=np.int64)
+        ph, pw = padded.shape[2], padded.shape[3]
+        for oy in range(out_h):
+            y0 = oy * stride
+            y1 = min(y0 + kernel, ph)
+            for ox in range(out_w):
+                x0 = ox * stride
+                x1 = min(x0 + kernel, pw)
+                window = padded[:, :, y0:y1, x0:x1]
+                flat = window.reshape(n, c, -1)
+                if self.method == "max":
+                    idx = flat.argmax(axis=2)
+                    top[:, :, oy, ox] = np.take_along_axis(
+                        flat, idx[:, :, None], axis=2
+                    )[:, :, 0]
+                    # Store position in padded coordinates for backward.
+                    win_w = x1 - x0
+                    local_y, local_x = idx // win_w, idx % win_w
+                    self._argmax[:, :, oy, ox] = (
+                        (y0 + local_y) * pw + (x0 + local_x)
+                    )
+                else:
+                    top[:, :, oy, ox] = flat.mean(axis=2)
+        return [top]
+
+    def backward(
+        self,
+        top_diffs: Sequence[np.ndarray],
+        bottoms: Sequence[np.ndarray],
+        tops: Sequence[np.ndarray],
+    ) -> List[np.ndarray]:
+        (top_diff,) = top_diffs
+        (bottom,) = bottoms
+        n, c, h, w = bottom.shape
+        _, _, out_h, out_w, kernel, stride, pad = self._geometry(bottom.shape)
+        ph, pw = h + 2 * pad, w + 2 * pad
+        padded_diff = np.zeros((n, c, ph * pw), dtype=np.float32)
+
+        if self.method == "max":
+            if self._argmax is None:
+                raise LayerError("backward before forward in max pooling")
+            # Overlapping windows (stride < kernel) can route two output
+            # cells to the same input position; np.add.at accumulates
+            # duplicates correctly where put_along_axis would overwrite.
+            flat_idx = self._argmax.reshape(n * c, -1)
+            flat_top = top_diff.reshape(n * c, -1)
+            flat_diff = padded_diff.reshape(n * c, ph * pw)
+            rows = np.repeat(
+                np.arange(n * c)[:, None], flat_idx.shape[1], axis=1
+            )
+            np.add.at(flat_diff, (rows, flat_idx), flat_top)
+            padded_diff_2d = padded_diff.reshape(n, c, ph, pw)
+        else:
+            padded_diff_2d = padded_diff.reshape(n, c, ph, pw)
+            for oy in range(out_h):
+                y0 = oy * stride
+                y1 = min(y0 + kernel, ph)
+                for ox in range(out_w):
+                    x0 = ox * stride
+                    x1 = min(x0 + kernel, pw)
+                    area = (y1 - y0) * (x1 - x0)
+                    padded_diff_2d[:, :, y0:y1, x0:x1] += (
+                        top_diff[:, :, oy:oy + 1, ox:ox + 1] / area
+                    )
+        self._argmax = None
+        if pad > 0:
+            return [padded_diff_2d[:, :, pad:pad + h, pad:pad + w].copy()]
+        return [padded_diff_2d]

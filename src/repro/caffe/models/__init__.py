@@ -1,0 +1,50 @@
+"""The four CNN models of the paper's evaluation (Table IV).
+
+Each module exposes ``full_spec`` (the faithful ImageNet-scale graph, used
+allocation-free for parameter accounting) and ``scaled_spec`` (a trainable
+miniature keeping the architectural motif, used for convergence runs).
+"""
+
+from types import ModuleType
+from typing import Dict
+
+from . import inception_resnet_v2, inception_v1, resnet50, vgg16
+
+#: Registry keyed by the model names the paper's tables use.
+MODEL_MODULES: Dict[str, ModuleType] = {
+    "inception_v1": inception_v1,
+    "resnet_50": resnet50,
+    "inception_resnet_v2": inception_resnet_v2,
+    "vgg16": vgg16,
+}
+
+
+def full_spec(model: str, **kwargs):
+    """Build the ImageNet-scale spec for a model by table name."""
+    return _module(model).full_spec(**kwargs)
+
+
+def scaled_spec(model: str, **kwargs):
+    """Build the trainable miniature spec for a model by table name."""
+    return _module(model).scaled_spec(**kwargs)
+
+
+def _module(model: str) -> ModuleType:
+    try:
+        return MODEL_MODULES[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {model!r}; expected one of "
+            f"{sorted(MODEL_MODULES)}"
+        ) from None
+
+
+__all__ = [
+    "MODEL_MODULES",
+    "full_spec",
+    "inception_resnet_v2",
+    "inception_v1",
+    "resnet50",
+    "scaled_spec",
+    "vgg16",
+]

@@ -1,0 +1,200 @@
+"""Inception-ResNet-v2, the paper's largest model (214 MB of parameters).
+
+Follows the TF-slim filter configuration of Szegedy et al. 2016: stem, 10
+Inception-ResNet-A blocks (35x35 grid), Reduction-A, 20 Inception-ResNet-B
+blocks (17x17), Reduction-B, 10 Inception-ResNet-C blocks (8x8), then a
+1536-wide 1x1, global pooling, dropout and the classifier.  Residual
+branches end in a *linear* 1x1 projection summed into the trunk with the
+published scale factors (0.17 / 0.10 / 0.20) via Eltwise coefficients.
+
+The paper trains this model on 320x320 inputs (Sec. IV-E), so that is the
+``full_spec`` default.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..netspec import NetSpec
+
+#: Residual scale factors per block family, from the Inception-v4 paper.
+SCALE_A = 0.17
+SCALE_B = 0.10
+SCALE_C = 0.20
+
+
+def _block_a(spec: NetSpec, name: str, bottom: str, channels: int) -> str:
+    """Inception-ResNet-A (block35)."""
+    b0 = spec.conv_bn_relu(f"{name}_b0_1x1", bottom, 32, kernel=1)
+    b1 = spec.conv_bn_relu(f"{name}_b1_1x1", bottom, 32, kernel=1)
+    b1 = spec.conv_bn_relu(f"{name}_b1_3x3", b1, 32, kernel=3, pad=1)
+    b2 = spec.conv_bn_relu(f"{name}_b2_1x1", bottom, 32, kernel=1)
+    b2 = spec.conv_bn_relu(f"{name}_b2_3x3a", b2, 48, kernel=3, pad=1)
+    b2 = spec.conv_bn_relu(f"{name}_b2_3x3b", b2, 64, kernel=3, pad=1)
+    mixed = spec.concat(f"{name}_mixed", [b0, b1, b2])
+    up = spec.conv(f"{name}_up", mixed, channels, kernel=1)  # linear
+    total = spec.add(
+        "Eltwise", f"{name}_sum", [up, bottom],
+        operation="sum", coeffs=(SCALE_A, 1.0),
+    )[0]
+    return spec.relu(f"{name}_relu", total)
+
+
+def _block_b(spec: NetSpec, name: str, bottom: str, channels: int) -> str:
+    """Inception-ResNet-B (block17) with factorised 1x7 / 7x1 convs."""
+    b0 = spec.conv_bn_relu(f"{name}_b0_1x1", bottom, 192, kernel=1)
+    b1 = spec.conv_bn_relu(f"{name}_b1_1x1", bottom, 128, kernel=1)
+    b1 = spec.conv_bn_relu(f"{name}_b1_1x7", b1, 160, kernel=(1, 7),
+                           pad=(0, 3))
+    b1 = spec.conv_bn_relu(f"{name}_b1_7x1", b1, 192, kernel=(7, 1),
+                           pad=(3, 0))
+    mixed = spec.concat(f"{name}_mixed", [b0, b1])
+    up = spec.conv(f"{name}_up", mixed, channels, kernel=1)  # linear
+    total = spec.add(
+        "Eltwise", f"{name}_sum", [up, bottom],
+        operation="sum", coeffs=(SCALE_B, 1.0),
+    )[0]
+    return spec.relu(f"{name}_relu", total)
+
+
+def _block_c(spec: NetSpec, name: str, bottom: str, channels: int) -> str:
+    """Inception-ResNet-C (block8) with factorised 1x3 / 3x1 convs."""
+    b0 = spec.conv_bn_relu(f"{name}_b0_1x1", bottom, 192, kernel=1)
+    b1 = spec.conv_bn_relu(f"{name}_b1_1x1", bottom, 192, kernel=1)
+    b1 = spec.conv_bn_relu(f"{name}_b1_1x3", b1, 224, kernel=(1, 3),
+                           pad=(0, 1))
+    b1 = spec.conv_bn_relu(f"{name}_b1_3x1", b1, 256, kernel=(3, 1),
+                           pad=(1, 0))
+    mixed = spec.concat(f"{name}_mixed", [b0, b1])
+    up = spec.conv(f"{name}_up", mixed, channels, kernel=1)  # linear
+    total = spec.add(
+        "Eltwise", f"{name}_sum", [up, bottom],
+        operation="sum", coeffs=(SCALE_C, 1.0),
+    )[0]
+    return spec.relu(f"{name}_relu", total)
+
+
+def _stem(spec: NetSpec, data: str) -> str:
+    """The Inception-v4 stem, ending at 384 channels."""
+    top = spec.conv_bn_relu("stem_conv1", data, 32, kernel=3, stride=2)
+    top = spec.conv_bn_relu("stem_conv2", top, 32, kernel=3)
+    top = spec.conv_bn_relu("stem_conv3", top, 64, kernel=3, pad=1)
+
+    pool_a = spec.pool("stem_pool1", top, method="max", kernel=3, stride=2,
+                       ceil=False)
+    conv_a = spec.conv_bn_relu("stem_conv4", top, 96, kernel=3, stride=2)
+    top = spec.concat("stem_mixed1", [pool_a, conv_a])  # 160
+
+    left = spec.conv_bn_relu("stem_l_1x1", top, 64, kernel=1)
+    left = spec.conv_bn_relu("stem_l_3x3", left, 96, kernel=3)
+    right = spec.conv_bn_relu("stem_r_1x1", top, 64, kernel=1)
+    right = spec.conv_bn_relu("stem_r_7x1", right, 64, kernel=(7, 1),
+                              pad=(3, 0))
+    right = spec.conv_bn_relu("stem_r_1x7", right, 64, kernel=(1, 7),
+                              pad=(0, 3))
+    right = spec.conv_bn_relu("stem_r_3x3", right, 96, kernel=3)
+    top = spec.concat("stem_mixed2", [left, right])  # 192
+
+    conv_b = spec.conv_bn_relu("stem_conv5", top, 192, kernel=3, stride=2)
+    pool_b = spec.pool("stem_pool2", top, method="max", kernel=3, stride=2,
+                       ceil=False)
+    return spec.concat("stem_mixed3", [conv_b, pool_b])  # 384
+
+
+def _reduction_a(spec: NetSpec, bottom: str) -> str:
+    """35x35 -> 17x17; 384 -> 1088 channels (k=256, l=256, m=384, n=384)."""
+    pool = spec.pool("reda_pool", bottom, method="max", kernel=3, stride=2,
+                     ceil=False)
+    conv = spec.conv_bn_relu("reda_3x3", bottom, 384, kernel=3, stride=2)
+    branch = spec.conv_bn_relu("reda_b_1x1", bottom, 256, kernel=1)
+    branch = spec.conv_bn_relu("reda_b_3x3a", branch, 256, kernel=3, pad=1)
+    branch = spec.conv_bn_relu("reda_b_3x3b", branch, 384, kernel=3, stride=2)
+    return spec.concat("reda_out", [pool, conv, branch])  # 384+384+384 = 1152
+
+
+def _reduction_b(spec: NetSpec, bottom: str) -> str:
+    """17x17 -> 8x8; 1152 -> 2144 channels."""
+    pool = spec.pool("redb_pool", bottom, method="max", kernel=3, stride=2,
+                     ceil=False)
+    b1 = spec.conv_bn_relu("redb_b1_1x1", bottom, 256, kernel=1)
+    b1 = spec.conv_bn_relu("redb_b1_3x3", b1, 384, kernel=3, stride=2)
+    b2 = spec.conv_bn_relu("redb_b2_1x1", bottom, 256, kernel=1)
+    b2 = spec.conv_bn_relu("redb_b2_3x3", b2, 288, kernel=3, stride=2)
+    b3 = spec.conv_bn_relu("redb_b3_1x1", bottom, 256, kernel=1)
+    b3 = spec.conv_bn_relu("redb_b3_3x3a", b3, 288, kernel=3, pad=1)
+    b3 = spec.conv_bn_relu("redb_b3_3x3b", b3, 320, kernel=3, stride=2)
+    return spec.concat("redb_out", [pool, b1, b2, b3])
+
+
+def full_spec(
+    batch_size: int = 60,
+    image_size: int = 320,
+    num_classes: int = 1000,
+    blocks: Sequence[int] = (10, 20, 10),
+) -> NetSpec:
+    """The complete Inception-ResNet-v2 graph (~55 M parameters).
+
+    ``image_size`` defaults to the paper's 320x320 training resolution.
+    """
+    spec = NetSpec("inception_resnet_v2")
+    data = spec.input("data", (batch_size, 3, image_size, image_size))
+    labels = spec.input("label", (batch_size,))
+
+    top = _stem(spec, data)
+    a_channels = 384
+    for index in range(blocks[0]):
+        top = _block_a(spec, f"block35_{index + 1}", top, a_channels)
+    top = _reduction_a(spec, top)
+    b_channels = 1152
+    for index in range(blocks[1]):
+        top = _block_b(spec, f"block17_{index + 1}", top, b_channels)
+    top = _reduction_b(spec, top)
+    c_channels = 2144
+    for index in range(blocks[2]):
+        top = _block_c(spec, f"block8_{index + 1}", top, c_channels)
+
+    top = spec.conv_bn_relu("conv7b", top, 1536, kernel=1)
+    top = spec.pool("pool8", top, method="ave", global_pool=True)
+    top = spec.add("Dropout", "drop8", [top], ratio=0.2)[0]
+    logits = spec.fc("logits", top, num_classes)
+    spec.softmax_loss("loss", logits, labels)
+    spec.accuracy("accuracy_top1", logits, labels, top_k=1)
+    spec.accuracy("accuracy_top5", logits, labels, top_k=min(5, num_classes))
+    return spec
+
+
+def scaled_spec(
+    batch_size: int = 16,
+    image_size: int = 16,
+    num_classes: int = 10,
+    channels: int = 3,
+) -> NetSpec:
+    """A trainable miniature keeping the residual-inception motif."""
+    spec = NetSpec("inception_resnet_v2_scaled")
+    data = spec.input("data", (batch_size, channels, image_size, image_size))
+    labels = spec.input("label", (batch_size,))
+
+    top = spec.conv_bn_relu("stem", data, 24, kernel=3, pad=1)
+
+    # Two miniature residual-inception blocks with scaled additions.
+    for index, scale in enumerate((SCALE_A, SCALE_B)):
+        name = f"mini_block_{index + 1}"
+        b0 = spec.conv_bn_relu(f"{name}_b0", top, 8, kernel=1)
+        b1 = spec.conv_bn_relu(f"{name}_b1_1x1", top, 8, kernel=1)
+        b1 = spec.conv_bn_relu(f"{name}_b1_3x3", b1, 8, kernel=3, pad=1)
+        mixed = spec.concat(f"{name}_mixed", [b0, b1])
+        up = spec.conv(f"{name}_up", mixed, 24, kernel=1)
+        total = spec.add(
+            "Eltwise", f"{name}_sum", [up, top],
+            operation="sum", coeffs=(scale, 1.0),
+        )[0]
+        top = spec.relu(f"{name}_relu", total)
+
+    top = spec.pool("pool_reduce", top, method="max", kernel=2, stride=2)
+    top = spec.conv_bn_relu("conv_final", top, 32, kernel=1)
+    top = spec.pool("pool_final", top, method="ave", global_pool=True)
+    logits = spec.fc("classifier", top, num_classes)
+    spec.softmax_loss("loss", logits, labels)
+    spec.accuracy("accuracy_top1", logits, labels, top_k=1)
+    spec.accuracy("accuracy_top5", logits, labels, top_k=min(5, num_classes))
+    return spec

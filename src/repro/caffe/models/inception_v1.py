@@ -1,0 +1,136 @@
+"""Inception-v1 (GoogLeNet), the paper's primary benchmark model.
+
+``full_spec`` is the faithful BVLC GoogLeNet graph (including both
+auxiliary classifier heads with ``loss_weight = 0.3``), used for parameter
+accounting in the performance model; ``scaled_spec`` is a trainable
+miniature keeping the architectural motif — parallel 1x1 / 3x3 / 5x5 / pool
+branches concatenated channel-wise — for the convergence experiments.
+"""
+
+from __future__ import annotations
+
+from ..netspec import NetSpec
+
+#: (1x1, 3x3 reduce, 3x3, 5x5 reduce, 5x5, pool proj) per module, from the
+#: GoogLeNet paper's Table 1.
+INCEPTION_CONFIGS = {
+    "3a": (64, 96, 128, 16, 32, 32),
+    "3b": (128, 128, 192, 32, 96, 64),
+    "4a": (192, 96, 208, 16, 48, 64),
+    "4b": (160, 112, 224, 24, 64, 64),
+    "4c": (128, 128, 256, 24, 64, 64),
+    "4d": (112, 144, 288, 32, 64, 64),
+    "4e": (256, 160, 320, 32, 128, 128),
+    "5a": (256, 160, 320, 32, 128, 128),
+    "5b": (384, 192, 384, 48, 128, 128),
+}
+
+
+def _inception_module(
+    spec: NetSpec, name: str, bottom: str, config: tuple
+) -> str:
+    """One GoogLeNet inception module; returns the concat blob name."""
+    n1, r3, n3, r5, n5, pp = config
+    b1 = spec.conv_relu(f"{name}_1x1", bottom, n1, kernel=1)
+    b3 = spec.conv_relu(f"{name}_3x3_reduce", bottom, r3, kernel=1)
+    b3 = spec.conv_relu(f"{name}_3x3", b3, n3, kernel=3, pad=1)
+    b5 = spec.conv_relu(f"{name}_5x5_reduce", bottom, r5, kernel=1)
+    b5 = spec.conv_relu(f"{name}_5x5", b5, n5, kernel=5, pad=2)
+    bp = spec.pool(f"{name}_pool", bottom, method="max", kernel=3, stride=1,
+                   pad=1)
+    bp = spec.conv_relu(f"{name}_pool_proj", bp, pp, kernel=1)
+    return spec.concat(f"{name}_output", [b1, b3, b5, bp])
+
+
+def _aux_head(
+    spec: NetSpec, name: str, bottom: str, labels: str, num_classes: int
+) -> None:
+    """Auxiliary classifier (training-time regulariser, loss weight 0.3)."""
+    top = spec.pool(f"{name}_ave_pool", bottom, method="ave", kernel=5,
+                    stride=3)
+    top = spec.conv_relu(f"{name}_conv", top, 128, kernel=1)
+    top = spec.fc(f"{name}_fc", top, 1024)
+    top = spec.relu(f"{name}_fc_relu", top)
+    top = spec.add("Dropout", f"{name}_drop", [top], ratio=0.7)[0]
+    logits = spec.fc(f"{name}_classifier", top, num_classes)
+    spec.softmax_loss(f"{name}_loss", logits, labels, loss_weight=0.3)
+
+
+def full_spec(
+    batch_size: int = 60,
+    image_size: int = 224,
+    num_classes: int = 1000,
+    aux_heads: bool = True,
+) -> NetSpec:
+    """The complete GoogLeNet graph at ImageNet scale.
+
+    The default batch size of 60 matches the paper's per-worker minibatch.
+    Instantiating this allocates ~13.4 M parameters; prefer
+    :func:`repro.caffe.netspec.infer` when only sizes are needed.
+    """
+    spec = NetSpec("inception_v1")
+    data = spec.input("data", (batch_size, 3, image_size, image_size))
+    labels = spec.input("label", (batch_size,))
+
+    top = spec.conv_relu("conv1_7x7_s2", data, 64, kernel=7, stride=2, pad=3)
+    top = spec.pool("pool1_3x3_s2", top, method="max", kernel=3, stride=2)
+    top = spec.add("LRN", "pool1_norm1", [top], local_size=5)[0]
+    top = spec.conv_relu("conv2_3x3_reduce", top, 64, kernel=1)
+    top = spec.conv_relu("conv2_3x3", top, 192, kernel=3, pad=1)
+    top = spec.add("LRN", "conv2_norm2", [top], local_size=5)[0]
+    top = spec.pool("pool2_3x3_s2", top, method="max", kernel=3, stride=2)
+
+    top = _inception_module(spec, "inception_3a", top, INCEPTION_CONFIGS["3a"])
+    top = _inception_module(spec, "inception_3b", top, INCEPTION_CONFIGS["3b"])
+    top = spec.pool("pool3_3x3_s2", top, method="max", kernel=3, stride=2)
+
+    top = _inception_module(spec, "inception_4a", top, INCEPTION_CONFIGS["4a"])
+    if aux_heads:
+        _aux_head(spec, "loss1", top, labels, num_classes)
+    top = _inception_module(spec, "inception_4b", top, INCEPTION_CONFIGS["4b"])
+    top = _inception_module(spec, "inception_4c", top, INCEPTION_CONFIGS["4c"])
+    top = _inception_module(spec, "inception_4d", top, INCEPTION_CONFIGS["4d"])
+    if aux_heads:
+        _aux_head(spec, "loss2", top, labels, num_classes)
+    top = _inception_module(spec, "inception_4e", top, INCEPTION_CONFIGS["4e"])
+    top = spec.pool("pool4_3x3_s2", top, method="max", kernel=3, stride=2)
+
+    top = _inception_module(spec, "inception_5a", top, INCEPTION_CONFIGS["5a"])
+    top = _inception_module(spec, "inception_5b", top, INCEPTION_CONFIGS["5b"])
+
+    top = spec.pool("pool5", top, method="ave", global_pool=True)
+    top = spec.add("Dropout", "pool5_drop", [top], ratio=0.4)[0]
+    logits = spec.fc("loss3_classifier", top, num_classes)
+    spec.softmax_loss("loss3", logits, labels)
+    spec.accuracy("accuracy_top1", logits, labels, top_k=1)
+    spec.accuracy("accuracy_top5", logits, labels,
+                  top_k=min(5, num_classes))
+    return spec
+
+
+def scaled_spec(
+    batch_size: int = 16,
+    image_size: int = 16,
+    num_classes: int = 10,
+    channels: int = 3,
+) -> NetSpec:
+    """A trainable miniature GoogLeNet for convergence experiments.
+
+    Two inception modules over small images; trains to high accuracy on the
+    synthetic task within a few hundred iterations on a CPU.
+    """
+    spec = NetSpec("inception_v1_scaled")
+    data = spec.input("data", (batch_size, channels, image_size, image_size))
+    labels = spec.input("label", (batch_size,))
+
+    top = spec.conv_relu("conv1", data, 16, kernel=3, pad=1)
+    top = spec.pool("pool1", top, method="max", kernel=2, stride=2)
+    top = _inception_module(spec, "inception_a", top, (8, 8, 16, 4, 8, 8))
+    top = _inception_module(spec, "inception_b", top, (16, 12, 24, 4, 8, 8))
+    top = spec.pool("pool_final", top, method="ave", global_pool=True)
+    logits = spec.fc("classifier", top, num_classes)
+    spec.softmax_loss("loss", logits, labels)
+    spec.accuracy("accuracy_top1", logits, labels, top_k=1)
+    spec.accuracy("accuracy_top5", logits, labels,
+                  top_k=min(5, num_classes))
+    return spec

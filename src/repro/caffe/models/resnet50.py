@@ -1,0 +1,107 @@
+"""ResNet-50, the second model of the paper's scalability study.
+
+Bottleneck residual blocks (1x1 reduce, 3x3, 1x1 expand) with projection
+shortcuts at stage boundaries, batch-norm after every convolution; stage
+depths (3, 4, 6, 3) per He et al.  ``full_spec`` counts ~25.6 M parameters
+("about twice as many parameters as Inception_v1", paper Sec. IV-E).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..netspec import NetSpec
+
+#: (blocks, bottleneck width, output width) per stage.
+STAGES: Tuple[Tuple[int, int, int], ...] = (
+    (3, 64, 256),
+    (4, 128, 512),
+    (6, 256, 1024),
+    (3, 512, 2048),
+)
+
+
+def _bottleneck(
+    spec: NetSpec,
+    name: str,
+    bottom: str,
+    width: int,
+    out_channels: int,
+    stride: int,
+    project: bool,
+) -> str:
+    """One bottleneck block; returns the post-addition ReLU blob."""
+    trunk = spec.conv_bn_relu(f"{name}_branch2a", bottom, width, kernel=1,
+                              stride=stride)
+    trunk = spec.conv_bn_relu(f"{name}_branch2b", trunk, width, kernel=3,
+                              pad=1)
+    trunk = spec.conv(f"{name}_branch2c", trunk, out_channels, kernel=1,
+                      bias=False)
+    trunk = spec.add("BatchNorm", f"{name}_branch2c_bn", [trunk])[0]
+
+    if project:
+        shortcut = spec.conv(f"{name}_branch1", bottom, out_channels,
+                             kernel=1, stride=stride, bias=False)
+        shortcut = spec.add("BatchNorm", f"{name}_branch1_bn", [shortcut])[0]
+    else:
+        shortcut = bottom
+    total = spec.add("Eltwise", f"{name}_sum", [trunk, shortcut],
+                     operation="sum")[0]
+    return spec.relu(f"{name}_relu", total)
+
+
+def full_spec(
+    batch_size: int = 60,
+    image_size: int = 224,
+    num_classes: int = 1000,
+) -> NetSpec:
+    """The complete ResNet-50 graph at ImageNet scale (~25.6 M params)."""
+    spec = NetSpec("resnet50")
+    data = spec.input("data", (batch_size, 3, image_size, image_size))
+    labels = spec.input("label", (batch_size,))
+
+    top = spec.conv_bn_relu("conv1", data, 64, kernel=7, stride=2, pad=3)
+    top = spec.pool("pool1", top, method="max", kernel=3, stride=2)
+
+    for stage_index, (blocks, width, out_channels) in enumerate(STAGES):
+        for block_index in range(blocks):
+            name = f"res{stage_index + 2}{chr(ord('a') + block_index)}"
+            first = block_index == 0
+            stride = 2 if (first and stage_index > 0) else 1
+            top = _bottleneck(
+                spec, name, top, width, out_channels,
+                stride=stride, project=first,
+            )
+
+    top = spec.pool("pool5", top, method="ave", global_pool=True)
+    logits = spec.fc("fc1000", top, num_classes)
+    spec.softmax_loss("loss", logits, labels)
+    spec.accuracy("accuracy_top1", logits, labels, top_k=1)
+    spec.accuracy("accuracy_top5", logits, labels, top_k=min(5, num_classes))
+    return spec
+
+
+def scaled_spec(
+    batch_size: int = 16,
+    image_size: int = 16,
+    num_classes: int = 10,
+    channels: int = 3,
+) -> NetSpec:
+    """A trainable miniature ResNet for convergence experiments."""
+    spec = NetSpec("resnet50_scaled")
+    data = spec.input("data", (batch_size, channels, image_size, image_size))
+    labels = spec.input("label", (batch_size,))
+
+    top = spec.conv_bn_relu("conv1", data, 16, kernel=3, pad=1)
+    top = _bottleneck(spec, "res2a", top, width=8, out_channels=32,
+                      stride=1, project=True)
+    top = _bottleneck(spec, "res2b", top, width=8, out_channels=32,
+                      stride=1, project=False)
+    top = _bottleneck(spec, "res3a", top, width=16, out_channels=64,
+                      stride=2, project=True)
+    top = spec.pool("pool_final", top, method="ave", global_pool=True)
+    logits = spec.fc("classifier", top, num_classes)
+    spec.softmax_loss("loss", logits, labels)
+    spec.accuracy("accuracy_top1", logits, labels, top_k=1)
+    spec.accuracy("accuracy_top5", logits, labels, top_k=min(5, num_classes))
+    return spec

@@ -1,0 +1,78 @@
+"""VGG16, the paper's communication-bound extreme (553 MB of parameters).
+
+Thirteen 3x3 convolutions in five blocks plus three fully connected layers;
+the 138 M parameters (over 100 M in ``fc6`` alone) are why the paper finds
+multi-node scaling counterproductive for this model (Sec. IV-E).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..netspec import NetSpec
+
+#: Channel widths per conv block, from Simonyan & Zisserman configuration D.
+BLOCKS: Tuple[Tuple[int, int], ...] = (
+    (64, 2), (128, 2), (256, 3), (512, 3), (512, 3),
+)
+
+
+def full_spec(
+    batch_size: int = 60,
+    image_size: int = 224,
+    num_classes: int = 1000,
+) -> NetSpec:
+    """The complete VGG16 graph at ImageNet scale (~138 M params)."""
+    spec = NetSpec("vgg16")
+    data = spec.input("data", (batch_size, 3, image_size, image_size))
+    labels = spec.input("label", (batch_size,))
+
+    top = data
+    for block_index, (width, depth) in enumerate(BLOCKS):
+        for conv_index in range(depth):
+            name = f"conv{block_index + 1}_{conv_index + 1}"
+            top = spec.conv_relu(name, top, width, kernel=3, pad=1)
+        top = spec.pool(f"pool{block_index + 1}", top, method="max",
+                        kernel=2, stride=2)
+
+    top = spec.fc("fc6", top, 4096)
+    top = spec.relu("fc6_relu", top)
+    top = spec.add("Dropout", "fc6_drop", [top], ratio=0.5)[0]
+    top = spec.fc("fc7", top, 4096)
+    top = spec.relu("fc7_relu", top)
+    top = spec.add("Dropout", "fc7_drop", [top], ratio=0.5)[0]
+    logits = spec.fc("fc8", top, num_classes)
+    spec.softmax_loss("loss", logits, labels)
+    spec.accuracy("accuracy_top1", logits, labels, top_k=1)
+    spec.accuracy("accuracy_top5", logits, labels, top_k=min(5, num_classes))
+    return spec
+
+
+def scaled_spec(
+    batch_size: int = 16,
+    image_size: int = 16,
+    num_classes: int = 10,
+    channels: int = 3,
+    widths: Sequence[int] = (16, 32),
+) -> NetSpec:
+    """A trainable miniature VGG for convergence experiments."""
+    spec = NetSpec("vgg16_scaled")
+    data = spec.input("data", (batch_size, channels, image_size, image_size))
+    labels = spec.input("label", (batch_size,))
+
+    top = data
+    for block_index, width in enumerate(widths):
+        for conv_index in range(2):
+            name = f"conv{block_index + 1}_{conv_index + 1}"
+            top = spec.conv_relu(name, top, width, kernel=3, pad=1)
+        top = spec.pool(f"pool{block_index + 1}", top, method="max",
+                        kernel=2, stride=2)
+
+    top = spec.fc("fc6", top, 64)
+    top = spec.relu("fc6_relu", top)
+    top = spec.add("Dropout", "fc6_drop", [top], ratio=0.5)[0]
+    logits = spec.fc("fc8", top, num_classes)
+    spec.softmax_loss("loss", logits, labels)
+    spec.accuracy("accuracy_top1", logits, labels, top_k=1)
+    spec.accuracy("accuracy_top5", logits, labels, top_k=min(5, num_classes))
+    return spec

@@ -1,0 +1,186 @@
+"""The Net: instantiate a spec and run forward/backward over its DAG.
+
+Mirrors Caffe's ``Net<Dtype>``: layers execute in spec order (model builders
+emit topologically sorted specs), named blobs carry activations between
+layers, and gradients flow back in reverse order with fan-out summing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .blob import Blob, Shape
+from .layers.base import LAYER_REGISTRY, Layer, LayerError
+from .netspec import NetSpec, infer
+
+
+class Net:
+    """A runnable network instantiated from a :class:`NetSpec`.
+
+    Args:
+        spec: Layer graph to instantiate.
+        seed: Seed for parameter initialisation and dropout masks; two nets
+            built from the same spec and seed are bit-identical, which the
+            distributed platforms rely on for replica initialisation.
+    """
+
+    def __init__(self, spec: NetSpec, seed: int = 0) -> None:
+        self.spec = spec
+        self.name = spec.name
+        self._rng = np.random.default_rng(seed)
+        self.layers: List[Layer] = []
+        self.blob_shapes: Dict[str, Shape] = {}
+        self.input_names: List[str] = []
+        self.loss_names: List[str] = []
+        self.metric_names: List[str] = []
+        self._build()
+        self._activations: Dict[str, np.ndarray] = {}
+
+    def _build(self) -> None:
+        # Validate connectivity and shapes once, allocation-free.
+        inference = infer(self.spec)
+        for layer_spec in self.spec.layers:
+            try:
+                cls = LAYER_REGISTRY[layer_spec.type_name]
+            except KeyError:
+                raise LayerError(
+                    f"unknown layer type {layer_spec.type_name!r}"
+                ) from None
+            layer = cls(layer_spec.name, **layer_spec.kwargs)
+            bottom_shapes = [
+                self.blob_shapes[name] for name in layer_spec.bottoms
+            ]
+            top_shapes = layer.setup(bottom_shapes, self._rng)
+            for name, shape in zip(layer_spec.tops, top_shapes):
+                expected = inference.blob_shapes[name]
+                if tuple(shape) != tuple(expected):
+                    raise LayerError(
+                        f"shape drift on blob {name!r}: net computed "
+                        f"{shape}, inference says {expected}"
+                    )
+                self.blob_shapes[name] = tuple(shape)
+            self.layers.append(layer)
+            if layer_spec.type_name == "Input":
+                self.input_names.extend(layer_spec.tops)
+            elif layer_spec.type_name == "SoftmaxWithLoss":
+                self.loss_names.extend(layer_spec.tops)
+            elif layer_spec.type_name == "Accuracy":
+                self.metric_names.extend(layer_spec.tops)
+
+    # -- parameters --------------------------------------------------------
+
+    @property
+    def params(self) -> List[Blob]:
+        """All learnable blobs in layer order."""
+        return [p for layer in self.layers for p in layer.params]
+
+    @property
+    def param_entries(self) -> List[tuple]:
+        """(blob, lr_mult, decay_mult) triples for the solver."""
+        entries = []
+        for layer in self.layers:
+            for blob, lr, decay in zip(
+                layer.params, layer.lr_mults, layer.decay_mults
+            ):
+                entries.append((blob, lr, decay))
+        return entries
+
+    def param_count(self) -> int:
+        """Total learnable scalars."""
+        return sum(p.count for p in self.params)
+
+    def zero_param_diffs(self) -> None:
+        """Clear accumulated gradients before a new solver step."""
+        for param in self.params:
+            param.zero_diff()
+
+    def copy_params_from(self, other: "Net") -> None:
+        """Clone another replica's weights (same spec required)."""
+        mine, theirs = self.params, other.params
+        if len(mine) != len(theirs):
+            raise LayerError("cannot copy params between different specs")
+        for dst, src in zip(mine, theirs):
+            dst.copy_from(src)
+
+    # -- execution ----------------------------------------------------------
+
+    def forward(
+        self, inputs: Dict[str, np.ndarray], train: bool = True
+    ) -> Dict[str, np.ndarray]:
+        """Run the net; returns every named blob (losses, metrics, logits).
+
+        Args:
+            inputs: Arrays for each ``Input`` blob, keyed by blob name.
+            train: Train-phase behaviour for dropout/batch-norm.
+        """
+        missing = set(self.input_names) - set(inputs)
+        if missing:
+            raise LayerError(f"missing input blobs: {sorted(missing)}")
+        activations: Dict[str, np.ndarray] = {}
+        for name in self.input_names:
+            array = np.asarray(inputs[name], dtype=np.float32)
+            expected = self.blob_shapes[name]
+            # The leading (batch) dimension is free at run time, like a
+            # Caffe test net reshaped from the train net.
+            if array.shape[1:] != expected[1:] or array.ndim != len(expected):
+                raise LayerError(
+                    f"input {name!r} has shape {array.shape}, "
+                    f"expected (N,) + {expected[1:]}"
+                )
+            activations[name] = array
+        for layer, layer_spec in zip(self.layers, self.spec.layers):
+            if layer_spec.type_name == "Input":
+                continue
+            bottoms = [activations[n] for n in layer_spec.bottoms]
+            tops = layer.forward(bottoms, train)
+            for name, top in zip(layer_spec.tops, tops):
+                activations[name] = top
+        self._activations = activations
+        return activations
+
+    def backward(self) -> None:
+        """Back-propagate from every loss blob; accumulates param diffs."""
+        if not self._activations:
+            raise LayerError("backward called before forward")
+        blob_diffs: Dict[str, np.ndarray] = {}
+        for name in self.loss_names:
+            blob_diffs[name] = np.ones_like(self._activations[name])
+
+        for layer, layer_spec in zip(
+            reversed(self.layers), reversed(self.spec.layers)
+        ):
+            if layer_spec.type_name == "Input":
+                continue
+            top_diffs = []
+            any_signal = False
+            for name in layer_spec.tops:
+                diff = blob_diffs.get(name)
+                if diff is None:
+                    diff = np.zeros_like(self._activations[name])
+                else:
+                    any_signal = True
+                top_diffs.append(diff)
+            if not any_signal and layer_spec.type_name != "SoftmaxWithLoss":
+                continue  # dead branch (e.g. metrics); skip the work
+            bottoms = [self._activations[n] for n in layer_spec.bottoms]
+            tops = [self._activations[n] for n in layer_spec.tops]
+            bottom_diffs = layer.backward(top_diffs, bottoms, tops)
+            for name, diff in zip(layer_spec.bottoms, bottom_diffs):
+                if name in blob_diffs:
+                    blob_diffs[name] = blob_diffs[name] + diff
+                else:
+                    blob_diffs[name] = diff
+
+    def total_loss(self, outputs: Optional[Dict[str, np.ndarray]] = None) -> float:
+        """Sum of all loss blobs from the latest (or given) forward pass."""
+        source = outputs if outputs is not None else self._activations
+        return float(sum(source[name].ravel()[0] for name in self.loss_names))
+
+    def blob(self, name: str) -> np.ndarray:
+        """Access an activation from the latest forward pass."""
+        try:
+            return self._activations[name]
+        except KeyError:
+            raise LayerError(f"no activation named {name!r}") from None

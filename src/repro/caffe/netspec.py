@@ -1,0 +1,370 @@
+"""Declarative network specs with allocation-free shape inference.
+
+A :class:`NetSpec` is the stand-in for Caffe's prototxt: an ordered list of
+:class:`LayerSpec` entries naming each layer's type, bottoms and tops.  The
+same spec serves two purposes:
+
+* :class:`repro.caffe.net.Net` instantiates it into a runnable network;
+* :func:`infer` walks it *without allocating parameters*, producing every
+  blob shape and the exact learnable-parameter count.  This is how the
+  full-size Inception/ResNet/VGG graphs are sized for the performance model
+  (VGG16's 138 M floats are never materialised).
+
+The two paths are kept honest by tests that instantiate small specs and
+compare counts against :func:`infer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from .blob import Shape
+from .layers.base import LayerError, conv_output_dim, pool_output_dim
+from .layers.im2col import as_pair
+
+
+@dataclass
+class LayerSpec:
+    """One layer entry: type, name, connectivity and constructor kwargs."""
+
+    type_name: str
+    name: str
+    bottoms: List[str]
+    tops: List[str]
+    kwargs: Dict[str, object] = field(default_factory=dict)
+
+
+class NetSpec:
+    """Ordered, named collection of layer specs (a prototxt equivalent)."""
+
+    def __init__(self, name: str = "net") -> None:
+        self.name = name
+        self.layers: List[LayerSpec] = []
+        self._layer_names: set = set()
+
+    def add(
+        self,
+        type_name: str,
+        name: str,
+        bottoms: Sequence[str] = (),
+        tops: Sequence[str] = (),
+        **kwargs: object,
+    ) -> List[str]:
+        """Append a layer; returns its top blob names.
+
+        Tops default to a single blob named after the layer.
+        """
+        if name in self._layer_names:
+            raise LayerError(f"duplicate layer name {name!r}")
+        top_list = list(tops) if tops else [name]
+        self.layers.append(
+            LayerSpec(type_name, name, list(bottoms), top_list, dict(kwargs))
+        )
+        self._layer_names.add(name)
+        return top_list
+
+    # -- sugar used by the model builders ---------------------------------
+
+    def input(self, name: str, shape: Sequence[int]) -> str:
+        return self.add("Input", name, shape=tuple(shape))[0]
+
+    def conv(
+        self,
+        name: str,
+        bottom: str,
+        num_output: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+        bias: bool = True,
+    ) -> str:
+        return self.add(
+            "Convolution", name, [bottom],
+            num_output=num_output, kernel=kernel, stride=stride, pad=pad,
+            bias=bias,
+        )[0]
+
+    def relu(self, name: str, bottom: str) -> str:
+        return self.add("ReLU", name, [bottom])[0]
+
+    def conv_relu(
+        self,
+        name: str,
+        bottom: str,
+        num_output: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+    ) -> str:
+        top = self.conv(name, bottom, num_output, kernel, stride, pad)
+        return self.relu(f"{name}_relu", top)
+
+    def conv_bn_relu(
+        self,
+        name: str,
+        bottom: str,
+        num_output: int,
+        kernel: int,
+        stride: int = 1,
+        pad: int = 0,
+    ) -> str:
+        top = self.conv(
+            name, bottom, num_output, kernel, stride, pad, bias=False
+        )
+        top = self.add("BatchNorm", f"{name}_bn", [top])[0]
+        return self.relu(f"{name}_relu", top)
+
+    def pool(
+        self,
+        name: str,
+        bottom: str,
+        method: str = "max",
+        kernel: int = 2,
+        stride: int = 2,
+        pad: int = 0,
+        global_pool: bool = False,
+        ceil: bool = True,
+    ) -> str:
+        return self.add(
+            "Pooling", name, [bottom],
+            method=method, kernel=kernel, stride=stride, pad=pad,
+            global_pool=global_pool, ceil=ceil,
+        )[0]
+
+    def fc(
+        self, name: str, bottom: str, num_output: int, bias: bool = True
+    ) -> str:
+        return self.add("InnerProduct", name, [bottom],
+                        num_output=num_output, bias=bias)[0]
+
+    def concat(self, name: str, bottoms: Sequence[str]) -> str:
+        return self.add("Concat", name, list(bottoms))[0]
+
+    def softmax_loss(
+        self, name: str, logits: str, labels: str, loss_weight: float = 1.0
+    ) -> str:
+        return self.add(
+            "SoftmaxWithLoss", name, [logits, labels],
+            loss_weight=loss_weight,
+        )[0]
+
+    def accuracy(
+        self, name: str, logits: str, labels: str, top_k: int = 1
+    ) -> str:
+        return self.add("Accuracy", name, [logits, labels], top_k=top_k)[0]
+
+
+# ---------------------------------------------------------------------------
+# Allocation-free inference
+# ---------------------------------------------------------------------------
+
+#: type_name -> fn(bottom_shapes, kwargs) -> top_shapes
+_SHAPE_FNS: Dict[str, Callable[..., List[Shape]]] = {}
+#: type_name -> fn(bottom_shapes, kwargs) -> list of param shapes
+_PARAM_FNS: Dict[str, Callable[..., List[Shape]]] = {}
+
+
+def _shapes(type_name: str):
+    def deco(fn):
+        _SHAPE_FNS[type_name] = fn
+        return fn
+    return deco
+
+
+def _params(type_name: str):
+    def deco(fn):
+        _PARAM_FNS[type_name] = fn
+        return fn
+    return deco
+
+
+@_shapes("Input")
+def _input_shape(bottoms, kw):
+    return [tuple(kw["shape"])]
+
+
+@_shapes("Convolution")
+def _conv_shape(bottoms, kw):
+    n, _, h, w = bottoms[0]
+    kh, kw_ = as_pair(kw["kernel"])
+    sh, sw = as_pair(kw.get("stride", 1))
+    ph, pw = as_pair(kw.get("pad", 0))
+    return [(
+        n, kw["num_output"],
+        conv_output_dim(h, kh, sh, ph), conv_output_dim(w, kw_, sw, pw),
+    )]
+
+
+@_params("Convolution")
+def _conv_params(bottoms, kw):
+    c = bottoms[0][1]
+    kh, kw_ = as_pair(kw["kernel"])
+    shapes = [(kw["num_output"], c, kh, kw_)]
+    if kw.get("bias", True):
+        shapes.append((kw["num_output"],))
+    return shapes
+
+
+@_shapes("InnerProduct")
+def _ip_shape(bottoms, kw):
+    n = bottoms[0][0]
+    return [(n, kw["num_output"])]
+
+
+@_params("InnerProduct")
+def _ip_params(bottoms, kw):
+    dim = int(np.prod(bottoms[0][1:]))
+    shapes = [(kw["num_output"], dim)]
+    if kw.get("bias", True):
+        shapes.append((kw["num_output"],))
+    return shapes
+
+
+@_shapes("Pooling")
+def _pool_shape(bottoms, kw):
+    n, c, h, w = bottoms[0]
+    if kw.get("global_pool", False):
+        return [(n, c, 1, 1)]
+    k = kw.get("kernel", 2)
+    s = kw.get("stride", 2)
+    p = kw.get("pad", 0)
+    ceil = kw.get("ceil", True)
+    return [(
+        n, c,
+        pool_output_dim(h, k, s, p, ceil=ceil),
+        pool_output_dim(w, k, s, p, ceil=ceil),
+    )]
+
+
+@_shapes("BatchNorm")
+def _bn_shape(bottoms, kw):
+    return [bottoms[0]]
+
+
+@_params("BatchNorm")
+def _bn_params(bottoms, kw):
+    c = bottoms[0][1]
+    stats = [(c,), (c,)]  # running mean/var travel with the model (Caffe)
+    if kw.get("affine", True):
+        return [(c,), (c,)] + stats
+    return stats
+
+
+@_shapes("Concat")
+def _concat_shape(bottoms, kw):
+    axis = kw.get("axis", 1)
+    for shape in bottoms[1:]:
+        for dim, (a, b) in enumerate(zip(shape, bottoms[0])):
+            if dim != axis and a != b:
+                raise LayerError(
+                    f"concat: non-concat dims must match, got {shape} "
+                    f"vs {bottoms[0]}"
+                )
+    out = list(bottoms[0])
+    out[axis] = sum(shape[axis] for shape in bottoms)
+    return [tuple(out)]
+
+
+@_shapes("Eltwise")
+def _eltwise_shape(bottoms, kw):
+    return [bottoms[0]]
+
+
+@_shapes("Flatten")
+def _flatten_shape(bottoms, kw):
+    shape = bottoms[0]
+    return [(shape[0], int(np.prod(shape[1:])))]
+
+
+@_shapes("Split")
+def _split_shape(bottoms, kw):
+    return [bottoms[0]] * int(kw.get("num_tops", 2))
+
+
+@_shapes("SoftmaxWithLoss")
+def _loss_shape(bottoms, kw):
+    return [(1,)]
+
+
+@_shapes("Accuracy")
+def _acc_shape(bottoms, kw):
+    return [(1,)]
+
+
+def _identity_shape(bottoms, kw):
+    return [bottoms[0]]
+
+
+for _type in ("ReLU", "Sigmoid", "TanH", "Dropout", "LRN", "Softmax",
+              "Power", "Scale"):
+    _SHAPE_FNS[_type] = _identity_shape
+
+
+@_params("Scale")
+def _scale_params(bottoms, kw):
+    c = bottoms[0][1]
+    if kw.get("bias", True):
+        return [(c,), (c,)]
+    return [(c,)]
+
+
+@dataclass
+class InferenceResult:
+    """Outcome of walking a spec without instantiating it."""
+
+    blob_shapes: Dict[str, Shape]
+    param_shapes: Dict[str, List[Shape]]  # layer name -> shapes
+
+    @property
+    def param_count(self) -> int:
+        """Total learnable scalars in the network."""
+        return sum(
+            int(np.prod(shape))
+            for shapes in self.param_shapes.values()
+            for shape in shapes
+        )
+
+    @property
+    def param_nbytes(self) -> int:
+        """Model size in bytes at float32 (what SEASGD ships per exchange)."""
+        return self.param_count * 4
+
+
+def infer(spec: NetSpec) -> InferenceResult:
+    """Shape-check a spec and count parameters without allocating them.
+
+    Raises:
+        LayerError: On unknown layer types, missing bottoms, or any
+            geometry error the real layers would also reject.
+    """
+    blob_shapes: Dict[str, Shape] = {}
+    param_shapes: Dict[str, List[Shape]] = {}
+    for layer in spec.layers:
+        try:
+            shape_fn = _SHAPE_FNS[layer.type_name]
+        except KeyError:
+            raise LayerError(
+                f"no shape rule for layer type {layer.type_name!r}"
+            ) from None
+        try:
+            bottoms = [blob_shapes[name] for name in layer.bottoms]
+        except KeyError as exc:
+            raise LayerError(
+                f"layer {layer.name!r} consumes undefined blob {exc}"
+            ) from None
+        tops = shape_fn(bottoms, layer.kwargs)
+        if len(tops) != len(layer.tops):
+            raise LayerError(
+                f"layer {layer.name!r} declares {len(layer.tops)} tops "
+                f"but produces {len(tops)}"
+            )
+        for name, shape in zip(layer.tops, tops):
+            blob_shapes[name] = shape
+        param_fn = _PARAM_FNS.get(layer.type_name)
+        param_shapes[layer.name] = (
+            param_fn(bottoms, layer.kwargs) if param_fn else []
+        )
+    return InferenceResult(blob_shapes, param_shapes)

@@ -1,0 +1,78 @@
+"""Flat parameter views: the vectors SEASGD and the baselines exchange.
+
+Distributed parameter sharing operates on one contiguous float32 vector per
+replica (that is what lands in the SMB segments and MPI messages).
+:class:`FlatParams` maintains the mapping between a net's parameter blobs
+and that vector, in both directions, for data and gradients.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .net import Net
+
+
+class FlatParams:
+    """Flattened view over a net's learnable parameters."""
+
+    def __init__(self, net: Net) -> None:
+        self._net = net
+        self._blobs = net.params
+        self._slices: List[Tuple[int, int]] = []
+        offset = 0
+        for blob in self._blobs:
+            self._slices.append((offset, offset + blob.count))
+            offset += blob.count
+        self.count = offset
+
+    @property
+    def nbytes(self) -> int:
+        """Vector size in bytes (float32)."""
+        return self.count * 4
+
+    def get_vector(self) -> np.ndarray:
+        """Concatenate all parameter data into one float32 vector."""
+        out = np.empty(self.count, dtype=np.float32)
+        for blob, (lo, hi) in zip(self._blobs, self._slices):
+            out[lo:hi] = blob.data.ravel()
+        return out
+
+    def set_vector(self, vector: np.ndarray) -> None:
+        """Scatter a flat vector back into the parameter blobs."""
+        vector = np.asarray(vector, dtype=np.float32)
+        if vector.size != self.count:
+            raise ValueError(
+                f"expected {self.count} elements, got {vector.size}"
+            )
+        for blob, (lo, hi) in zip(self._blobs, self._slices):
+            blob.data[...] = vector[lo:hi].reshape(blob.shape)
+
+    def get_grad_vector(self) -> np.ndarray:
+        """Concatenate all parameter diffs into one float32 vector."""
+        out = np.empty(self.count, dtype=np.float32)
+        for blob, (lo, hi) in zip(self._blobs, self._slices):
+            out[lo:hi] = blob.diff.ravel()
+        return out
+
+    def set_grad_vector(self, vector: np.ndarray) -> None:
+        """Scatter a flat gradient vector back into the parameter diffs."""
+        vector = np.asarray(vector, dtype=np.float32)
+        if vector.size != self.count:
+            raise ValueError(
+                f"expected {self.count} elements, got {vector.size}"
+            )
+        for blob, (lo, hi) in zip(self._blobs, self._slices):
+            blob.diff[...] = vector[lo:hi].reshape(blob.shape)
+
+    def add_to_params(self, delta: np.ndarray, scale: float = 1.0) -> None:
+        """In-place ``W += scale * delta`` across all blobs."""
+        delta = np.asarray(delta, dtype=np.float32)
+        if delta.size != self.count:
+            raise ValueError(
+                f"expected {self.count} elements, got {delta.size}"
+            )
+        for blob, (lo, hi) in zip(self._blobs, self._slices):
+            blob.data += scale * delta[lo:hi].reshape(blob.shape)

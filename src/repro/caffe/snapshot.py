@@ -1,0 +1,105 @@
+"""Snapshot and restore: Caffe's ``.caffemodel`` / ``.solverstate`` pair.
+
+Caffe periodically writes the learned weights and, separately, the solver
+state (iteration counter + momentum history) so training can resume
+bit-exactly.  This module provides both in NumPy's ``.npz`` container:
+
+* :func:`save_net` / :func:`load_net` — parameter blobs by name (the
+  ``.caffemodel``).  Loading is name-checked, so restoring into a net
+  built from a different spec fails loudly.
+* :func:`save_solver_state` / :func:`load_solver_state` — iteration and
+  momentum history (the ``.solverstate``); weights are saved alongside so
+  one file resumes everything.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Union
+
+import numpy as np
+
+from .net import Net
+from .solver import SGDSolver
+
+PathLike = Union[str, os.PathLike]
+
+
+class SnapshotError(Exception):
+    """A snapshot did not match the net/solver it was restored into."""
+
+
+def _param_items(net: Net) -> Dict[str, np.ndarray]:
+    items: Dict[str, np.ndarray] = {}
+    for blob in net.params:
+        if blob.name in items:
+            raise SnapshotError(f"duplicate parameter name {blob.name!r}")
+        items[blob.name] = blob.data
+    return items
+
+
+def save_net(net: Net, path: PathLike) -> None:
+    """Write every parameter blob (weights + BN statistics) to ``path``."""
+    np.savez(path, **_param_items(net))
+
+
+def load_net(net: Net, path: PathLike) -> None:
+    """Restore parameters saved by :func:`save_net` into ``net``.
+
+    Raises:
+        SnapshotError: On missing/extra/mis-shaped parameters.
+    """
+    with np.load(path) as archive:
+        saved = set(archive.files)
+        expected = {blob.name for blob in net.params}
+        if saved != expected:
+            missing = sorted(expected - saved)
+            extra = sorted(saved - expected)
+            raise SnapshotError(
+                f"parameter mismatch: missing {missing}, unexpected {extra}"
+            )
+        for blob in net.params:
+            stored = archive[blob.name]
+            if stored.shape != blob.shape:
+                raise SnapshotError(
+                    f"{blob.name}: snapshot shape {stored.shape} != "
+                    f"blob shape {blob.shape}"
+                )
+            blob.data[...] = stored
+
+
+def save_solver_state(solver: SGDSolver, path: PathLike) -> None:
+    """Write weights + iteration + momentum history to ``path``."""
+    payload = _param_items(solver.net)
+    payload["__iteration__"] = np.asarray([solver.iteration], dtype=np.int64)
+    for index, history in enumerate(solver._history):
+        payload[f"__history__{index}"] = history
+    np.savez(path, **payload)
+
+
+def load_solver_state(solver: SGDSolver, path: PathLike) -> None:
+    """Resume a solver from :func:`save_solver_state` output.
+
+    Restores weights, the iteration counter (and hence the LR schedule
+    position) and the momentum history, so continued training is
+    bit-identical to an uninterrupted run.
+    """
+    with np.load(path) as archive:
+        if "__iteration__" not in archive.files:
+            raise SnapshotError("not a solver-state snapshot (weights only?)")
+        for blob in solver.net.params:
+            if blob.name not in archive.files:
+                raise SnapshotError(f"snapshot lacks parameter {blob.name!r}")
+            blob.data[...] = archive[blob.name]
+        solver.iteration = int(archive["__iteration__"][0])
+        for index, history in enumerate(solver._history):
+            key = f"__history__{index}"
+            if key not in archive.files:
+                raise SnapshotError(f"snapshot lacks momentum slot {index}")
+            stored = archive[key]
+            if stored.shape != history.shape:
+                raise SnapshotError(
+                    f"momentum slot {index}: shape {stored.shape} != "
+                    f"{history.shape}"
+                )
+            history[...] = stored

@@ -1,0 +1,130 @@
+"""Input transformations: Caffe's ``transform_param`` for the data layer.
+
+Caffe's data layers preprocess every datum with an optional scale, mean
+subtraction, random mirror and random crop.  The paper disables
+augmentation for its speed experiments ("training data augmentation is
+not applied"), so the default :class:`Transformer` is a no-op — but the
+substrate supports the full set for downstream users, with deterministic
+per-seed behaviour like everything else in this codebase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from .data import Minibatch
+
+
+class TransformError(Exception):
+    """A transform configuration does not fit the data."""
+
+
+@dataclass(frozen=True)
+class TransformParams:
+    """Caffe's ``transform_param`` fields.
+
+    Attributes:
+        scale: Multiplies every pixel (Caffe applies it after mean
+            subtraction).
+        mean_value: Per-channel mean to subtract; a scalar applies to all
+            channels.  ``None`` disables mean subtraction.
+        mirror: Randomly flip images horizontally at train time.
+        crop_size: Take a ``crop_size x crop_size`` window — random at
+            train time, centred at test time.  0 disables cropping.
+    """
+
+    scale: float = 1.0
+    mean_value: Optional[Union[float, Sequence[float]]] = None
+    mirror: bool = False
+    crop_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.crop_size < 0:
+            raise ValueError(
+                f"crop_size must be >= 0, got {self.crop_size}"
+            )
+
+    @property
+    def is_identity(self) -> bool:
+        """True when the transform changes nothing."""
+        return (
+            self.scale == 1.0
+            and self.mean_value is None
+            and not self.mirror
+            and self.crop_size == 0
+        )
+
+
+class Transformer:
+    """Applies :class:`TransformParams` to minibatches, deterministically.
+
+    Args:
+        params: The transform configuration.
+        seed: Seed for the mirror/crop randomness (train phase).
+    """
+
+    def __init__(
+        self,
+        params: Optional[TransformParams] = None,
+        seed: int = 0,
+    ) -> None:
+        self.params = params if params is not None else TransformParams()
+        self._rng = np.random.default_rng(seed)
+
+    def _mean_array(self, channels: int) -> Optional[np.ndarray]:
+        mean = self.params.mean_value
+        if mean is None:
+            return None
+        if np.isscalar(mean):
+            return np.full(channels, float(mean), dtype=np.float32)
+        mean = np.asarray(mean, dtype=np.float32)
+        if mean.size != channels:
+            raise TransformError(
+                f"{mean.size} mean values for {channels} channels"
+            )
+        return mean
+
+    def apply(self, batch: Minibatch, train: bool = True) -> Minibatch:
+        """Transform one minibatch; the input batch is never mutated."""
+        if self.params.is_identity:
+            return batch
+        images = batch.images.astype(np.float32, copy=True)
+        n, c, h, w = images.shape
+
+        mean = self._mean_array(c)
+        if mean is not None:
+            images -= mean[None, :, None, None]
+        if self.params.scale != 1.0:
+            images *= self.params.scale
+
+        if self.params.mirror and train:
+            flip = self._rng.random(n) < 0.5
+            images[flip] = images[flip][:, :, :, ::-1]
+
+        crop = self.params.crop_size
+        if crop:
+            if crop > h or crop > w:
+                raise TransformError(
+                    f"crop_size {crop} exceeds image {h}x{w}"
+                )
+            out = np.empty((n, c, crop, crop), dtype=np.float32)
+            if train:
+                ys = self._rng.integers(0, h - crop + 1, size=n)
+                xs = self._rng.integers(0, w - crop + 1, size=n)
+            else:
+                ys = np.full(n, (h - crop) // 2)
+                xs = np.full(n, (w - crop) // 2)
+            for index in range(n):
+                y, x = int(ys[index]), int(xs[index])
+                out[index] = images[index, :, y:y + crop, x:x + crop]
+            images = out
+
+        return Minibatch(images, batch.labels.copy())
+
+    def stream(self, batches, train: bool = True):
+        """Wrap a minibatch iterator with this transform."""
+        for batch in batches:
+            yield self.apply(batch, train=train)

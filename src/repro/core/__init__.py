@@ -1,0 +1,52 @@
+"""ShmCaffe core: SEASGD, the Fig. 6 worker protocol, Hybrid SGD, and the
+distributed training manager.
+
+This package is the paper's primary contribution.  The substrates it rides
+on live in :mod:`repro.smb` (remote shared memory), :mod:`repro.mpi`
+(bring-up and baselines), :mod:`repro.nccl` (intra-group collectives) and
+:mod:`repro.caffe` (the deep-learning engine).
+"""
+
+from .config import ShmCaffeConfig, TerminationCriterion
+from .hybrid import HybridWorker
+from .seasgd import (
+    apply_increment_global,
+    apply_increment_local,
+    easgd_server_update,
+    easgd_worker_update,
+    seasgd_exchange,
+    weight_increment,
+)
+from .termination import (
+    STOP_FIRST_FINISHER,
+    STOP_MASTER_DONE,
+    TerminationCoordinator,
+)
+from .trainer import DistributedTrainingManager, TrainingResult
+from .worker import (
+    IterationRecord,
+    ShmCaffeWorker,
+    WorkerError,
+    WorkerHistory,
+)
+
+__all__ = [
+    "DistributedTrainingManager",
+    "HybridWorker",
+    "IterationRecord",
+    "STOP_FIRST_FINISHER",
+    "STOP_MASTER_DONE",
+    "ShmCaffeConfig",
+    "ShmCaffeWorker",
+    "TerminationCoordinator",
+    "TerminationCriterion",
+    "TrainingResult",
+    "WorkerError",
+    "WorkerHistory",
+    "apply_increment_global",
+    "apply_increment_local",
+    "easgd_server_update",
+    "easgd_worker_update",
+    "seasgd_exchange",
+    "weight_increment",
+]

@@ -1,0 +1,162 @@
+"""Hybrid SGD (HSGD): intra-node SSGD + inter-node SEASGD (paper Sec. III-D).
+
+Workers on the same node form a *worker group*.  Within a group every
+iteration is synchronous: gradients are averaged with an
+NCCL-style ring allreduce, so all members hold identical replicas.  Only
+the group's **root** exchanges with the SMB server via SEASGD and then
+broadcasts the elastically adjusted weights back to the group — cutting
+SMB traffic by the group size, which is exactly the Fig. 14/15 effect.
+
+The master-worker role of the whole job is played by the root of group 0
+(paper: "the role of the master worker is performed by the root worker of
+Master Worker Group1").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+from ..caffe.data import Minibatch
+from ..caffe.net import Net
+from ..caffe.params import FlatParams
+from ..caffe.solver import SGDSolver
+from ..nccl.ring import RingGroup
+from ..smb.client import RemoteArray
+from .config import ShmCaffeConfig
+from .seasgd import apply_increment_local, weight_increment
+from .termination import TerminationCoordinator
+from .worker import IterationRecord, WorkerError, WorkerHistory
+
+
+class HybridWorker:
+    """One member of an HSGD worker group.
+
+    Non-root members never touch the SMB server: they contribute gradients
+    to the group allreduce and receive the root's post-exchange weights by
+    broadcast.  The root additionally runs the SEASGD exchange.
+
+    Args:
+        rank: Global worker rank (for reporting).
+        group_rank: Rank inside the group; 0 is the group root.
+        group: The shared :class:`RingGroup` clique.
+        net: Local replica (all group members start identical).
+        config: ShmCaffe hyper-parameters.
+        global_weights: Attached ``W_g`` view — **root only**, else None.
+        increment_buffer: Private ``dW_grp`` segment — root only.
+        batches: This worker's data shard.
+        termination: Stop coordinator (root only; members follow the group).
+        on_iteration: Optional live-monitoring callback.
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        group_rank: int,
+        group: RingGroup,
+        net: Net,
+        config: ShmCaffeConfig,
+        batches: Iterator[Minibatch],
+        global_weights: Optional[RemoteArray] = None,
+        increment_buffer: Optional[RemoteArray] = None,
+        termination: Optional[TerminationCoordinator] = None,
+        on_iteration: Optional[Callable[[int, int, Dict[str, float]], None]] = None,
+    ) -> None:
+        self.rank = rank
+        self.group_rank = group_rank
+        self.group = group
+        self.net = net
+        self.config = config
+        self.flat = FlatParams(net)
+        self.solver = SGDSolver(net, config.solver)
+        self.batches = batches
+        self.is_root = group_rank == 0
+        if self.is_root:
+            if global_weights is None or increment_buffer is None:
+                raise WorkerError("group root needs SMB buffers")
+            if global_weights.count != self.flat.count:
+                raise WorkerError(
+                    f"global buffer holds {global_weights.count} weights, "
+                    f"model has {self.flat.count}"
+                )
+        self.global_weights = global_weights
+        self.increment_buffer = increment_buffer
+        self.termination = termination
+        self.on_iteration = on_iteration
+        self.history = WorkerHistory(rank=rank)
+
+    def _seasgd_exchange(self) -> None:
+        """Root-only inter-node elastic exchange (eqs. (5)-(7))."""
+        global_now = self.global_weights.read()
+        local_now = self.flat.get_vector()
+        increment = weight_increment(
+            local_now, global_now, self.config.moving_rate
+        )
+        self.flat.set_vector(apply_increment_local(local_now, increment))
+        self.increment_buffer.write(increment)
+        self.increment_buffer.accumulate_into(self.global_weights)
+
+    def run(self) -> WorkerHistory:
+        """Train until the group agrees to stop; returns history."""
+        iteration = 0
+        while True:
+            # Inter-node SEASGD (root) + intra-group weight broadcast.
+            exchanged = iteration % self.config.update_interval == 0
+            if exchanged:
+                if self.is_root:
+                    self._seasgd_exchange()
+                    synced = self.group.broadcast(
+                        self.group_rank, self.flat.get_vector(), root=0
+                    )
+                else:
+                    synced = self.group.broadcast(
+                        self.group_rank, None, root=0
+                    )
+                self.flat.set_vector(synced)
+
+            # Intra-group synchronous SGD: average gradients, same update.
+            batch = next(self.batches)
+            stats = self.solver.compute_gradients(batch.as_inputs())
+            gradients = self.flat.get_grad_vector()
+            averaged = self.group.allreduce(
+                self.group_rank, gradients, average=True
+            )
+            self.flat.set_grad_vector(averaged)
+            self.solver.apply_update()
+            self.solver.advance_iteration()
+            iteration += 1
+
+            self.history.records.append(
+                IterationRecord(
+                    iteration=iteration,
+                    loss=stats["loss"],
+                    learning_rate=self.solver.config.learning_rate(
+                        iteration - 1
+                    ),
+                    exchanged=exchanged,
+                )
+            )
+            if self.on_iteration is not None:
+                self.on_iteration(self.rank, iteration, stats)
+
+            # The root decides for the whole group; the decision is shared
+            # through a one-element broadcast so members stop in lockstep.
+            if self.is_root:
+                stop = 0.0
+                if self.termination is not None:
+                    self.termination.publish(iteration)
+                    if self.termination.should_stop(iteration):
+                        stop = 1.0
+                elif iteration >= self.config.max_iterations:
+                    stop = 1.0
+                flag = self.group.broadcast(
+                    self.group_rank, np.asarray([stop]), root=0
+                )
+            else:
+                flag = self.group.broadcast(self.group_rank, None, root=0)
+            if float(flag[0]) != 0.0:
+                break
+
+        self.history.completed_iterations = iteration
+        return self.history

@@ -1,0 +1,80 @@
+"""Termination alignment across asynchronous workers (paper Sec. III-E).
+
+Asynchronous workers drift apart in wall-clock progress; without
+coordination the fast ones idle on their GPUs waiting for the stragglers.
+ShmCaffe avoids a master-side coordinator thread by sharing per-worker
+progress counters through an SMB control segment and letting every worker
+apply one of three predefined stop criteria locally.
+"""
+
+from __future__ import annotations
+
+from ..smb.client import ControlBlock
+from .config import TerminationCriterion
+
+#: Stop-flag codes written into the control block.
+STOP_MASTER_DONE = 1
+STOP_FIRST_FINISHER = 2
+
+
+class TerminationCoordinator:
+    """One worker's view of the shared stop protocol.
+
+    Args:
+        control: The shared SMB control block.
+        rank: This worker's rank.
+        criterion: Which Sec. III-E rule is active.
+        target_iterations: The per-worker iteration budget; under
+            ``AVERAGE_ITERATIONS`` it is the target for the *mean* progress
+            of all workers instead.
+    """
+
+    def __init__(
+        self,
+        control: ControlBlock,
+        rank: int,
+        criterion: TerminationCriterion,
+        target_iterations: int,
+    ) -> None:
+        if target_iterations < 1:
+            raise ValueError(
+                f"target_iterations must be >= 1, got {target_iterations}"
+            )
+        self.control = control
+        self.rank = rank
+        self.criterion = criterion
+        self.target_iterations = target_iterations
+        self._is_master = rank == 0
+
+    def publish(self, completed_iterations: int) -> None:
+        """Report this worker's completed iteration count to everyone."""
+        self.control.publish_progress(self.rank, completed_iterations)
+
+    def should_stop(self, completed_iterations: int) -> bool:
+        """Evaluate the active criterion after an iteration.
+
+        Every worker is also bounded by ``2 * target_iterations`` as a
+        safety backstop so a lost stop flag cannot spin a worker forever.
+        """
+        if completed_iterations >= 2 * self.target_iterations:
+            return True
+
+        if self.criterion is TerminationCriterion.MASTER_STOP:
+            if self._is_master:
+                if completed_iterations >= self.target_iterations:
+                    self.control.signal_stop(STOP_MASTER_DONE)
+                    return True
+                return False
+            return self.control.stop_code() != ControlBlock.STOP_CLEAR
+
+        if self.criterion is TerminationCriterion.FIRST_FINISHER:
+            if completed_iterations >= self.target_iterations:
+                self.control.signal_stop(STOP_FIRST_FINISHER)
+                return True
+            return self.control.stop_code() != ControlBlock.STOP_CLEAR
+
+        # AVERAGE_ITERATIONS: stop once the fleet's mean progress reaches
+        # the target; each worker evaluates this locally from the shared
+        # counters, so they all stop within one iteration of each other.
+        progress = self.control.read_progress()
+        return float(progress.mean()) >= self.target_iterations

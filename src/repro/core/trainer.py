@@ -1,0 +1,298 @@
+"""The distributed training manager (paper Fig. 1, right-hand column).
+
+This is the component that "performs initialization of the distributed
+processing using the MPI programming model and performs parameter exchange
+handling using the remote shared memory library provided by the SMB
+library".  Concretely:
+
+1. every rank builds an identical model replica;
+2. the master (rank 0) creates the ``W_g`` segment on the SMB server,
+   seeds it with the initial weights, creates the shared control block,
+   and **broadcasts the SHM keys over MPI** (paper Fig. 2);
+3. every SEASGD participant attaches ``W_g``, allocates its private
+   ``dW_x`` segment, and runs its worker loop;
+4. histories are gathered back to the caller.
+
+``group_size == 1`` yields ShmCaffe-A (pure SEASGD); ``group_size > 1``
+yields ShmCaffe-H with one SEASGD participant (the group root) per group.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from .. import mpi
+from ..caffe.data import SyntheticImageDataset
+from ..caffe.net import Net
+from ..caffe.netspec import NetSpec
+from ..caffe.params import FlatParams
+from ..nccl.ring import RingGroup
+from ..smb.client import ControlBlock, SMBClient
+from ..smb.server import SMBServer
+from .config import ShmCaffeConfig
+from .hybrid import HybridWorker
+from .termination import TerminationCoordinator
+from .worker import ShmCaffeWorker, WorkerHistory
+
+
+@dataclass
+class TrainingResult:
+    """What a distributed ShmCaffe run returns."""
+
+    histories: List[WorkerHistory]
+    final_global_weights: np.ndarray
+    eval_records: List[Tuple[int, Dict[str, float]]] = field(
+        default_factory=list
+    )
+
+    @property
+    def total_iterations(self) -> int:
+        """Sum of iterations completed across all workers."""
+        return sum(h.completed_iterations for h in self.histories)
+
+
+class DistributedTrainingManager:
+    """Bring-up and execution of one ShmCaffe job.
+
+    Args:
+        spec_factory: Zero-argument callable building the (identical) net
+            spec for each replica.
+        config: ShmCaffe hyper-parameters.
+        dataset: Training data, sharded across workers without duplication.
+        batch_size: Per-worker minibatch size (the paper uses 60).
+        num_workers: Total workers (one per emulated GPU).
+        group_size: Workers per HSGD group; 1 means pure ShmCaffe-A.
+        server: SMB server core to use; a fresh one is created if omitted.
+        server_address: Connect to a remote :class:`TcpSMBServer` at this
+            ``(host, port)`` instead of using an in-process core — the
+            true multi-process emulation mode.  Overrides ``server``.
+        namespace: Prefix for every segment name this run creates, so
+            several jobs can share one long-lived SMB server.
+        seed: Base seed; replica init is identical across workers, data
+            order differs per rank.
+        initial_weights: Flat vector to seed every replica (and W_g)
+            from, e.g. a :func:`repro.caffe.snapshot.save_net` checkpoint.
+        prefetch: Stage each worker's minibatches through the 10-deep
+            background prefetcher, as ShmCaffe's data layer does.
+        eval_every: If set, rank 0 evaluates the *global* weights on the
+            test split every this many of its own iterations.
+        eval_batch_size: Batch size for those evaluations.
+    """
+
+    def __init__(
+        self,
+        spec_factory: Callable[[], NetSpec],
+        config: ShmCaffeConfig,
+        dataset: SyntheticImageDataset,
+        batch_size: int,
+        num_workers: int,
+        group_size: int = 1,
+        server: Optional[SMBServer] = None,
+        server_address: Optional[Tuple[str, int]] = None,
+        namespace: str = "",
+        seed: int = 0,
+        initial_weights: Optional[np.ndarray] = None,
+        prefetch: bool = False,
+        eval_every: Optional[int] = None,
+        eval_batch_size: int = 50,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if group_size < 1 or num_workers % group_size != 0:
+            raise ValueError(
+                f"group_size {group_size} must divide num_workers "
+                f"{num_workers}"
+            )
+        self.spec_factory = spec_factory
+        self.config = config
+        self.dataset = dataset
+        self.batch_size = batch_size
+        self.num_workers = num_workers
+        self.group_size = group_size
+        self.num_groups = num_workers // group_size
+        self.server_address = server_address
+        if server_address is not None:
+            self.server = None
+        else:
+            self.server = server if server is not None else SMBServer(
+                capacity=1 << 30
+            )
+        self.namespace = namespace
+        self.seed = seed
+        self.initial_weights = (
+            np.asarray(initial_weights, dtype=np.float32)
+            if initial_weights is not None else None
+        )
+        self.prefetch = prefetch
+        self.eval_every = eval_every
+        self.eval_batch_size = eval_batch_size
+        self._eval_records: List[Tuple[int, Dict[str, float]]] = []
+        # Ring groups are shared objects; one per HSGD group.
+        self._rings = [RingGroup(group_size) for _ in range(self.num_groups)]
+
+    def _make_client(self) -> SMBClient:
+        """A fresh SMB client on the configured transport."""
+        if self.server_address is not None:
+            return SMBClient.connect(self.server_address)
+        return SMBClient.in_process(self.server)
+
+    # -- per-rank entry point ----------------------------------------------
+
+    def _rank_main(self, comm: mpi.Communicator) -> WorkerHistory:
+        rank = comm.rank
+        net = Net(self.spec_factory(), seed=self.seed)
+        flat = FlatParams(net)
+        if self.initial_weights is not None:
+            flat.set_vector(self.initial_weights)  # resume from checkpoint
+        client = self._make_client()
+
+        ns = self.namespace
+        if comm.is_master:
+            global_array = client.create_array(f"{ns}W_g", flat.count)
+            global_array.write(flat.get_vector())
+            control = ControlBlock.create(
+                client, f"{ns}control", self.num_groups
+            )
+            keys = {
+                "W_g": global_array.shm_key,
+                "control": control.shm_key,
+            }
+            mpi.bcast(comm, keys)
+        else:
+            keys = mpi.bcast(comm, None)
+            global_array = None
+            control = None
+
+        group_id = rank // self.group_size
+        group_rank = rank % self.group_size
+        is_seasgd_participant = group_rank == 0
+
+        if is_seasgd_participant:
+            if global_array is None:
+                global_array = client.attach_array(
+                    f"{ns}W_g", keys["W_g"], flat.count
+                )
+            if control is None:
+                control = ControlBlock.attach(
+                    client, f"{ns}control", keys["control"],
+                    self.num_groups,
+                )
+            increment = client.create_array(f"{ns}dW_{rank}", flat.count)
+            termination = TerminationCoordinator(
+                control,
+                rank=group_id,
+                criterion=self.config.termination,
+                target_iterations=self.config.max_iterations,
+            )
+        else:
+            increment = None
+            termination = None
+
+        batches = self.dataset.minibatches(
+            self.batch_size,
+            seed=self.seed + 1000 + rank,
+            rank=rank,
+            num_shards=self.num_workers,
+        )
+        prefetcher = None
+        if self.prefetch:
+            # ShmCaffe "prefetches 10 sets of minibatch training data";
+            # wrap the shard stream in the background prefetcher.
+            from ..caffe.data import Prefetcher
+
+            prefetcher = Prefetcher(batches)
+            batches = iter(prefetcher.next_batch, None)
+        on_iteration = self._make_monitor(net) if (
+            comm.is_master and self.eval_every
+        ) else None
+
+        if self.group_size == 1:
+            worker = ShmCaffeWorker(
+                rank=rank,
+                net=net,
+                config=self.config,
+                global_weights=global_array,
+                increment_buffer=increment,
+                batches=batches,
+                termination=termination,
+                on_iteration=on_iteration,
+            )
+        else:
+            worker = HybridWorker(
+                rank=rank,
+                group_rank=group_rank,
+                group=self._rings[group_id],
+                net=net,
+                config=self.config,
+                batches=batches,
+                global_weights=global_array,
+                increment_buffer=increment,
+                termination=termination,
+                on_iteration=on_iteration,
+            )
+        # Everyone is attached before anyone starts mutating W_g.
+        mpi.barrier(comm)
+        try:
+            return worker.run()
+        finally:
+            if prefetcher is not None:
+                prefetcher.stop()
+
+    def _make_monitor(self, net: Net):
+        """Rank-0 callback snapshotting global-weight test metrics."""
+        eval_net = Net(self.spec_factory(), seed=self.seed)
+        eval_flat = FlatParams(eval_net)
+        client = self._make_client()
+        test_batches = [
+            b.as_inputs()
+            for b in self.dataset.test_batches(self.eval_batch_size)
+        ]
+        manager = self
+
+        def monitor(rank: int, iteration: int, stats: Dict[str, float]) -> None:
+            if iteration % manager.eval_every != 0:
+                return
+            shm_key, _ = client.lookup(f"{manager.namespace}W_g")
+            array = client.attach_array(
+                f"{manager.namespace}W_g", shm_key, eval_flat.count
+            )
+            eval_flat.set_vector(array.read())
+            totals: Dict[str, float] = {}
+            for batch in test_batches:
+                outputs = eval_net.forward(batch, train=False)
+                totals["loss"] = totals.get(
+                    "loss", 0.0
+                ) + eval_net.total_loss(outputs)
+                for name in eval_net.metric_names:
+                    totals[name] = totals.get(name, 0.0) + float(
+                        outputs[name].ravel()[0]
+                    )
+            metrics = {
+                key: value / len(test_batches)
+                for key, value in totals.items()
+            }
+            manager._eval_records.append((iteration, metrics))
+
+        return monitor
+
+    # -- public API -----------------------------------------------------------
+
+    def run(self, timeout: Optional[float] = None) -> TrainingResult:
+        """Launch all ranks, wait for completion, and collect results."""
+        self._eval_records = []
+        histories = mpi.run_spmd(
+            self.num_workers, self._rank_main, timeout=timeout
+        )
+        reader = self._make_client()
+        shm_key, nbytes = reader.lookup(f"{self.namespace}W_g")
+        final = reader.attach_array(
+            f"{self.namespace}W_g", shm_key, nbytes // 4
+        ).read()
+        return TrainingResult(
+            histories=histories,
+            final_global_weights=final,
+            eval_records=list(self._eval_records),
+        )

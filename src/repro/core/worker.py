@@ -1,0 +1,267 @@
+"""The ShmCaffe worker: SEASGD training with the Fig. 6 overlap protocol.
+
+Each worker runs two threads:
+
+* **main_thread** — per iteration: read the global weights from SMB (T1),
+  compute the weight increment and pull the local replica toward the
+  global weights (T2, eqs. (5)-(6)), wake the update_thread (T3), train a
+  minibatch (T4) and apply the local SGD update (T5).
+* **update_thread** — on wake: write the increment to this worker's
+  private SMB segment (T.A1) and request the server-side accumulate into
+  the global weights (T.A2-T.A4, eq. (7)).
+
+The two sides ping-pong on a pair of events, giving exactly the paper's
+mutual exclusion: the main thread blocks before the next T1/T2 until the
+update thread has finished flushing (T.A5), so the *write* side hides
+behind computation while the *read* side is deliberately synchronous (the
+paper refuses to hide it to avoid stale parameters).  Setting
+``overlap_updates=False`` degenerates to a single-threaded, deterministic
+exchange used by correctness tests; ``stale_global_read=True`` is the
+ablation that hides the read too and demonstrably hurts accuracy.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+import numpy as np
+
+from ..caffe.data import Minibatch
+from ..caffe.net import Net
+from ..caffe.params import FlatParams
+from ..caffe.solver import SGDSolver
+from ..smb.client import RemoteArray
+from .config import ShmCaffeConfig
+from .seasgd import apply_increment_local, weight_increment
+from .termination import TerminationCoordinator
+
+
+class WorkerError(Exception):
+    """The worker's protocol was violated or its update thread died."""
+
+
+@dataclass
+class IterationRecord:
+    """Per-iteration training telemetry."""
+
+    iteration: int
+    loss: float
+    learning_rate: float
+    exchanged: bool
+
+
+@dataclass
+class WorkerHistory:
+    """Everything a worker reports back after a run."""
+
+    rank: int
+    records: List[IterationRecord] = field(default_factory=list)
+    completed_iterations: int = 0
+
+    @property
+    def losses(self) -> List[float]:
+        return [record.loss for record in self.records]
+
+
+class ShmCaffeWorker:
+    """One SEASGD worker (an MPI process in the paper; a thread here).
+
+    Args:
+        rank: Worker rank (rank 0 is the master worker).
+        net: The local model replica.
+        config: ShmCaffe hyper-parameters.
+        global_weights: Attached SMB view of the shared ``W_g`` segment.
+        increment_buffer: This worker's private ``dW_x`` SMB segment.
+        batches: Endless minibatch iterator over this worker's data shard.
+        termination: Shared-progress stop coordinator (optional; when
+            absent the worker just runs ``config.max_iterations``).
+        on_iteration: Optional callback ``(rank, iteration, stats)`` for
+            live monitoring (the convergence experiments use it to snapshot
+            accuracy against wall-clock).
+    """
+
+    def __init__(
+        self,
+        rank: int,
+        net: Net,
+        config: ShmCaffeConfig,
+        global_weights: RemoteArray,
+        increment_buffer: RemoteArray,
+        batches: Iterator[Minibatch],
+        termination: Optional[TerminationCoordinator] = None,
+        on_iteration: Optional[Callable[[int, int, Dict[str, float]], None]] = None,
+    ) -> None:
+        self.rank = rank
+        self.net = net
+        self.config = config
+        self.flat = FlatParams(net)
+        if global_weights.count != self.flat.count:
+            raise WorkerError(
+                f"global buffer holds {global_weights.count} weights, "
+                f"model has {self.flat.count}"
+            )
+        if increment_buffer.count != self.flat.count:
+            raise WorkerError(
+                f"increment buffer holds {increment_buffer.count} weights, "
+                f"model has {self.flat.count}"
+            )
+        self.global_weights = global_weights
+        self.increment_buffer = increment_buffer
+        self.solver = SGDSolver(net, config.solver)
+        self.batches = batches
+        self.termination = termination
+        self.on_iteration = on_iteration
+        self.history = WorkerHistory(rank=rank)
+
+        self._pending_increment: Optional[np.ndarray] = None
+        self._wake = threading.Event()
+        self._flushed = threading.Event()
+        self._flushed.set()  # nothing in flight initially
+        self._shutdown = threading.Event()
+        self._update_error: Optional[BaseException] = None
+        self._update_thread: Optional[threading.Thread] = None
+
+    # -- update thread (T.A1-T.A4) ----------------------------------------
+
+    def _update_loop(self) -> None:
+        while True:
+            self._wake.wait()
+            self._wake.clear()
+            if self._shutdown.is_set():
+                return
+            try:
+                increment = self._pending_increment
+                if increment is None:
+                    raise WorkerError("update thread woken with no increment")
+                self._pending_increment = None
+                self.increment_buffer.write(increment)                 # T.A1
+                self.increment_buffer.accumulate_into(                 # T.A2-3
+                    self.global_weights
+                )
+            except BaseException as exc:  # noqa: BLE001 - report to main
+                self._update_error = exc
+                self._flushed.set()
+                return
+            self._flushed.set()                                        # T.A4
+
+    def _ensure_update_thread(self) -> None:
+        if self._update_thread is None:
+            self._update_thread = threading.Thread(
+                target=self._update_loop,
+                name=f"shmcaffe-update-{self.rank}",
+                daemon=True,
+            )
+            self._update_thread.start()
+
+    def _wait_for_flush(self) -> None:
+        """T.A5: block until the previous exchange reached the server."""
+        self._flushed.wait()
+        if self._update_error is not None:
+            raise WorkerError(
+                f"update thread failed: {self._update_error}"
+            ) from self._update_error
+
+    # -- exchange (T1-T3) ---------------------------------------------------
+
+    def _exchange(self) -> None:
+        """Read W_g, elastic-update the replica, hand dW_x to the flusher."""
+        self._wait_for_flush()
+        global_now = self.global_weights.read()                        # T1
+        local_now = self.flat.get_vector()
+        increment = weight_increment(                                  # T2
+            local_now, global_now, self.config.moving_rate
+        )
+        self.flat.set_vector(apply_increment_local(local_now, increment))
+
+        if self.config.overlap_updates:
+            self._ensure_update_thread()
+            self._pending_increment = increment
+            self._flushed.clear()
+            self._wake.set()                                           # T3
+        else:
+            self.increment_buffer.write(increment)
+            self.increment_buffer.accumulate_into(self.global_weights)
+
+    def _exchange_stale(self) -> None:
+        """Ablation: whole exchange (read included) runs on the flusher.
+
+        The replica keeps training on weights that have not yet absorbed
+        the global pull — the delayed-parameter behaviour the paper avoids.
+        """
+        self._wait_for_flush()
+        local_snapshot = self.flat.get_vector()
+
+        def deferred() -> None:
+            global_now = self.global_weights.read()
+            increment = weight_increment(
+                local_snapshot, global_now, self.config.moving_rate
+            )
+            self.increment_buffer.write(increment)
+            self.increment_buffer.accumulate_into(self.global_weights)
+            # Apply to the live replica *late*, racing with training.
+            self.flat.add_to_params(increment, scale=-1.0)
+
+        self._flushed.clear()
+        self._run_stale_async(deferred)
+
+    def _run_stale_async(self, deferred) -> None:
+        def runner() -> None:
+            try:
+                deferred()
+            except BaseException as exc:  # noqa: BLE001
+                self._update_error = exc
+            finally:
+                self._flushed.set()
+
+        threading.Thread(
+            target=runner, name=f"shmcaffe-stale-{self.rank}", daemon=True
+        ).start()
+
+    # -- main loop ------------------------------------------------------------
+
+    def run(self) -> WorkerHistory:
+        """Train until the termination criterion fires; returns history."""
+        iteration = 0
+        try:
+            while True:
+                exchanged = iteration % self.config.update_interval == 0
+                if exchanged:
+                    if self.config.stale_global_read:
+                        self._exchange_stale()
+                    else:
+                        self._exchange()
+
+                batch = next(self.batches)                             # T4
+                stats = self.solver.step(batch.as_inputs())            # T5
+                iteration += 1
+
+                self.history.records.append(
+                    IterationRecord(
+                        iteration=iteration,
+                        loss=stats["loss"],
+                        learning_rate=stats["lr"],
+                        exchanged=exchanged,
+                    )
+                )
+                if self.on_iteration is not None:
+                    self.on_iteration(self.rank, iteration, stats)
+
+                if self.termination is not None:
+                    self.termination.publish(iteration)
+                    if self.termination.should_stop(iteration):
+                        break
+                elif iteration >= self.config.max_iterations:
+                    break
+        finally:
+            self._stop_update_thread()
+        self.history.completed_iterations = iteration
+        return self.history
+
+    def _stop_update_thread(self) -> None:
+        self._flushed.wait(timeout=30.0)
+        self._shutdown.set()
+        self._wake.set()
+        if self._update_thread is not None:
+            self._update_thread.join(timeout=5.0)

@@ -1,0 +1,47 @@
+"""Experiment harness: one module per table and figure of the paper.
+
+| Module | Reproduces |
+|---|---|
+| :mod:`.fig07_bandwidth` | Fig. 7 — SMB server R/W bandwidth |
+| :mod:`.fig08_convergence` | Fig. 8 — 4-platform accuracy/loss |
+| :mod:`.fig09_table2` | Fig. 9 / Table II — training time & scalability |
+| :mod:`.fig10_comp_comm` | Fig. 10 — per-iteration comp/comm |
+| :mod:`.fig11_a_vs_h` | Fig. 11 — ShmCaffe-A vs -H convergence |
+| :mod:`.table03_configs` | Table III — hybrid configurations |
+| :mod:`.table04_models` | Table IV — model sizes & compute times |
+| :mod:`.fig12_table5` | Figs. 12-13 / Table V — ShmCaffe-A sweep |
+| :mod:`.fig14_table6` | Fig. 14 / Table VI — ShmCaffe-H sweep |
+| :mod:`.fig15_comm_compare` | Fig. 15 — A vs H communication |
+"""
+
+from . import (
+    convergence,
+    fig07_bandwidth,
+    fig08_convergence,
+    fig09_table2,
+    fig10_comp_comm,
+    fig11_a_vs_h,
+    fig12_table5,
+    fig14_table6,
+    fig15_comm_compare,
+    runner,
+    table03_configs,
+    table04_models,
+)
+from .report import ExperimentResult
+
+__all__ = [
+    "ExperimentResult",
+    "convergence",
+    "fig07_bandwidth",
+    "fig08_convergence",
+    "fig09_table2",
+    "fig10_comp_comm",
+    "fig11_a_vs_h",
+    "fig12_table5",
+    "fig14_table6",
+    "fig15_comm_compare",
+    "runner",
+    "table03_configs",
+    "table04_models",
+]

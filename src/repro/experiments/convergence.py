@@ -1,0 +1,142 @@
+"""Shared setup for the convergence experiments (Figs. 8 and 11).
+
+The paper trains Inception-v1 on ImageNet for 15 epochs (base_lr 0.1,
+gamma 0.1, momentum 0.9, step every 4 epochs, minibatch 60/worker,
+moving_rate 0.2, update_interval 1).  The reproduction keeps every ratio
+of that recipe — same optimiser, same step-every-4-epochs schedule, same
+SEASGD hyper-parameters — on the scaled Inception-v1 and the synthetic
+dataset, with the learning rate retuned for the miniature model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional
+
+from ..caffe.data import SyntheticImageDataset
+from ..caffe.models import scaled_spec
+from ..caffe.netspec import NetSpec
+from ..caffe.solver import SolverConfig
+from ..platforms import (
+    PlatformResult,
+    bvlc_caffe,
+    caffe_mpi,
+    iterations_per_epoch,
+    mpi_caffe,
+    shmcaffe,
+)
+
+
+@dataclass
+class ConvergenceSetup:
+    """One convergence experiment's knobs, paper-recipe shaped."""
+
+    model: str = "inception_v1"
+    num_classes: int = 10
+    image_size: int = 12
+    train_per_class: int = 100
+    test_per_class: int = 20
+    noise: float = 1.0
+    batch_size: int = 10
+    epochs: int = 15
+    base_lr: float = 0.05
+    gamma: float = 0.1
+    momentum: float = 0.9
+    lr_step_epochs: int = 4
+    moving_rate: float = 0.2
+    update_interval: int = 1
+    seed: int = 7
+    extra: Dict[str, object] = field(default_factory=dict)
+
+    def dataset(self) -> SyntheticImageDataset:
+        """The (deterministic) synthetic stand-in for ImageNet."""
+        return SyntheticImageDataset(
+            num_classes=self.num_classes,
+            image_size=self.image_size,
+            train_per_class=self.train_per_class,
+            test_per_class=self.test_per_class,
+            noise=self.noise,
+            seed=self.seed,
+        )
+
+    def spec_factory(self) -> Callable[[], NetSpec]:
+        """Replica spec builder for the chosen model."""
+        model = self.model
+        batch = self.batch_size
+        image = self.image_size
+        classes = self.num_classes
+
+        def build() -> NetSpec:
+            return scaled_spec(
+                model, batch_size=batch, image_size=image,
+                num_classes=classes,
+            )
+
+        return build
+
+    def iterations(self, dataset: SyntheticImageDataset, workers: int) -> int:
+        """Per-worker iterations covering ``epochs`` dataset passes."""
+        return self.epochs * iterations_per_epoch(
+            dataset, self.batch_size, workers
+        )
+
+    def solver_config(
+        self, dataset: SyntheticImageDataset, workers: int
+    ) -> SolverConfig:
+        """Paper recipe: step LR decay every ``lr_step_epochs`` epochs."""
+        step = self.lr_step_epochs * iterations_per_epoch(
+            dataset, self.batch_size, workers
+        )
+        return SolverConfig(
+            base_lr=self.base_lr,
+            momentum=self.momentum,
+            lr_policy="step",
+            gamma=self.gamma,
+            stepsize=max(step, 1),
+            max_iter=max(self.iterations(dataset, workers), 1),
+        )
+
+
+def run_platform(
+    setup: ConvergenceSetup,
+    platform: str,
+    workers: int,
+    group_size: int = 1,
+    eval_every: Optional[int] = None,
+) -> PlatformResult:
+    """Train one platform under a shared setup and return its history."""
+    dataset = setup.dataset()
+    spec_factory = setup.spec_factory()
+    iterations = setup.iterations(dataset, workers)
+    solver_config = setup.solver_config(dataset, workers)
+    if eval_every is None:
+        eval_every = max(1, iterations // 5)
+
+    common = dict(
+        spec_factory=spec_factory,
+        dataset=dataset,
+        solver_config=solver_config,
+        batch_size=setup.batch_size,
+        iterations=iterations,
+        eval_every=eval_every,
+        seed=setup.seed,
+    )
+    if platform == "caffe":
+        if workers == 1:
+            return bvlc_caffe.train_standalone(**common)
+        return bvlc_caffe.train_multi_gpu(num_workers=workers, **common)
+    if platform == "caffe_mpi":
+        return caffe_mpi.train(num_workers=workers, **common)
+    if platform == "mpi_caffe":
+        return mpi_caffe.train(num_workers=workers, **common)
+    if platform in ("shmcaffe", "shmcaffe_a", "shmcaffe_h"):
+        if platform == "shmcaffe_a":
+            group_size = 1
+        return shmcaffe.train(
+            num_workers=workers,
+            group_size=group_size,
+            moving_rate=setup.moving_rate,
+            update_interval=setup.update_interval,
+            **common,
+        )
+    raise ValueError(f"unknown platform {platform!r}")

@@ -1,0 +1,60 @@
+"""Fig. 9 / Table II: Inception-v1 training time (15 epochs) & scalability.
+
+The headline result: ShmCaffe trains 10.1x faster than Caffe and 2.8x
+faster than Caffe-MPI at 16 GPUs.  Rows come from the calibrated
+per-iteration model applied to the 15-epoch iteration counts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..perfmodel.models import model_profile
+from ..perfmodel.training_time import training_hours, training_time
+from .report import ExperimentResult
+
+#: Platforms in Table II order.
+PLATFORMS: Tuple[str, ...] = ("caffe", "caffe_mpi", "mpi_caffe", "shmcaffe")
+
+#: GPU counts of Table II.
+GPU_COUNTS: Tuple[int, ...] = (1, 8, 16)
+
+#: Reference values stated by the paper.
+PAPER_CAFFE_1GPU = "22:59"
+PAPER_SPEEDUP_VS_CAFFE = 10.1
+PAPER_SPEEDUP_VS_CAFFE_MPI = 2.8
+PAPER_CAFFE_SCALABILITY = {1: 1.0, 8: 2.7, 16: 2.3}
+
+
+def run(
+    platforms: Sequence[str] = PLATFORMS,
+    gpu_counts: Sequence[int] = GPU_COUNTS,
+    epochs: int = 15,
+) -> ExperimentResult:
+    """Regenerate Table II (and the Fig. 9 bar heights)."""
+    model = model_profile("inception_v1")
+    result = ExperimentResult(
+        experiment="fig9/table2",
+        title="Inception-v1 training time (15 epochs) and scalability",
+    )
+    for platform in platforms:
+        row: dict = {"platform": platform}
+        for n in gpu_counts:
+            cell = training_time(platform, model, n, epochs=epochs)
+            row[f"time@{n}"] = cell.hours_minutes
+            row[f"scal@{n}"] = round(cell.scalability, 1)
+        result.rows.append(row)
+
+    shm16 = training_hours("shmcaffe", model, 16, epochs=epochs)
+    vs_caffe = training_hours("caffe", model, 1, epochs=epochs) / shm16
+    vs_caffe_mpi = training_hours("caffe_mpi", model, 16, epochs=epochs) / shm16
+    result.notes.append(
+        f"ShmCaffe@16 is {vs_caffe:.1f}x faster than Caffe "
+        f"(paper: {PAPER_SPEEDUP_VS_CAFFE}x) and {vs_caffe_mpi:.1f}x faster "
+        f"than Caffe-MPI (paper: {PAPER_SPEEDUP_VS_CAFFE_MPI}x)"
+    )
+    result.notes.append(
+        f"Caffe 1-GPU time target: {PAPER_CAFFE_1GPU}; "
+        f"Caffe scalability targets {PAPER_CAFFE_SCALABILITY}"
+    )
+    return result

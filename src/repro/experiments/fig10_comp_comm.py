@@ -1,0 +1,55 @@
+"""Fig. 10: per-iteration computation vs communication, four platforms.
+
+The paper plots the one-iteration comp/comm split of Inception-v1 training
+for Caffe, Caffe-MPI, MPICaffe and ShmCaffe at 8 and 16 GPUs, observing
+that ShmCaffe's communication is 5.3x faster than Caffe-MPI's.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..perfmodel.models import model_profile
+from ..perfmodel.training_time import platform_breakdown
+from .report import ExperimentResult
+
+PLATFORMS: Tuple[str, ...] = ("caffe", "caffe_mpi", "mpi_caffe", "shmcaffe")
+GPU_COUNTS: Tuple[int, ...] = (8, 16)
+
+#: "ShmCaffe Communication time is 5.3 time faster than Caffe-MPI".
+PAPER_COMM_SPEEDUP_VS_CAFFE_MPI = 5.3
+
+
+def run(
+    platforms: Sequence[str] = PLATFORMS,
+    gpu_counts: Sequence[int] = GPU_COUNTS,
+) -> ExperimentResult:
+    """Regenerate the Fig. 10 comp/comm bars."""
+    model = model_profile("inception_v1")
+    result = ExperimentResult(
+        experiment="fig10",
+        title="Per-iteration computation vs communication (Inception-v1)",
+    )
+    comm = {}
+    for platform in platforms:
+        for n in gpu_counts:
+            breakdown = platform_breakdown(platform, model, n)
+            comm[(platform, n)] = breakdown.comm_ms
+            result.rows.append(
+                {
+                    "platform": platform,
+                    "gpus": n,
+                    "comp_ms": round(breakdown.compute_ms, 1),
+                    "comm_ms": round(breakdown.comm_ms, 1),
+                    "iter_ms": round(breakdown.iteration_ms, 1),
+                    "comm_pct": round(breakdown.comm_ratio * 100, 1),
+                }
+            )
+    if ("caffe_mpi", 16) in comm and ("shmcaffe", 16) in comm:
+        speedup = comm[("caffe_mpi", 16)] / comm[("shmcaffe", 16)]
+        result.notes.append(
+            f"ShmCaffe communication is {speedup:.1f}x faster than "
+            f"Caffe-MPI at 16 GPUs "
+            f"(paper: {PAPER_COMM_SPEEDUP_VS_CAFFE_MPI}x)"
+        )
+    return result

@@ -1,0 +1,92 @@
+"""Fig. 11: ShmCaffe-A vs ShmCaffe-H accuracy/loss as workers scale.
+
+The paper's finding: with SEASGD alone (ShmCaffe-A) accuracy slips as the
+worker count grows — 79.2% at 16 GPUs, 5.7 points under the 1-GPU run —
+while the hybrid (ShmCaffe-H) holds within 0.9-2.2 points of 1-GPU Caffe
+(84.0 / 82.7 / 83.5% at 4 / 8 / 16 GPUs).  moving_rate 0.2,
+update_interval 1, hybrid groups per Table III.
+
+Real training on the scaled model; the reproduced *shape* is the async
+degradation with scale and hybrid's resistance to it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from .convergence import ConvergenceSetup, run_platform
+from .report import ExperimentResult
+
+WORKER_COUNTS: Tuple[int, ...] = (4, 8, 16)
+
+#: Hybrid group sizes per worker count, following Table III / Sec. IV-D
+#: ("with 4 GPUs ... 2 nodes where each node has 2 GPUs").
+HYBRID_GROUPS: Dict[int, int] = {4: 2, 8: 4, 16: 4}
+
+#: Paper accuracies for reference.
+PAPER_ACC = {
+    ("caffe", 1): 84.9,  # implied by "5.7% lower" at A@16 = 79.2
+    ("shmcaffe_a", 16): 79.2,
+    ("shmcaffe_h", 4): 84.0,
+    ("shmcaffe_h", 8): 82.7,
+    ("shmcaffe_h", 16): 83.5,
+}
+
+
+def default_setup(quick: bool = False) -> ConvergenceSetup:
+    """The tuned Fig. 11 recipe.
+
+    Quick mode keeps enough per-worker iterations at 16 workers (~150)
+    that the async-degradation signal is driven by staleness rather than
+    by an unconverged run.
+    """
+    return ConvergenceSetup(
+        epochs=10 if quick else 15,
+        train_per_class=240 if quick else 300,
+        noise=1.1,
+        base_lr=0.05,
+    )
+
+
+def run(
+    setup: ConvergenceSetup = None,
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+    quick: bool = False,
+) -> ExperimentResult:
+    """Train ShmCaffe-A and -H across worker counts plus the 1-GPU anchor."""
+    if setup is None:
+        setup = default_setup(quick)
+    result = ExperimentResult(
+        experiment="fig11",
+        title="ShmCaffe-A vs ShmCaffe-H accuracy/loss by GPU count",
+    )
+    anchor = run_platform(setup, "caffe", workers=1)
+    result.rows.append(
+        {
+            "variant": "caffe",
+            "gpus": 1,
+            "final_acc": round(anchor.final_accuracy, 3),
+            "final_loss": round(anchor.final_loss, 3),
+            "paper_acc_pct": PAPER_ACC.get(("caffe", 1), "-"),
+        }
+    )
+    for workers in worker_counts:
+        for variant in ("shmcaffe_a", "shmcaffe_h"):
+            group = HYBRID_GROUPS[workers] if variant == "shmcaffe_h" else 1
+            outcome = run_platform(
+                setup, variant, workers=workers, group_size=group
+            )
+            result.rows.append(
+                {
+                    "variant": variant,
+                    "gpus": workers,
+                    "final_acc": round(outcome.final_accuracy, 3),
+                    "final_loss": round(outcome.final_loss, 3),
+                    "paper_acc_pct": PAPER_ACC.get((variant, workers), "-"),
+                }
+            )
+    result.notes.append(
+        "paper shape: A degrades as workers grow (79.2% at 16, -5.7 pts); "
+        "H stays within ~2 pts of the 1-GPU anchor at every scale"
+    )
+    return result

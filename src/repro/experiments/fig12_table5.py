@@ -1,0 +1,70 @@
+"""Figs. 12-13 / Table V: ShmCaffe-A comp/comm per iteration, 4 models.
+
+The paper sweeps worker counts 1..16 for each CNN and reports the
+per-iteration computation and (non-overlapped) communication times,
+observing communication ratios of 16.3%/26% for Inception-v1 at 8/16
+GPUs, 30%/56% for ResNet-50, a steep blow-up for Inception-ResNet-v2
+(6848 MB of traffic per iteration at 16), and VGG16's 727.7 ms of
+communication with just 2 GPUs — making multi-node VGG training
+counterproductive.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from ..perfmodel.iteration import shmcaffe_a
+from ..perfmodel.models import PAPER_MODELS
+from .report import ExperimentResult
+
+WORKER_COUNTS: Tuple[int, ...] = (1, 2, 4, 8, 16)
+
+#: Communication ratios the paper states (model -> {workers: percent}).
+PAPER_COMM_RATIOS: Dict[str, Dict[int, float]] = {
+    "inception_v1": {8: 16.3, 16: 26.0},
+    "resnet_50": {8: 30.0, 16: 56.0},
+    "inception_resnet_v2": {16: 65.0},
+}
+#: VGG16 at 2 workers: communication 727.7 ms, iteration 941.8 ms.
+PAPER_VGG16_2GPU = {"comm_ms": 727.7, "iter_ms": 941.8}
+
+
+def run(
+    worker_counts: Sequence[int] = WORKER_COUNTS,
+    update_interval: int = 1,
+) -> ExperimentResult:
+    """Regenerate Table V (the Fig. 12/13 series)."""
+    result = ExperimentResult(
+        experiment="fig12-13/table5",
+        title="ShmCaffe-A computation and communication per iteration",
+    )
+    for name, profile in PAPER_MODELS.items():
+        for workers in worker_counts:
+            breakdown = shmcaffe_a(
+                profile, workers, update_interval=update_interval
+            )
+            paper_pct = PAPER_COMM_RATIOS.get(name, {}).get(workers)
+            result.rows.append(
+                {
+                    "model": name,
+                    "workers": workers,
+                    "comp_ms": round(breakdown.compute_ms, 1),
+                    "comm_ms": round(breakdown.comm_ms, 1),
+                    "comm_pct": round(breakdown.comm_ratio * 100, 1),
+                    "paper_comm_pct": paper_pct if paper_pct else "-",
+                }
+            )
+    vgg2 = shmcaffe_a(PAPER_MODELS["vgg16"], 2)
+    single = 2 * PAPER_MODELS["vgg16"].compute_ms
+    result.notes.append(
+        f"VGG16@2: iteration {vgg2.iteration_ms:.0f} ms vs "
+        f"{single:.0f} ms for the same throughput on 1 GPU -> multi-node "
+        f"counterproductive (paper: 941.8 ms vs 389.8 ms)"
+    )
+    inc16 = PAPER_MODELS["inception_resnet_v2"]
+    volume_mb = inc16.param_mb * 2 * 16
+    result.notes.append(
+        f"Inception-ResNet-v2@16 moves {volume_mb:.0f} MB per iteration "
+        f"(paper: 6848 MB)"
+    )
+    return result

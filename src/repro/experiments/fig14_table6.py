@@ -1,0 +1,54 @@
+"""Fig. 14 / Table VI: ShmCaffe-H comp/comm per iteration over Table III.
+
+Hybrid grouping divides the SMB traffic by the group size: the paper's
+flagship observation is Inception-ResNet-v2 at 16 GPUs dropping from a
+65% communication ratio under ShmCaffe-A to 30.7% under ShmCaffe-H
+(S4 x A4), because the volume falls to a quarter.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..perfmodel.iteration import shmcaffe_h
+from ..perfmodel.models import PAPER_MODELS
+from .report import ExperimentResult
+from .table03_configs import TABLE3_CONFIGS, HybridConfig
+
+#: Paper: Inception-ResNet-v2@16 comm ratio falls 65% -> 30.7% under H.
+PAPER_INCRESV2_16_H_PCT = 30.7
+
+
+def run(
+    configs: Sequence[HybridConfig] = TABLE3_CONFIGS,
+    update_interval: int = 1,
+) -> ExperimentResult:
+    """Regenerate Table VI (the Fig. 14 series)."""
+    result = ExperimentResult(
+        experiment="fig14/table6",
+        title="ShmCaffe-H computation and communication per iteration",
+    )
+    for name, profile in PAPER_MODELS.items():
+        for config in configs:
+            breakdown = shmcaffe_h(
+                profile,
+                config.workers,
+                config.group_size,
+                update_interval=update_interval,
+            )
+            result.rows.append(
+                {
+                    "model": name,
+                    "config": config.label,
+                    "comp_ms": round(breakdown.compute_ms, 1),
+                    "comm_ms": round(breakdown.comm_ms, 1),
+                    "comm_pct": round(breakdown.comm_ratio * 100, 1),
+                }
+            )
+    hybrid = shmcaffe_h(PAPER_MODELS["inception_resnet_v2"], 16, 4)
+    result.notes.append(
+        f"Inception-ResNet-v2 16 (S4 x A4): comm ratio "
+        f"{hybrid.comm_ratio * 100:.1f}% "
+        f"(paper: {PAPER_INCRESV2_16_H_PCT}%)"
+    )
+    return result

@@ -1,0 +1,49 @@
+"""Fig. 15: communication time, ShmCaffe-A vs ShmCaffe-H across models.
+
+The paper's takeaway: at 8 GPUs the small models barely differ between A
+and H, but as parameter size grows and the job scales out to 16 GPUs,
+hybrid grouping wins decisively on communication — and therefore on total
+iteration time for every model at 16 GPUs.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from ..perfmodel.iteration import shmcaffe_a, shmcaffe_h
+from ..perfmodel.models import PAPER_MODELS
+from .report import ExperimentResult
+
+GPU_COUNTS: Tuple[int, ...] = (8, 16)
+HYBRID_GROUP_SIZE = 4
+
+
+def run(gpu_counts: Sequence[int] = GPU_COUNTS) -> ExperimentResult:
+    """Regenerate the Fig. 15 A-vs-H communication comparison."""
+    result = ExperimentResult(
+        experiment="fig15",
+        title="Communication time per iteration: ShmCaffe-A vs ShmCaffe-H",
+    )
+    for name, profile in PAPER_MODELS.items():
+        for workers in gpu_counts:
+            async_bd = shmcaffe_a(profile, workers)
+            hybrid_bd = shmcaffe_h(profile, workers, HYBRID_GROUP_SIZE)
+            result.rows.append(
+                {
+                    "model": name,
+                    "gpus": workers,
+                    "A_comm_ms": round(async_bd.comm_ms, 1),
+                    "H_comm_ms": round(hybrid_bd.comm_ms, 1),
+                    "H_vs_A": round(
+                        hybrid_bd.comm_ms / max(async_bd.comm_ms, 1e-9), 2
+                    ),
+                    "A_iter_ms": round(async_bd.iteration_ms, 1),
+                    "H_iter_ms": round(hybrid_bd.iteration_ms, 1),
+                }
+            )
+    result.notes.append(
+        "paper: H matches or beats A on communication for the larger "
+        "models, and beats A on total iteration time for every model at "
+        "16 GPUs"
+    )
+    return result

@@ -1,0 +1,73 @@
+"""Row/series formatting shared by every experiment module.
+
+Each experiment returns an :class:`ExperimentResult`: an ordered list of
+row dicts plus the paper's reference values where the text states them, so
+the benchmark harness can print paper-vs-measured tables exactly like
+EXPERIMENTS.md records them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one table/figure reproduction."""
+
+    experiment: str
+    title: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def format(self, columns: Optional[Sequence[str]] = None) -> str:
+        """Render the rows as an aligned text table."""
+        if not self.rows:
+            return f"== {self.experiment}: {self.title} ==\n(no rows)"
+        if columns is None:
+            columns = list(self.rows[0].keys())
+        header = [str(col) for col in columns]
+        body = [
+            [_cell(row.get(col, "")) for col in columns] for row in self.rows
+        ]
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body))
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.experiment}: {self.title} =="]
+        lines.append(
+            "  ".join(header[i].ljust(widths[i]) for i in range(len(header)))
+        )
+        lines.append("  ".join("-" * width for width in widths))
+        for line in body:
+            lines.append(
+                "  ".join(line[i].ljust(widths[i]) for i in range(len(line)))
+            )
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def column(self, name: str) -> List[object]:
+        """Extract one column across rows."""
+        return [row.get(name) for row in self.rows]
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "-"
+        magnitude = abs(value)
+        if magnitude >= 100:
+            return f"{value:.0f}"
+        if magnitude >= 1:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def ratio_or_nan(numerator: float, denominator: float) -> float:
+    """Safe ratio for table cells."""
+    if denominator == 0:
+        return float("nan")
+    return numerator / denominator

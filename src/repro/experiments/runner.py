@@ -1,0 +1,58 @@
+"""Run every experiment and print the paper's tables and figure series.
+
+Used by ``examples/reproduce_paper.py`` and handy interactively::
+
+    from repro.experiments import runner
+    print(runner.run_all(quick=True))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from . import (
+    fig07_bandwidth,
+    fig08_convergence,
+    fig09_table2,
+    fig10_comp_comm,
+    fig11_a_vs_h,
+    fig12_table5,
+    fig14_table6,
+    fig15_comm_compare,
+    table03_configs,
+    table04_models,
+)
+from .report import ExperimentResult
+
+#: Fast, model-only experiments (seconds).
+ANALYTIC_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "fig7": lambda: fig07_bandwidth.run(measure=False),
+    "fig9/table2": fig09_table2.run,
+    "fig10": fig10_comp_comm.run,
+    "table3": table03_configs.run,
+    "table4": table04_models.run,
+    "fig12-13/table5": fig12_table5.run,
+    "fig14/table6": fig14_table6.run,
+    "fig15": fig15_comm_compare.run,
+}
+
+
+def run_analytic() -> List[ExperimentResult]:
+    """All model-driven tables/figures (no training runs)."""
+    return [build() for build in ANALYTIC_EXPERIMENTS.values()]
+
+
+def run_training(quick: bool = True) -> List[ExperimentResult]:
+    """The two real-training experiments (minutes when not quick)."""
+    return [
+        fig08_convergence.run(quick=quick),
+        fig11_a_vs_h.run(quick=quick),
+    ]
+
+
+def run_all(quick: bool = True, include_training: bool = True) -> str:
+    """Render every experiment as one report string."""
+    results = run_analytic()
+    if include_training:
+        results.extend(run_training(quick=quick))
+    return "\n\n".join(result.format() for result in results)

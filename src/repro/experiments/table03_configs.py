@@ -1,0 +1,70 @@
+"""Table III: hardware configurations of the hybrid experiments.
+
+The paper writes hybrid shapes as ``N (S<s> x A<g>)``: ``N`` total GPUs in
+``g`` asynchronous groups of ``s`` synchronous GPUs each.  ``4 (S4)`` —
+one all-synchronous group — is the BVLC Caffe comparison point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from .report import ExperimentResult
+
+
+@dataclass(frozen=True)
+class HybridConfig:
+    """One (synchronous width, asynchronous group count) configuration."""
+
+    workers: int
+    group_size: int
+
+    def __post_init__(self) -> None:
+        if self.workers < 1 or self.group_size < 1:
+            raise ValueError("workers and group_size must be >= 1")
+        if self.workers % self.group_size != 0:
+            raise ValueError(
+                f"group_size {self.group_size} must divide workers "
+                f"{self.workers}"
+            )
+
+    @property
+    def groups(self) -> int:
+        """Number of asynchronous SEASGD participants."""
+        return self.workers // self.group_size
+
+    @property
+    def label(self) -> str:
+        """The paper's ``N (S# x A#)`` notation."""
+        if self.groups == 1:
+            return f"{self.workers} (S{self.group_size})"
+        return f"{self.workers} (S{self.group_size} x A{self.groups})"
+
+
+#: The configurations of Table III / Fig. 14 (Tables VI columns).
+TABLE3_CONFIGS: Tuple[HybridConfig, ...] = (
+    HybridConfig(4, 4),    # 4 (S4): single-node synchronous reference
+    HybridConfig(4, 2),    # 4 (S2 x A2)
+    HybridConfig(8, 2),    # 8 (S2 x A4)
+    HybridConfig(8, 4),    # 8 (S4 x A2)
+    HybridConfig(16, 4),   # 16 (S4 x A4)
+)
+
+
+def run() -> ExperimentResult:
+    """Enumerate Table III."""
+    result = ExperimentResult(
+        experiment="table3",
+        title="Hybrid (HSGD) hardware configurations",
+    )
+    for config in TABLE3_CONFIGS:
+        result.rows.append(
+            {
+                "label": config.label,
+                "total_gpus": config.workers,
+                "sync_group_size": config.group_size,
+                "async_groups": config.groups,
+            }
+        )
+    return result

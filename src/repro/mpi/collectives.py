@@ -1,0 +1,159 @@
+"""Blocking collectives over the mini-MPI point-to-point layer.
+
+These mirror the MPI operations the paper's platforms rely on:
+
+* ``bcast``   — ShmCaffe's master broadcasts SMB SHM keys (Fig. 2);
+* ``gather``/``scatter`` — Caffe-MPI's star topology (master gathers
+  gradients, averages, scatters weights back);
+* ``allreduce`` — MPICaffe's SSGD gradient aggregation;
+* ``barrier`` — epoch alignment in the synchronous baselines.
+
+All collectives are implemented on reserved negative tags with a per-rank
+sequence counter: SPMD programs invoke collectives in identical order on
+every rank, so counters agree and tags match without global coordination
+(the same trick real MPI implementations use for context ids).
+
+Reductions operate on NumPy arrays (or scalars, which are promoted).  Trees
+are avoided: with at most a few dozen thread-ranks, flat fan-in is simpler
+and plenty fast, and the *modelled* costs live in :mod:`repro.perfmodel`
+rather than here.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+from .communicator import Communicator
+
+#: Reduction operators understood by (all)reduce.
+REDUCE_OPS: dict[str, Callable[[np.ndarray, np.ndarray], np.ndarray]] = {
+    "sum": lambda acc, x: acc + x,
+    "max": np.maximum,
+    "min": np.minimum,
+    "prod": lambda acc, x: acc * x,
+}
+
+
+def _as_array(value: Any) -> np.ndarray:
+    return np.asarray(value)
+
+
+def barrier(comm: Communicator) -> None:
+    """Block until every rank has entered the barrier."""
+    tag = comm._next_collective_tag()
+    if comm.rank == 0:
+        for source in range(1, comm.size):
+            comm.world.mailbox(0).get(
+                source, tag, comm.world.abort_flag, None
+            )
+        for dest in range(1, comm.size):
+            comm._send_internal(None, dest, tag)
+    else:
+        comm._send_internal(None, 0, tag)
+        comm.world.mailbox(comm.rank).get(
+            0, tag, comm.world.abort_flag, None
+        )
+
+
+def bcast(comm: Communicator, value: Any = None, root: int = 0) -> Any:
+    """Broadcast ``value`` from ``root``; every rank returns it."""
+    tag = comm._next_collective_tag()
+    if comm.rank == root:
+        for dest in range(comm.size):
+            if dest != root:
+                comm._send_internal(value, dest, tag)
+        return value
+    _, _, payload = comm.world.mailbox(comm.rank).get(
+        root, tag, comm.world.abort_flag, None
+    )
+    return payload
+
+
+def gather(comm: Communicator, value: Any, root: int = 0) -> Optional[List[Any]]:
+    """Collect one value per rank at ``root`` (rank order preserved)."""
+    tag = comm._next_collective_tag()
+    if comm.rank == root:
+        values: List[Any] = [None] * comm.size
+        values[root] = value
+        for _ in range(comm.size - 1):
+            source, _, payload = comm.world.mailbox(root).get(
+                -1, tag, comm.world.abort_flag, None
+            )
+            values[source] = payload
+        return values
+    comm._send_internal(value, root, tag)
+    return None
+
+
+def allgather(comm: Communicator, value: Any) -> List[Any]:
+    """Every rank receives the rank-ordered list of all values."""
+    gathered = gather(comm, value, root=0)
+    return bcast(comm, gathered, root=0)
+
+
+def scatter(
+    comm: Communicator, values: Optional[Sequence[Any]] = None, root: int = 0
+) -> Any:
+    """Distribute ``values[i]`` to rank ``i`` from ``root``."""
+    tag = comm._next_collective_tag()
+    if comm.rank == root:
+        if values is None or len(values) != comm.size:
+            raise ValueError(
+                f"root must supply exactly {comm.size} values"
+            )
+        for dest in range(comm.size):
+            if dest != root:
+                comm._send_internal(values[dest], dest, tag)
+        return values[root]
+    _, _, payload = comm.world.mailbox(comm.rank).get(
+        root, tag, comm.world.abort_flag, None
+    )
+    return payload
+
+
+def reduce(
+    comm: Communicator, value: Any, op: str = "sum", root: int = 0
+) -> Optional[np.ndarray]:
+    """Reduce arrays across ranks onto ``root``."""
+    if op not in REDUCE_OPS:
+        raise ValueError(f"unknown reduce op {op!r}; use one of {sorted(REDUCE_OPS)}")
+    contributions = gather(comm, _as_array(value), root=root)
+    if contributions is None:
+        return None
+    reducer = REDUCE_OPS[op]
+    accumulator = np.array(contributions[0], dtype=np.result_type(
+        *[c.dtype for c in contributions]
+    ))
+    for contribution in contributions[1:]:
+        accumulator = reducer(accumulator, contribution)
+    return accumulator
+
+
+def allreduce(comm: Communicator, value: Any, op: str = "sum") -> np.ndarray:
+    """Reduce arrays across ranks; every rank gets the result.
+
+    This is the MPI_Allreduce that MPICaffe uses in place of NCCL for
+    gradient aggregation.
+    """
+    reduced = reduce(comm, value, op=op, root=0)
+    return bcast(comm, reduced, root=0)
+
+
+def alltoall(comm: Communicator, values: Sequence[Any]) -> List[Any]:
+    """Personalised exchange: rank i sends ``values[j]`` to rank j."""
+    if len(values) != comm.size:
+        raise ValueError(f"need exactly {comm.size} values, got {len(values)}")
+    tag = comm._next_collective_tag()
+    for dest in range(comm.size):
+        if dest != comm.rank:
+            comm._send_internal(values[dest], dest, tag)
+    received: List[Any] = [None] * comm.size
+    received[comm.rank] = values[comm.rank]
+    for _ in range(comm.size - 1):
+        source, _, payload = comm.world.mailbox(comm.rank).get(
+            -1, tag, comm.world.abort_flag, None
+        )
+        received[source] = payload
+    return received

@@ -1,0 +1,182 @@
+"""SPMD world and communicator objects.
+
+ShmCaffe "exchanges initialization messages between the distributed
+processes using MPI" (paper Sec. III-A): the master (rank 0) creates SMB
+buffers and broadcasts SHM keys; baselines (Caffe-MPI, MPICaffe) additionally
+use MPI collectives for gradient exchange.  This module provides the same
+programming model with ranks as threads in one process:
+
+* :class:`World` — shared state for ``size`` ranks: one mailbox per rank and
+  an abort flag so a crash in any rank unblocks everyone.
+* :class:`Communicator` — the per-rank handle (``comm.rank``, ``comm.size``)
+  exposing point-to-point in :mod:`repro.mpi.p2p` style and collectives via
+  :class:`repro.mpi.collectives.Collectives`.
+
+Message payloads are arbitrary Python objects; large NumPy arrays pass by
+reference, which matches the zero-copy spirit of the RDMA setting (receivers
+must copy if they intend to mutate, as with real MPI buffer reuse rules).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from .errors import MPIAbortError, MPITimeoutError, RankError
+
+#: Matches any source rank in a receive.
+ANY_SOURCE = -1
+#: Matches any tag in a receive.
+ANY_TAG = -1
+
+#: How often blocked receives re-check the abort flag (seconds).
+_POLL_INTERVAL = 0.05
+
+
+class _Mailbox:
+    """One rank's incoming-message queue with (source, tag) matching."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._arrived = threading.Condition(self._lock)
+        self._messages: Deque[Tuple[int, int, Any]] = deque()
+
+    def put(self, source: int, tag: int, payload: Any) -> None:
+        with self._lock:
+            self._messages.append((source, tag, payload))
+            self._arrived.notify_all()
+
+    def _match(self, source: int, tag: int) -> Optional[int]:
+        for index, (src, msg_tag, _) in enumerate(self._messages):
+            if source not in (ANY_SOURCE, src):
+                continue
+            if tag not in (ANY_TAG, msg_tag):
+                continue
+            return index
+        return None
+
+    def get(
+        self,
+        source: int,
+        tag: int,
+        abort: threading.Event,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, int, Any]:
+        """Pop the first message matching (source, tag); FIFO per match."""
+        deadline = None if timeout is None else (
+            threading.TIMEOUT_MAX if timeout <= 0 else timeout
+        )
+        waited = 0.0
+        with self._lock:
+            while True:
+                index = self._match(source, tag)
+                if index is not None:
+                    message = self._messages[index]
+                    del self._messages[index]
+                    return message
+                if abort.is_set():
+                    raise MPIAbortError()
+                if deadline is not None and waited >= deadline:
+                    raise MPITimeoutError(
+                        f"no message from source={source} tag={tag} "
+                        f"after {waited:.1f}s"
+                    )
+                self._arrived.wait(_POLL_INTERVAL)
+                waited += _POLL_INTERVAL
+
+
+class World:
+    """Shared communication state for one SPMD job."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ValueError(f"world size must be positive, got {size}")
+        self.size = size
+        self.abort_flag = threading.Event()
+        self.abort_reason: Optional[str] = None
+        self._mailboxes: List[_Mailbox] = [_Mailbox() for _ in range(size)]
+
+    def mailbox(self, rank: int) -> _Mailbox:
+        if not 0 <= rank < self.size:
+            raise RankError(rank, self.size)
+        return self._mailboxes[rank]
+
+    def abort(self, reason: str = "aborted") -> None:
+        """Unblock every rank with an :class:`MPIAbortError`."""
+        self.abort_reason = reason
+        self.abort_flag.set()
+        # Wake all blocked receivers so they observe the flag promptly.
+        for mailbox in self._mailboxes:
+            with mailbox._lock:
+                mailbox._arrived.notify_all()
+
+
+class Communicator:
+    """Per-rank handle onto a :class:`World` (think ``MPI_COMM_WORLD``)."""
+
+    def __init__(self, world: World, rank: int) -> None:
+        if not 0 <= rank < world.size:
+            raise RankError(rank, world.size)
+        self.world = world
+        self.rank = rank
+        # Internal sequence number for collectives: because SPMD code calls
+        # collectives in the same order on every rank, a per-rank counter
+        # yields matching tags without global coordination.
+        self._collective_seq = 0
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the world."""
+        return self.world.size
+
+    @property
+    def is_master(self) -> bool:
+        """True for rank 0, ShmCaffe's master worker."""
+        return self.rank == 0
+
+    # -- point-to-point ---------------------------------------------------
+
+    def send(self, payload: Any, dest: int, tag: int = 0) -> None:
+        """Deliver ``payload`` to ``dest`` (non-blocking, always buffers)."""
+        if self.world.abort_flag.is_set():
+            raise MPIAbortError(self.world.abort_reason or "aborted")
+        if tag < 0:
+            raise ValueError(f"user tags must be non-negative, got {tag}")
+        self.world.mailbox(dest).put(self.rank, tag, payload)
+
+    def recv(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """Blocking receive; returns the payload."""
+        _, _, payload = self.recv_with_status(source, tag, timeout)
+        return payload
+
+    def recv_with_status(
+        self,
+        source: int = ANY_SOURCE,
+        tag: int = ANY_TAG,
+        timeout: Optional[float] = None,
+    ) -> Tuple[int, int, Any]:
+        """Blocking receive; returns ``(source, tag, payload)``."""
+        return self.world.mailbox(self.rank).get(
+            source, tag, self.world.abort_flag, timeout
+        )
+
+    # -- internals used by collectives ------------------------------------
+
+    def _next_collective_tag(self) -> int:
+        self._collective_seq += 1
+        return -self._collective_seq  # negative tags are reserved
+
+    def _send_internal(self, payload: Any, dest: int, tag: int) -> None:
+        if self.world.abort_flag.is_set():
+            raise MPIAbortError(self.world.abort_reason or "aborted")
+        self.world.mailbox(dest).put(self.rank, tag, payload)
+
+    def abort(self, reason: str = "rank requested abort") -> None:
+        """Abort the whole world (like ``MPI_Abort``)."""
+        self.world.abort(f"rank {self.rank}: {reason}")

@@ -1,0 +1,27 @@
+"""Exceptions raised by the mini-MPI substrate."""
+
+from __future__ import annotations
+
+
+class MPIError(Exception):
+    """Base class for mini-MPI failures."""
+
+
+class MPIAbortError(MPIError):
+    """The world was aborted (another rank crashed or called abort)."""
+
+    def __init__(self, reason: str = "world aborted") -> None:
+        super().__init__(reason)
+
+
+class MPITimeoutError(MPIError):
+    """A blocking receive or collective exceeded its deadline."""
+
+
+class RankError(MPIError):
+    """A rank argument was outside ``[0, size)``."""
+
+    def __init__(self, rank: int, size: int) -> None:
+        super().__init__(f"rank {rank} out of range for world size {size}")
+        self.rank = rank
+        self.size = size

@@ -1,0 +1,9 @@
+"""NCCL-like intra-node collectives over shared memory.
+
+Used by the Hybrid SGD path (synchronous aggregation inside a worker group)
+and by the multi-GPU BVLC Caffe baseline.
+"""
+
+from .ring import NcclError, RingGroup
+
+__all__ = ["NcclError", "RingGroup"]

@@ -1,0 +1,96 @@
+"""Performance model of the paper's testbed.
+
+Timing results in the paper are functions of (model size, worker count,
+topology, the eq.-(8) overlap rule) evaluated on specific hardware; this
+package evaluates the same functions under the paper's constants:
+
+* :mod:`repro.perfmodel.hardware` — testbed constants + calibrated knobs;
+* :mod:`repro.perfmodel.models` — the Table IV model profiles;
+* :mod:`repro.perfmodel.iteration` — per-iteration breakdowns (eq. 8 and
+  the platform variants) behind Figs. 10, 12-15 and Tables V-VI;
+* :mod:`repro.perfmodel.training_time` — Fig. 9 / Table II totals;
+* :mod:`repro.perfmodel.bandwidth` — the Fig. 7 SMB bandwidth curve plus a
+  live measurement harness;
+* :mod:`repro.perfmodel.desim` — a queue-level discrete-event simulation
+  cross-validating the analytic contention factor.
+"""
+
+from .bandwidth import (
+    FIG7_PROCESS_COUNTS,
+    BandwidthSample,
+    fig7_series,
+    measure_smb_bandwidth,
+    modeled_bandwidth_gbs,
+)
+from .desim import (
+    ContentionResult,
+    Event,
+    Request,
+    Resource,
+    SimulationError,
+    Simulator,
+    Timeout,
+    simulate_seasgd_contention,
+)
+from .hardware import GPUS_PER_NODE, PAPER_HARDWARE, HardwareProfile
+from .iteration import (
+    IterationBreakdown,
+    caffe_multi_gpu,
+    caffe_mpi,
+    caffe_standalone,
+    mpi_caffe,
+    shmcaffe_a,
+    shmcaffe_h,
+    shmcaffe_multi_server,
+)
+from .models import (
+    IMAGENET_TRAIN_IMAGES,
+    PAPER_MODELS,
+    ModelProfile,
+    iterations_for_epochs,
+    model_profile,
+)
+from .training_time import (
+    TABLE2_GROUP_SIZE,
+    TrainingTime,
+    platform_breakdown,
+    training_hours,
+    training_time,
+)
+
+__all__ = [
+    "BandwidthSample",
+    "ContentionResult",
+    "Event",
+    "FIG7_PROCESS_COUNTS",
+    "GPUS_PER_NODE",
+    "HardwareProfile",
+    "IMAGENET_TRAIN_IMAGES",
+    "IterationBreakdown",
+    "ModelProfile",
+    "PAPER_HARDWARE",
+    "PAPER_MODELS",
+    "Request",
+    "Resource",
+    "SimulationError",
+    "Simulator",
+    "TABLE2_GROUP_SIZE",
+    "Timeout",
+    "TrainingTime",
+    "caffe_multi_gpu",
+    "caffe_mpi",
+    "caffe_standalone",
+    "fig7_series",
+    "iterations_for_epochs",
+    "measure_smb_bandwidth",
+    "model_profile",
+    "modeled_bandwidth_gbs",
+    "mpi_caffe",
+    "platform_breakdown",
+    "shmcaffe_a",
+    "shmcaffe_h",
+    "shmcaffe_multi_server",
+    "simulate_seasgd_contention",
+    "training_hours",
+    "training_time",
+]

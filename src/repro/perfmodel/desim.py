@@ -1,0 +1,280 @@
+"""A small discrete-event simulation kernel plus the SMB contention scenario.
+
+The analytic model in :mod:`repro.perfmodel.iteration` folds all queueing
+behaviour into one calibrated contention factor.  This module provides an
+independent, mechanism-level estimate: worker processes that actually
+*queue* on a shared NIC resource and a serial accumulate engine, with the
+Fig. 6 overlap protocol (background write thread, spill when the flush
+outlives compute).  Tests cross-validate the two models qualitatively:
+communication grows with workers, spill appears exactly when
+``t_wwi + t_ugw > t_comp``, and hybrid grouping reduces SMB pressure.
+
+The kernel is deliberately tiny: generator-based processes that ``yield``
+:class:`Timeout`, :class:`Request` (FIFO resource hold), or :class:`Event`
+(wait for a signal).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Generator, List, Optional
+
+import numpy as np
+
+from .hardware import PAPER_HARDWARE, HardwareProfile
+from .models import ModelProfile
+
+
+class SimulationError(Exception):
+    """A process yielded something the kernel does not understand."""
+
+
+class Timeout:
+    """Suspend the yielding process for ``delay`` simulated time units."""
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
+        self.delay = delay
+
+
+class Event:
+    """A one-shot signal processes can wait on (``yield event``)."""
+
+    def __init__(self) -> None:
+        self.triggered = False
+        self._waiters: List[Callable[[], None]] = []
+
+    def succeed(self, sim: "Simulator") -> None:
+        """Fire the event, resuming all waiters at the current time."""
+        if self.triggered:
+            return
+        self.triggered = True
+        for waiter in self._waiters:
+            sim.schedule(0.0, waiter)
+        self._waiters.clear()
+
+
+class Resource:
+    """A FIFO-served exclusive resource (e.g. the SMB server's NIC).
+
+    Processes ``yield resource.request(service_time)``; they resume once
+    their service completes.  Utilisation statistics are kept for
+    reporting.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._busy = False
+        self._queue: Deque[tuple] = deque()
+        self.busy_time = 0.0
+
+    def request(self, service_time: float) -> "Request":
+        return Request(self, service_time)
+
+
+class Request:
+    """One pending hold of a :class:`Resource`."""
+
+    def __init__(self, resource: Resource, service_time: float) -> None:
+        if service_time < 0:
+            raise ValueError(f"service_time must be >= 0, got {service_time}")
+        self.resource = resource
+        self.service_time = service_time
+
+
+class Simulator:
+    """Event loop: schedule callbacks, drive generator processes."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[tuple] = []
+        self._sequence = itertools.count()
+        self._active = 0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` time units."""
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._sequence), callback)
+        )
+
+    def process(self, generator: Generator) -> None:
+        """Register a generator-based process."""
+        self._active += 1
+        self._step(generator)
+
+    def _step(self, generator: Generator) -> None:
+        try:
+            yielded = next(generator)
+        except StopIteration:
+            self._active -= 1
+            return
+        self._dispatch(generator, yielded)
+
+    def _dispatch(self, generator: Generator, yielded: object) -> None:
+        if isinstance(yielded, Timeout):
+            self.schedule(yielded.delay, lambda: self._step(generator))
+        elif isinstance(yielded, Request):
+            self._enqueue(generator, yielded)
+        elif isinstance(yielded, Event):
+            if yielded.triggered:
+                self.schedule(0.0, lambda: self._step(generator))
+            else:
+                yielded._waiters.append(lambda: self._step(generator))
+        else:
+            raise SimulationError(f"cannot interpret yield of {yielded!r}")
+
+    def _enqueue(self, generator: Generator, request: Request) -> None:
+        resource = request.resource
+        resource._queue.append((generator, request))
+        if not resource._busy:
+            self._serve_next(resource)
+
+    def _serve_next(self, resource: Resource) -> None:
+        if not resource._queue:
+            resource._busy = False
+            return
+        resource._busy = True
+        generator, request = resource._queue.popleft()
+        resource.busy_time += request.service_time
+
+        def done() -> None:
+            self._serve_next(resource)
+            self._step(generator)
+
+        self.schedule(request.service_time, done)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain the event heap (or stop at ``until``); returns end time."""
+        while self._heap:
+            at, _, callback = heapq.heappop(self._heap)
+            if until is not None and at > until:
+                self.now = until
+                break
+            self.now = at
+            callback()
+        return self.now
+
+
+# ---------------------------------------------------------------------------
+# SMB contention scenario
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class WorkerTrace:
+    """Per-worker outcome of the contention simulation."""
+
+    iterations: int = 0
+    total_time: float = 0.0
+    comm_time: float = 0.0
+
+    @property
+    def iteration_ms(self) -> float:
+        return self.total_time / max(self.iterations, 1)
+
+    @property
+    def comm_ratio(self) -> float:
+        return self.comm_time / max(self.total_time, 1e-12)
+
+
+@dataclass
+class ContentionResult:
+    """Aggregate outcome across all simulated workers."""
+
+    traces: List[WorkerTrace]
+    nic_utilisation: float
+    mem_utilisation: float
+
+    @property
+    def mean_iteration_ms(self) -> float:
+        return float(np.mean([t.iteration_ms for t in self.traces]))
+
+    @property
+    def mean_comm_ms(self) -> float:
+        return float(
+            np.mean([t.comm_time / max(t.iterations, 1) for t in self.traces])
+        )
+
+    @property
+    def mean_comm_ratio(self) -> float:
+        return float(np.mean([t.comm_ratio for t in self.traces]))
+
+
+def simulate_seasgd_contention(
+    model: ModelProfile,
+    workers: int,
+    iterations: int = 50,
+    hw: HardwareProfile = PAPER_HARDWARE,
+    update_interval: int = 1,
+    seed: int = 0,
+    protocol_overhead_ms: float = 0.0,
+) -> ContentionResult:
+    """Queue-level simulation of ShmCaffe-A against one SMB server.
+
+    Every worker iterates: wait for its previous flush (spill), read the
+    global weights through the shared NIC FIFO, update local weights,
+    kick a background flush (NIC write + serial accumulate on the memory
+    engine), then compute with lognormal-ish jitter.
+
+    Args:
+        protocol_overhead_ms: Extra per-transfer software cost; raise it to
+            study how protocol processing (the thing RDMA removes) degrades
+            effective bandwidth.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    sim = Simulator()
+    nic = Resource("nic")
+    mem = Resource("mem")
+    rng = np.random.default_rng(seed)
+    traces = [WorkerTrace() for _ in range(workers)]
+
+    bandwidth = hw.smb_effective_bandwidth_gbs
+    transfer_ms = model.param_bytes / (bandwidth * 1e9) * 1e3
+    transfer_ms += protocol_overhead_ms
+    accumulate_ms = (
+        3 * model.param_bytes / (hw.server_memory_bandwidth_gbs * 1e9) * 1e3
+    )
+    ulw_ms = (
+        model.param_bytes / (hw.local_memory_bandwidth_gbs * 1e9) * 1e3
+    )
+
+    def flusher(done: Event) -> Generator:
+        yield nic.request(transfer_ms)   # T.A1: write dW_x
+        yield mem.request(accumulate_ms)  # T.A3: serial accumulate
+        done.succeed(sim)
+
+    def worker(index: int) -> Generator:
+        trace = traces[index]
+        flushed = Event()
+        flushed.succeed(sim)  # nothing in flight initially
+        start = sim.now
+        for iteration in range(iterations):
+            iter_start = sim.now
+            if workers > 1 and iteration % update_interval == 0:
+                yield flushed                      # T.A5 spill
+                yield nic.request(transfer_ms)     # T1 read W_g
+                yield Timeout(ulw_ms)              # T2/eq.6 local update
+                flushed = Event()
+                sim.process(flusher(flushed))      # T3 wake update thread
+            trace.comm_time += sim.now - iter_start
+            jitter = max(
+                0.1, rng.normal(1.0, hw.compute_cv)
+            )
+            yield Timeout(model.compute_ms * jitter)  # T4+T5
+            trace.iterations += 1
+        trace.total_time = sim.now - start
+
+    for index in range(workers):
+        sim.process(worker(index))
+    end = sim.run()
+    horizon = max(end, 1e-9)
+    return ContentionResult(
+        traces=traces,
+        nic_utilisation=nic.busy_time / horizon,
+        mem_utilisation=mem.busy_time / horizon,
+    )

@@ -1,0 +1,105 @@
+"""End-to-end training time and scalability: Fig. 9 / Table II.
+
+The paper trains Inception-v1 for 15 ImageNet epochs and reports wall
+time per platform and GPU count, with scalability normalised to BVLC Caffe
+on one GPU.  Times here come from the per-iteration model applied to the
+epoch iteration counts (minibatch 60 per worker).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from .hardware import PAPER_HARDWARE, HardwareProfile
+from .iteration import (
+    IterationBreakdown,
+    caffe_multi_gpu,
+    caffe_mpi,
+    mpi_caffe,
+    shmcaffe_a,
+    shmcaffe_h,
+)
+from .models import ModelProfile, iterations_for_epochs
+
+#: How Table II's ShmCaffe entries were run: hybrid with 4-GPU groups
+#: beyond one node, async groups of nodes.
+TABLE2_GROUP_SIZE = 4
+
+
+def platform_breakdown(
+    platform: str,
+    model: ModelProfile,
+    workers: int,
+    hw: HardwareProfile = PAPER_HARDWARE,
+    group_size: int = TABLE2_GROUP_SIZE,
+) -> IterationBreakdown:
+    """Dispatch a per-iteration breakdown by platform name."""
+    builders: Dict[str, Callable[[], IterationBreakdown]] = {
+        "caffe": lambda: caffe_multi_gpu(model, workers, hw),
+        "caffe_mpi": lambda: caffe_mpi(model, workers, hw),
+        "mpi_caffe": lambda: mpi_caffe(model, workers, hw),
+        "shmcaffe_a": lambda: shmcaffe_a(model, workers, hw),
+        "shmcaffe": lambda: shmcaffe_h(
+            model, workers, min(group_size, workers), hw
+        ),
+        "shmcaffe_h": lambda: shmcaffe_h(
+            model, workers, min(group_size, workers), hw
+        ),
+    }
+    try:
+        return builders[platform]()
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {platform!r}; expected one of "
+            f"{sorted(builders)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class TrainingTime:
+    """One Table II cell: wall time plus its scalability factor."""
+
+    platform: str
+    workers: int
+    hours: float
+    scalability: float
+
+    @property
+    def hours_minutes(self) -> str:
+        """Format as the paper's ``H:MM``."""
+        total_minutes = int(round(self.hours * 60))
+        return f"{total_minutes // 60}:{total_minutes % 60:02d}"
+
+
+def training_hours(
+    platform: str,
+    model: ModelProfile,
+    workers: int,
+    epochs: int = 15,
+    hw: HardwareProfile = PAPER_HARDWARE,
+    group_size: int = TABLE2_GROUP_SIZE,
+) -> float:
+    """Wall-clock hours to train ``epochs`` epochs of ImageNet."""
+    breakdown = platform_breakdown(platform, model, workers, hw, group_size)
+    iterations = iterations_for_epochs(epochs, workers, model.minibatch)
+    return iterations * breakdown.iteration_ms / 3.6e6
+
+
+def training_time(
+    platform: str,
+    model: ModelProfile,
+    workers: int,
+    epochs: int = 15,
+    hw: HardwareProfile = PAPER_HARDWARE,
+    group_size: int = TABLE2_GROUP_SIZE,
+) -> TrainingTime:
+    """One Table II cell with scalability vs Caffe on one GPU."""
+    hours = training_hours(platform, model, workers, epochs, hw, group_size)
+    baseline = training_hours("caffe", model, 1, epochs, hw)
+    return TrainingTime(
+        platform=platform,
+        workers=workers,
+        hours=hours,
+        scalability=baseline / hours,
+    )

@@ -1,0 +1,142 @@
+"""Classic parameter-server ASGD (Downpour-style), for comparison.
+
+The paper's related work contrasts SEASGD with the plain asynchronous SGD
+family: "the parameter server updates the global weight whenever gradient
+arrives from a worker", with the delayed-gradient problem that entails.
+This module implements that baseline so the repository can demonstrate
+*why* ShmCaffe adopts elastic averaging instead:
+
+* :class:`ParameterServer` — global weights behind a lock; ``push``
+  applies a worker's gradient with the server-side learning rate the
+  moment it arrives, ``pull`` returns the current weights.
+* :func:`train` — Downpour loop per worker: pull, compute a gradient on
+  the local replica, push.  With ``fetch_interval > 1`` workers keep
+  training on stale weights between pulls, amplifying the delayed-
+  gradient effect.
+
+Note the architectural difference from ShmCaffe: this server runs *update
+logic* (it is a parameter server); the SMB server only stores bytes and
+accumulates vectors.
+
+A real limitation this baseline faithfully inherits: gradient-push servers
+never learn batch-norm *running statistics* (their "gradient" is zero), so
+the server-side model of a BN network evaluates with initialisation-time
+statistics.  SEASGD does not have this problem — it exchanges *weights*
+(elastic increments), statistics included.  Use BN-free models with this
+platform, or evaluate a worker replica instead of the server.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+import numpy as np
+
+from .. import mpi
+from ..caffe.data import SyntheticImageDataset
+from ..caffe.net import Net
+from ..caffe.params import FlatParams
+from ..caffe.solver import SGDSolver, SolverConfig
+from .base import EvalRecord, PlatformResult, SpecFactory, evaluate_weights
+
+
+class ParameterServer:
+    """Lock-protected global weights with apply-on-arrival updates."""
+
+    def __init__(self, initial_weights: np.ndarray) -> None:
+        self._weights = np.array(initial_weights, dtype=np.float32)
+        self._lock = threading.Lock()
+        self.updates_applied = 0
+
+    def pull(self) -> np.ndarray:
+        """Current global weights (a copy)."""
+        with self._lock:
+            return self._weights.copy()
+
+    def push(self, gradient: np.ndarray, lr: float) -> None:
+        """Apply ``W -= lr * g`` immediately (no aggregation, no waiting)."""
+        gradient = np.asarray(gradient, dtype=np.float32)
+        if gradient.size != self._weights.size:
+            raise ValueError(
+                f"gradient size {gradient.size} != weights "
+                f"{self._weights.size}"
+            )
+        with self._lock:
+            self._weights -= lr * gradient
+            self.updates_applied += 1
+
+
+def train(
+    spec_factory: SpecFactory,
+    dataset: SyntheticImageDataset,
+    solver_config: SolverConfig,
+    batch_size: int,
+    iterations: int,
+    num_workers: int,
+    fetch_interval: int = 1,
+    eval_every: Optional[int] = None,
+    seed: int = 0,
+) -> PlatformResult:
+    """Downpour-style ASGD; evaluation is of the server's weights.
+
+    Args:
+        fetch_interval: Pull fresh weights every this many iterations
+            (Downpour's ``n_fetch``); larger values train on staler
+            replicas.
+    """
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    if fetch_interval < 1:
+        raise ValueError(
+            f"fetch_interval must be >= 1, got {fetch_interval}"
+        )
+    bootstrap = Net(spec_factory(), seed=seed)
+    server = ParameterServer(FlatParams(bootstrap).get_vector())
+    result = PlatformResult(platform="asgd", num_workers=num_workers)
+
+    def rank_main(comm: mpi.Communicator) -> None:
+        rank = comm.rank
+        net = Net(spec_factory(), seed=seed)
+        solver = SGDSolver(net, solver_config)
+        flat = FlatParams(net)
+        batches = dataset.minibatches(
+            batch_size, seed=seed + 1 + rank, rank=rank,
+            num_shards=num_workers,
+        )
+        for iteration in range(1, iterations + 1):
+            if (iteration - 1) % fetch_interval == 0:
+                flat.set_vector(server.pull())
+            batch = next(batches)
+            stats = solver.compute_gradients(batch.as_inputs())
+            server.push(
+                flat.get_grad_vector(),
+                solver_config.learning_rate(iteration - 1),
+            )
+            # The local replica also steps so inter-fetch iterations make
+            # progress (Downpour keeps training between fetches).
+            solver.apply_update()
+            solver.advance_iteration()
+            if comm.is_master:
+                result.losses.append(stats["loss"])
+                if eval_every and iteration % eval_every == 0:
+                    result.evals.append(
+                        EvalRecord(
+                            iteration,
+                            evaluate_weights(
+                                spec_factory, server.pull(), dataset,
+                                seed=seed,
+                            ),
+                        )
+                    )
+
+    mpi.run_spmd(num_workers, rank_main)
+    result.final_weights = server.pull()
+    result.evals.append(
+        EvalRecord(
+            iterations,
+            evaluate_weights(spec_factory, result.final_weights, dataset,
+                             seed=seed),
+        )
+    )
+    return result

@@ -1,0 +1,108 @@
+"""Shared scaffolding for the four training platforms of Sec. IV-C.
+
+Every platform driver returns a :class:`PlatformResult` with the same
+shape, so the Fig. 8 / Fig. 11 convergence experiments can overlay
+platforms directly: train-loss per iteration, periodic test metrics, and
+the final weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..caffe.data import SyntheticImageDataset
+from ..caffe.net import Net
+from ..caffe.netspec import NetSpec
+from ..caffe.params import FlatParams
+
+SpecFactory = Callable[[], NetSpec]
+
+
+def _accuracy_of(metrics: Dict[str, float]) -> float:
+    """Pull the top-1 accuracy metric regardless of the blob's exact name."""
+    for key in ("accuracy_top1", "accuracy", "acc"):
+        if key in metrics:
+            return metrics[key]
+    for key, value in sorted(metrics.items()):
+        if key.startswith("acc"):
+            return value
+    return float("nan")
+
+
+@dataclass
+class EvalRecord:
+    """Test-split metrics snapped at a training iteration."""
+
+    iteration: int
+    metrics: Dict[str, float]
+
+
+@dataclass
+class PlatformResult:
+    """Outcome of one platform training run."""
+
+    platform: str
+    num_workers: int
+    losses: List[float] = field(default_factory=list)
+    evals: List[EvalRecord] = field(default_factory=list)
+    final_weights: Optional[np.ndarray] = None
+
+    @property
+    def final_accuracy(self) -> float:
+        """Top-1 accuracy of the last evaluation (NaN if none taken)."""
+        if not self.evals:
+            return float("nan")
+        return _accuracy_of(self.evals[-1].metrics)
+
+    @property
+    def final_loss(self) -> float:
+        """Test loss of the last evaluation (NaN if none taken)."""
+        if not self.evals:
+            return float("nan")
+        return self.evals[-1].metrics.get("loss", float("nan"))
+
+    def accuracy_curve(self) -> List[Tuple[int, float]]:
+        """(iteration, top-1 accuracy) series for plotting."""
+        return [
+            (record.iteration, _accuracy_of(record.metrics))
+            for record in self.evals
+        ]
+
+
+def evaluate_weights(
+    spec_factory: SpecFactory,
+    weights: np.ndarray,
+    dataset: SyntheticImageDataset,
+    batch_size: int = 50,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Test-split metrics of a flat weight vector under a fresh net."""
+    net = Net(spec_factory(), seed=seed)
+    FlatParams(net).set_vector(weights)
+    return evaluate_net(net, dataset, batch_size)
+
+
+def evaluate_net(
+    net: Net, dataset: SyntheticImageDataset, batch_size: int = 50
+) -> Dict[str, float]:
+    """Average loss and metrics of a net over the whole test split."""
+    totals: Dict[str, float] = {}
+    batches = dataset.test_batches(batch_size)
+    for batch in batches:
+        outputs = net.forward(batch.as_inputs(), train=False)
+        totals["loss"] = totals.get("loss", 0.0) + net.total_loss(outputs)
+        for name in net.metric_names:
+            totals[name] = totals.get(name, 0.0) + float(
+                outputs[name].ravel()[0]
+            )
+    return {key: value / len(batches) for key, value in totals.items()}
+
+
+def iterations_per_epoch(
+    dataset: SyntheticImageDataset, batch_size: int, num_workers: int
+) -> int:
+    """Data-parallel iterations that consume one pass over the train set."""
+    return max(1, dataset.train_size // (batch_size * num_workers))

@@ -1,0 +1,116 @@
+"""BVLC Caffe baseline: standalone SGD and single-node multi-GPU SSGD.
+
+The paper's reference platform.  Standalone mode is plain solver stepping
+on one worker; multi-GPU mode reproduces Caffe 1.0's NCCL path — every GPU
+computes gradients on its shard, gradients are averaged with an allreduce,
+and each replica applies the identical update (so replicas never diverge).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import mpi
+from ..caffe.data import SyntheticImageDataset
+from ..caffe.net import Net
+from ..caffe.params import FlatParams
+from ..caffe.solver import SGDSolver, SolverConfig
+from ..nccl.ring import RingGroup
+from .base import PlatformResult, SpecFactory, evaluate_net
+
+
+def train_standalone(
+    spec_factory: SpecFactory,
+    dataset: SyntheticImageDataset,
+    solver_config: SolverConfig,
+    batch_size: int,
+    iterations: int,
+    eval_every: Optional[int] = None,
+    seed: int = 0,
+    prefetch: bool = False,
+) -> PlatformResult:
+    """Single-GPU BVLC Caffe: the 1-GPU column of Table II and Fig. 8.
+
+    ``prefetch=True`` stages minibatches through the 10-deep background
+    prefetcher, as ShmCaffe's data layer does; with synthetic in-memory
+    data it changes nothing numerically (the batch sequence is identical)
+    but exercises the production data path.
+    """
+    net = Net(spec_factory(), seed=seed)
+    solver = SGDSolver(net, solver_config)
+    batches = dataset.minibatches(batch_size, seed=seed + 1)
+    result = PlatformResult(platform="caffe", num_workers=1)
+
+    from ..caffe.data import Prefetcher
+    from .base import EvalRecord
+
+    prefetcher = Prefetcher(batches) if prefetch else None
+    try:
+        for iteration in range(1, iterations + 1):
+            batch = (
+                prefetcher.next_batch() if prefetcher else next(batches)
+            )
+            stats = solver.step(batch.as_inputs())
+            result.losses.append(stats["loss"])
+            if eval_every and iteration % eval_every == 0:
+                result.evals.append(
+                    EvalRecord(iteration, evaluate_net(net, dataset))
+                )
+    finally:
+        if prefetcher is not None:
+            prefetcher.stop()
+    result.final_weights = FlatParams(net).get_vector()
+    return result
+
+
+def train_multi_gpu(
+    spec_factory: SpecFactory,
+    dataset: SyntheticImageDataset,
+    solver_config: SolverConfig,
+    batch_size: int,
+    iterations: int,
+    num_workers: int,
+    eval_every: Optional[int] = None,
+    seed: int = 0,
+) -> PlatformResult:
+    """Multi-GPU BVLC Caffe: SSGD over an NCCL-style ring allreduce.
+
+    Every worker is a thread-GPU; the effective minibatch is
+    ``batch_size * num_workers`` per global iteration, as in Caffe.
+    """
+    if num_workers < 2:
+        raise ValueError("use train_standalone for a single worker")
+    ring = RingGroup(num_workers)
+    result = PlatformResult(platform="caffe", num_workers=num_workers)
+
+    from .base import EvalRecord
+
+    def rank_main(comm: mpi.Communicator) -> PlatformResult:
+        rank = comm.rank
+        net = Net(spec_factory(), seed=seed)  # identical replicas
+        solver = SGDSolver(net, solver_config)
+        flat = FlatParams(net)
+        batches = dataset.minibatches(
+            batch_size, seed=seed + 1 + rank, rank=rank,
+            num_shards=num_workers,
+        )
+        for iteration in range(1, iterations + 1):
+            stats = solver.compute_gradients(next(batches).as_inputs())
+            averaged = ring.allreduce(
+                rank, flat.get_grad_vector(), average=True
+            )
+            flat.set_grad_vector(averaged)
+            solver.apply_update()
+            solver.advance_iteration()
+            if rank == 0:
+                result.losses.append(stats["loss"])
+                if eval_every and iteration % eval_every == 0:
+                    result.evals.append(
+                        EvalRecord(iteration, evaluate_net(net, dataset))
+                    )
+        if rank == 0:
+            result.final_weights = flat.get_vector()
+        return result
+
+    mpi.run_spmd(num_workers, rank_main)
+    return result

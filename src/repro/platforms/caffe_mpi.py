@@ -1,0 +1,81 @@
+"""Caffe-MPI baseline: star-topology synchronous SGD over MPI send/recv.
+
+Inspur's Caffe-MPI (v1.0) "implements SSGD using MPI Send/MPI Recv ...
+master worker gathers the computed gradients by slave workers, takes the
+average of them, updates master weights, and finally distributes the
+updated master weights to slave workers" (paper Sec. IV-C).  The star
+geometry — every slave talks only to the master — is what makes its
+communication cost grow linearly in the worker count, the effect Fig. 10
+shows.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import mpi
+from ..caffe.data import SyntheticImageDataset
+from ..caffe.net import Net
+from ..caffe.params import FlatParams
+from ..caffe.solver import SGDSolver, SolverConfig
+from .base import EvalRecord, PlatformResult, SpecFactory, evaluate_net
+
+#: Point-to-point tags of the star protocol.
+TAG_GRADIENT = 100
+TAG_WEIGHTS = 101
+
+
+def train(
+    spec_factory: SpecFactory,
+    dataset: SyntheticImageDataset,
+    solver_config: SolverConfig,
+    batch_size: int,
+    iterations: int,
+    num_workers: int,
+    eval_every: Optional[int] = None,
+    seed: int = 0,
+) -> PlatformResult:
+    """Run Caffe-MPI-style SSGD; returns the master's history."""
+    if num_workers < 2:
+        raise ValueError("Caffe-MPI needs a master and at least one slave")
+    result = PlatformResult(platform="caffe_mpi", num_workers=num_workers)
+
+    def rank_main(comm: mpi.Communicator) -> None:
+        rank = comm.rank
+        net = Net(spec_factory(), seed=seed)
+        solver = SGDSolver(net, solver_config)
+        flat = FlatParams(net)
+        batches = dataset.minibatches(
+            batch_size, seed=seed + 1 + rank, rank=rank,
+            num_shards=num_workers,
+        )
+        for iteration in range(1, iterations + 1):
+            stats = solver.compute_gradients(next(batches).as_inputs())
+            if comm.is_master:
+                # Gather slave gradients one by one (star fan-in), average
+                # into the master's diffs, update master weights.
+                total = flat.get_grad_vector()
+                for _ in range(num_workers - 1):
+                    total += comm.recv(source=mpi.ANY_SOURCE,
+                                       tag=TAG_GRADIENT)
+                flat.set_grad_vector(total / num_workers)
+                solver.apply_update()
+                solver.advance_iteration()
+                weights = flat.get_vector()
+                for dest in range(1, num_workers):
+                    comm.send(weights, dest, tag=TAG_WEIGHTS)
+                result.losses.append(stats["loss"])
+                if eval_every and iteration % eval_every == 0:
+                    result.evals.append(
+                        EvalRecord(iteration, evaluate_net(net, dataset))
+                    )
+            else:
+                comm.send(flat.get_grad_vector(), 0, tag=TAG_GRADIENT)
+                weights = comm.recv(source=0, tag=TAG_WEIGHTS)
+                flat.set_vector(weights)
+                solver.advance_iteration()
+        if comm.is_master:
+            result.final_weights = flat.get_vector()
+
+    mpi.run_spmd(num_workers, rank_main)
+    return result

@@ -1,0 +1,64 @@
+"""MPICaffe baseline: synchronous SGD over MPI_Allreduce.
+
+The authors' own comparison platform (paper Sec. IV-C): BVLC Caffe plus
+MPI, with gradient aggregation done by ``MPI_Allreduce`` instead of NCCL or
+a parameter server.  Every worker receives the averaged gradient and
+applies an identical update, so replicas stay bit-equal without any weight
+redistribution step.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .. import mpi
+from ..caffe.data import SyntheticImageDataset
+from ..caffe.net import Net
+from ..caffe.params import FlatParams
+from ..caffe.solver import SGDSolver, SolverConfig
+from .base import EvalRecord, PlatformResult, SpecFactory, evaluate_net
+
+
+def train(
+    spec_factory: SpecFactory,
+    dataset: SyntheticImageDataset,
+    solver_config: SolverConfig,
+    batch_size: int,
+    iterations: int,
+    num_workers: int,
+    eval_every: Optional[int] = None,
+    seed: int = 0,
+) -> PlatformResult:
+    """Run MPICaffe-style allreduce SSGD; returns rank 0's history."""
+    if num_workers < 2:
+        raise ValueError("MPICaffe needs at least two workers")
+    result = PlatformResult(platform="mpi_caffe", num_workers=num_workers)
+
+    def rank_main(comm: mpi.Communicator) -> None:
+        rank = comm.rank
+        net = Net(spec_factory(), seed=seed)
+        solver = SGDSolver(net, solver_config)
+        flat = FlatParams(net)
+        batches = dataset.minibatches(
+            batch_size, seed=seed + 1 + rank, rank=rank,
+            num_shards=num_workers,
+        )
+        for iteration in range(1, iterations + 1):
+            stats = solver.compute_gradients(next(batches).as_inputs())
+            averaged = mpi.allreduce(comm, flat.get_grad_vector()) / (
+                num_workers
+            )
+            flat.set_grad_vector(averaged)
+            solver.apply_update()
+            solver.advance_iteration()
+            if comm.is_master:
+                result.losses.append(stats["loss"])
+                if eval_every and iteration % eval_every == 0:
+                    result.evals.append(
+                        EvalRecord(iteration, evaluate_net(net, dataset))
+                    )
+        if comm.is_master:
+            result.final_weights = flat.get_vector()
+
+    mpi.run_spmd(num_workers, rank_main)
+    return result

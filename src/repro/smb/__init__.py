@@ -1,0 +1,72 @@
+"""Soft Memory Box (SMB): a virtual shared-memory framework.
+
+Python reproduction of the remote shared-memory substrate ShmCaffe builds
+on (paper Sec. III-B).  The real SMB allocates granted memory on a memory
+server and exposes it to Infiniband RDMA; here the same API is served by an
+in-process core (:class:`SMBServer`) optionally fronted by TCP
+(:class:`TcpSMBServer`), with :class:`SMBClient` as the worker-side library.
+
+Quick start::
+
+    from repro.smb import SMBServer, SMBClient
+
+    server = SMBServer(capacity=1 << 24)
+    master = SMBClient.in_process(server)
+    weights = master.create_array("W_g", count=1000)
+    # ... broadcast weights.shm_key over MPI ...
+    worker = SMBClient.in_process(server)
+    view = worker.attach_array("W_g", weights.shm_key, count=1000)
+"""
+
+from .client import ControlBlock, RemoteArray, SMBClient
+from .errors import (
+    AccessDeniedError,
+    CapacityError,
+    NotificationTimeout,
+    SegmentExistsError,
+    SegmentRangeError,
+    SMBConnectionError,
+    SMBError,
+    SMBProtocolError,
+    UnknownKeyError,
+)
+from .memory import DEFAULT_POOL_CAPACITY, MemoryPool, Segment
+from .protocol import Message, Op, Status
+from .server import ServerStats, SMBServer, TcpSMBServer
+from .sharding import (
+    ShardedArray,
+    attach_sharded_array,
+    create_sharded_array,
+    shard_counts,
+)
+from .transport import InProcTransport, TcpTransport
+
+__all__ = [
+    "AccessDeniedError",
+    "CapacityError",
+    "ControlBlock",
+    "DEFAULT_POOL_CAPACITY",
+    "InProcTransport",
+    "MemoryPool",
+    "Message",
+    "NotificationTimeout",
+    "Op",
+    "RemoteArray",
+    "Segment",
+    "SegmentExistsError",
+    "SegmentRangeError",
+    "ServerStats",
+    "SMBClient",
+    "SMBConnectionError",
+    "SMBError",
+    "SMBProtocolError",
+    "SMBServer",
+    "ShardedArray",
+    "Status",
+    "TcpSMBServer",
+    "TcpTransport",
+    "UnknownKeyError",
+    "attach_sharded_array",
+    "create_sharded_array",
+    "shard_counts",
+]

@@ -1,0 +1,355 @@
+"""Client library for the Soft Memory Box.
+
+This is the API ShmCaffe's distributed training manager programs against
+(paper Sec. III-A/III-B): create remote shared memory, attach by SHM key,
+RDMA-style read/write, server-side accumulation between segments, and update
+notification.
+
+Two convenience layers sit on top of the raw byte operations:
+
+* :class:`RemoteArray` — a typed window onto a segment, reading and writing
+  NumPy arrays.  The global weight buffer ``W_g`` and each worker's private
+  increment buffer ``ΔW_x`` (paper Fig. 5) are ``RemoteArray`` instances.
+* :class:`ControlBlock` — a small int64 segment used for sharing training
+  progress (``Iter_x`` counters and a stop flag) between workers, which is
+  how ShmCaffe aligns termination (paper Sec. III-E).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from . import errors
+from .protocol import Message, Op, Status
+from .server import SMBServer
+from .transport import InProcTransport, TcpTransport, Transport
+
+_ERROR_TYPES = {
+    cls.__name__: cls
+    for cls in (
+        errors.SMBError,
+        errors.SMBConnectionError,
+        errors.SMBProtocolError,
+        errors.UnknownKeyError,
+        errors.CapacityError,
+        errors.SegmentRangeError,
+        errors.SegmentExistsError,
+        errors.AccessDeniedError,
+        errors.NotificationTimeout,
+    )
+}
+
+
+def _raise_remote(payload: bytes) -> None:
+    """Re-raise a server-side SMBError from its wire representation."""
+    text = payload.decode(errors="replace")
+    name, _, detail = text.partition(":")
+    cls = _ERROR_TYPES.get(name, errors.SMBError)
+    # Error subclasses have structured constructors; reconstruct generically.
+    exc = errors.SMBError.__new__(cls)
+    Exception.__init__(exc, detail)
+    raise exc
+
+
+class SMBClient:
+    """Handle to one SMB server, usable from one worker's threads.
+
+    Construct via :meth:`in_process` (shared-address-space emulation of
+    RDMA) or :meth:`connect` (TCP, true multi-process sharing).
+    """
+
+    def __init__(self, transport: Transport) -> None:
+        self._transport = transport
+
+    @classmethod
+    def in_process(cls, server: SMBServer) -> "SMBClient":
+        """Attach directly to an in-process server core."""
+        return cls(InProcTransport(server))
+
+    @classmethod
+    def connect(cls, address: Tuple[str, int]) -> "SMBClient":
+        """Connect to a :class:`~repro.smb.server.TcpSMBServer`."""
+        return cls(TcpTransport(address))
+
+    def close(self) -> None:
+        """Release the underlying transport."""
+        self._transport.close()
+
+    def __enter__(self) -> "SMBClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- raw segment operations ------------------------------------------
+
+    def _call(self, request: Message) -> Message:
+        response = self._transport.request(request)
+        if response.status is Status.TIMEOUT:
+            raise errors.NotificationTimeout(request.key, request.count, request.scale)
+        if response.status is Status.ERROR:
+            _raise_remote(response.payload)
+        return response
+
+    def create_buffer(self, name: str, nbytes: int) -> int:
+        """Create a named segment; returns its SHM key (master worker)."""
+        response = self._call(
+            Message(op=Op.CREATE, count=nbytes, payload=name.encode())
+        )
+        return response.key
+
+    def lookup(self, name: str) -> Tuple[int, int]:
+        """Resolve a segment name to ``(shm_key, size_in_bytes)``."""
+        response = self._call(Message(op=Op.LOOKUP, payload=name.encode()))
+        return response.key, response.count
+
+    def attach(self, shm_key: int, expected_nbytes: Optional[int] = None) -> int:
+        """Exchange a broadcast SHM key for an access key (slave worker)."""
+        response = self._call(
+            Message(op=Op.ATTACH, key=shm_key, count=expected_nbytes or 0)
+        )
+        return response.key
+
+    def read(self, access_key: int, nbytes: int, offset: int = 0) -> bytes:
+        """RDMA-Read ``nbytes`` from the segment."""
+        response = self._call(
+            Message(op=Op.READ, key=access_key, offset=offset, count=nbytes)
+        )
+        return response.payload
+
+    def write(
+        self,
+        access_key: int,
+        data: Union[bytes, np.ndarray],
+        offset: int = 0,
+    ) -> int:
+        """RDMA-Write bytes/array into the segment; returns new version."""
+        if isinstance(data, np.ndarray):
+            data = np.ascontiguousarray(data).tobytes()
+        response = self._call(
+            Message(op=Op.WRITE, key=access_key, offset=offset, payload=data)
+        )
+        return response.count
+
+    def accumulate(
+        self,
+        dst_access_key: int,
+        src_access_key: int,
+        count: int = 0,
+        scale: float = 1.0,
+        offset: int = 0,
+    ) -> int:
+        """Server-side ``dst += scale * src`` over ``count`` float32 elements.
+
+        ``count == 0`` means "the whole source segment".  This implements the
+        paper's eq. (7): the worker first writes ``ΔW_x`` to its private
+        segment, then asks the server to fold it into ``W_g``.
+        """
+        response = self._call(
+            Message(
+                op=Op.ACCUMULATE,
+                key=dst_access_key,
+                key2=src_access_key,
+                offset=offset,
+                count=count,
+                scale=scale,
+            )
+        )
+        return response.count
+
+    def free(self, shm_key: int) -> None:
+        """Deallocate a segment."""
+        self._call(Message(op=Op.FREE, key=shm_key))
+
+    def version(self, access_key: int) -> int:
+        """Current mutation counter of a segment."""
+        return self._call(Message(op=Op.VERSION, key=access_key)).count
+
+    def wait_update(
+        self, access_key: int, version: int, timeout: float = 0.0
+    ) -> int:
+        """Block until the segment advances past ``version``.
+
+        Args:
+            access_key: Segment to watch.
+            version: Last version the caller has seen.
+            timeout: Seconds to wait; 0 waits forever.
+
+        Returns:
+            The new version.
+
+        Raises:
+            errors.NotificationTimeout: If the timeout expired first.
+        """
+        response = self._call(
+            Message(op=Op.WAIT_UPDATE, key=access_key, count=version,
+                    scale=timeout)
+        )
+        return response.count
+
+    def stats(self) -> dict:
+        """Server statistics (bytes moved, op counts)."""
+        response = self._call(Message(op=Op.STATS))
+        return json.loads(response.payload.decode())
+
+    def list_segments(self) -> dict:
+        """Segment inventory plus capacity accounting (administration)."""
+        response = self._call(Message(op=Op.LIST))
+        return json.loads(response.payload.decode())
+
+    def shutdown_server(self) -> None:
+        """Ask a TCP server to stop (administrative)."""
+        self._call(Message(op=Op.SHUTDOWN))
+
+    # -- typed conveniences -----------------------------------------------
+
+    def create_array(
+        self, name: str, count: int, dtype: str = "float32"
+    ) -> "RemoteArray":
+        """Create a segment sized for ``count`` elements and attach to it."""
+        nbytes = count * np.dtype(dtype).itemsize
+        shm_key = self.create_buffer(name, nbytes)
+        access_key = self.attach(shm_key, nbytes)
+        return RemoteArray(self, name, shm_key, access_key, count, dtype)
+
+    def attach_array(
+        self, name: str, shm_key: int, count: int, dtype: str = "float32"
+    ) -> "RemoteArray":
+        """Attach to an existing segment by its broadcast SHM key."""
+        nbytes = count * np.dtype(dtype).itemsize
+        access_key = self.attach(shm_key, nbytes)
+        return RemoteArray(self, name, shm_key, access_key, count, dtype)
+
+
+class RemoteArray:
+    """Typed view of one remote segment (e.g. ``W_g`` or a ``ΔW_x``)."""
+
+    def __init__(
+        self,
+        client: SMBClient,
+        name: str,
+        shm_key: int,
+        access_key: int,
+        count: int,
+        dtype: str = "float32",
+    ) -> None:
+        self._client = client
+        self.name = name
+        self.shm_key = shm_key
+        self.access_key = access_key
+        self.count = count
+        self.dtype = np.dtype(dtype)
+
+    @property
+    def nbytes(self) -> int:
+        """Segment size in bytes."""
+        return self.count * self.dtype.itemsize
+
+    def read(self) -> np.ndarray:
+        """Fetch the whole segment as a typed array (RDMA Read)."""
+        data = self._client.read(self.access_key, self.nbytes)
+        return np.frombuffer(data, dtype=self.dtype).copy()
+
+    def write(self, values: np.ndarray) -> int:
+        """Overwrite the whole segment (RDMA Write)."""
+        values = np.ascontiguousarray(values, dtype=self.dtype)
+        if values.size != self.count:
+            raise ValueError(
+                f"expected {self.count} elements, got {values.size}"
+            )
+        return self._client.write(self.access_key, values)
+
+    def accumulate_into(self, dst: "RemoteArray", scale: float = 1.0) -> int:
+        """Server-side ``dst += scale * self`` (eq. (7))."""
+        if dst.count != self.count:
+            raise ValueError(
+                f"element count mismatch: {self.count} vs {dst.count}"
+            )
+        return self._client.accumulate(
+            dst.access_key, self.access_key, count=self.count, scale=scale
+        )
+
+    def version(self) -> int:
+        """Current mutation counter."""
+        return self._client.version(self.access_key)
+
+    def wait_update(self, version: int, timeout: float = 0.0) -> int:
+        """Block until someone mutates the segment."""
+        return self._client.wait_update(self.access_key, version, timeout)
+
+    def free(self) -> None:
+        """Deallocate the segment on the server."""
+        self._client.free(self.shm_key)
+
+
+class ControlBlock:
+    """Shared training-progress block (paper Sec. III-E, "control info").
+
+    Layout: one int64 slot per worker holding its completed-iteration count,
+    followed by one stop-flag slot.  Workers publish their own slot and read
+    everyone's to decide when to terminate.
+    """
+
+    STOP_CLEAR = 0
+
+    def __init__(self, array: RemoteArray, num_workers: int) -> None:
+        expected = num_workers + 1
+        if array.count != expected or array.dtype != np.dtype("int64"):
+            raise ValueError(
+                f"control block needs {expected} int64 slots, "
+                f"got {array.count} x {array.dtype}"
+            )
+        self._array = array
+        self.num_workers = num_workers
+
+    @classmethod
+    def create(
+        cls, client: SMBClient, name: str, num_workers: int
+    ) -> "ControlBlock":
+        """Master-side creation of the control segment."""
+        array = client.create_array(name, num_workers + 1, dtype="int64")
+        return cls(array, num_workers)
+
+    @classmethod
+    def attach(
+        cls, client: SMBClient, name: str, shm_key: int, num_workers: int
+    ) -> "ControlBlock":
+        """Slave-side attachment using the broadcast SHM key."""
+        array = client.attach_array(
+            name, shm_key, num_workers + 1, dtype="int64"
+        )
+        return cls(array, num_workers)
+
+    @property
+    def shm_key(self) -> int:
+        """Creation key to broadcast to other workers."""
+        return self._array.shm_key
+
+    def publish_progress(self, rank: int, iteration: int) -> None:
+        """Record that ``rank`` has completed ``iteration`` iterations."""
+        if not 0 <= rank < self.num_workers:
+            raise ValueError(f"rank {rank} out of range")
+        value = np.asarray([iteration], dtype=np.int64)
+        self._array._client.write(
+            self._array.access_key, value, offset=rank * 8
+        )
+
+    def read_progress(self) -> np.ndarray:
+        """All workers' completed-iteration counters."""
+        return self._array.read()[: self.num_workers]
+
+    def signal_stop(self, code: int = 1) -> None:
+        """Raise the shared stop flag with a nonzero reason code."""
+        if code == self.STOP_CLEAR:
+            raise ValueError("stop code must be nonzero")
+        value = np.asarray([code], dtype=np.int64)
+        self._array._client.write(
+            self._array.access_key, value, offset=self.num_workers * 8
+        )
+
+    def stop_code(self) -> int:
+        """Current stop flag (0 means keep training)."""
+        return int(self._array.read()[self.num_workers])

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the Soft Memory Box (SMB) framework.
+
+The paper's SMB server is a thin remote-memory service: it can fail in a
+small number of well-defined ways (unknown keys, exhausted capacity,
+out-of-range accesses, protocol violations).  Every failure surfaces as a
+subclass of :class:`SMBError` so callers can catch the whole family with one
+``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class SMBError(Exception):
+    """Base class for all SMB failures."""
+
+
+class SMBConnectionError(SMBError):
+    """The transport to the SMB server failed (connect, send, or receive)."""
+
+
+class SMBProtocolError(SMBError):
+    """A malformed or unexpected message was seen on the wire."""
+
+
+class UnknownKeyError(SMBError):
+    """An SHM key or access key does not name a live segment."""
+
+    def __init__(self, key: int) -> None:
+        super().__init__(f"unknown SMB key: {key:#x}")
+        self.key = key
+
+
+class CapacityError(SMBError):
+    """The server's granted memory pool cannot satisfy an allocation."""
+
+    def __init__(self, requested: int, available: int) -> None:
+        super().__init__(
+            f"cannot allocate {requested} bytes; only {available} available"
+        )
+        self.requested = requested
+        self.available = available
+
+
+class SegmentRangeError(SMBError):
+    """A read/write/accumulate touched bytes outside a segment."""
+
+    def __init__(self, offset: int, nbytes: int, size: int) -> None:
+        super().__init__(
+            f"access [{offset}, {offset + nbytes}) exceeds segment size {size}"
+        )
+        self.offset = offset
+        self.nbytes = nbytes
+        self.size = size
+
+
+class SegmentExistsError(SMBError):
+    """A named segment was created twice."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"segment already exists: {name!r}")
+        self.name = name
+
+
+class AccessDeniedError(SMBError):
+    """An operation was attempted with a key lacking the required rights."""
+
+
+class NotificationTimeout(SMBError):
+    """A wait-for-update request expired before the segment changed."""
+
+    def __init__(self, key: int, version: int, timeout: float) -> None:
+        super().__init__(
+            f"segment {key:#x} did not advance past version {version} "
+            f"within {timeout:.3f}s"
+        )
+        self.key = key
+        self.version = version
+        self.timeout = timeout

@@ -1,0 +1,285 @@
+"""Remote shared-memory segments and the server-side memory pool.
+
+This module models the memory half of the Soft Memory Box: a *memory
+providing node* grants a fixed amount of RAM, and distributed workers carve
+it into named :class:`Segment` objects.  Two kinds of keys exist, mirroring
+the paper's Fig. 2:
+
+* the **SHM key** — handed out at creation time and broadcast by the master
+  worker to everyone who should share the segment;
+* the **access key** — returned by the server when a worker *attaches* the
+  segment, standing in for the Infiniband remote key that enables RDMA.
+
+Segments are byte-addressed (the SMB server stores bytes, not tensors); the
+client library layers dtype views on top.  Each segment carries a
+monotonically increasing *version* so workers can wait for updates, which is
+how ShmCaffe shares training-progress control info.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, Optional
+
+import numpy as np
+
+from .errors import (
+    CapacityError,
+    SegmentExistsError,
+    SegmentRangeError,
+    UnknownKeyError,
+)
+
+#: Default granted memory of a pool, matching the paper's 256 GB memory
+#: server scaled down to something a laptop test suite can allocate.
+DEFAULT_POOL_CAPACITY = 1 << 30  # 1 GiB
+
+
+def _key_sequence(start: int) -> Iterator[int]:
+    """Yield an endless stream of distinct integer keys.
+
+    Keys are deliberately non-zero and non-sequential-looking (a stride is
+    applied) so tests that confuse SHM keys with access keys fail loudly
+    instead of accidentally working.
+    """
+    return itertools.count(start, 2654435761 % (1 << 31))
+
+
+@dataclass
+class Segment:
+    """One allocation inside the SMB server's granted memory.
+
+    Attributes:
+        name: Human-readable segment name chosen by its creator.
+        shm_key: Creation key; broadcast to workers that should share this.
+        buffer: Backing byte storage.  Dtype views are layered client-side.
+        version: Bumped on every mutation; supports update notification.
+        owner: Identifier of the creating client (informational).
+    """
+
+    name: str
+    shm_key: int
+    buffer: np.ndarray
+    owner: str = ""
+    version: int = 0
+    lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
+    updated: threading.Condition = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.updated = threading.Condition(self.lock)
+
+    @property
+    def size(self) -> int:
+        """Segment size in bytes."""
+        return int(self.buffer.nbytes)
+
+    def _check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.size:
+            raise SegmentRangeError(offset, nbytes, self.size)
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Return ``nbytes`` bytes starting at ``offset`` (RDMA Read)."""
+        self._check_range(offset, nbytes)
+        with self.lock:
+            return self.buffer[offset:offset + nbytes].tobytes()
+
+    def write(self, offset: int, data: bytes) -> int:
+        """Store ``data`` at ``offset`` (RDMA Write); returns new version."""
+        self._check_range(offset, len(data))
+        with self.lock:
+            self.buffer[offset:offset + len(data)] = np.frombuffer(
+                data, dtype=np.uint8
+            )
+            self.version += 1
+            self.updated.notify_all()
+            return self.version
+
+    def accumulate_from(
+        self,
+        src: "Segment",
+        dtype: str = "float32",
+        scale: float = 1.0,
+        offset: int = 0,
+        src_offset: int = 0,
+        count: Optional[int] = None,
+    ) -> int:
+        """Add ``scale * src`` into this segment element-wise.
+
+        This is the one piece of compute the SMB server offers (eq. (7) of
+        the paper runs here: ``W_g += ΔW_x``).  Locks are taken in a global
+        order (by ``shm_key``) so concurrent accumulates between overlapping
+        segment pairs cannot deadlock.
+
+        Args:
+            src: Source segment whose contents are added into this one.
+            dtype: Element type both regions are interpreted as.
+            scale: Scalar multiplier applied to the source elements.
+            offset: Byte offset into this (destination) segment.
+            src_offset: Byte offset into the source segment.
+            count: Number of *elements*; defaults to the rest of the source.
+
+        Returns:
+            The destination segment's new version number.
+        """
+        itemsize = np.dtype(dtype).itemsize
+        if count is None:
+            count = (src.size - src_offset) // itemsize
+        nbytes = count * itemsize
+        self._check_range(offset, nbytes)
+        src._check_range(src_offset, nbytes)
+
+        first, second = sorted((self, src), key=lambda s: s.shm_key)
+        with first.lock, second.lock:
+            dst_view = self.buffer[offset:offset + nbytes].view(dtype)
+            src_view = src.buffer[src_offset:src_offset + nbytes].view(dtype)
+            if scale == 1.0:
+                dst_view += src_view
+            else:
+                dst_view += scale * src_view
+            self.version += 1
+            self.updated.notify_all()
+            return self.version
+
+    def wait_for_update(
+        self, version: int, timeout: Optional[float] = None
+    ) -> int:
+        """Block until the segment version exceeds ``version``.
+
+        Returns the current version, which may still equal ``version`` if
+        ``timeout`` expired; callers decide whether that is an error.
+        """
+        with self.lock:
+            self.updated.wait_for(
+                lambda: self.version > version, timeout=timeout
+            )
+            return self.version
+
+
+class MemoryPool:
+    """Accounting and lookup for every segment in one SMB server.
+
+    The pool enforces the granted-capacity limit, mints SHM keys and access
+    keys, and maps both key kinds back to segments.  All public methods are
+    thread-safe; the server calls them from many client-handler threads.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_POOL_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self._capacity = capacity
+        self._lock = threading.Lock()
+        self._by_shm_key: Dict[int, Segment] = {}
+        self._by_name: Dict[str, Segment] = {}
+        self._by_access_key: Dict[int, Segment] = {}
+        self._shm_keys = _key_sequence(start=0x5348_0001)
+        self._access_keys = _key_sequence(start=0x4143_0001)
+        self._used = 0
+
+    @property
+    def capacity(self) -> int:
+        """Total granted bytes."""
+        return self._capacity
+
+    @property
+    def used(self) -> int:
+        """Bytes currently allocated to live segments."""
+        with self._lock:
+            return self._used
+
+    @property
+    def available(self) -> int:
+        """Bytes still allocatable."""
+        with self._lock:
+            return self._capacity - self._used
+
+    def create(self, name: str, nbytes: int, owner: str = "") -> Segment:
+        """Create a named segment and return it (master-worker operation).
+
+        Raises:
+            SegmentExistsError: If ``name`` is already live.
+            CapacityError: If the pool cannot fit ``nbytes`` more.
+            ValueError: If ``nbytes`` is not positive.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"segment size must be positive, got {nbytes}")
+        with self._lock:
+            if name in self._by_name:
+                raise SegmentExistsError(name)
+            if self._used + nbytes > self._capacity:
+                raise CapacityError(nbytes, self._capacity - self._used)
+            segment = Segment(
+                name=name,
+                shm_key=next(self._shm_keys),
+                buffer=np.zeros(nbytes, dtype=np.uint8),
+                owner=owner,
+            )
+            self._by_shm_key[segment.shm_key] = segment
+            self._by_name[name] = segment
+            self._used += nbytes
+            return segment
+
+    def attach(self, shm_key: int, expected_nbytes: Optional[int] = None) -> int:
+        """Grant an access key for an existing segment (slave operation).
+
+        Mirrors Fig. 2: a worker presents the broadcast SHM key (plus the
+        size it expects, which is validated) and receives the access key it
+        will use for RDMA-style reads/writes.
+        """
+        segment = self.by_shm_key(shm_key)
+        if expected_nbytes is not None and expected_nbytes != segment.size:
+            raise SegmentRangeError(0, expected_nbytes, segment.size)
+        with self._lock:
+            access_key = next(self._access_keys)
+            self._by_access_key[access_key] = segment
+            return access_key
+
+    def by_shm_key(self, shm_key: int) -> Segment:
+        """Look a segment up by its creation key."""
+        with self._lock:
+            try:
+                return self._by_shm_key[shm_key]
+            except KeyError:
+                raise UnknownKeyError(shm_key) from None
+
+    def by_access_key(self, access_key: int) -> Segment:
+        """Look a segment up by a previously granted access key."""
+        with self._lock:
+            try:
+                return self._by_access_key[access_key]
+            except KeyError:
+                raise UnknownKeyError(access_key) from None
+
+    def by_name(self, name: str) -> Segment:
+        """Look a segment up by name (diagnostics and tests)."""
+        with self._lock:
+            try:
+                return self._by_name[name]
+            except KeyError:
+                raise UnknownKeyError(0) from None
+
+    def free(self, shm_key: int) -> None:
+        """Release a segment and every access key pointing at it."""
+        with self._lock:
+            segment = self._by_shm_key.pop(shm_key, None)
+            if segment is None:
+                raise UnknownKeyError(shm_key)
+            del self._by_name[segment.name]
+            stale = [
+                key for key, seg in self._by_access_key.items()
+                if seg is segment
+            ]
+            for key in stale:
+                del self._by_access_key[key]
+            self._used -= segment.size
+
+    def segments(self) -> Dict[str, Segment]:
+        """Snapshot of live segments keyed by name."""
+        with self._lock:
+            return dict(self._by_name)
+
+    def for_each(self, fn: Callable[[Segment], None]) -> None:
+        """Apply ``fn`` to every live segment (used by server shutdown)."""
+        for segment in self.segments().values():
+            fn(segment)

@@ -1,0 +1,148 @@
+"""Wire protocol between SMB clients and the TCP SMB server.
+
+The real Soft Memory Box speaks RDMA verbs over a modified Reliable Datagram
+Sockets module; we emulate the same *operations* over a plain TCP stream.
+Every exchange is a request/response pair:
+
+``[ header ][ payload bytes ]``
+
+The header is a fixed-size packed struct (:data:`HEADER_FORMAT`) carrying the
+opcode, up to two keys, a byte offset, an element count, a float scale and
+the payload length.  Strings (segment names) and bulk data travel in the
+payload.  The format is deliberately simple: the protocol's job is to make
+the socket transport byte-compatible across processes, not to be fast.
+"""
+
+from __future__ import annotations
+
+import enum
+import socket
+import struct
+from dataclasses import dataclass, field
+
+from .errors import SMBConnectionError, SMBProtocolError
+
+#: opcode(B) status(B) key(q) key2(q) offset(q) count(q) scale(d) paylen(I)
+HEADER_FORMAT = "!BBqqqqdI"
+HEADER_SIZE = struct.calcsize(HEADER_FORMAT)
+
+#: Magic bytes every connection opens with, so a stray client that connects
+#: to the wrong port fails immediately instead of hanging mid-protocol.
+HELLO = b"SMB1"
+
+
+class Op(enum.IntEnum):
+    """Operations the SMB server understands (paper Sec. III-B API)."""
+
+    CREATE = 1          # create a named segment            -> shm_key
+    ATTACH = 2          # shm_key -> access_key (RDMA rkey)
+    READ = 3            # RDMA Read
+    WRITE = 4           # RDMA Write
+    ACCUMULATE = 5      # dst += scale * src (server-side)
+    FREE = 6            # deallocate a segment
+    WAIT_UPDATE = 7     # block until version > given
+    VERSION = 8         # current segment version
+    STATS = 9           # server statistics snapshot
+    SHUTDOWN = 10       # stop the server (tests/administration)
+    LOOKUP = 11         # name -> shm_key (late joiners)
+    LIST = 12           # segment inventory (administration)
+
+
+class Status(enum.IntEnum):
+    """Response status codes."""
+
+    OK = 0
+    ERROR = 1
+    TIMEOUT = 2
+
+
+@dataclass
+class Message:
+    """One framed protocol message (request or response).
+
+    Field meaning depends on the opcode; unused numeric fields are zero.
+    ``key`` carries the primary key or a returned key, ``key2`` the second
+    key for ACCUMULATE (source) or the source offset slot is reused via
+    ``count`` conventions documented per-op in :mod:`repro.smb.client`.
+    """
+
+    op: Op
+    status: Status = Status.OK
+    key: int = 0
+    key2: int = 0
+    offset: int = 0
+    count: int = 0
+    scale: float = 1.0
+    payload: bytes = field(default=b"", repr=False)
+
+    def encode(self) -> bytes:
+        """Serialise to header + payload bytes."""
+        header = struct.pack(
+            HEADER_FORMAT,
+            int(self.op),
+            int(self.status),
+            self.key,
+            self.key2,
+            self.offset,
+            self.count,
+            self.scale,
+            len(self.payload),
+        )
+        return header + self.payload
+
+    @classmethod
+    def decode(cls, header: bytes, payload: bytes) -> "Message":
+        """Rebuild a message from its framed parts."""
+        op, status, key, key2, offset, count, scale, paylen = struct.unpack(
+            HEADER_FORMAT, header
+        )
+        if paylen != len(payload):
+            raise SMBProtocolError(
+                f"payload length mismatch: header says {paylen}, "
+                f"got {len(payload)}"
+            )
+        try:
+            return cls(
+                op=Op(op),
+                status=Status(status),
+                key=key,
+                key2=key2,
+                offset=offset,
+                count=count,
+                scale=scale,
+                payload=payload,
+            )
+        except ValueError as exc:
+            raise SMBProtocolError(str(exc)) from exc
+
+
+def recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+    """Read exactly ``nbytes`` from a socket or raise on EOF."""
+    chunks = []
+    remaining = nbytes
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as exc:
+            raise SMBConnectionError(f"socket receive failed: {exc}") from exc
+        if not chunk:
+            raise SMBConnectionError("connection closed mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_message(sock: socket.socket, message: Message) -> None:
+    """Write one framed message to a socket."""
+    try:
+        sock.sendall(message.encode())
+    except OSError as exc:
+        raise SMBConnectionError(f"socket send failed: {exc}") from exc
+
+
+def recv_message(sock: socket.socket) -> Message:
+    """Read one framed message from a socket."""
+    header = recv_exact(sock, HEADER_SIZE)
+    paylen = struct.unpack(HEADER_FORMAT, header)[-1]
+    payload = recv_exact(sock, paylen) if paylen else b""
+    return Message.decode(header, payload)

@@ -1,0 +1,294 @@
+"""The Soft Memory Box server.
+
+Two layers live here:
+
+* :class:`SMBServer` — the transport-agnostic request processor.  It owns a
+  :class:`~repro.smb.memory.MemoryPool` and maps each protocol
+  :class:`~repro.smb.protocol.Op` onto pool/segment operations.  Cumulative
+  global-weight updates are processed **exclusively** per destination
+  segment, exactly as the paper requires for eq. (7).
+* :class:`TcpSMBServer` — a threaded TCP front-end.  Each connected worker
+  gets a handler thread; this mirrors the paper's single memory server
+  multiplexing many Infiniband queue pairs.
+
+The server also keeps :class:`ServerStats` (bytes moved, op counts) which the
+Fig. 7 bandwidth benchmark reads.
+"""
+
+from __future__ import annotations
+
+import logging
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from .errors import NotificationTimeout, SMBConnectionError, SMBError
+from .memory import DEFAULT_POOL_CAPACITY, MemoryPool
+from .protocol import (
+    HELLO,
+    Message,
+    Op,
+    Status,
+    recv_exact,
+    recv_message,
+    send_message,
+)
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class ServerStats:
+    """Counters the server maintains for bandwidth/benchmark reporting."""
+
+    bytes_read: int = 0
+    bytes_written: int = 0
+    op_counts: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, op: Op, nbytes: int = 0) -> None:
+        """Account one operation of ``op`` moving ``nbytes`` payload bytes."""
+        with self._lock:
+            self.op_counts[op.name] = self.op_counts.get(op.name, 0) + 1
+            if op is Op.READ:
+                self.bytes_read += nbytes
+            elif op in (Op.WRITE, Op.ACCUMULATE):
+                self.bytes_written += nbytes
+
+    def snapshot(self) -> Dict[str, int]:
+        """Return a plain-dict copy safe to serialise."""
+        with self._lock:
+            data = {"bytes_read": self.bytes_read,
+                    "bytes_written": self.bytes_written}
+            data.update(self.op_counts)
+            return data
+
+
+class SMBServer:
+    """Transport-agnostic SMB request processor.
+
+    One instance may be driven directly by in-process clients (see
+    :class:`~repro.smb.transport.InProcTransport`) and simultaneously by a
+    :class:`TcpSMBServer` front-end; the pool and its locks make both safe.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_POOL_CAPACITY) -> None:
+        self.pool = MemoryPool(capacity)
+        self.stats = ServerStats()
+        self._accumulate_lock = threading.Lock()
+
+    def handle(self, request: Message) -> Message:
+        """Process one request and return the response message.
+
+        Protocol errors never escape: every :class:`SMBError` is converted
+        into an ``ERROR`` response carrying the message text so remote
+        clients can re-raise a faithful exception.
+        """
+        try:
+            return self._dispatch(request)
+        except NotificationTimeout as exc:
+            return Message(op=request.op, status=Status.TIMEOUT,
+                           payload=str(exc).encode())
+        except SMBError as exc:
+            return Message(op=request.op, status=Status.ERROR,
+                           payload=f"{type(exc).__name__}:{exc}".encode())
+
+    def _dispatch(self, req: Message) -> Message:
+        if req.op is Op.CREATE:
+            name = req.payload.decode()
+            segment = self.pool.create(name, req.count)
+            self.stats.record(req.op)
+            return Message(op=req.op, key=segment.shm_key)
+
+        if req.op is Op.ATTACH:
+            expected = req.count if req.count else None
+            access_key = self.pool.attach(req.key, expected)
+            self.stats.record(req.op)
+            return Message(op=req.op, key=access_key)
+
+        if req.op is Op.LOOKUP:
+            segment = self.pool.by_name(req.payload.decode())
+            self.stats.record(req.op)
+            return Message(op=req.op, key=segment.shm_key,
+                           count=segment.size)
+
+        if req.op is Op.READ:
+            segment = self.pool.by_access_key(req.key)
+            data = segment.read(req.offset, req.count)
+            self.stats.record(req.op, len(data))
+            return Message(op=req.op, key=req.key, count=segment.version,
+                           payload=data)
+
+        if req.op is Op.WRITE:
+            segment = self.pool.by_access_key(req.key)
+            version = segment.write(req.offset, req.payload)
+            self.stats.record(req.op, len(req.payload))
+            return Message(op=req.op, key=req.key, count=version)
+
+        if req.op is Op.ACCUMULATE:
+            dst = self.pool.by_access_key(req.key)
+            src = self.pool.by_access_key(req.key2)
+            # The SMB server "exclusively processes the cumulative update
+            # requests of global weights from each worker" (paper T.A3):
+            # serialise all accumulates through one lock, on top of the
+            # per-segment locks taken inside accumulate_from.
+            with self._accumulate_lock:
+                version = dst.accumulate_from(
+                    src,
+                    scale=req.scale,
+                    offset=req.offset,
+                    count=req.count or None,
+                )
+            self.stats.record(req.op, (req.count or src.size // 4) * 4)
+            return Message(op=req.op, key=req.key, count=version)
+
+        if req.op is Op.FREE:
+            self.pool.free(req.key)
+            self.stats.record(req.op)
+            return Message(op=req.op)
+
+        if req.op is Op.WAIT_UPDATE:
+            segment = self.pool.by_access_key(req.key)
+            timeout = req.scale if req.scale > 0 else None
+            version = segment.wait_for_update(req.count, timeout)
+            if version <= req.count:
+                raise NotificationTimeout(req.key, req.count, timeout or 0.0)
+            self.stats.record(req.op)
+            return Message(op=req.op, key=req.key, count=version)
+
+        if req.op is Op.VERSION:
+            segment = self.pool.by_access_key(req.key)
+            self.stats.record(req.op)
+            return Message(op=req.op, key=req.key, count=segment.version)
+
+        if req.op is Op.STATS:
+            import json
+
+            payload = json.dumps(self.stats.snapshot()).encode()
+            return Message(op=req.op, payload=payload)
+
+        if req.op is Op.LIST:
+            import json
+
+            inventory = [
+                {
+                    "name": segment.name,
+                    "nbytes": segment.size,
+                    "version": segment.version,
+                    "owner": segment.owner,
+                }
+                for segment in self.pool.segments().values()
+            ]
+            payload = json.dumps(
+                {
+                    "segments": sorted(
+                        inventory, key=lambda item: item["name"]
+                    ),
+                    "capacity": self.pool.capacity,
+                    "used": self.pool.used,
+                }
+            ).encode()
+            return Message(op=req.op, payload=payload)
+
+        if req.op is Op.SHUTDOWN:
+            return Message(op=req.op)
+
+        raise SMBError(f"unhandled opcode: {req.op!r}")
+
+
+class TcpSMBServer:
+    """Threaded TCP front-end for an :class:`SMBServer`.
+
+    Usage::
+
+        with TcpSMBServer(capacity=1 << 28) as server:
+            client = SMBClient.connect(server.address)
+            ...
+
+    Each accepted connection is validated with the protocol ``HELLO`` magic
+    and then served request-by-request on its own thread until the peer
+    disconnects or sends ``SHUTDOWN``.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        capacity: int = DEFAULT_POOL_CAPACITY,
+        core: Optional[SMBServer] = None,
+    ) -> None:
+        self.core = core if core is not None else SMBServer(capacity)
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(128)
+        self.address: Tuple[str, int] = self._listener.getsockname()
+        self._stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._handlers: list[threading.Thread] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "TcpSMBServer":
+        """Begin accepting connections on a background thread."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="smb-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and close the listener; handler threads drain."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:  # already closed
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "TcpSMBServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- internals -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, peer = self._listener.accept()
+            except OSError:
+                break  # listener closed during stop()
+            handler = threading.Thread(
+                target=self._serve_connection,
+                args=(conn, peer),
+                name=f"smb-conn-{peer[1]}",
+                daemon=True,
+            )
+            handler.start()
+            self._handlers.append(handler)
+
+    def _serve_connection(self, conn: socket.socket, peer: object) -> None:
+        try:
+            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            hello = recv_exact(conn, len(HELLO))
+            if hello != HELLO:
+                logger.warning("rejecting non-SMB client from %s", peer)
+                return
+            while not self._stop.is_set():
+                request = recv_message(conn)
+                response = self.core.handle(request)
+                send_message(conn, response)
+                if request.op is Op.SHUTDOWN:
+                    self._stop.set()
+                    self._listener.close()
+                    break
+        except SMBConnectionError:
+            pass  # peer went away; normal teardown
+        except Exception:  # noqa: BLE001 - keep the server alive
+            logger.exception("SMB handler crashed for peer %s", peer)
+        finally:
+            conn.close()

@@ -1,0 +1,177 @@
+"""Striping parameters across multiple SMB servers (the paper's future work).
+
+The evaluated system uses a single memory server, whose HCA bandwidth
+bounds every exchange ("Because the communication bandwidth of the single
+SMB server is bound to the bandwidth of the network interface, the
+communication overhead increases significantly", Sec. III-D); the
+conclusion plans "to improve the performance of the SMB framework by
+using multiple SMB servers".  This module implements that plan:
+
+* :class:`ShardedArray` — one logical float32 vector striped over K
+  segments, each on its own SMB server.  It exposes the same
+  ``read`` / ``write`` / ``accumulate_into`` / ``version`` surface as
+  :class:`~repro.smb.client.RemoteArray`, so the SEASGD worker runs on it
+  unchanged (duck typing is the integration test).
+* :func:`create_sharded_array` / :func:`attach_sharded_array` — the
+  master/slave sides of the Fig. 2 choreography, generalised to K
+  servers: creation returns one SHM key per shard, and those keys are
+  what the master broadcasts.
+
+Striping is contiguous and balanced: shard ``i`` holds
+``counts[i] ~ ceil(count / K)`` elements.  Accumulates remain per-shard
+server-side additions, so the no-parameter-server property is preserved
+exactly — just K accumulators instead of one.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .client import RemoteArray, SMBClient
+
+
+def shard_counts(count: int, num_shards: int) -> List[int]:
+    """Balanced contiguous stripe sizes (first shards get the remainder)."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    if num_shards < 1:
+        raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+    if num_shards > count:
+        raise ValueError(
+            f"cannot stripe {count} elements over {num_shards} shards"
+        )
+    base, remainder = divmod(count, num_shards)
+    return [base + (1 if i < remainder else 0) for i in range(num_shards)]
+
+
+class ShardedArray:
+    """One logical array striped over several SMB servers.
+
+    Drop-in for :class:`RemoteArray` from the worker's point of view; the
+    shards are hidden behind the same operations, each touching only its
+    own server.
+    """
+
+    def __init__(self, shards: Sequence[RemoteArray], name: str = "") -> None:
+        if not shards:
+            raise ValueError("need at least one shard")
+        self.shards = list(shards)
+        self.name = name or self.shards[0].name
+        if any(s.dtype != self.shards[0].dtype for s in self.shards):
+            raise ValueError("shards must share a dtype")
+        self.dtype = self.shards[0].dtype
+        self.count = sum(shard.count for shard in self.shards)
+        offsets = np.cumsum([0] + [s.count for s in self.shards])
+        self._bounds: List[Tuple[int, int]] = [
+            (int(offsets[i]), int(offsets[i + 1]))
+            for i in range(len(self.shards))
+        ]
+
+    @property
+    def nbytes(self) -> int:
+        """Logical array size in bytes."""
+        return self.count * self.dtype.itemsize
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    @property
+    def shm_keys(self) -> List[int]:
+        """Per-shard creation keys, in stripe order (what gets broadcast)."""
+        return [shard.shm_key for shard in self.shards]
+
+    def read(self) -> np.ndarray:
+        """Gather all stripes into one contiguous array."""
+        out = np.empty(self.count, dtype=self.dtype)
+        for shard, (lo, hi) in zip(self.shards, self._bounds):
+            out[lo:hi] = shard.read()
+        return out
+
+    def write(self, values: np.ndarray) -> int:
+        """Scatter a full-length array across the stripes."""
+        values = np.ascontiguousarray(values, dtype=self.dtype)
+        if values.size != self.count:
+            raise ValueError(
+                f"expected {self.count} elements, got {values.size}"
+            )
+        version = 0
+        for shard, (lo, hi) in zip(self.shards, self._bounds):
+            version = shard.write(values[lo:hi])
+        return version
+
+    def accumulate_into(self, dst: "ShardedArray", scale: float = 1.0) -> int:
+        """Per-shard server-side ``dst += scale * self`` (eq. (7), K-way).
+
+        Both arrays must be striped identically (same shard layout on the
+        same servers), which :func:`attach_sharded_array` guarantees for
+        buffers created by :func:`create_sharded_array`.
+        """
+        if not isinstance(dst, ShardedArray):
+            raise TypeError("destination must be a ShardedArray")
+        if dst.num_shards != self.num_shards or dst.count != self.count:
+            raise ValueError(
+                f"stripe layout mismatch: {self.num_shards}x{self.count} "
+                f"vs {dst.num_shards}x{dst.count}"
+            )
+        version = 0
+        for src_shard, dst_shard in zip(self.shards, dst.shards):
+            version = src_shard.accumulate_into(dst_shard, scale=scale)
+        return version
+
+    def version(self) -> int:
+        """Sum of shard versions (monotone under any mutation)."""
+        return sum(shard.version() for shard in self.shards)
+
+    def free(self) -> None:
+        """Deallocate every stripe."""
+        for shard in self.shards:
+            shard.free()
+
+
+def create_sharded_array(
+    clients: Sequence[SMBClient],
+    name: str,
+    count: int,
+    dtype: str = "float32",
+) -> ShardedArray:
+    """Master-side creation: one stripe per client/server.
+
+    Args:
+        clients: One connected client per SMB server, in stripe order.
+        name: Logical name; stripe ``i`` is stored as ``{name}.shard{i}``.
+        count: Total element count.
+        dtype: Element type.
+    """
+    counts = shard_counts(count, len(clients))
+    shards = [
+        client.create_array(f"{name}.shard{index}", shard_count, dtype=dtype)
+        for index, (client, shard_count) in enumerate(zip(clients, counts))
+    ]
+    return ShardedArray(shards, name=name)
+
+
+def attach_sharded_array(
+    clients: Sequence[SMBClient],
+    name: str,
+    shm_keys: Sequence[int],
+    count: int,
+    dtype: str = "float32",
+) -> ShardedArray:
+    """Slave-side attachment from the broadcast per-shard SHM keys."""
+    if len(clients) != len(shm_keys):
+        raise ValueError(
+            f"{len(clients)} clients for {len(shm_keys)} shard keys"
+        )
+    counts = shard_counts(count, len(clients))
+    shards = [
+        client.attach_array(
+            f"{name}.shard{index}", key, shard_count, dtype=dtype
+        )
+        for index, (client, key, shard_count) in enumerate(
+            zip(clients, shm_keys, counts)
+        )
+    ]
+    return ShardedArray(shards, name=name)

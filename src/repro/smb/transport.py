@@ -1,0 +1,95 @@
+"""Client-side transports for talking to an SMB server.
+
+The client library (:mod:`repro.smb.client`) is transport-agnostic: it sends
+:class:`~repro.smb.protocol.Message` requests and receives responses.  Two
+transports implement that contract:
+
+* :class:`InProcTransport` — calls straight into an in-process
+  :class:`~repro.smb.server.SMBServer`.  This is the high-fidelity stand-in
+  for RDMA: no serialisation, no syscalls, just a function call into the
+  memory pool, which is how kernel-bypass one-sided verbs behave from the
+  application's point of view.
+* :class:`TcpTransport` — frames messages over a TCP socket to a
+  :class:`~repro.smb.server.TcpSMBServer`, for genuinely multi-process runs
+  (the repro band's "emulate ... over sockets").
+
+Both are safe for use by the two threads of a ShmCaffe worker because each
+request/response exchange is serialised by an internal lock.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Protocol, Tuple
+
+from .errors import SMBConnectionError
+from .protocol import HELLO, Message, recv_message, send_message
+from .server import SMBServer
+
+
+class Transport(Protocol):
+    """What the SMB client needs from a transport."""
+
+    def request(self, message: Message) -> Message:
+        """Send one request and return the server's response."""
+        ...
+
+    def close(self) -> None:
+        """Release transport resources."""
+        ...
+
+
+class InProcTransport:
+    """Direct function-call transport into an in-process server core."""
+
+    def __init__(self, server: SMBServer) -> None:
+        self._server = server
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def request(self, message: Message) -> Message:
+        if self._closed:
+            raise SMBConnectionError("transport is closed")
+        # WAIT_UPDATE may block for a long time; do not hold the exchange
+        # lock across it or the worker's other thread would stall too.
+        from .protocol import Op
+
+        if message.op is Op.WAIT_UPDATE:
+            return self._server.handle(message)
+        with self._lock:
+            return self._server.handle(message)
+
+    def close(self) -> None:
+        self._closed = True
+
+
+class TcpTransport:
+    """Framed request/response transport over one TCP connection."""
+
+    def __init__(self, address: Tuple[str, int], timeout: float = 30.0) -> None:
+        self._address = address
+        try:
+            self._sock = socket.create_connection(address, timeout=timeout)
+        except OSError as exc:
+            raise SMBConnectionError(
+                f"cannot connect to SMB server at {address}: {exc}"
+            ) from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock.settimeout(None)
+        self._lock = threading.Lock()
+        try:
+            self._sock.sendall(HELLO)
+        except OSError as exc:
+            raise SMBConnectionError(f"handshake failed: {exc}") from exc
+
+    def request(self, message: Message) -> Message:
+        with self._lock:
+            send_message(self._sock, message)
+            return recv_message(self._sock)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass

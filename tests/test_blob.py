@@ -1,0 +1,87 @@
+"""Tests for blobs and weight fillers."""
+
+import numpy as np
+import pytest
+
+from repro.caffe.blob import Blob, fan_in_out, msra_fill, xavier_fill
+
+
+class TestBlob:
+    def test_data_and_diff_allocated(self):
+        blob = Blob((2, 3), "b")
+        assert blob.data.shape == (2, 3)
+        assert blob.diff.shape == (2, 3)
+        assert blob.count == 6
+        assert blob.nbytes == 24
+
+    def test_initial_data_accepted(self):
+        blob = Blob((2,), data=np.asarray([1.0, 2.0]))
+        np.testing.assert_array_equal(blob.data, [1.0, 2.0])
+
+    def test_wrong_shape_data_rejected(self):
+        with pytest.raises(ValueError):
+            Blob((2,), data=np.zeros(3))
+
+    def test_nonpositive_dims_rejected(self):
+        with pytest.raises(ValueError):
+            Blob((2, 0))
+
+    def test_zero_diff(self):
+        blob = Blob((4,))
+        blob.diff[:] = 5.0
+        blob.zero_diff()
+        np.testing.assert_array_equal(blob.diff, 0.0)
+
+    def test_copy_from(self):
+        src = Blob((3,), data=np.asarray([1.0, 2.0, 3.0]))
+        src.diff[:] = 7.0
+        dst = Blob((3,))
+        dst.copy_from(src)
+        np.testing.assert_array_equal(dst.data, src.data)
+        np.testing.assert_array_equal(dst.diff, 0.0)
+        dst.copy_from(src, copy_diff=True)
+        np.testing.assert_array_equal(dst.diff, 7.0)
+
+    def test_copy_from_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            Blob((3,)).copy_from(Blob((4,)))
+
+    def test_copy_is_deep(self):
+        src = Blob((2,), data=np.asarray([1.0, 1.0]))
+        dst = Blob((2,))
+        dst.copy_from(src)
+        src.data[0] = 99.0
+        assert dst.data[0] == 1.0
+
+
+class TestFillers:
+    def test_fan_in_out_conv(self):
+        fan_in, fan_out = fan_in_out((8, 3, 5, 5))
+        assert fan_in == 3 * 25
+        assert fan_out == 8 * 25
+
+    def test_fan_in_out_fc(self):
+        fan_in, fan_out = fan_in_out((10, 20))
+        assert (fan_in, fan_out) == (20, 10)
+
+    def test_fan_in_out_rejects_vectors(self):
+        with pytest.raises(ValueError):
+            fan_in_out((5,))
+
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(0)
+        weights = xavier_fill((16, 4, 3, 3), rng)
+        limit = np.sqrt(3.0 / (4 * 9))
+        assert weights.dtype == np.float32
+        assert np.all(np.abs(weights) <= limit)
+
+    def test_msra_std(self):
+        rng = np.random.default_rng(0)
+        weights = msra_fill((64, 64, 3, 3), rng)
+        expected = np.sqrt(2.0 / (64 * 9))
+        assert abs(weights.std() - expected) / expected < 0.1
+
+    def test_fillers_deterministic_per_seed(self):
+        a = xavier_fill((4, 4), np.random.default_rng(7))
+        b = xavier_fill((4, 4), np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,54 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_reproduce_flags(self):
+        args = build_parser().parse_args(["reproduce", "--analytic"])
+        assert args.analytic is True
+        assert args.full is False
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.platform == "shmcaffe_a"
+        assert args.workers == 4
+        assert args.moving_rate == pytest.approx(0.2)
+
+    def test_train_rejects_unknown_platform(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["train", "--platform", "pytorch"])
+
+    def test_bandwidth_connect_parsing(self):
+        args = build_parser().parse_args(
+            ["bandwidth", "--connect", "10.0.0.1:7000"]
+        )
+        assert args.connect == "10.0.0.1:7000"
+
+
+class TestExecution:
+    def test_train_tiny_run(self, capsys):
+        code = main(
+            [
+                "train", "--platform", "shmcaffe_a", "--workers", "2",
+                "--epochs", "1", "--samples-per-class", "30",
+                "--batch-size", "5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "final acc" in out
+        assert "shmcaffe_a" in out
+
+    def test_reproduce_analytic_prints_tables(self, capsys):
+        code = main(["reproduce", "--analytic"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for marker in ("fig9/table2", "fig12-13/table5", "fig15"):
+            assert marker in out

@@ -1,0 +1,209 @@
+"""Tests for the data substrate: datasets, LMDB-like store, prefetch."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caffe.data import (
+    LmdbStore,
+    Prefetcher,
+    SyntheticImageDataset,
+    decode_datum,
+    encode_datum,
+)
+
+
+@pytest.fixture()
+def dataset():
+    return SyntheticImageDataset(
+        num_classes=4, image_size=8, train_per_class=25, test_per_class=5,
+        noise=0.5, seed=3,
+    )
+
+
+class TestSyntheticDataset:
+    def test_sizes(self, dataset):
+        assert dataset.train_size == 100
+        assert dataset.test_size == 20
+
+    def test_deterministic_per_seed(self):
+        a = SyntheticImageDataset(seed=9, train_per_class=10)
+        b = SyntheticImageDataset(seed=9, train_per_class=10)
+        np.testing.assert_array_equal(a.train_images, b.train_images)
+        np.testing.assert_array_equal(a.train_labels, b.train_labels)
+
+    def test_different_seed_different_data(self):
+        a = SyntheticImageDataset(seed=1, train_per_class=10)
+        b = SyntheticImageDataset(seed=2, train_per_class=10)
+        assert not np.array_equal(a.train_images, b.train_images)
+
+    def test_all_classes_present(self, dataset):
+        assert set(dataset.train_labels) == {0, 1, 2, 3}
+        assert set(dataset.test_labels) == {0, 1, 2, 3}
+
+    def test_train_test_disjoint(self, dataset):
+        # No training image should reappear in the test split.
+        train = {img.tobytes() for img in dataset.train_images}
+        test = {img.tobytes() for img in dataset.test_images}
+        assert not train & test
+
+    def test_shards_are_disjoint_and_cover(self, dataset):
+        seen = []
+        for rank in range(4):
+            images, _ = dataset.shard(rank, 4)
+            seen.extend(img.tobytes() for img in images)
+        assert len(seen) == dataset.train_size
+        assert len(set(seen)) == dataset.train_size
+
+    def test_every_shard_sees_every_class(self, dataset):
+        # Round-robin sharding: the paper assigns data "to all workers
+        # without duplication"; each shard must remain class-complete.
+        for rank in range(4):
+            _, labels = dataset.shard(rank, 4)
+            assert set(labels) == {0, 1, 2, 3}
+
+    def test_shard_rank_bounds(self, dataset):
+        with pytest.raises(ValueError):
+            dataset.shard(4, 4)
+
+    def test_minibatches_shape_and_labels(self, dataset):
+        stream = dataset.minibatches(10, seed=0)
+        batch = next(stream)
+        assert batch.images.shape == (10, 3, 8, 8)
+        assert batch.labels.shape == (10,)
+        assert batch.size == 10
+
+    def test_minibatches_endless(self, dataset):
+        stream = dataset.minibatches(10, seed=0)
+        for _ in range(30):  # 3x the dataset
+            next(stream)
+
+    def test_minibatch_too_large_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            next(dataset.minibatches(1000, seed=0))
+
+    def test_minibatches_deterministic(self, dataset):
+        a = next(dataset.minibatches(10, seed=5))
+        b = next(dataset.minibatches(10, seed=5))
+        np.testing.assert_array_equal(a.images, b.images)
+
+    def test_test_batches_cover_split(self, dataset):
+        batches = dataset.test_batches(8)
+        assert sum(b.size for b in batches) == dataset.test_size
+        assert batches[-1].size == 4  # remainder batch
+
+    def test_as_inputs_mapping(self, dataset):
+        batch = next(dataset.minibatches(5, seed=0))
+        inputs = batch.as_inputs()
+        assert set(inputs) == {"data", "label"}
+
+    def test_invalid_class_count(self):
+        with pytest.raises(ValueError):
+            SyntheticImageDataset(num_classes=1)
+
+
+class TestDatum:
+    def test_roundtrip(self):
+        image = np.random.default_rng(0).standard_normal(
+            (3, 5, 5)
+        ).astype(np.float32)
+        blob = encode_datum(image, 7)
+        decoded, label = decode_datum(blob)
+        np.testing.assert_array_equal(decoded, image)
+        assert label == 7
+
+    def test_rejects_non_chw(self):
+        with pytest.raises(ValueError):
+            encode_datum(np.zeros((5, 5), dtype=np.float32), 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        c=st.integers(1, 4),
+        h=st.integers(1, 8),
+        w=st.integers(1, 8),
+        label=st.integers(-(2 ** 31), 2 ** 31 - 1),
+        seed=st.integers(0, 999),
+    )
+    def test_roundtrip_property(self, c, h, w, label, seed):
+        image = np.random.default_rng(seed).standard_normal(
+            (c, h, w)
+        ).astype(np.float32)
+        decoded, out_label = decode_datum(encode_datum(image, label))
+        np.testing.assert_array_equal(decoded, image)
+        assert out_label == label
+
+
+class TestLmdbStore:
+    def test_put_get(self):
+        store = LmdbStore()
+        store.put(b"k", b"v")
+        assert store.get(b"k") == b"v"
+        assert len(store) == 1
+
+    def test_get_missing(self):
+        with pytest.raises(KeyError):
+            LmdbStore().get(b"nope")
+
+    def test_cursor_sorted(self):
+        store = LmdbStore()
+        store.put(b"00000002", b"b")
+        store.put(b"00000001", b"a")
+        store.put(b"00000003", b"c")
+        assert [k for k, _ in store.cursor()] == [
+            b"00000001", b"00000002", b"00000003",
+        ]
+
+    def test_from_dataset_roundtrip(self, dataset):
+        store = LmdbStore.from_dataset(dataset, split="train")
+        assert len(store) == dataset.train_size
+        image, label = decode_datum(store.get(b"00000000"))
+        np.testing.assert_array_equal(image, dataset.train_images[0])
+        assert label == dataset.train_labels[0]
+
+    def test_from_dataset_bad_split(self, dataset):
+        with pytest.raises(ValueError):
+            LmdbStore.from_dataset(dataset, split="valid")
+
+    def test_stream_batches(self, dataset):
+        store = LmdbStore.from_dataset(dataset, split="test")
+        batches = list(store.stream_batches(6))
+        assert sum(b.size for b in batches) == dataset.test_size
+        assert batches[0].images.shape[1:] == (3, 8, 8)
+
+
+class TestPrefetcher:
+    def test_delivers_in_order(self, dataset):
+        store = LmdbStore.from_dataset(dataset, split="test")
+        with Prefetcher(store.stream_batches(5), depth=3) as prefetcher:
+            first = prefetcher.next_batch()
+            np.testing.assert_array_equal(
+                first.labels,
+                next(store.stream_batches(5)).labels,
+            )
+
+    def test_exhaustion_yields_none(self, dataset):
+        store = LmdbStore.from_dataset(dataset, split="test")
+        with Prefetcher(store.stream_batches(20), depth=2) as prefetcher:
+            seen = 0
+            while prefetcher.next_batch() is not None:
+                seen += 1
+            assert seen == 1  # 20 test images in one batch
+
+    def test_default_depth_is_ten(self, dataset):
+        # ShmCaffe prefetches 10 minibatch sets ahead.
+        prefetcher = Prefetcher(dataset.minibatches(5, seed=0))
+        try:
+            assert prefetcher._queue.maxsize == 10
+        finally:
+            prefetcher.stop()
+
+    def test_stop_terminates_endless_stream(self, dataset):
+        prefetcher = Prefetcher(dataset.minibatches(5, seed=0), depth=2)
+        prefetcher.next_batch()
+        prefetcher.stop()  # must not hang
+        assert not prefetcher._thread.is_alive()
+
+    def test_invalid_depth(self, dataset):
+        with pytest.raises(ValueError):
+            Prefetcher(dataset.minibatches(5, seed=0), depth=0)

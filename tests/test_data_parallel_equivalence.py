@@ -1,0 +1,139 @@
+"""Data-parallel equivalence: the defining property of synchronous SGD.
+
+Averaging per-worker gradients over equal shards is mathematically the
+same as one big-batch gradient on the concatenated data.  This holds
+layer-for-layer only without cross-sample coupling, so the spec is
+BN-free (batch norm's statistics see different batches per worker — the
+well-known sync-BN caveat, which the test below demonstrates too).
+"""
+
+import numpy as np
+import pytest
+
+from repro.caffe import Minibatch, Net, SGDSolver, SolverConfig
+from repro.caffe.netspec import NetSpec
+from repro.caffe.params import FlatParams
+from repro.nccl import RingGroup
+
+from .test_nccl import run_group
+
+
+def bn_free_spec(batch, channels=2, size=6, classes=3):
+    spec = NetSpec("equiv")
+    data = spec.input("data", (batch, channels, size, size))
+    labels = spec.input("label", (batch,))
+    top = spec.conv_relu("conv1", data, 4, kernel=3, pad=1)
+    top = spec.pool("pool1", top, method="max", kernel=2, stride=2)
+    logits_in = spec.pool("gp", top, method="ave", global_pool=True)
+    logits = spec.fc("fc", logits_in, classes)
+    spec.softmax_loss("loss", logits, labels)
+    return spec
+
+
+def bn_spec(batch, channels=2, size=6, classes=3):
+    spec = NetSpec("equiv_bn")
+    data = spec.input("data", (batch, channels, size, size))
+    labels = spec.input("label", (batch,))
+    top = spec.conv_bn_relu("conv1", data, 4, kernel=3, pad=1)
+    logits_in = spec.pool("gp", top, method="ave", global_pool=True)
+    logits = spec.fc("fc", logits_in, classes)
+    spec.softmax_loss("loss", logits, labels)
+    return spec
+
+
+def make_shard_batches(num_workers, per_worker, steps, seed=0):
+    rng = np.random.default_rng(seed)
+    batches = []
+    for _ in range(steps):
+        step_batches = []
+        for _ in range(num_workers):
+            images = rng.standard_normal(
+                (per_worker, 2, 6, 6)
+            ).astype(np.float32)
+            labels = rng.integers(0, 3, per_worker)
+            step_batches.append(Minibatch(images, labels))
+        batches.append(step_batches)
+    return batches
+
+
+def run_ssgd(spec_factory, shard_batches, num_workers, config):
+    """NCCL-style SSGD over pre-generated shards; returns final weights."""
+    ring = RingGroup(num_workers)
+    finals = [None] * num_workers
+
+    def worker(rank):
+        net = Net(spec_factory(), seed=11)
+        solver = SGDSolver(net, config)
+        flat = FlatParams(net)
+        for step_batches in shard_batches:
+            solver.compute_gradients(step_batches[rank].as_inputs())
+            averaged = ring.allreduce(
+                rank, flat.get_grad_vector(), average=True
+            )
+            flat.set_grad_vector(averaged)
+            solver.apply_update()
+            solver.advance_iteration()
+        finals[rank] = flat.get_vector()
+        return True
+
+    run_group(num_workers, worker)
+    return finals
+
+
+def run_big_batch(spec_factory, shard_batches, config):
+    """Single worker on the concatenation of every step's shards."""
+    net = Net(spec_factory(), seed=11)
+    solver = SGDSolver(net, config)
+    flat = FlatParams(net)
+    for step_batches in shard_batches:
+        images = np.concatenate([b.images for b in step_batches])
+        labels = np.concatenate([b.labels for b in step_batches])
+        solver.compute_gradients(
+            Minibatch(images, labels).as_inputs()
+        )
+        solver.apply_update()
+        solver.advance_iteration()
+    return flat.get_vector()
+
+
+class TestDataParallelEquivalence:
+    @pytest.mark.parametrize("num_workers", [2, 4])
+    def test_ssgd_equals_big_batch_without_bn(self, num_workers):
+        config = SolverConfig(base_lr=0.1, momentum=0.9)
+        shard_batches = make_shard_batches(num_workers, per_worker=4,
+                                           steps=5)
+        per_worker_batch = 4
+
+        def spec_factory():
+            return bn_free_spec(batch=per_worker_batch)
+
+        distributed = run_ssgd(
+            spec_factory, shard_batches, num_workers, config
+        )
+        single = run_big_batch(spec_factory, shard_batches, config)
+
+        for final in distributed:
+            np.testing.assert_allclose(final, single, rtol=2e-4, atol=2e-5)
+
+    def test_replicas_stay_bit_identical(self):
+        config = SolverConfig(base_lr=0.1, momentum=0.9)
+        shard_batches = make_shard_batches(3, per_worker=4, steps=4)
+        finals = run_ssgd(
+            lambda: bn_free_spec(batch=4), shard_batches, 3, config
+        )
+        np.testing.assert_array_equal(finals[0], finals[1])
+        np.testing.assert_array_equal(finals[0], finals[2])
+
+    def test_batchnorm_breaks_exact_equivalence(self):
+        """The sync-BN caveat: per-worker batch statistics differ from
+        big-batch statistics, so BN nets diverge between the two modes."""
+        config = SolverConfig(base_lr=0.1, momentum=0.9)
+        shard_batches = make_shard_batches(2, per_worker=4, steps=5)
+
+        distributed = run_ssgd(
+            lambda: bn_spec(batch=4), shard_batches, 2, config
+        )
+        single = run_big_batch(
+            lambda: bn_spec(batch=4), shard_batches, config
+        )
+        assert not np.allclose(distributed[0], single, rtol=1e-4)

@@ -1,0 +1,235 @@
+"""Tests for the discrete-event kernel, the SMB contention scenario, and
+the Fig. 7 bandwidth model/measurement."""
+
+import numpy as np
+import pytest
+
+from repro.perfmodel import (
+    FIG7_PROCESS_COUNTS,
+    PAPER_HARDWARE,
+    fig7_series,
+    measure_smb_bandwidth,
+    model_profile,
+    modeled_bandwidth_gbs,
+    shmcaffe_a,
+    simulate_seasgd_contention,
+)
+from repro.perfmodel.desim import (
+    Event,
+    Resource,
+    SimulationError,
+    Simulator,
+    Timeout,
+)
+
+
+class TestKernel:
+    def test_timeouts_execute_in_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        end = sim.run()
+        assert order == ["a", "b", "c"]
+        assert end == 3.0
+
+    def test_process_with_timeouts(self):
+        sim = Simulator()
+        marks = []
+
+        def proc():
+            yield Timeout(5.0)
+            marks.append(sim.now)
+            yield Timeout(2.5)
+            marks.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert marks == [5.0, 7.5]
+
+    def test_fifo_resource_serialises(self):
+        sim = Simulator()
+        resource = Resource("nic")
+        finish_times = {}
+
+        def proc(name):
+            yield resource.request(10.0)
+            finish_times[name] = sim.now
+
+        sim.process(proc("first"))
+        sim.process(proc("second"))
+        sim.run()
+        assert finish_times["first"] == 10.0
+        assert finish_times["second"] == 20.0
+        assert resource.busy_time == 20.0
+
+    def test_event_wakes_waiter(self):
+        sim = Simulator()
+        event = Event()
+        woken = []
+
+        def waiter():
+            yield event
+            woken.append(sim.now)
+
+        def firer():
+            yield Timeout(4.0)
+            event.succeed(sim)
+
+        sim.process(waiter())
+        sim.process(firer())
+        sim.run()
+        assert woken == [4.0]
+
+    def test_pretriggered_event_passes_through(self):
+        sim = Simulator()
+        event = Event()
+        event.succeed(sim)
+        done = []
+
+        def proc():
+            yield event
+            done.append(True)
+
+        sim.process(proc())
+        sim.run()
+        assert done == [True]
+
+    def test_bad_yield_rejected(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nonsense"
+
+        with pytest.raises(SimulationError):
+            sim.process(proc())
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1.0)
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        sim.schedule(100.0, lambda: None)
+        assert sim.run(until=10.0) == 10.0
+
+
+class TestContentionScenario:
+    def test_single_worker_no_comm(self):
+        result = simulate_seasgd_contention(
+            model_profile("inception_v1"), workers=1, iterations=10
+        )
+        assert result.mean_comm_ms == 0.0
+
+    def test_comm_grows_with_workers(self):
+        model = model_profile("resnet_50")
+        comm = [
+            simulate_seasgd_contention(
+                model, workers=n, iterations=20, seed=1
+            ).mean_comm_ms
+            for n in (2, 8, 16)
+        ]
+        assert comm[0] < comm[1] < comm[2]
+
+    def test_spill_emerges_for_vgg(self):
+        # VGG16's flush outlives compute: visible comm must far exceed a
+        # single read's transfer time.
+        model = model_profile("vgg16")
+        result = simulate_seasgd_contention(model, workers=2, iterations=15)
+        read_ms = model.param_bytes / (
+            PAPER_HARDWARE.smb_effective_bandwidth_gbs * 1e9
+        ) * 1e3
+        assert result.mean_comm_ms > 1.5 * read_ms
+
+    def test_iteration_time_exceeds_compute(self):
+        model = model_profile("inception_v1")
+        result = simulate_seasgd_contention(model, workers=8, iterations=20)
+        assert result.mean_iteration_ms > model.compute_ms
+
+    def test_utilisations_bounded(self):
+        result = simulate_seasgd_contention(
+            model_profile("inception_resnet_v2"), workers=8, iterations=20
+        )
+        assert 0.0 < result.nic_utilisation <= 1.0
+        assert 0.0 < result.mem_utilisation <= 1.0
+
+    def test_protocol_overhead_slows_everything(self):
+        model = model_profile("inception_v1")
+        clean = simulate_seasgd_contention(
+            model, workers=8, iterations=20, seed=2
+        )
+        slowed = simulate_seasgd_contention(
+            model, workers=8, iterations=20, seed=2,
+            protocol_overhead_ms=20.0,
+        )
+        assert slowed.mean_comm_ms > clean.mean_comm_ms
+
+    def test_update_interval_reduces_comm_share(self):
+        model = model_profile("resnet_50")
+        every = simulate_seasgd_contention(
+            model, workers=8, iterations=20, update_interval=1, seed=3
+        )
+        sparse = simulate_seasgd_contention(
+            model, workers=8, iterations=20, update_interval=4, seed=3
+        )
+        assert sparse.mean_comm_ratio < every.mean_comm_ratio
+
+    def test_desim_and_analytic_agree_on_trend(self):
+        # The queue-level simulation and the calibrated analytic model
+        # must rank worker counts identically (absolute values differ: the
+        # analytic beta includes protocol overheads desim omits).
+        model = model_profile("resnet_50")
+        for low, high in ((2, 8), (8, 16)):
+            desim_low = simulate_seasgd_contention(
+                model, low, iterations=15, seed=0
+            ).mean_comm_ms
+            desim_high = simulate_seasgd_contention(
+                model, high, iterations=15, seed=0
+            ).mean_comm_ms
+            analytic_low = shmcaffe_a(model, low).comm_ms
+            analytic_high = shmcaffe_a(model, high).comm_ms
+            assert (desim_high > desim_low) == (
+                analytic_high > analytic_low
+            )
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            simulate_seasgd_contention(
+                model_profile("vgg16"), workers=0
+            )
+
+
+class TestFig7Bandwidth:
+    def test_curve_monotone_and_saturating(self):
+        series = fig7_series()
+        values = [value for _, value in series]
+        assert all(b > a for a, b in zip(values, values[1:]))
+        assert values[-1] == pytest.approx(
+            PAPER_HARDWARE.smb_effective_bandwidth_gbs, rel=0.01
+        )
+
+    def test_plateau_is_96pct_of_hca(self):
+        plateau = modeled_bandwidth_gbs(64)
+        assert plateau / PAPER_HARDWARE.ib_bandwidth_gbs == pytest.approx(
+            0.96, abs=0.01
+        )
+
+    def test_default_counts_match_paper_sweep(self):
+        assert FIG7_PROCESS_COUNTS == (2, 4, 8, 16, 32)
+
+    def test_invalid_processes(self):
+        with pytest.raises(ValueError):
+            modeled_bandwidth_gbs(0)
+
+    def test_live_measurement_moves_expected_bytes(self):
+        sample = measure_smb_bandwidth(
+            processes=3, buffer_mb=0.2, operations=6
+        )
+        expected = 3 * 6 * int(0.2e6 // 4) * 4
+        assert sample.bytes_moved == expected
+        assert sample.gbs > 0
+
+    def test_live_measurement_validation(self):
+        with pytest.raises(ValueError):
+            measure_smb_bandwidth(processes=0)

@@ -1,0 +1,48 @@
+"""Smoke tests for the example scripts (imports + the fast ones run)."""
+
+import ast
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).parent.parent / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+class TestExamplesWellFormed:
+    def test_at_least_five_examples_exist(self):
+        assert len(EXAMPLE_SCRIPTS) >= 5
+
+    @pytest.mark.parametrize(
+        "script", EXAMPLE_SCRIPTS, ids=lambda p: p.name
+    )
+    def test_parses_and_has_docstring_and_main(self, script):
+        tree = ast.parse(script.read_text())
+        assert ast.get_docstring(tree), f"{script.name} lacks a docstring"
+        names = {
+            node.name
+            for node in tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        assert "main" in names, f"{script.name} lacks a main()"
+
+    @pytest.mark.parametrize(
+        "script", EXAMPLE_SCRIPTS, ids=lambda p: p.name
+    )
+    def test_compiles(self, script):
+        compile(script.read_text(), str(script), "exec")
+
+
+class TestFastExamplesRun:
+    def test_smb_parameter_sharing_runs(self):
+        """The raw-SMB example is quick (<10 s): run it end to end."""
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "smb_parameter_sharing.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert result.returncode == 0, result.stderr
+        assert "global-weight error" in result.stdout

@@ -1,0 +1,157 @@
+"""Tests for the experiment harness (shape, content, formatting)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    fig07_bandwidth,
+    fig09_table2,
+    fig10_comp_comm,
+    fig12_table5,
+    fig14_table6,
+    fig15_comm_compare,
+    table03_configs,
+    table04_models,
+)
+from repro.experiments.convergence import ConvergenceSetup, run_platform
+from repro.experiments.report import ExperimentResult
+from repro.experiments.table03_configs import TABLE3_CONFIGS, HybridConfig
+
+
+class TestReport:
+    def test_format_aligns_columns(self):
+        result = ExperimentResult("exp", "demo")
+        result.rows = [
+            {"a": 1, "b": "x"},
+            {"a": 22, "b": "yy"},
+        ]
+        text = result.format()
+        lines = text.splitlines()
+        assert "exp" in lines[0]
+        assert lines[1].split() == ["a", "b"]
+
+    def test_format_handles_empty(self):
+        assert "(no rows)" in ExperimentResult("e", "t").format()
+
+    def test_column_extraction(self):
+        result = ExperimentResult("e", "t")
+        result.rows = [{"x": 1}, {"x": 2}]
+        assert result.column("x") == [1, 2]
+
+    def test_nan_rendered_as_dash(self):
+        result = ExperimentResult("e", "t")
+        result.rows = [{"x": float("nan")}]
+        assert "-" in result.format()
+
+
+class TestFig7:
+    def test_modeled_only(self):
+        result = fig07_bandwidth.run(measure=False)
+        assert [row["processes"] for row in result.rows] == [2, 4, 8, 16, 32]
+        assert all("measured_gbs" not in row for row in result.rows)
+
+    def test_with_measurement(self):
+        result = fig07_bandwidth.run(
+            counts=(2, 4), measure=True, buffer_mb=0.1, operations=4
+        )
+        assert all(row["measured_gbs"] > 0 for row in result.rows)
+
+    def test_plateau_note_present(self):
+        result = fig07_bandwidth.run(measure=False)
+        assert any("6.7" in note for note in result.notes)
+
+
+class TestAnalyticExperiments:
+    def test_table2_rows_and_headline(self):
+        result = fig09_table2.run()
+        platforms = [row["platform"] for row in result.rows]
+        assert platforms == ["caffe", "caffe_mpi", "mpi_caffe", "shmcaffe"]
+        caffe_row = result.rows[0]
+        assert caffe_row["time@1"] == "22:59"
+        assert any("10.1" in note for note in result.notes)
+
+    def test_fig10_has_all_cells(self):
+        result = fig10_comp_comm.run()
+        assert len(result.rows) == 4 * 2  # platforms x gpu counts
+        for row in result.rows:
+            assert row["iter_ms"] == pytest.approx(
+                row["comp_ms"] + row["comm_ms"], abs=0.2
+            )
+
+    def test_table3_labels(self):
+        result = table03_configs.run()
+        labels = [row["label"] for row in result.rows]
+        assert "4 (S4)" in labels
+        assert "16 (S4 x A4)" in labels
+
+    def test_hybrid_config_validation(self):
+        with pytest.raises(ValueError):
+            HybridConfig(8, 3)
+        assert HybridConfig(8, 4).groups == 2
+
+    def test_table4_size_errors_small(self):
+        result = table04_models.run()
+        assert len(result.rows) == 4
+        for row in result.rows:
+            assert abs(row["size_error_pct"]) < 12.0
+
+    def test_table5_paper_refs_attached(self):
+        result = fig12_table5.run()
+        flagged = [
+            row for row in result.rows if row["paper_comm_pct"] != "-"
+        ]
+        assert len(flagged) == 5  # the five stated ratios
+
+    def test_table5_single_worker_comm_zero(self):
+        result = fig12_table5.run()
+        singles = [row for row in result.rows if row["workers"] == 1]
+        assert all(row["comm_ms"] == 0.0 for row in singles)
+
+    def test_table6_covers_all_configs(self):
+        result = fig14_table6.run()
+        assert len(result.rows) == 4 * len(TABLE3_CONFIGS)
+
+    def test_fig15_hybrid_wins_at_16(self):
+        result = fig15_comm_compare.run()
+        at_16 = [row for row in result.rows if row["gpus"] == 16]
+        assert all(row["H_iter_ms"] < row["A_iter_ms"] for row in at_16)
+
+
+class TestConvergenceHarness:
+    def make_tiny_setup(self):
+        return ConvergenceSetup(
+            epochs=2,
+            train_per_class=30,
+            test_per_class=6,
+            noise=0.7,
+            batch_size=5,
+            base_lr=0.05,
+        )
+
+    def test_caffe_single(self):
+        outcome = run_platform(self.make_tiny_setup(), "caffe", workers=1)
+        assert np.isfinite(outcome.final_accuracy)
+
+    def test_all_platforms_run_tiny(self):
+        setup = self.make_tiny_setup()
+        for platform in ("caffe", "caffe_mpi", "mpi_caffe", "shmcaffe_a"):
+            outcome = run_platform(setup, platform, workers=2)
+            assert outcome.losses or outcome.evals
+
+    def test_hybrid_runs_tiny(self):
+        outcome = run_platform(
+            self.make_tiny_setup(), "shmcaffe_h", workers=2, group_size=2
+        )
+        assert np.isfinite(outcome.final_accuracy)
+
+    def test_unknown_platform(self):
+        with pytest.raises(ValueError):
+            run_platform(self.make_tiny_setup(), "pytorch", workers=1)
+
+    def test_solver_config_steps_every_4_epochs(self):
+        setup = self.make_tiny_setup()
+        dataset = setup.dataset()
+        config = setup.solver_config(dataset, workers=1)
+        per_epoch = dataset.train_size // setup.batch_size
+        assert config.stepsize == setup.lr_step_epochs * per_epoch
+        assert config.lr_policy == "step"

@@ -1,0 +1,119 @@
+"""Tests for the four CNN model builders (Table IV cross-checks)."""
+
+import numpy as np
+import pytest
+
+from repro.caffe import Net, SGDSolver, SolverConfig, models
+from repro.caffe.netspec import infer
+
+#: Paper-derived parameter sizes in MB (decimal), from perfmodel's Table IV.
+PAPER_SIZES_MB = {
+    "inception_v1": 53.5,
+    "resnet_50": 102.3,
+    "inception_resnet_v2": 214.0,
+    "vgg16": 553.4,
+}
+
+#: Published parameter counts (millions) for the reference architectures.
+REFERENCE_PARAM_COUNTS_M = {
+    "inception_v1": 13.4,       # BVLC GoogLeNet incl. both aux heads
+    "resnet_50": 25.6,
+    "inception_resnet_v2": 55.8,
+    "vgg16": 138.4,
+}
+
+
+class TestFullSpecs:
+    @pytest.mark.parametrize("name", sorted(PAPER_SIZES_MB))
+    def test_param_size_near_paper(self, name):
+        image = 320 if name == "inception_resnet_v2" else 224
+        spec = models.full_spec(name, batch_size=1, image_size=image)
+        built_mb = infer(spec).param_nbytes / 1e6
+        assert built_mb == pytest.approx(PAPER_SIZES_MB[name], rel=0.12)
+
+    @pytest.mark.parametrize("name", sorted(REFERENCE_PARAM_COUNTS_M))
+    def test_param_count_near_reference(self, name):
+        image = 320 if name == "inception_resnet_v2" else 224
+        spec = models.full_spec(name, batch_size=1, image_size=image)
+        millions = infer(spec).param_count / 1e6
+        assert millions == pytest.approx(
+            REFERENCE_PARAM_COUNTS_M[name], rel=0.12
+        )
+
+    def test_resnet_is_about_twice_inception(self):
+        # Paper Sec. IV-E: ResNet-50 "has about twice as many parameters
+        # as Inception_v1".
+        inception = infer(models.full_spec("inception_v1", batch_size=1))
+        resnet = infer(models.full_spec("resnet_50", batch_size=1))
+        ratio = resnet.param_count / inception.param_count
+        assert 1.6 < ratio < 2.4
+
+    def test_vgg16_exact_param_count(self):
+        # VGG16 configuration D has exactly 138,357,544 parameters.
+        spec = models.full_spec("vgg16", batch_size=1)
+        assert infer(spec).param_count == 138_357_544
+
+    def test_inception_aux_heads_optional(self):
+        with_aux = infer(models.full_spec("inception_v1", batch_size=1))
+        without = infer(
+            models.full_spec("inception_v1", batch_size=1, aux_heads=False)
+        )
+        assert with_aux.param_count > without.param_count
+        # The two aux heads contribute ~6.4M parameters.
+        delta_m = (with_aux.param_count - without.param_count) / 1e6
+        assert 5.0 < delta_m < 8.0
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            models.full_spec("alexnet")
+
+    def test_incresv2_trains_at_320(self):
+        # The paper trains Inception-ResNet-v2 at 320x320; the stem's
+        # valid convolutions must produce legal shapes there.
+        spec = models.full_spec(
+            "inception_resnet_v2", batch_size=1, image_size=320
+        )
+        result = infer(spec)
+        assert result.blob_shapes["logits"] == (1, 1000)
+
+
+class TestScaledSpecs:
+    @pytest.mark.parametrize("name", sorted(PAPER_SIZES_MB))
+    def test_instantiable_and_runnable(self, name):
+        spec = models.scaled_spec(name, batch_size=4, image_size=16)
+        net = Net(spec, seed=0)
+        rng = np.random.default_rng(0)
+        outputs = net.forward(
+            {
+                "data": rng.standard_normal((4, 3, 16, 16)).astype(
+                    np.float32
+                ),
+                "label": rng.integers(0, 10, 4),
+            },
+            train=True,
+        )
+        assert np.isfinite(outputs["loss"][0])
+        net.backward()
+
+    @pytest.mark.parametrize("name", sorted(PAPER_SIZES_MB))
+    def test_one_solver_step_moves_weights(self, name):
+        spec = models.scaled_spec(name, batch_size=4, image_size=16)
+        net = Net(spec, seed=0)
+        solver = SGDSolver(net, SolverConfig(base_lr=0.01))
+        rng = np.random.default_rng(0)
+        inputs = {
+            "data": rng.standard_normal((4, 3, 16, 16)).astype(np.float32),
+            "label": rng.integers(0, 10, 4),
+        }
+        before = [p.data.copy() for p in net.params]
+        solver.step(inputs)
+        moved = any(
+            not np.array_equal(b, p.data)
+            for b, p in zip(before, net.params)
+        )
+        assert moved
+
+    def test_scaled_much_smaller_than_full(self):
+        for name in PAPER_SIZES_MB:
+            scaled = infer(models.scaled_spec(name, batch_size=1))
+            assert scaled.param_count < 200_000

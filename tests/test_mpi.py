@@ -1,0 +1,220 @@
+"""Tests for the mini-MPI substrate: p2p, collectives, launcher."""
+
+import numpy as np
+import pytest
+
+from repro import mpi
+from repro.mpi.errors import MPIAbortError, MPIError, MPITimeoutError
+
+
+class TestPointToPoint:
+    def test_send_recv(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("ping", dest=1, tag=5)
+                return comm.recv(source=1, tag=6)
+            payload = comm.recv(source=0, tag=5)
+            comm.send(payload + "/pong", dest=0, tag=6)
+            return payload
+
+        results = mpi.run_spmd(2, main)
+        assert results == ["ping/pong", "ping"]
+
+    def test_fifo_per_source_and_tag(self):
+        def main(comm):
+            if comm.rank == 0:
+                for index in range(5):
+                    comm.send(index, dest=1, tag=1)
+                return None
+            return [comm.recv(source=0, tag=1) for _ in range(5)]
+
+        results = mpi.run_spmd(2, main)
+        assert results[1] == [0, 1, 2, 3, 4]
+
+    def test_tag_matching_skips_other_tags(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.send("a", dest=1, tag=1)
+                comm.send("b", dest=1, tag=2)
+                return None
+            first = comm.recv(source=0, tag=2)
+            second = comm.recv(source=0, tag=1)
+            return (first, second)
+
+        results = mpi.run_spmd(2, main)
+        assert results[1] == ("b", "a")
+
+    def test_any_source(self):
+        def main(comm):
+            if comm.rank == 0:
+                got = {comm.recv(source=mpi.ANY_SOURCE) for _ in range(2)}
+                return got
+            comm.send(comm.rank, dest=0)
+            return None
+
+        results = mpi.run_spmd(3, main)
+        assert results[0] == {1, 2}
+
+    def test_recv_timeout(self):
+        def main(comm):
+            if comm.rank == 0:
+                with pytest.raises(MPITimeoutError):
+                    comm.recv(source=1, tag=9, timeout=0.2)
+            return None
+
+        mpi.run_spmd(2, main)
+
+    def test_negative_user_tag_rejected(self):
+        def main(comm):
+            if comm.rank == 0:
+                with pytest.raises(ValueError):
+                    comm.send("x", dest=1, tag=-1)
+            return None
+
+        mpi.run_spmd(2, main)
+
+
+class TestCollectives:
+    def test_bcast(self):
+        def main(comm):
+            value = {"key": 42} if comm.is_master else None
+            return mpi.bcast(comm, value)
+
+        results = mpi.run_spmd(4, main)
+        assert all(r == {"key": 42} for r in results)
+
+    def test_gather_preserves_rank_order(self):
+        def main(comm):
+            return mpi.gather(comm, comm.rank * 10)
+
+        results = mpi.run_spmd(4, main)
+        assert results[0] == [0, 10, 20, 30]
+        assert results[1] is None
+
+    def test_allgather(self):
+        def main(comm):
+            return mpi.allgather(comm, chr(ord("a") + comm.rank))
+
+        results = mpi.run_spmd(3, main)
+        assert all(r == ["a", "b", "c"] for r in results)
+
+    def test_scatter(self):
+        def main(comm):
+            values = [10, 11, 12] if comm.is_master else None
+            return mpi.scatter(comm, values)
+
+        assert mpi.run_spmd(3, main) == [10, 11, 12]
+
+    def test_scatter_wrong_length(self):
+        def main(comm):
+            if comm.is_master:
+                with pytest.raises(ValueError):
+                    mpi.scatter(comm, [1, 2])
+                comm.abort("cleanup")  # unblock the waiting slaves
+            else:
+                with pytest.raises(MPIAbortError):
+                    mpi.scatter(comm, None)
+            return True
+
+        assert mpi.run_spmd(3, main) == [True, True, True]
+
+    def test_allreduce_sum(self):
+        def main(comm):
+            return mpi.allreduce(comm, np.full(4, comm.rank, dtype=np.float32))
+
+        results = mpi.run_spmd(4, main)
+        for result in results:
+            np.testing.assert_allclose(result, 6.0)
+
+    @pytest.mark.parametrize("op,expected", [
+        ("max", 3), ("min", 0), ("prod", 0),
+    ])
+    def test_allreduce_ops(self, op, expected):
+        def main(comm):
+            return mpi.allreduce(comm, np.asarray([comm.rank]), op=op)
+
+        results = mpi.run_spmd(4, main)
+        for result in results:
+            np.testing.assert_allclose(result, expected)
+
+    def test_reduce_unknown_op(self):
+        def main(comm):
+            with pytest.raises(ValueError):
+                mpi.reduce(comm, 1, op="median")
+            return True
+
+        assert mpi.run_spmd(1, main) == [True]
+
+    def test_alltoall(self):
+        def main(comm):
+            values = [f"{comm.rank}->{dest}" for dest in range(comm.size)]
+            return mpi.alltoall(comm, values)
+
+        results = mpi.run_spmd(3, main)
+        assert results[1] == ["0->1", "1->1", "2->1"]
+
+    def test_barrier_orders_phases(self):
+        import threading
+
+        counter = {"before": 0}
+        lock = threading.Lock()
+
+        def main(comm):
+            with lock:
+                counter["before"] += 1
+            mpi.barrier(comm)
+            # After the barrier every rank must observe all arrivals.
+            return counter["before"]
+
+        results = mpi.run_spmd(4, main)
+        assert all(r == 4 for r in results)
+
+    def test_collectives_compose_in_order(self):
+        def main(comm):
+            first = mpi.allreduce(comm, np.asarray([1.0]))
+            second = mpi.bcast(comm, "x" if comm.is_master else None)
+            third = mpi.gather(comm, comm.rank)
+            return float(first[0]), second, third
+
+        results = mpi.run_spmd(3, main)
+        assert results[0] == (3.0, "x", [0, 1, 2])
+
+
+class TestLauncher:
+    def test_exception_propagates_and_unblocks_peers(self):
+        def main(comm):
+            if comm.rank == 1:
+                raise RuntimeError("boom")
+            # Rank 0 would otherwise wait forever.
+            comm.recv(source=1, tag=7)
+
+        with pytest.raises(RuntimeError, match="boom"):
+            mpi.run_spmd(2, main)
+
+    def test_timeout_aborts(self):
+        def main(comm):
+            if comm.rank == 0:
+                comm.recv(source=1, tag=3)  # never sent
+
+        with pytest.raises(MPIError):
+            mpi.run_spmd(2, main, timeout=1.0)
+
+    def test_results_in_rank_order(self):
+        assert mpi.run_spmd(5, lambda comm: comm.rank ** 2) == [
+            0, 1, 4, 9, 16,
+        ]
+
+    def test_extra_args_forwarded(self):
+        def main(comm, base, scale):
+            return base + comm.rank * scale
+
+        assert mpi.run_spmd(3, main, 100, 10) == [100, 110, 120]
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            mpi.World(0)
+
+    def test_rank_bounds(self):
+        world = mpi.World(2)
+        with pytest.raises(mpi.RankError):
+            mpi.Communicator(world, 2)

@@ -1,0 +1,167 @@
+"""Tests for the ring-collective (NCCL stand-in) group."""
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nccl import NcclError, RingGroup
+
+
+def run_group(size, fn):
+    """Run ``fn(rank)`` on ``size`` threads; returns rank-ordered results."""
+    results = [None] * size
+    errors = []
+
+    def main(rank):
+        try:
+            results[rank] = fn(rank)
+        except BaseException as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=main, args=(rank,)) for rank in range(size)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=30)
+    if errors:
+        raise errors[0]
+    return results
+
+
+class TestAllreduce:
+    def test_sum_matches_numpy(self):
+        group = RingGroup(4)
+        data = [np.random.default_rng(r).standard_normal(37).astype(
+            np.float32) for r in range(4)]
+        expected = np.sum(data, axis=0)
+
+        results = run_group(4, lambda r: group.allreduce(r, data[r]))
+        for result in results:
+            np.testing.assert_allclose(result, expected, rtol=1e-5)
+
+    def test_average(self):
+        group = RingGroup(3)
+        results = run_group(
+            3,
+            lambda r: group.allreduce(
+                r, np.full(5, float(r), dtype=np.float32), average=True
+            ),
+        )
+        for result in results:
+            np.testing.assert_allclose(result, 1.0)
+
+    def test_preserves_shape(self):
+        group = RingGroup(2)
+        results = run_group(
+            2, lambda r: group.allreduce(r, np.ones((3, 4), dtype=np.float32))
+        )
+        assert results[0].shape == (3, 4)
+
+    def test_single_member_is_identity(self):
+        group = RingGroup(1)
+        values = np.asarray([1.0, 2.0], dtype=np.float32)
+        out = group.allreduce(0, values)
+        np.testing.assert_array_equal(out, values)
+        assert out is not values  # caller owns a copy
+
+    def test_length_mismatch_fails_everyone(self):
+        group = RingGroup(2)
+        with pytest.raises(NcclError):
+            run_group(
+                2,
+                lambda r: group.allreduce(
+                    r, np.zeros(3 + r, dtype=np.float32)
+                ),
+            )
+
+    def test_repeated_collectives_reuse_group(self):
+        group = RingGroup(3)
+
+        def many(rank):
+            total = 0.0
+            for step in range(5):
+                out = group.allreduce(
+                    rank, np.asarray([float(step)], dtype=np.float32)
+                )
+                total += float(out[0])
+            return total
+
+        results = run_group(3, many)
+        assert all(r == sum(3.0 * s for s in range(5)) for r in results)
+
+    def test_bytes_accounting_uses_ring_formula(self):
+        group = RingGroup(4)
+        payload = np.zeros(100, dtype=np.float32)
+        run_group(4, lambda r: group.allreduce(r, payload))
+        per_member = group.bytes_per_member(payload.nbytes)
+        assert per_member == int(2 * 3 / 4 * 400)
+        assert group.bytes_moved == per_member * 4
+        assert group.collective_count == 1
+
+
+class TestBroadcastReduce:
+    def test_broadcast_from_root(self):
+        group = RingGroup(3)
+        payload = np.asarray([9.0, 8.0], dtype=np.float32)
+        results = run_group(
+            3,
+            lambda r: group.broadcast(
+                r, payload if r == 0 else None, root=0
+            ),
+        )
+        for result in results:
+            np.testing.assert_array_equal(result, payload)
+
+    def test_broadcast_nonzero_root(self):
+        group = RingGroup(3)
+        results = run_group(
+            3,
+            lambda r: group.broadcast(
+                r, np.asarray([5.0]) if r == 2 else None, root=2
+            ),
+        )
+        for result in results:
+            np.testing.assert_array_equal(result, [5.0])
+
+    def test_reduce_only_root_gets_result(self):
+        group = RingGroup(3)
+        results = run_group(
+            3,
+            lambda r: group.reduce(r, np.asarray([1.0], dtype=np.float32)),
+        )
+        np.testing.assert_allclose(results[0], [3.0])
+        assert results[1] is None
+        assert results[2] is None
+
+    def test_bad_rank_rejected(self):
+        group = RingGroup(2)
+        with pytest.raises(NcclError):
+            group.allreduce(2, np.zeros(1, dtype=np.float32))
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            RingGroup(0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    size=st.integers(min_value=1, max_value=5),
+    length=st.integers(min_value=1, max_value=64),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_allreduce_equals_numpy_sum_property(size, length, seed):
+    """Ring allreduce == element-wise sum for any group/shape/content."""
+    group = RingGroup(size)
+    rng = np.random.default_rng(seed)
+    data = [
+        rng.standard_normal(length).astype(np.float32) for _ in range(size)
+    ]
+    expected = np.sum(data, axis=0)
+    results = run_group(size, lambda r: group.allreduce(r, data[r]))
+    for result in results:
+        np.testing.assert_allclose(result, expected, rtol=1e-4, atol=1e-5)

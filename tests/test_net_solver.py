@@ -1,0 +1,311 @@
+"""Tests for the Net engine, the SGD solver and flat parameter views."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.caffe import FlatParams, Net, SGDSolver, SolverConfig
+from repro.caffe.layers import LayerError
+from repro.caffe.netspec import NetSpec
+
+from .test_netspec import small_spec
+
+
+def make_inputs(batch=2, channels=3, size=8, classes=4, seed=0):
+    rng = np.random.default_rng(seed)
+    return {
+        "data": rng.standard_normal((batch, channels, size, size)).astype(
+            np.float32
+        ),
+        "label": rng.integers(0, classes, batch),
+    }
+
+
+class TestNet:
+    def test_same_seed_same_weights(self):
+        a = Net(small_spec(), seed=5)
+        b = Net(small_spec(), seed=5)
+        for pa, pb in zip(a.params, b.params):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_different_seed_different_weights(self):
+        a = Net(small_spec(), seed=1)
+        b = Net(small_spec(), seed=2)
+        assert any(
+            not np.array_equal(pa.data, pb.data)
+            for pa, pb in zip(a.params, b.params)
+        )
+
+    def test_forward_returns_all_blobs(self):
+        net = Net(small_spec(), seed=0)
+        outputs = net.forward(make_inputs(), train=True)
+        assert {"loss", "acc", "fc"} <= set(outputs)
+
+    def test_missing_input_rejected(self):
+        net = Net(small_spec(), seed=0)
+        with pytest.raises(LayerError, match="missing input"):
+            net.forward({"data": np.zeros((2, 3, 8, 8))}, train=True)
+
+    def test_wrong_input_shape_rejected(self):
+        net = Net(small_spec(), seed=0)
+        inputs = make_inputs()
+        inputs["data"] = inputs["data"][:, :, :4, :4]
+        with pytest.raises(LayerError, match="shape"):
+            net.forward(inputs, train=True)
+
+    def test_batch_dimension_is_free(self):
+        net = Net(small_spec(batch=2), seed=0)
+        outputs = net.forward(make_inputs(batch=7), train=False)
+        assert outputs["fc"].shape == (7, 4)
+
+    def test_backward_before_forward_rejected(self):
+        net = Net(small_spec(), seed=0)
+        with pytest.raises(LayerError):
+            net.backward()
+
+    def test_backward_fills_param_diffs(self):
+        net = Net(small_spec(), seed=0)
+        net.zero_param_diffs()
+        net.forward(make_inputs(), train=True)
+        net.backward()
+        assert any(np.abs(p.diff).sum() > 0 for p in net.params)
+
+    def test_copy_params_from(self):
+        a = Net(small_spec(), seed=1)
+        b = Net(small_spec(), seed=2)
+        b.copy_params_from(a)
+        for pa, pb in zip(a.params, b.params):
+            np.testing.assert_array_equal(pa.data, pb.data)
+
+    def test_total_loss_sums_loss_blobs(self):
+        spec = NetSpec()
+        data = spec.input("data", (2, 4))
+        labels = spec.input("label", (2,))
+        l1 = spec.fc("fc1", data, 3)
+        l2 = spec.fc("fc2", data, 3)
+        spec.softmax_loss("lossA", l1, labels)
+        spec.softmax_loss("lossB", l2, labels, loss_weight=0.5)
+        net = Net(spec, seed=0)
+        outputs = net.forward(
+            {"data": np.zeros((2, 4), dtype=np.float32),
+             "label": np.asarray([0, 1])},
+            train=True,
+        )
+        expected = float(outputs["lossA"][0] + outputs["lossB"][0])
+        assert net.total_loss() == pytest.approx(expected)
+
+    def test_blob_access(self):
+        net = Net(small_spec(), seed=0)
+        net.forward(make_inputs(), train=True)
+        assert net.blob("fc").shape == (2, 4)
+        with pytest.raises(LayerError):
+            net.blob("ghost")
+
+
+class TestSolverConfig:
+    def test_fixed_policy(self):
+        config = SolverConfig(base_lr=0.1, lr_policy="fixed")
+        assert config.learning_rate(0) == config.learning_rate(999) == 0.1
+
+    def test_step_policy(self):
+        config = SolverConfig(
+            base_lr=0.1, lr_policy="step", gamma=0.1, stepsize=100
+        )
+        assert config.learning_rate(99) == pytest.approx(0.1)
+        assert config.learning_rate(100) == pytest.approx(0.01)
+        assert config.learning_rate(250) == pytest.approx(0.001)
+
+    def test_multistep_policy(self):
+        config = SolverConfig(
+            base_lr=1.0, lr_policy="multistep", gamma=0.5,
+            stepvalues=(10, 20),
+        )
+        assert config.learning_rate(5) == 1.0
+        assert config.learning_rate(15) == 0.5
+        assert config.learning_rate(25) == 0.25
+
+    def test_poly_policy_reaches_zero(self):
+        config = SolverConfig(
+            base_lr=1.0, lr_policy="poly", power=1.0, max_iter=100
+        )
+        assert config.learning_rate(0) == 1.0
+        assert config.learning_rate(50) == pytest.approx(0.5)
+        assert config.learning_rate(100) == pytest.approx(0.0)
+
+    def test_inv_policy(self):
+        config = SolverConfig(
+            base_lr=1.0, lr_policy="inv", gamma=1.0, power=1.0
+        )
+        assert config.learning_rate(1) == pytest.approx(0.5)
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SolverConfig(lr_policy="cosine")
+
+    def test_invalid_momentum_rejected(self):
+        with pytest.raises(ValueError):
+            SolverConfig(momentum=1.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        policy=st.sampled_from(["step", "multistep", "poly", "inv"]),
+        iteration=st.integers(0, 10_000),
+    )
+    def test_lr_never_exceeds_base_property(self, policy, iteration):
+        config = SolverConfig(
+            base_lr=0.1, lr_policy=policy, gamma=0.5, stepsize=100,
+            stepvalues=(100, 500), power=1.0, max_iter=10_000,
+        )
+        lr = config.learning_rate(iteration)
+        assert 0.0 <= lr <= 0.1 + 1e-12
+
+
+class TestSGDSolver:
+    def test_momentum_update_matches_caffe_rule(self):
+        # One FC layer, hand-computed: V1 = lr*g; W1 = W0 - V1;
+        # V2 = mu*V1 + lr*g2; W2 = W1 - V2.
+        spec = NetSpec()
+        data = spec.input("data", (1, 2))
+        labels = spec.input("label", (1,))
+        logits = spec.fc("fc", data, 2, bias=False)
+        spec.softmax_loss("loss", logits, labels)
+        net = Net(spec, seed=0)
+        solver = SGDSolver(
+            net, SolverConfig(base_lr=0.5, momentum=0.9, lr_policy="fixed")
+        )
+        inputs = {
+            "data": np.asarray([[1.0, 0.0]], dtype=np.float32),
+            "label": np.asarray([0]),
+        }
+        weight = net.params[0]
+        w0 = weight.data.copy()
+
+        solver.compute_gradients(inputs)
+        g1 = weight.diff.copy()
+        solver.apply_update()
+        np.testing.assert_allclose(
+            weight.data, w0 - 0.5 * g1, rtol=1e-5
+        )
+        v1 = 0.5 * g1
+
+        solver.compute_gradients(inputs)
+        g2 = weight.diff.copy()
+        solver.apply_update()
+        v2 = 0.9 * v1 + 0.5 * g2
+        np.testing.assert_allclose(
+            weight.data, w0 - v1 - v2, rtol=1e-5
+        )
+
+    def test_weight_decay_applied_to_weights_not_biases(self):
+        spec = NetSpec()
+        data = spec.input("data", (1, 2))
+        labels = spec.input("label", (1,))
+        logits = spec.fc("fc", data, 2)
+        spec.softmax_loss("loss", logits, labels)
+        net = Net(spec, seed=0)
+        solver = SGDSolver(
+            net,
+            SolverConfig(base_lr=1.0, momentum=0.0, weight_decay=0.1),
+        )
+        inputs = {
+            "data": np.zeros((1, 2), dtype=np.float32),
+            "label": np.asarray([0]),
+        }
+        weight, bias = net.params
+        w0 = weight.data.copy()
+        solver.compute_gradients(inputs)
+        grad_w = weight.diff.copy()  # zero input -> zero weight grad
+        np.testing.assert_allclose(grad_w, 0.0)
+        grad_b = bias.diff.copy()
+        b0 = bias.data.copy()
+        solver.apply_update()
+        # Weights decay; biases (decay_mult=0, lr_mult=2) do not decay.
+        np.testing.assert_allclose(weight.data, w0 - 0.1 * w0, rtol=1e-5)
+        np.testing.assert_allclose(bias.data, b0 - 2.0 * grad_b, rtol=1e-5)
+
+    def test_step_reduces_loss_on_separable_task(self):
+        net = Net(small_spec(), seed=0)
+        solver = SGDSolver(net, SolverConfig(base_lr=0.1, momentum=0.9))
+        inputs = make_inputs()
+        first = solver.step(inputs)["loss"]
+        for _ in range(30):
+            last = solver.step(inputs)["loss"]
+        assert last < first
+
+    def test_step_reports_metrics_and_lr(self):
+        net = Net(small_spec(), seed=0)
+        solver = SGDSolver(net, SolverConfig(base_lr=0.05))
+        stats = solver.step(make_inputs())
+        assert {"loss", "lr", "acc"} <= set(stats)
+        assert stats["lr"] == 0.05
+
+    def test_iteration_counter_advances(self):
+        net = Net(small_spec(), seed=0)
+        solver = SGDSolver(net)
+        solver.step(make_inputs())
+        solver.advance_iteration()
+        assert solver.iteration == 2
+
+    def test_evaluate_averages_batches(self):
+        net = Net(small_spec(), seed=0)
+        solver = SGDSolver(net)
+        batches = [make_inputs(seed=s) for s in range(3)]
+        metrics = solver.evaluate(batches)
+        assert set(metrics) >= {"loss", "acc"}
+
+    def test_evaluate_requires_batches(self):
+        net = Net(small_spec(), seed=0)
+        with pytest.raises(ValueError):
+            SGDSolver(net).evaluate([])
+
+
+class TestFlatParams:
+    def test_roundtrip(self):
+        net = Net(small_spec(), seed=0)
+        flat = FlatParams(net)
+        vector = flat.get_vector()
+        assert vector.size == net.param_count()
+        flat.set_vector(vector * 2.0)
+        np.testing.assert_allclose(flat.get_vector(), vector * 2.0)
+
+    def test_set_vector_reshapes_into_blobs(self):
+        net = Net(small_spec(), seed=0)
+        flat = FlatParams(net)
+        flat.set_vector(np.arange(flat.count, dtype=np.float32))
+        first = net.params[0]
+        np.testing.assert_array_equal(
+            first.data.ravel(), np.arange(first.count, dtype=np.float32)
+        )
+
+    def test_grad_vector_roundtrip(self):
+        net = Net(small_spec(), seed=0)
+        flat = FlatParams(net)
+        grads = np.random.default_rng(0).standard_normal(
+            flat.count
+        ).astype(np.float32)
+        flat.set_grad_vector(grads)
+        np.testing.assert_allclose(flat.get_grad_vector(), grads)
+
+    def test_add_to_params(self):
+        net = Net(small_spec(), seed=0)
+        flat = FlatParams(net)
+        before = flat.get_vector()
+        delta = np.ones(flat.count, dtype=np.float32)
+        flat.add_to_params(delta, scale=-0.5)
+        np.testing.assert_allclose(flat.get_vector(), before - 0.5)
+
+    def test_size_mismatch_rejected(self):
+        net = Net(small_spec(), seed=0)
+        flat = FlatParams(net)
+        with pytest.raises(ValueError):
+            flat.set_vector(np.zeros(flat.count + 1, dtype=np.float32))
+        with pytest.raises(ValueError):
+            flat.set_grad_vector(np.zeros(1, dtype=np.float32))
+        with pytest.raises(ValueError):
+            flat.add_to_params(np.zeros(1, dtype=np.float32))
+
+    def test_nbytes(self):
+        net = Net(small_spec(), seed=0)
+        flat = FlatParams(net)
+        assert flat.nbytes == flat.count * 4

@@ -1,0 +1,196 @@
+"""Tests for the per-iteration performance model (eq. 8 and variants)."""
+
+import pytest
+
+from repro.perfmodel import (
+    PAPER_HARDWARE,
+    PAPER_MODELS,
+    HardwareProfile,
+    caffe_multi_gpu,
+    caffe_mpi,
+    caffe_standalone,
+    iterations_for_epochs,
+    model_profile,
+    mpi_caffe,
+    platform_breakdown,
+    shmcaffe_a,
+    shmcaffe_h,
+    training_time,
+)
+
+INCEPTION = model_profile("inception_v1")
+RESNET = model_profile("resnet_50")
+INCRESV2 = model_profile("inception_resnet_v2")
+VGG = model_profile("vgg16")
+
+
+class TestHardwareProfile:
+    def test_smb_effective_bandwidth_is_fig7_plateau(self):
+        assert PAPER_HARDWARE.smb_effective_bandwidth_gbs == pytest.approx(
+            6.72
+        )
+
+    def test_contention_grows_linearly(self):
+        f1 = PAPER_HARDWARE.contention_factor(1)
+        f2 = PAPER_HARDWARE.contention_factor(2)
+        f3 = PAPER_HARDWARE.contention_factor(3)
+        assert f1 == 1.0
+        assert f3 - f2 == pytest.approx(f2 - f1)
+
+    def test_straggler_factor_monotone(self):
+        factors = [
+            PAPER_HARDWARE.straggler_factor(n) for n in (1, 2, 4, 8, 16)
+        ]
+        assert factors[0] == 1.0
+        assert all(b > a for a, b in zip(factors, factors[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PAPER_HARDWARE.contention_factor(0)
+        with pytest.raises(ValueError):
+            PAPER_HARDWARE.straggler_factor(0)
+
+
+class TestModelProfiles:
+    def test_all_four_models_present(self):
+        assert set(PAPER_MODELS) == {
+            "inception_v1", "resnet_50", "inception_resnet_v2", "vgg16",
+        }
+
+    def test_param_bytes(self):
+        assert INCEPTION.param_bytes == int(53.5e6)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError):
+            model_profile("lenet")
+
+    def test_iterations_for_epochs(self):
+        # 15 epochs / (60 images x 16 workers) over 1,281,167 images.
+        iters = iterations_for_epochs(15, 16, 60)
+        assert iters == pytest.approx(20018, abs=2)
+
+    def test_iterations_validation(self):
+        with pytest.raises(ValueError):
+            iterations_for_epochs(0, 1)
+
+
+class TestEq8Structure:
+    def test_single_worker_has_no_communication(self):
+        for profile in PAPER_MODELS.values():
+            assert shmcaffe_a(profile, 1).comm_ms == 0.0
+
+    def test_comm_monotone_in_workers(self):
+        times = [shmcaffe_a(INCEPTION, n).comm_ms for n in (2, 4, 8, 16)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_no_spill_for_small_fast_hidden_model(self):
+        # Inception-v1: write+accumulate is far below one compute slot.
+        breakdown = shmcaffe_a(INCEPTION, 8)
+        assert breakdown.components["spill"] == 0.0
+
+    def test_spill_appears_when_flush_outlives_compute(self):
+        # VGG16: 553 MB write + accumulate >> 195 ms compute, even at 2.
+        breakdown = shmcaffe_a(VGG, 2)
+        assert breakdown.components["spill"] > 0.0
+
+    def test_update_interval_amortises_read(self):
+        every = shmcaffe_a(INCEPTION, 8, update_interval=1)
+        sparse = shmcaffe_a(INCEPTION, 8, update_interval=4)
+        assert sparse.comm_ms < every.comm_ms
+
+    def test_update_interval_gives_spill_more_room(self):
+        spill_1 = shmcaffe_a(VGG, 2, update_interval=1).components["spill"]
+        spill_4 = shmcaffe_a(VGG, 2, update_interval=4).components["spill"]
+        assert spill_4 < spill_1
+
+    def test_iteration_is_comp_plus_comm(self):
+        breakdown = shmcaffe_a(RESNET, 8)
+        assert breakdown.iteration_ms == pytest.approx(
+            breakdown.compute_ms + breakdown.comm_ms
+        )
+
+
+class TestHybridModel:
+    def test_group_of_one_equals_async(self):
+        a = shmcaffe_a(INCEPTION, 8)
+        h = shmcaffe_h(INCEPTION, 8, 1)
+        assert h.comm_ms == pytest.approx(a.comm_ms)
+
+    def test_single_group_never_touches_smb(self):
+        breakdown = shmcaffe_h(INCEPTION, 4, 4)
+        assert "t_rgw" not in breakdown.components
+        assert breakdown.components["allreduce"] > 0
+
+    def test_hybrid_beats_async_for_large_models_at_scale(self):
+        for profile in (INCRESV2, VGG):
+            a = shmcaffe_a(profile, 16)
+            h = shmcaffe_h(profile, 16, 4)
+            assert h.comm_ms < a.comm_ms
+
+    def test_group_size_must_divide(self):
+        with pytest.raises(ValueError):
+            shmcaffe_h(INCEPTION, 8, 3)
+
+    def test_hybrid_cuts_smb_contention_by_group_count(self):
+        # 4 groups of 4 contend like 4 async workers, not 16.
+        hybrid = shmcaffe_h(INCEPTION, 16, 4)
+        four_async = shmcaffe_a(INCEPTION, 4)
+        assert hybrid.components["t_rgw"] == pytest.approx(
+            four_async.components["t_rgw"]
+        )
+
+
+class TestBaselines:
+    def test_standalone_matches_paper_iteration_time(self):
+        # Caffe 1-GPU: 22:59 for 15 epochs -> ~258 ms per iteration.
+        breakdown = caffe_standalone(INCEPTION)
+        assert breakdown.iteration_ms == pytest.approx(258.3, abs=1.0)
+
+    def test_caffe_multi_gpu_superlinear_comm(self):
+        c8 = caffe_multi_gpu(INCEPTION, 8).components["transfer"]
+        c16 = caffe_multi_gpu(INCEPTION, 16).components["transfer"]
+        assert c16 > 2 * c8  # super-linear in device count
+
+    def test_caffe_mpi_linear_in_workers(self):
+        c8 = caffe_mpi(INCEPTION, 8).components["transfer"]
+        c16 = caffe_mpi(INCEPTION, 16).components["transfer"]
+        assert c16 == pytest.approx(2 * c8)
+
+    def test_mpi_caffe_uses_pcie_within_node(self):
+        within = mpi_caffe(INCEPTION, 4).components["transfer"]
+        across = mpi_caffe(INCEPTION, 8).components["transfer"]
+        assert across > within
+
+    def test_sync_platforms_pay_straggler_async_does_not(self):
+        sync = caffe_mpi(INCEPTION, 8)
+        async_ = shmcaffe_a(INCEPTION, 8)
+        assert sync.components["straggler"] > 0
+        assert "straggler" not in async_.components
+
+    def test_single_worker_baselines_degenerate_to_standalone(self):
+        reference = caffe_standalone(INCEPTION).iteration_ms
+        assert caffe_multi_gpu(INCEPTION, 1).iteration_ms == reference
+        assert caffe_mpi(INCEPTION, 1).iteration_ms == reference
+        assert mpi_caffe(INCEPTION, 1).iteration_ms == reference
+
+
+class TestDispatch:
+    def test_platform_breakdown_names(self):
+        for name in ("caffe", "caffe_mpi", "mpi_caffe", "shmcaffe",
+                     "shmcaffe_a", "shmcaffe_h"):
+            breakdown = platform_breakdown(name, INCEPTION, 8)
+            assert breakdown.iteration_ms > 0
+
+    def test_unknown_platform(self):
+        with pytest.raises(ValueError):
+            platform_breakdown("tensorflow", INCEPTION, 8)
+
+    def test_training_time_formats_hours_minutes(self):
+        cell = training_time("caffe", INCEPTION, 1)
+        assert cell.hours_minutes == "22:59"
+
+    def test_custom_hardware_profile_respected(self):
+        fast = HardwareProfile(ib_bandwidth_gbs=70.0)
+        slow = shmcaffe_a(INCEPTION, 8)
+        quick = shmcaffe_a(INCEPTION, 8, hw=fast)
+        assert quick.comm_ms < slow.comm_ms

@@ -1,0 +1,66 @@
+"""Tests for the experiment runner and report formatting details."""
+
+import pytest
+
+from repro.experiments import runner
+from repro.experiments.report import ExperimentResult, ratio_or_nan
+from repro.perfmodel.training_time import TrainingTime
+
+
+class TestRunner:
+    def test_analytic_covers_every_static_table_and_figure(self):
+        results = runner.run_analytic()
+        names = {result.experiment for result in results}
+        assert names == {
+            "fig7", "fig9/table2", "fig10", "table3", "table4",
+            "fig12-13/table5", "fig14/table6", "fig15",
+        }
+
+    def test_every_analytic_result_has_rows(self):
+        for result in runner.run_analytic():
+            assert result.rows, f"{result.experiment} produced no rows"
+
+    def test_run_all_renders_without_training(self):
+        text = runner.run_all(include_training=False)
+        assert "fig9/table2" in text
+        assert "fig8" not in text.split("fig9")[0]  # training skipped
+
+
+class TestReportFormatting:
+    def test_floats_formatted_by_magnitude(self):
+        result = ExperimentResult("e", "t")
+        result.rows = [{"big": 1234.5, "mid": 12.345, "small": 0.01234}]
+        text = result.format()
+        assert "1234" in text  # big: no decimals
+        assert "12.3" in text  # mid: one decimal
+        assert "0.012" in text  # small: three decimals
+
+    def test_explicit_column_selection(self):
+        result = ExperimentResult("e", "t")
+        result.rows = [{"a": 1, "b": 2}]
+        text = result.format(columns=["b"])
+        assert "b" in text and "a" not in text.splitlines()[1]
+
+    def test_notes_rendered(self):
+        result = ExperimentResult("e", "t")
+        result.rows = [{"x": 1}]
+        result.notes.append("important caveat")
+        assert "note: important caveat" in result.format()
+
+    def test_ratio_or_nan(self):
+        assert ratio_or_nan(1.0, 2.0) == 0.5
+        assert ratio_or_nan(1.0, 0.0) != ratio_or_nan(1.0, 0.0)  # NaN
+
+
+class TestTrainingTimeFormatting:
+    def test_hours_minutes_rounding(self):
+        cell = TrainingTime("caffe", 1, hours=22.983, scalability=1.0)
+        assert cell.hours_minutes == "22:59"
+
+    def test_minute_overflow_carries_to_hours(self):
+        cell = TrainingTime("caffe", 1, hours=1.9999, scalability=1.0)
+        assert cell.hours_minutes == "2:00"
+
+    def test_zero_padding(self):
+        cell = TrainingTime("caffe", 1, hours=2.05, scalability=1.0)
+        assert cell.hours_minutes == "2:03"

@@ -1,0 +1,130 @@
+"""Tests for the SEASGD update rules (paper eqs. (2)-(7))."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core.seasgd import (
+    apply_increment_global,
+    apply_increment_local,
+    easgd_server_update,
+    easgd_worker_update,
+    seasgd_exchange,
+    weight_increment,
+)
+
+FLOATS = st.floats(
+    min_value=-100.0, max_value=100.0, allow_nan=False, width=32
+)
+
+
+def vec(*values):
+    return np.asarray(values, dtype=np.float32)
+
+
+class TestUpdateRules:
+    def test_weight_increment_eq5(self):
+        delta = weight_increment(vec(2.0, 4.0), vec(1.0, 1.0), 0.5)
+        np.testing.assert_allclose(delta, [0.5, 1.5])
+
+    def test_local_update_eq6(self):
+        np.testing.assert_allclose(
+            apply_increment_local(vec(2.0), vec(0.5)), [1.5]
+        )
+
+    def test_global_update_eq7(self):
+        np.testing.assert_allclose(
+            apply_increment_global(vec(1.0), vec(0.5)), [1.5]
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            weight_increment(vec(1.0, 2.0), vec(1.0), 0.2)
+
+    def test_exchange_pulls_both_toward_each_other(self):
+        local, global_w, _ = seasgd_exchange(vec(10.0), vec(0.0), 0.2)
+        assert local[0] == pytest.approx(8.0)
+        assert global_w[0] == pytest.approx(2.0)
+
+    def test_zero_difference_is_fixed_point(self):
+        local, global_w, increment = seasgd_exchange(
+            vec(3.0, -1.0), vec(3.0, -1.0), 0.2
+        )
+        np.testing.assert_allclose(increment, 0.0)
+        np.testing.assert_allclose(local, [3.0, -1.0])
+        np.testing.assert_allclose(global_w, [3.0, -1.0])
+
+
+class TestEasgdEquivalence:
+    """SEASGD (eqs. 5-7) must equal classic EASGD (eqs. 3-4) exactly."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        local=hnp.arrays(np.float32, 8, elements=FLOATS),
+        global_w=hnp.arrays(np.float32, 8, elements=FLOATS),
+        alpha=st.floats(min_value=0.015625, max_value=1.0, width=32),
+    )
+    def test_worker_side(self, local, global_w, alpha):
+        new_local, _, _ = seasgd_exchange(local, global_w, alpha)
+        reference = easgd_worker_update(local, global_w, alpha)
+        np.testing.assert_allclose(new_local, reference, rtol=1e-6,
+                                   atol=1e-5)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        local=hnp.arrays(np.float32, 8, elements=FLOATS),
+        global_w=hnp.arrays(np.float32, 8, elements=FLOATS),
+        alpha=st.floats(min_value=0.015625, max_value=1.0, width=32),
+    )
+    def test_server_side(self, local, global_w, alpha):
+        _, new_global, _ = seasgd_exchange(local, global_w, alpha)
+        reference = easgd_server_update(local, global_w, alpha)
+        np.testing.assert_allclose(new_global, reference, rtol=1e-6,
+                                   atol=1e-5)
+
+
+class TestConservation:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        local=hnp.arrays(np.float32, 16, elements=FLOATS),
+        global_w=hnp.arrays(np.float32, 16, elements=FLOATS),
+        alpha=st.floats(min_value=0.015625, max_value=1.0, width=32),
+    )
+    def test_elastic_symmetry_property(self, local, global_w, alpha):
+        """What the replica loses, the centre gains: the exchange moves
+        exactly +/- increment on the two sides (elastic symmetry)."""
+        new_local, new_global, increment = seasgd_exchange(
+            local, global_w, alpha
+        )
+        np.testing.assert_allclose(
+            local - new_local, increment, rtol=1e-5, atol=1e-5
+        )
+        np.testing.assert_allclose(
+            new_global - global_w, increment, rtol=1e-5, atol=1e-5
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        local=hnp.arrays(np.float32, 8, elements=FLOATS),
+        global_w=hnp.arrays(np.float32, 8, elements=FLOATS),
+    )
+    def test_alpha_one_swaps_to_global(self, local, global_w):
+        """With alpha=1 the replica lands exactly on the old global."""
+        new_local, new_global, _ = seasgd_exchange(local, global_w, 1.0)
+        np.testing.assert_allclose(new_local, global_w, atol=1e-4)
+        np.testing.assert_allclose(
+            new_global, global_w + (local - global_w), atol=1e-4
+        )
+
+    def test_repeated_exchange_converges(self):
+        """Alternating exchanges contract the local-global gap."""
+        local = vec(10.0)
+        global_w = vec(-10.0)
+        gaps = []
+        for _ in range(20):
+            local, global_w, _ = seasgd_exchange(local, global_w, 0.2)
+            gaps.append(abs(float(local[0] - global_w[0])))
+        assert gaps[-1] < 0.01 * gaps[0]
+        assert all(b <= a + 1e-6 for a, b in zip(gaps, gaps[1:]))

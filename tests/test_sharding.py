@@ -1,0 +1,187 @@
+"""Tests for multi-SMB-server parameter striping (the future-work feature)."""
+
+import numpy as np
+import pytest
+
+from repro.caffe import Net, SolverConfig, SyntheticImageDataset
+from repro.caffe.params import FlatParams
+from repro.core.config import ShmCaffeConfig
+from repro.core.worker import ShmCaffeWorker
+from repro.perfmodel import model_profile, shmcaffe_a, shmcaffe_multi_server
+from repro.smb import (
+    SMBClient,
+    SMBServer,
+    TcpSMBServer,
+    attach_sharded_array,
+    create_sharded_array,
+    shard_counts,
+)
+
+from .test_netspec import small_spec
+
+
+def make_clients(num_servers, capacity=1 << 22):
+    servers = [SMBServer(capacity=capacity) for _ in range(num_servers)]
+    clients = [SMBClient.in_process(server) for server in servers]
+    return servers, clients
+
+
+class TestShardCounts:
+    def test_even_split(self):
+        assert shard_counts(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_spread_over_first_shards(self):
+        assert shard_counts(10, 3) == [4, 3, 3]
+
+    def test_single_shard(self):
+        assert shard_counts(7, 1) == [7]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shard_counts(0, 1)
+        with pytest.raises(ValueError):
+            shard_counts(5, 0)
+        with pytest.raises(ValueError):
+            shard_counts(2, 3)
+
+
+class TestShardedArray:
+    def test_roundtrip_across_servers(self):
+        _, clients = make_clients(3)
+        array = create_sharded_array(clients, "W_g", 100)
+        values = np.arange(100, dtype=np.float32)
+        array.write(values)
+        np.testing.assert_array_equal(array.read(), values)
+        assert array.num_shards == 3
+        assert array.count == 100
+
+    def test_stripes_live_on_their_own_servers(self):
+        servers, clients = make_clients(2)
+        create_sharded_array(clients, "W_g", 10)
+        assert servers[0].pool.by_name("W_g.shard0").size == 5 * 4
+        assert servers[1].pool.by_name("W_g.shard1").size == 5 * 4
+        # Neither server holds the other's stripe.
+        from repro.smb import UnknownKeyError
+
+        with pytest.raises(UnknownKeyError):
+            servers[0].pool.by_name("W_g.shard1")
+
+    def test_attach_by_broadcast_keys(self):
+        servers, master_clients = make_clients(2)
+        array = create_sharded_array(master_clients, "W_g", 20)
+        array.write(np.full(20, 3.5, dtype=np.float32))
+
+        slave_clients = [SMBClient.in_process(s) for s in servers]
+        view = attach_sharded_array(
+            slave_clients, "W_g", array.shm_keys, 20
+        )
+        np.testing.assert_allclose(view.read(), 3.5)
+
+    def test_accumulate_into_striped_global(self):
+        _, clients = make_clients(2)
+        global_w = create_sharded_array(clients, "W_g", 16)
+        delta = create_sharded_array(clients, "dW_0", 16)
+        delta.write(np.ones(16, dtype=np.float32))
+        delta.accumulate_into(global_w)
+        delta.accumulate_into(global_w, scale=0.5)
+        np.testing.assert_allclose(global_w.read(), 1.5)
+
+    def test_layout_mismatch_rejected(self):
+        _, clients2 = make_clients(2)
+        _, clients3 = make_clients(3)
+        a = create_sharded_array(clients2, "a", 12)
+        b = create_sharded_array(clients3, "b", 12)
+        with pytest.raises(ValueError):
+            a.accumulate_into(b)
+
+    def test_write_size_checked(self):
+        _, clients = make_clients(2)
+        array = create_sharded_array(clients, "W", 10)
+        with pytest.raises(ValueError):
+            array.write(np.zeros(11, dtype=np.float32))
+
+    def test_key_count_mismatch_rejected(self):
+        _, clients = make_clients(2)
+        with pytest.raises(ValueError):
+            attach_sharded_array(clients, "x", [1], 10)
+
+    def test_version_monotone(self):
+        _, clients = make_clients(2)
+        array = create_sharded_array(clients, "W", 8)
+        v0 = array.version()
+        array.write(np.zeros(8, dtype=np.float32))
+        assert array.version() > v0
+
+    def test_over_tcp_servers(self):
+        with TcpSMBServer(capacity=1 << 22) as s1, TcpSMBServer(
+            capacity=1 << 22
+        ) as s2:
+            clients = [
+                SMBClient.connect(s1.address),
+                SMBClient.connect(s2.address),
+            ]
+            array = create_sharded_array(clients, "W_g", 50)
+            values = np.linspace(0, 1, 50).astype(np.float32)
+            array.write(values)
+            np.testing.assert_allclose(array.read(), values)
+            for client in clients:
+                client.close()
+
+
+class TestWorkerOnShardedBuffers:
+    def test_seasgd_worker_runs_unchanged(self):
+        """ShardedArray is a drop-in for RemoteArray in the worker."""
+        dataset = SyntheticImageDataset(
+            num_classes=4, image_size=8, train_per_class=30,
+            test_per_class=5, noise=0.6, seed=2,
+        )
+        _, clients = make_clients(3)
+        net = Net(small_spec(batch=4), seed=0)
+        flat = FlatParams(net)
+        global_w = create_sharded_array(clients, "W_g", flat.count)
+        global_w.write(flat.get_vector())
+        delta = create_sharded_array(clients, "dW_0", flat.count)
+
+        worker = ShmCaffeWorker(
+            rank=0,
+            net=net,
+            config=ShmCaffeConfig(
+                solver=SolverConfig(base_lr=0.05, momentum=0.9),
+                moving_rate=0.5,
+                max_iterations=6,
+            ),
+            global_weights=global_w,
+            increment_buffer=delta,
+            batches=dataset.minibatches(4, seed=1),
+        )
+        history = worker.run()
+        assert history.completed_iterations == 6
+        # The striped global weights moved with the replica.
+        gap = np.abs(global_w.read() - flat.get_vector()).max()
+        assert gap < 1.0
+
+
+class TestMultiServerModel:
+    def test_comm_divided_by_server_count(self):
+        model = model_profile("vgg16")
+        one = shmcaffe_multi_server(model, 16, 1)
+        four = shmcaffe_multi_server(model, 16, 4)
+        assert four.comm_ms < one.comm_ms / 2
+
+    def test_single_server_matches_shmcaffe_a(self):
+        model = model_profile("resnet_50")
+        multi = shmcaffe_multi_server(model, 8, 1)
+        single = shmcaffe_a(model, 8)
+        assert multi.comm_ms == pytest.approx(single.comm_ms)
+
+    def test_local_update_not_striped(self):
+        model = model_profile("resnet_50")
+        four = shmcaffe_multi_server(model, 8, 4)
+        single = shmcaffe_a(model, 8)
+        assert four.components["t_ulw"] == pytest.approx(
+            single.components["t_ulw"]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shmcaffe_multi_server(model_profile("vgg16"), 8, 0)

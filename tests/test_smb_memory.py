@@ -1,0 +1,222 @@
+"""Unit tests for SMB segments and the server-side memory pool."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.smb.errors import (
+    CapacityError,
+    SegmentExistsError,
+    SegmentRangeError,
+    UnknownKeyError,
+)
+from repro.smb.memory import MemoryPool, Segment
+
+
+def make_segment(nbytes=64, name="seg", key=1):
+    return Segment(
+        name=name, shm_key=key, buffer=np.zeros(nbytes, dtype=np.uint8)
+    )
+
+
+class TestSegment:
+    def test_read_returns_written_bytes(self):
+        segment = make_segment()
+        segment.write(0, b"hello")
+        assert segment.read(0, 5) == b"hello"
+
+    def test_write_at_offset(self):
+        segment = make_segment()
+        segment.write(10, b"abc")
+        assert segment.read(9, 5) == b"\x00abc\x00"
+
+    def test_write_bumps_version(self):
+        segment = make_segment()
+        assert segment.version == 0
+        v1 = segment.write(0, b"x")
+        v2 = segment.write(0, b"y")
+        assert (v1, v2) == (1, 2)
+
+    def test_read_does_not_bump_version(self):
+        segment = make_segment()
+        segment.write(0, b"x")
+        segment.read(0, 1)
+        assert segment.version == 1
+
+    @pytest.mark.parametrize("offset,nbytes", [(-1, 4), (0, 65), (60, 8)])
+    def test_out_of_range_read_raises(self, offset, nbytes):
+        segment = make_segment()
+        with pytest.raises(SegmentRangeError):
+            segment.read(offset, nbytes)
+
+    def test_out_of_range_write_raises(self):
+        segment = make_segment()
+        with pytest.raises(SegmentRangeError):
+            segment.write(60, b"too long")
+
+    def test_accumulate_adds_float32(self):
+        dst = make_segment(16, "dst", 1)
+        src = make_segment(16, "src", 2)
+        dst.write(0, np.asarray([1, 2, 3, 4], dtype=np.float32).tobytes())
+        src.write(0, np.asarray([10, 20, 30, 40], dtype=np.float32).tobytes())
+        dst.accumulate_from(src)
+        out = np.frombuffer(dst.read(0, 16), dtype=np.float32)
+        np.testing.assert_allclose(out, [11, 22, 33, 44])
+
+    def test_accumulate_with_scale(self):
+        dst = make_segment(8, "dst", 1)
+        src = make_segment(8, "src", 2)
+        src.write(0, np.asarray([2, 4], dtype=np.float32).tobytes())
+        dst.accumulate_from(src, scale=0.5)
+        out = np.frombuffer(dst.read(0, 8), dtype=np.float32)
+        np.testing.assert_allclose(out, [1, 2])
+
+    def test_accumulate_partial_count(self):
+        dst = make_segment(16, "dst", 1)
+        src = make_segment(16, "src", 2)
+        src.write(0, np.asarray([1, 1, 1, 1], dtype=np.float32).tobytes())
+        dst.accumulate_from(src, count=2)
+        out = np.frombuffer(dst.read(0, 16), dtype=np.float32)
+        np.testing.assert_allclose(out, [1, 1, 0, 0])
+
+    def test_accumulate_range_checked(self):
+        dst = make_segment(8, "dst", 1)
+        src = make_segment(16, "src", 2)
+        with pytest.raises(SegmentRangeError):
+            dst.accumulate_from(src)  # src larger than dst
+
+    def test_concurrent_accumulates_are_atomic(self):
+        dst = make_segment(4000, "dst", 1)
+        sources = [make_segment(4000, f"s{i}", 10 + i) for i in range(8)]
+        ones = np.ones(1000, dtype=np.float32).tobytes()
+        for src in sources:
+            src.write(0, ones)
+
+        def worker(src):
+            for _ in range(25):
+                dst.accumulate_from(src)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in sources
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        out = np.frombuffer(dst.read(0, 4000), dtype=np.float32)
+        np.testing.assert_allclose(out, 8 * 25)
+
+    def test_wait_for_update_times_out(self):
+        segment = make_segment()
+        assert segment.wait_for_update(0, timeout=0.01) == 0
+
+    def test_wait_for_update_wakes_on_write(self):
+        segment = make_segment()
+        seen = []
+
+        def waiter():
+            seen.append(segment.wait_for_update(0, timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        segment.write(0, b"x")
+        thread.join(timeout=5.0)
+        assert seen == [1]
+
+
+class TestMemoryPool:
+    def test_create_and_lookup(self):
+        pool = MemoryPool(capacity=1024)
+        segment = pool.create("weights", 512)
+        assert pool.by_shm_key(segment.shm_key) is segment
+        assert pool.by_name("weights") is segment
+
+    def test_capacity_enforced(self):
+        pool = MemoryPool(capacity=100)
+        pool.create("a", 60)
+        with pytest.raises(CapacityError):
+            pool.create("b", 50)
+
+    def test_capacity_error_carries_details(self):
+        pool = MemoryPool(capacity=100)
+        pool.create("a", 60)
+        with pytest.raises(CapacityError) as info:
+            pool.create("b", 50)
+        assert info.value.requested == 50
+        assert info.value.available == 40
+
+    def test_duplicate_name_rejected(self):
+        pool = MemoryPool(capacity=1024)
+        pool.create("a", 16)
+        with pytest.raises(SegmentExistsError):
+            pool.create("a", 16)
+
+    def test_nonpositive_size_rejected(self):
+        pool = MemoryPool(capacity=1024)
+        with pytest.raises(ValueError):
+            pool.create("a", 0)
+
+    def test_attach_grants_distinct_access_keys(self):
+        pool = MemoryPool(capacity=1024)
+        segment = pool.create("a", 16)
+        k1 = pool.attach(segment.shm_key)
+        k2 = pool.attach(segment.shm_key)
+        assert k1 != k2
+        assert pool.by_access_key(k1) is segment
+        assert pool.by_access_key(k2) is segment
+
+    def test_attach_validates_expected_size(self):
+        pool = MemoryPool(capacity=1024)
+        segment = pool.create("a", 16)
+        with pytest.raises(SegmentRangeError):
+            pool.attach(segment.shm_key, expected_nbytes=32)
+
+    def test_attach_unknown_key(self):
+        pool = MemoryPool(capacity=1024)
+        with pytest.raises(UnknownKeyError):
+            pool.attach(12345)
+
+    def test_free_releases_capacity_and_keys(self):
+        pool = MemoryPool(capacity=100)
+        segment = pool.create("a", 80)
+        access = pool.attach(segment.shm_key)
+        pool.free(segment.shm_key)
+        assert pool.available == 100
+        with pytest.raises(UnknownKeyError):
+            pool.by_access_key(access)
+        pool.create("b", 80)  # capacity truly returned
+
+    def test_free_unknown_key(self):
+        pool = MemoryPool(capacity=100)
+        with pytest.raises(UnknownKeyError):
+            pool.free(99)
+
+    def test_used_and_available_accounting(self):
+        pool = MemoryPool(capacity=100)
+        pool.create("a", 30)
+        pool.create("b", 20)
+        assert pool.used == 50
+        assert pool.available == 50
+
+    def test_shm_and_access_keys_never_collide(self):
+        pool = MemoryPool(capacity=1 << 20)
+        shm_keys = set()
+        access_keys = set()
+        for index in range(50):
+            segment = pool.create(f"s{index}", 8)
+            shm_keys.add(segment.shm_key)
+            access_keys.add(pool.attach(segment.shm_key))
+        assert len(shm_keys) == 50
+        assert len(access_keys) == 50
+        assert not shm_keys & access_keys
+
+    def test_segments_snapshot(self):
+        pool = MemoryPool(capacity=1024)
+        pool.create("a", 16)
+        pool.create("b", 16)
+        assert set(pool.segments()) == {"a", "b"}
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryPool(capacity=0)

@@ -1,0 +1,69 @@
+"""Wire-protocol framing tests, including property-based roundtrips."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.smb.errors import SMBProtocolError
+from repro.smb.protocol import HEADER_SIZE, Message, Op, Status
+
+
+class TestMessageFraming:
+    def test_roundtrip_basic(self):
+        message = Message(
+            op=Op.WRITE, key=7, offset=16, count=4, payload=b"data"
+        )
+        encoded = message.encode()
+        decoded = Message.decode(encoded[:HEADER_SIZE], encoded[HEADER_SIZE:])
+        assert decoded == message
+
+    def test_empty_payload(self):
+        message = Message(op=Op.STATS)
+        encoded = message.encode()
+        assert len(encoded) == HEADER_SIZE
+        decoded = Message.decode(encoded, b"")
+        assert decoded.op is Op.STATS
+        assert decoded.payload == b""
+
+    def test_payload_length_mismatch_rejected(self):
+        message = Message(op=Op.WRITE, payload=b"abcd")
+        encoded = message.encode()
+        with pytest.raises(SMBProtocolError):
+            Message.decode(encoded[:HEADER_SIZE], b"abc")
+
+    def test_unknown_opcode_rejected(self):
+        message = Message(op=Op.READ)
+        encoded = bytearray(message.encode())
+        encoded[0] = 200  # not a valid Op
+        with pytest.raises(SMBProtocolError):
+            Message.decode(bytes(encoded[:HEADER_SIZE]), b"")
+
+    def test_negative_keys_survive(self):
+        # Keys are signed on the wire; large hashes must not corrupt.
+        message = Message(op=Op.ATTACH, key=-1, key2=-(1 << 40))
+        encoded = message.encode()
+        decoded = Message.decode(encoded[:HEADER_SIZE], b"")
+        assert decoded.key == -1
+        assert decoded.key2 == -(1 << 40)
+
+
+@given(
+    op=st.sampled_from(list(Op)),
+    status=st.sampled_from(list(Status)),
+    key=st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+    key2=st.integers(min_value=-(2 ** 62), max_value=2 ** 62),
+    offset=st.integers(min_value=0, max_value=2 ** 62),
+    count=st.integers(min_value=0, max_value=2 ** 62),
+    scale=st.floats(allow_nan=False, allow_infinity=False, width=32),
+    payload=st.binary(max_size=512),
+)
+def test_roundtrip_property(op, status, key, key2, offset, count, scale,
+                            payload):
+    """Every well-formed message survives encode/decode bit-exactly."""
+    message = Message(
+        op=op, status=status, key=key, key2=key2, offset=offset,
+        count=count, scale=scale, payload=payload,
+    )
+    encoded = message.encode()
+    decoded = Message.decode(encoded[:HEADER_SIZE], encoded[HEADER_SIZE:])
+    assert decoded == message

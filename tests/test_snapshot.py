@@ -1,0 +1,106 @@
+"""Tests for snapshot/restore (.caffemodel / .solverstate equivalents)."""
+
+import numpy as np
+import pytest
+
+from repro.caffe import (
+    Net,
+    SGDSolver,
+    SnapshotError,
+    SolverConfig,
+    load_net,
+    load_solver_state,
+    save_net,
+    save_solver_state,
+)
+from repro.caffe.netspec import NetSpec
+
+from .test_net_solver import make_inputs
+from .test_netspec import small_spec
+
+
+class TestNetSnapshot:
+    def test_roundtrip(self, tmp_path):
+        net = Net(small_spec(), seed=3)
+        path = tmp_path / "weights.npz"
+        save_net(net, path)
+        other = Net(small_spec(), seed=99)
+        load_net(other, path)
+        for a, b in zip(net.params, other.params):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_bn_running_stats_included(self, tmp_path):
+        net = Net(small_spec(), seed=0)
+        # Run a few train-mode forwards so running stats move off init.
+        for seed in range(3):
+            net.forward(make_inputs(seed=seed), train=True)
+        path = tmp_path / "weights.npz"
+        save_net(net, path)
+        other = Net(small_spec(), seed=1)
+        load_net(other, path)
+        same_eval = other.forward(make_inputs(seed=9), train=False)
+        reference = net.forward(make_inputs(seed=9), train=False)
+        np.testing.assert_allclose(
+            same_eval["fc"], reference["fc"], rtol=1e-5
+        )
+
+    def test_mismatched_spec_rejected(self, tmp_path):
+        net = Net(small_spec(), seed=0)
+        path = tmp_path / "weights.npz"
+        save_net(net, path)
+
+        different = NetSpec("other")
+        data = different.input("data", (2, 3, 8, 8))
+        labels = different.input("label", (2,))
+        logits = different.fc("other_fc", data, 4)
+        different.softmax_loss("loss", logits, labels)
+        with pytest.raises(SnapshotError, match="mismatch"):
+            load_net(Net(different, seed=0), path)
+
+
+class TestSolverSnapshot:
+    def test_resume_is_bit_identical(self, tmp_path):
+        """Train 5, snapshot, train 5 more == train 10 straight."""
+        config = SolverConfig(base_lr=0.05, momentum=0.9, lr_policy="step",
+                              gamma=0.5, stepsize=4)
+        batches = [make_inputs(seed=s) for s in range(10)]
+
+        straight = SGDSolver(Net(small_spec(), seed=7), config)
+        for batch in batches:
+            straight.step(batch)
+
+        first_half = SGDSolver(Net(small_spec(), seed=7), config)
+        for batch in batches[:5]:
+            first_half.step(batch)
+        path = tmp_path / "state.npz"
+        save_solver_state(first_half, path)
+
+        resumed = SGDSolver(Net(small_spec(), seed=123), config)
+        load_solver_state(resumed, path)
+        assert resumed.iteration == 5
+        for batch in batches[5:]:
+            resumed.step(batch)
+
+        for a, b in zip(straight.net.params, resumed.net.params):
+            np.testing.assert_array_equal(a.data, b.data)
+
+    def test_lr_schedule_position_restored(self, tmp_path):
+        config = SolverConfig(base_lr=1.0, lr_policy="step", gamma=0.1,
+                              stepsize=3)
+        solver = SGDSolver(Net(small_spec(), seed=0), config)
+        for _ in range(4):
+            solver.step(make_inputs())
+        path = tmp_path / "state.npz"
+        save_solver_state(solver, path)
+
+        resumed = SGDSolver(Net(small_spec(), seed=0), config)
+        load_solver_state(resumed, path)
+        assert resumed.learning_rate == pytest.approx(0.1)
+
+    def test_weights_only_snapshot_rejected_as_state(self, tmp_path):
+        net = Net(small_spec(), seed=0)
+        path = tmp_path / "weights.npz"
+        save_net(net, path)
+        solver = SGDSolver(Net(small_spec(), seed=0))
+        with pytest.raises(SnapshotError, match="solver-state"):
+            load_solver_state(solver, path)
