@@ -11,9 +11,13 @@ Run:
 
 from repro.caffe import SolverConfig, SyntheticImageDataset, models
 from repro.platforms import shmcaffe
+from repro.telemetry import setup_logging
 
 
 def main() -> None:
+    # Same logging setup as `python -m repro --log-level info`.
+    setup_logging("info")
+
     # A deterministic synthetic stand-in for ImageNet: 10 classes of
     # noisy prototype images.
     dataset = SyntheticImageDataset(

@@ -14,6 +14,7 @@ Run:
 import argparse
 
 from repro.experiments import runner
+from repro.telemetry import LOG_LEVELS, setup_logging
 
 
 def main() -> None:
@@ -26,7 +27,12 @@ def main() -> None:
         "--full", action="store_true",
         help="run the full-length (15-epoch) training experiments",
     )
+    parser.add_argument(
+        "--log-level", default="info", choices=LOG_LEVELS,
+        help="logging verbosity (shared repro logging setup)",
+    )
     args = parser.parse_args()
+    setup_logging(args.log_level)
 
     print(
         runner.run_all(

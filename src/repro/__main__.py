@@ -8,6 +8,13 @@ Commands:
 * ``train``       — run one platform on the synthetic task.
 * ``smb-server``  — start a standalone TCP Soft Memory Box server.
 * ``bandwidth``   — run the Fig. 7 measurement against a server.
+* ``telemetry``   — inspect telemetry artifacts saved by a run
+  (``telemetry report <metrics.json>``).
+
+Global flags (before the command): ``--log-level`` picks the logging
+verbosity, ``--telemetry {off,metrics,trace}`` turns on the telemetry
+subsystem for the whole process, and ``--telemetry-out DIR`` saves the
+collected metrics (and trace, in trace mode) when the command finishes.
 """
 
 from __future__ import annotations
@@ -15,6 +22,8 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import List, Optional
+
+from .telemetry import LOG_LEVELS, MODES, configure, current, setup_logging
 
 
 def _cmd_reproduce(args: argparse.Namespace) -> int:
@@ -26,6 +35,32 @@ def _cmd_reproduce(args: argparse.Namespace) -> int:
         )
     )
     return 0
+
+
+def _telemetry_meta(args: argparse.Namespace) -> dict:
+    """Run context stored next to saved metrics for offline reporting."""
+    return {
+        "platform": args.platform,
+        "model": args.model,
+        "workers": args.workers,
+        "group_size": args.group_size,
+        "update_interval": args.update_interval,
+    }
+
+
+def _finish_telemetry(args: argparse.Namespace, meta: dict) -> None:
+    """Print (and optionally save) what the current session collected."""
+    tel = current()
+    if not tel.enabled:
+        return
+    from .telemetry.report import report_from_session
+
+    print()
+    print(report_from_session(tel, meta))
+    if args.telemetry_out:
+        paths = tel.save(args.telemetry_out, meta)
+        for kind, path in sorted(paths.items()):
+            print(f"telemetry {kind} written to {path}")
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
@@ -49,6 +84,19 @@ def _cmd_train(args: argparse.Namespace) -> int:
     print(f"workers:    {result.num_workers}")
     print(f"final acc:  {result.final_accuracy:.3f}")
     print(f"final loss: {result.final_loss:.3f}")
+    _finish_telemetry(args, _telemetry_meta(args))
+    return 0
+
+
+def _cmd_telemetry_report(args: argparse.Namespace) -> int:
+    from .telemetry.report import format_report, load
+
+    try:
+        payload = load(args.metrics)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_report(payload))
     return 0
 
 
@@ -96,6 +144,18 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "--log-level", default="warning", choices=LOG_LEVELS,
+        help="logging verbosity for the whole process",
+    )
+    parser.add_argument(
+        "--telemetry", default="off", choices=MODES,
+        help="record metrics, or metrics plus a Chrome trace",
+    )
+    parser.add_argument(
+        "--telemetry-out", default="", metavar="DIR",
+        help="directory to save metrics.json (and trace.json) into",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -146,11 +206,26 @@ def build_parser() -> argparse.ArgumentParser:
     bandwidth.add_argument("--buffer-mb", type=float, default=2.0)
     bandwidth.add_argument("--operations", type=int, default=10)
     bandwidth.set_defaults(entry=_cmd_bandwidth)
+
+    tele = commands.add_parser(
+        "telemetry", help="inspect telemetry artifacts saved by a run"
+    )
+    tele_sub = tele.add_subparsers(dest="telemetry_command", required=True)
+    tele_report = tele_sub.add_parser(
+        "report",
+        help="summarize a saved metrics.json (phase histograms, SMB ops, "
+             "perf-model cross-validation)",
+    )
+    tele_report.add_argument("metrics", help="path to a saved metrics.json")
+    tele_report.set_defaults(entry=_cmd_telemetry_report)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    setup_logging(args.log_level)
+    if args.telemetry != "off":
+        configure(args.telemetry)
     return args.entry(args)
 
 

@@ -24,6 +24,8 @@ from ..caffe.params import FlatParams
 from ..caffe.solver import SGDSolver
 from ..nccl.ring import RingGroup
 from ..smb.client import RemoteArray
+from ..telemetry import TelemetrySession
+from ..telemetry import current as _telemetry_current
 from .config import ShmCaffeConfig
 from .seasgd import apply_increment_local, weight_increment
 from .termination import TerminationCoordinator
@@ -48,6 +50,9 @@ class HybridWorker:
         batches: This worker's data shard.
         termination: Stop coordinator (root only; members follow the group).
         on_iteration: Optional live-monitoring callback.
+        telemetry: Session receiving phase timings (paper terms plus the
+            ``nccl`` intra-group collective phase); defaults to the
+            process-wide :func:`repro.telemetry.current` session.
     """
 
     def __init__(
@@ -62,6 +67,7 @@ class HybridWorker:
         increment_buffer: Optional[RemoteArray] = None,
         termination: Optional[TerminationCoordinator] = None,
         on_iteration: Optional[Callable[[int, int, Dict[str, float]], None]] = None,
+        telemetry: Optional[TelemetrySession] = None,
     ) -> None:
         self.rank = rank
         self.group_rank = group_rank
@@ -85,17 +91,30 @@ class HybridWorker:
         self.termination = termination
         self.on_iteration = on_iteration
         self.history = WorkerHistory(rank=rank)
+        tel = telemetry if telemetry is not None else _telemetry_current()
+        self._telemetry = tel
+        self._phases = tel.phase_timer(rank, "main")
 
     def _seasgd_exchange(self) -> None:
-        """Root-only inter-node elastic exchange (eqs. (5)-(7))."""
-        global_now = self.global_weights.read()
-        local_now = self.flat.get_vector()
-        increment = weight_increment(
-            local_now, global_now, self.config.moving_rate
-        )
-        self.flat.set_vector(apply_increment_local(local_now, increment))
-        self.increment_buffer.write(increment)
-        self.increment_buffer.accumulate_into(self.global_weights)
+        """Root-only inter-node elastic exchange (eqs. (5)-(7)).
+
+        HSGD roots run the exchange synchronously (no update thread),
+        so all four eq.-(8) terms land on the main-thread track.
+        """
+        with self._phases.phase("rgw"):
+            global_now = self.global_weights.read()
+        with self._phases.phase("ulw"):
+            local_now = self.flat.get_vector()
+            increment = weight_increment(
+                local_now, global_now, self.config.moving_rate
+            )
+            self.flat.set_vector(
+                apply_increment_local(local_now, increment)
+            )
+        with self._phases.phase("wwi"):
+            self.increment_buffer.write(increment)
+        with self._phases.phase("ugw"):
+            self.increment_buffer.accumulate_into(self.global_weights)
 
     def run(self) -> WorkerHistory:
         """Train until the group agrees to stop; returns history."""
@@ -106,25 +125,32 @@ class HybridWorker:
             if exchanged:
                 if self.is_root:
                     self._seasgd_exchange()
-                    synced = self.group.broadcast(
-                        self.group_rank, self.flat.get_vector(), root=0
-                    )
+                    with self._phases.phase("nccl"):
+                        synced = self.group.broadcast(
+                            self.group_rank, self.flat.get_vector(), root=0
+                        )
                 else:
-                    synced = self.group.broadcast(
-                        self.group_rank, None, root=0
-                    )
+                    with self._phases.phase("nccl"):
+                        synced = self.group.broadcast(
+                            self.group_rank, None, root=0
+                        )
                 self.flat.set_vector(synced)
 
             # Intra-group synchronous SGD: average gradients, same update.
-            batch = next(self.batches)
-            stats = self.solver.compute_gradients(batch.as_inputs())
-            gradients = self.flat.get_grad_vector()
-            averaged = self.group.allreduce(
-                self.group_rank, gradients, average=True
-            )
-            self.flat.set_grad_vector(averaged)
-            self.solver.apply_update()
-            self.solver.advance_iteration()
+            with self._phases.phase("comp"):
+                batch = next(self.batches)
+                stats = self.solver.compute_gradients(batch.as_inputs())
+                gradients = self.flat.get_grad_vector()
+            # The NCCL phase: the intra-group ring allreduce (the part
+            # of an HSGD iteration SEASGD never pays).
+            with self._phases.phase("nccl"):
+                averaged = self.group.allreduce(
+                    self.group_rank, gradients, average=True
+                )
+            with self._phases.phase("comp"):
+                self.flat.set_grad_vector(averaged)
+                self.solver.apply_update()
+                self.solver.advance_iteration()
             iteration += 1
 
             self.history.records.append(

@@ -32,6 +32,8 @@ from ..caffe.params import FlatParams
 from ..nccl.ring import RingGroup
 from ..smb.client import ControlBlock, SMBClient
 from ..smb.server import SMBServer
+from ..telemetry import TelemetrySession
+from ..telemetry import current as _telemetry_current
 from .config import ShmCaffeConfig
 from .hybrid import HybridWorker
 from .termination import TerminationCoordinator
@@ -80,6 +82,9 @@ class DistributedTrainingManager:
         eval_every: If set, rank 0 evaluates the *global* weights on the
             test split every this many of its own iterations.
         eval_batch_size: Batch size for those evaluations.
+        telemetry: Session propagated to the SMB server, every client,
+            and every worker, so one run's metrics and trace land in one
+            place; defaults to :func:`repro.telemetry.current`.
     """
 
     def __init__(
@@ -98,6 +103,7 @@ class DistributedTrainingManager:
         prefetch: bool = False,
         eval_every: Optional[int] = None,
         eval_batch_size: int = 50,
+        telemetry: Optional[TelemetrySession] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -113,12 +119,15 @@ class DistributedTrainingManager:
         self.num_workers = num_workers
         self.group_size = group_size
         self.num_groups = num_workers // group_size
+        self.telemetry = (
+            telemetry if telemetry is not None else _telemetry_current()
+        )
         self.server_address = server_address
         if server_address is not None:
             self.server = None
         else:
             self.server = server if server is not None else SMBServer(
-                capacity=1 << 30
+                capacity=1 << 30, telemetry=self.telemetry
             )
         self.namespace = namespace
         self.seed = seed
@@ -136,8 +145,8 @@ class DistributedTrainingManager:
     def _make_client(self) -> SMBClient:
         """A fresh SMB client on the configured transport."""
         if self.server_address is not None:
-            return SMBClient.connect(self.server_address)
-        return SMBClient.in_process(self.server)
+            return SMBClient.connect(self.server_address, self.telemetry)
+        return SMBClient.in_process(self.server, self.telemetry)
 
     # -- per-rank entry point ----------------------------------------------
 
@@ -219,6 +228,7 @@ class DistributedTrainingManager:
                 batches=batches,
                 termination=termination,
                 on_iteration=on_iteration,
+                telemetry=self.telemetry,
             )
         else:
             worker = HybridWorker(
@@ -232,6 +242,7 @@ class DistributedTrainingManager:
                 increment_buffer=increment,
                 termination=termination,
                 on_iteration=on_iteration,
+                telemetry=self.telemetry,
             )
         # Everyone is attached before anyone starts mutating W_g.
         mpi.barrier(comm)
@@ -283,9 +294,14 @@ class DistributedTrainingManager:
     def run(self, timeout: Optional[float] = None) -> TrainingResult:
         """Launch all ranks, wait for completion, and collect results."""
         self._eval_records = []
-        histories = mpi.run_spmd(
-            self.num_workers, self._rank_main, timeout=timeout
-        )
+        tel = self.telemetry
+        if tel.enabled:
+            tel.registry.set("run/workers", self.num_workers)
+            tel.registry.set("run/group_size", self.group_size)
+        with tel.timed("run/time/total", trace_name="training-run"):
+            histories = mpi.run_spmd(
+                self.num_workers, self._rank_main, timeout=timeout
+            )
         reader = self._make_client()
         shm_key, nbytes = reader.lookup(f"{self.namespace}W_g")
         final = reader.attach_array(

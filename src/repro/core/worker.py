@@ -33,6 +33,8 @@ from ..caffe.net import Net
 from ..caffe.params import FlatParams
 from ..caffe.solver import SGDSolver
 from ..smb.client import RemoteArray
+from ..telemetry import TelemetrySession
+from ..telemetry import current as _telemetry_current
 from .config import ShmCaffeConfig
 from .seasgd import apply_increment_local, weight_increment
 from .termination import TerminationCoordinator
@@ -80,6 +82,9 @@ class ShmCaffeWorker:
         on_iteration: Optional callback ``(rank, iteration, stats)`` for
             live monitoring (the convergence experiments use it to snapshot
             accuracy against wall-clock).
+        telemetry: Session receiving the eq.-(8) phase timings (``comp``,
+            ``wwi``, ``ugw``, ``rgw``, ``ulw``, ``block``); defaults to
+            the process-wide :func:`repro.telemetry.current` session.
     """
 
     def __init__(
@@ -92,6 +97,7 @@ class ShmCaffeWorker:
         batches: Iterator[Minibatch],
         termination: Optional[TerminationCoordinator] = None,
         on_iteration: Optional[Callable[[int, int, Dict[str, float]], None]] = None,
+        telemetry: Optional[TelemetrySession] = None,
     ) -> None:
         self.rank = rank
         self.net = net
@@ -115,6 +121,12 @@ class ShmCaffeWorker:
         self.on_iteration = on_iteration
         self.history = WorkerHistory(rank=rank)
 
+        tel = telemetry if telemetry is not None else _telemetry_current()
+        # Two timers, one per Fig.-6 thread: phase histograms are shared
+        # per worker, trace spans land on separate main/update tracks.
+        self._phases = tel.phase_timer(rank, "main")
+        self._flush_phases = tel.phase_timer(rank, "update")
+
         self._pending_increment: Optional[np.ndarray] = None
         self._wake = threading.Event()
         self._flushed = threading.Event()
@@ -136,10 +148,12 @@ class ShmCaffeWorker:
                 if increment is None:
                     raise WorkerError("update thread woken with no increment")
                 self._pending_increment = None
-                self.increment_buffer.write(increment)                 # T.A1
-                self.increment_buffer.accumulate_into(                 # T.A2-3
-                    self.global_weights
-                )
+                with self._flush_phases.phase("wwi"):                  # T.A1
+                    self.increment_buffer.write(increment)
+                with self._flush_phases.phase("ugw"):                  # T.A2-3
+                    self.increment_buffer.accumulate_into(
+                        self.global_weights
+                    )
             except BaseException as exc:  # noqa: BLE001 - report to main
                 self._update_error = exc
                 self._flushed.set()
@@ -157,7 +171,8 @@ class ShmCaffeWorker:
 
     def _wait_for_flush(self) -> None:
         """T.A5: block until the previous exchange reached the server."""
-        self._flushed.wait()
+        with self._phases.phase("block"):
+            self._flushed.wait()
         if self._update_error is not None:
             raise WorkerError(
                 f"update thread failed: {self._update_error}"
@@ -168,12 +183,16 @@ class ShmCaffeWorker:
     def _exchange(self) -> None:
         """Read W_g, elastic-update the replica, hand dW_x to the flusher."""
         self._wait_for_flush()
-        global_now = self.global_weights.read()                        # T1
-        local_now = self.flat.get_vector()
-        increment = weight_increment(                                  # T2
-            local_now, global_now, self.config.moving_rate
-        )
-        self.flat.set_vector(apply_increment_local(local_now, increment))
+        with self._phases.phase("rgw"):
+            global_now = self.global_weights.read()                    # T1
+        with self._phases.phase("ulw"):
+            local_now = self.flat.get_vector()
+            increment = weight_increment(                              # T2
+                local_now, global_now, self.config.moving_rate
+            )
+            self.flat.set_vector(
+                apply_increment_local(local_now, increment)
+            )
 
         if self.config.overlap_updates:
             self._ensure_update_thread()
@@ -181,8 +200,10 @@ class ShmCaffeWorker:
             self._flushed.clear()
             self._wake.set()                                           # T3
         else:
-            self.increment_buffer.write(increment)
-            self.increment_buffer.accumulate_into(self.global_weights)
+            with self._phases.phase("wwi"):
+                self.increment_buffer.write(increment)
+            with self._phases.phase("ugw"):
+                self.increment_buffer.accumulate_into(self.global_weights)
 
     def _exchange_stale(self) -> None:
         """Ablation: whole exchange (read included) runs on the flusher.
@@ -194,14 +215,18 @@ class ShmCaffeWorker:
         local_snapshot = self.flat.get_vector()
 
         def deferred() -> None:
-            global_now = self.global_weights.read()
+            with self._flush_phases.phase("rgw"):
+                global_now = self.global_weights.read()
             increment = weight_increment(
                 local_snapshot, global_now, self.config.moving_rate
             )
-            self.increment_buffer.write(increment)
-            self.increment_buffer.accumulate_into(self.global_weights)
+            with self._flush_phases.phase("wwi"):
+                self.increment_buffer.write(increment)
+            with self._flush_phases.phase("ugw"):
+                self.increment_buffer.accumulate_into(self.global_weights)
             # Apply to the live replica *late*, racing with training.
-            self.flat.add_to_params(increment, scale=-1.0)
+            with self._flush_phases.phase("ulw"):
+                self.flat.add_to_params(increment, scale=-1.0)
 
         self._flushed.clear()
         self._run_stale_async(deferred)
@@ -233,8 +258,9 @@ class ShmCaffeWorker:
                     else:
                         self._exchange()
 
-                batch = next(self.batches)                             # T4
-                stats = self.solver.step(batch.as_inputs())            # T5
+                with self._phases.phase("comp"):
+                    batch = next(self.batches)                         # T4
+                    stats = self.solver.step(batch.as_inputs())        # T5
                 iteration += 1
 
                 self.history.records.append(

@@ -8,8 +8,10 @@ Used by ``examples/reproduce_paper.py`` and handy interactively::
 
 from __future__ import annotations
 
+import logging
 from typing import Callable, Dict, List
 
+from ..telemetry import current as _telemetry_current
 from . import (
     fig07_bandwidth,
     fig08_convergence,
@@ -37,16 +39,31 @@ ANALYTIC_EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
 }
 
 
+logger = logging.getLogger(__name__)
+
+
+def _run_one(name: str, build: Callable[[], ExperimentResult]) -> ExperimentResult:
+    """Run one experiment, timed into the current telemetry session."""
+    tel = _telemetry_current()
+    logger.info("running experiment %s", name)
+    metric = f"experiment/time/{name.replace('/', '_')}"
+    with tel.timed(metric, trace_name=name, cat="experiment"):
+        return build()
+
+
 def run_analytic() -> List[ExperimentResult]:
     """All model-driven tables/figures (no training runs)."""
-    return [build() for build in ANALYTIC_EXPERIMENTS.values()]
+    return [
+        _run_one(name, build)
+        for name, build in ANALYTIC_EXPERIMENTS.items()
+    ]
 
 
 def run_training(quick: bool = True) -> List[ExperimentResult]:
     """The two real-training experiments (minutes when not quick)."""
     return [
-        fig08_convergence.run(quick=quick),
-        fig11_a_vs_h.run(quick=quick),
+        _run_one("fig8", lambda: fig08_convergence.run(quick=quick)),
+        _run_one("fig11", lambda: fig11_a_vs_h.run(quick=quick)),
     ]
 
 

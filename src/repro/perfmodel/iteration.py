@@ -169,6 +169,29 @@ def _seasgd_exchange_terms(
     }
 
 
+def seasgd_phase_expectations(
+    model: ModelProfile,
+    participants: int,
+    hw: HardwareProfile = PAPER_HARDWARE,
+) -> Dict[str, float]:
+    """Predicted per-phase times (ms) keyed by telemetry phase names.
+
+    The bridge between this analytic model and the telemetry
+    subsystem's measured phase histograms: the four eq.-(8) exchange
+    terms plus ``comp``, renamed from ``t_rgw``-style keys to the
+    ``rgw``-style phase taxonomy of :mod:`repro.telemetry.phases` so a
+    live run's report can be cross-validated line by line.
+    """
+    terms = _seasgd_exchange_terms(model, participants, hw)
+    return {
+        "comp": model.compute_ms + hw.data_layer_overhead_ms,
+        "wwi": terms["t_wwi"],
+        "ugw": terms["t_ugw"],
+        "rgw": terms["t_rgw"],
+        "ulw": terms["t_ulw"],
+    }
+
+
 def shmcaffe_a(
     model: ModelProfile,
     workers: int,

@@ -18,10 +18,13 @@ Two convenience layers sit on top of the raw byte operations:
 from __future__ import annotations
 
 import json
+from time import perf_counter as _perf_counter
 from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from ..telemetry import TelemetrySession
+from ..telemetry import current as _telemetry_current
 from . import errors
 from .protocol import Message, Op, Status
 from .server import SMBServer
@@ -61,18 +64,31 @@ class SMBClient:
     RDMA) or :meth:`connect` (TCP, true multi-process sharing).
     """
 
-    def __init__(self, transport: Transport) -> None:
+    def __init__(
+        self,
+        transport: Transport,
+        telemetry: Optional[TelemetrySession] = None,
+    ) -> None:
         self._transport = transport
+        self._telemetry = telemetry
 
     @classmethod
-    def in_process(cls, server: SMBServer) -> "SMBClient":
+    def in_process(
+        cls,
+        server: SMBServer,
+        telemetry: Optional[TelemetrySession] = None,
+    ) -> "SMBClient":
         """Attach directly to an in-process server core."""
-        return cls(InProcTransport(server))
+        return cls(InProcTransport(server), telemetry)
 
     @classmethod
-    def connect(cls, address: Tuple[str, int]) -> "SMBClient":
+    def connect(
+        cls,
+        address: Tuple[str, int],
+        telemetry: Optional[TelemetrySession] = None,
+    ) -> "SMBClient":
         """Connect to a :class:`~repro.smb.server.TcpSMBServer`."""
-        return cls(TcpTransport(address))
+        return cls(TcpTransport(address), telemetry)
 
     def close(self) -> None:
         """Release the underlying transport."""
@@ -87,6 +103,23 @@ class SMBClient:
     # -- raw segment operations ------------------------------------------
 
     def _call(self, request: Message) -> Message:
+        tel = self._telemetry
+        if tel is None:
+            tel = _telemetry_current()
+        if not tel.enabled:
+            return self._call_raw(request)
+        start = _perf_counter()
+        response = self._call_raw(request)
+        elapsed = _perf_counter() - start
+        name = request.op.name
+        tel.registry.observe(f"smb/client/time/{name}", elapsed)
+        if request.op is Op.READ:
+            tel.registry.inc("smb/client/bytes_read", len(response.payload))
+        elif request.op is Op.WRITE:
+            tel.registry.inc("smb/client/bytes_written", len(request.payload))
+        return response
+
+    def _call_raw(self, request: Message) -> Message:
         response = self._transport.request(request)
         if response.status is Status.TIMEOUT:
             raise errors.NotificationTimeout(request.key, request.count, request.scale)

@@ -20,9 +20,11 @@ from __future__ import annotations
 import logging
 import socket
 import threading
-from dataclasses import dataclass, field
+from time import perf_counter as _perf_counter
 from typing import Dict, Optional, Tuple
 
+from ..telemetry import MetricsRegistry, TelemetrySession
+from ..telemetry import current as _telemetry_current
 from .errors import NotificationTimeout, SMBConnectionError, SMBError
 from .memory import DEFAULT_POOL_CAPACITY, MemoryPool
 from .protocol import (
@@ -37,32 +39,70 @@ from .protocol import (
 
 logger = logging.getLogger(__name__)
 
+#: Trace-lane pid for the SMB server (workers occupy their rank).
+SMB_SERVER_TRACE_PID = 9999
 
-@dataclass
+
 class ServerStats:
-    """Counters the server maintains for bandwidth/benchmark reporting."""
+    """Counters the server maintains for bandwidth/benchmark reporting.
 
-    bytes_read: int = 0
-    bytes_written: int = 0
-    op_counts: Dict[str, int] = field(default_factory=dict)
-    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    Backed by a :class:`~repro.telemetry.MetricsRegistry` — its own
+    private one by default, or a shared session registry so a
+    telemetry-enabled run folds the server counters into its snapshot.
+    Byte totals and per-op counts live in *separate namespaces*
+    (``bytes_read`` vs ``ops/READ``), so an opcode can never shadow the
+    byte counters the Fig. 7 benchmark reads (the key-collision hazard
+    of the old flat-dict implementation).
+    """
+
+    _RESERVED = ("bytes_read", "bytes_written")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
 
     def record(self, op: Op, nbytes: int = 0) -> None:
         """Account one operation of ``op`` moving ``nbytes`` payload bytes."""
-        with self._lock:
-            self.op_counts[op.name] = self.op_counts.get(op.name, 0) + 1
-            if op is Op.READ:
-                self.bytes_read += nbytes
-            elif op in (Op.WRITE, Op.ACCUMULATE):
-                self.bytes_written += nbytes
+        self.registry.inc(f"smb/server/ops/{op.name}")
+        if op is Op.READ:
+            self.registry.inc("smb/server/bytes_read", nbytes)
+        elif op in (Op.WRITE, Op.ACCUMULATE):
+            self.registry.inc("smb/server/bytes_written", nbytes)
+
+    @property
+    def bytes_read(self) -> int:
+        """Total payload bytes served by READ operations."""
+        return self.registry.counter("smb/server/bytes_read").value
+
+    @property
+    def bytes_written(self) -> int:
+        """Total payload bytes absorbed by WRITE/ACCUMULATE operations."""
+        return self.registry.counter("smb/server/bytes_written").value
+
+    @property
+    def op_counts(self) -> Dict[str, int]:
+        """Per-opcode operation counts."""
+        prefix = "smb/server/ops/"
+        return {
+            name[len(prefix):]: self.registry.counter(name).value
+            for name in self.registry.names()
+            if name.startswith(prefix)
+        }
 
     def snapshot(self) -> Dict[str, int]:
-        """Return a plain-dict copy safe to serialise."""
-        with self._lock:
-            data = {"bytes_read": self.bytes_read,
-                    "bytes_written": self.bytes_written}
-            data.update(self.op_counts)
-            return data
+        """Return a plain-dict copy safe to serialise.
+
+        Shape is unchanged from the original dataclass implementation
+        (``bytes_read``/``bytes_written`` plus one key per opcode), which
+        the Fig. 7 benchmark and ``SMBClient.stats()`` rely on.  An op
+        name that would collide with a reserved key is emitted under an
+        ``op/`` prefix instead of silently overwriting it.
+        """
+        data = {"bytes_read": self.bytes_read,
+                "bytes_written": self.bytes_written}
+        for name, count in self.op_counts.items():
+            key = name if name not in self._RESERVED else f"op/{name}"
+            data[key] = count
+        return data
 
 
 class SMBServer:
@@ -73,9 +113,19 @@ class SMBServer:
     :class:`TcpSMBServer` front-end; the pool and its locks make both safe.
     """
 
-    def __init__(self, capacity: int = DEFAULT_POOL_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_POOL_CAPACITY,
+        telemetry: Optional[TelemetrySession] = None,
+    ) -> None:
         self.pool = MemoryPool(capacity)
-        self.stats = ServerStats()
+        self._telemetry = telemetry
+        tel = telemetry if telemetry is not None else _telemetry_current()
+        # Fold server counters into the session registry when one is
+        # recording, so `telemetry report` sees them; otherwise the
+        # stats keep their own private registry (always-on counting —
+        # the Fig. 7 benchmark reads them regardless of telemetry mode).
+        self.stats = ServerStats(tel.registry if tel.enabled else None)
         self._accumulate_lock = threading.Lock()
 
     def handle(self, request: Message) -> Message:
@@ -83,8 +133,40 @@ class SMBServer:
 
         Protocol errors never escape: every :class:`SMBError` is converted
         into an ``ERROR`` response carrying the message text so remote
-        clients can re-raise a faithful exception.
+        clients can re-raise a faithful exception.  With telemetry
+        recording, every request is timed into a per-opcode histogram
+        and (in trace mode) emitted on the server's trace lane.
         """
+        tel = self._telemetry
+        if tel is None:
+            tel = _telemetry_current()
+        if not tel.enabled:
+            return self._handle(request)
+        trace = tel.trace
+        if trace is not None:
+            trace.name_process(SMB_SERVER_TRACE_PID, "smb-server")
+        ts_us = trace.now_us() if trace is not None else 0.0
+        start = _perf_counter()
+        response = self._handle(request)
+        elapsed = _perf_counter() - start
+        tel.registry.observe(
+            f"smb/server/time/{request.op.name}", elapsed
+        )
+        if response.status is not Status.OK:
+            tel.registry.inc(
+                f"smb/server/errors/{response.status.name}"
+            )
+        if trace is not None:
+            # One tid per handler thread so concurrent requests render
+            # as parallel tracks instead of overlapping on one line.
+            trace.complete(
+                name=request.op.name, pid=SMB_SERVER_TRACE_PID,
+                tid=threading.get_ident() & 0xFFFF,
+                ts_us=ts_us, dur_us=elapsed * 1e6, cat="smb",
+            )
+        return response
+
+    def _handle(self, request: Message) -> Message:
         try:
             return self._dispatch(request)
         except NotificationTimeout as exc:
@@ -217,8 +299,11 @@ class TcpSMBServer:
         port: int = 0,
         capacity: int = DEFAULT_POOL_CAPACITY,
         core: Optional[SMBServer] = None,
+        telemetry: Optional[TelemetrySession] = None,
     ) -> None:
-        self.core = core if core is not None else SMBServer(capacity)
+        self.core = core if core is not None else SMBServer(
+            capacity, telemetry=telemetry
+        )
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))

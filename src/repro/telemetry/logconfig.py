@@ -1,0 +1,41 @@
+"""One logging configuration shared by the CLI and the examples.
+
+Every entry point (``python -m repro``, the ``examples/`` scripts) calls
+:func:`setup_logging` instead of hand-rolling ``logging.basicConfig``,
+so log format and level semantics stay identical everywhere and a
+``--log-level debug`` on the CLI looks exactly like
+``setup_logging("debug")`` in a script.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Union
+
+__all__ = ["setup_logging", "LOG_LEVELS"]
+
+#: Accepted ``--log-level`` spellings, least to most verbose.
+LOG_LEVELS = ("critical", "error", "warning", "info", "debug")
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+
+def setup_logging(level: Union[str, int] = "warning") -> None:
+    """Configure root logging for a repro entry point.
+
+    Args:
+        level: A :data:`LOG_LEVELS` name (case-insensitive) or a numeric
+            logging level.  Re-invoking replaces any previous handler
+            configuration, so the last caller wins (``force=True``).
+    """
+    if isinstance(level, str):
+        name = level.lower()
+        if name not in LOG_LEVELS:
+            raise ValueError(
+                f"log level must be one of {LOG_LEVELS}, got {level!r}"
+            )
+        level = getattr(logging, name.upper())
+    logging.basicConfig(
+        level=level, format=_FORMAT, datefmt=_DATE_FORMAT, force=True
+    )

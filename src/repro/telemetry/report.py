@@ -1,0 +1,255 @@
+"""Reporting layer: summarize a telemetry run, cross-check the perf model.
+
+Two consumers:
+
+* ``python -m repro telemetry report <metrics.json>`` — render the
+  per-worker phase histograms, SMB operation timings, and counters that
+  a run saved via :meth:`TelemetrySession.save`.
+* The perf-model cross-validation — compare the *measured* phase
+  decomposition against the analytic eq.-(8) terms from
+  :mod:`repro.perfmodel.iteration` (the paper's Fig. 10 comp/comm
+  split, now from live data).  Absolute times differ between the
+  paper's Infiniband testbed and this host-Python emulation, so the
+  comparison is over each phase's *share* of the exchange; the shares
+  are what eq. (8) predicts and what the overlap protocol acts on.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .phases import ALL_PHASES, PAPER_PHASES
+
+__all__ = [
+    "load",
+    "phase_rows",
+    "format_report",
+    "perfmodel_comparison_rows",
+]
+
+_PHASE_RE = re.compile(r"^worker(\d+)/phase/([a-z_]+)$")
+
+MetricSnapshot = Dict[str, Dict[str, object]]
+
+
+def load(path: str) -> Dict[str, object]:
+    """Read a ``metrics.json`` written by :meth:`TelemetrySession.save`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if "metrics" not in payload:
+        raise ValueError(f"{path} is not a telemetry metrics dump")
+    return payload
+
+
+def _table(header: Sequence[str], body: List[List[str]]) -> List[str]:
+    """Align ``header``/``body`` into fixed-width text columns."""
+    widths = [
+        max(len(header[i]), *(len(row[i]) for row in body)) if body
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    lines = [
+        "  ".join(header[i].ljust(widths[i]) for i in range(len(header))),
+        "  ".join("-" * width for width in widths),
+    ]
+    for row in body:
+        lines.append(
+            "  ".join(row[i].ljust(widths[i]) for i in range(len(row)))
+        )
+    return lines
+
+
+def _ms(seconds: object) -> str:
+    return f"{float(seconds) * 1e3:.3f}"
+
+
+def phase_rows(
+    metrics: MetricSnapshot,
+) -> List[Tuple[int, str, Dict[str, object]]]:
+    """Extract ``(worker, phase, histogram)`` rows, paper-phase ordered."""
+    order = {name: i for i, name in enumerate(ALL_PHASES)}
+    rows: List[Tuple[int, str, Dict[str, object]]] = []
+    for name, snap in metrics.items():
+        match = _PHASE_RE.match(name)
+        if match and snap.get("type") == "histogram":
+            rows.append((int(match.group(1)), match.group(2), snap))
+    rows.sort(key=lambda row: (row[0], order.get(row[1], 99), row[1]))
+    return rows
+
+
+def _phase_section(metrics: MetricSnapshot) -> List[str]:
+    rows = phase_rows(metrics)
+    if not rows:
+        return ["(no phase timings recorded — was telemetry off?)"]
+    body = [
+        [
+            str(worker), phase, str(snap["count"]),
+            _ms(snap["mean"]), _ms(snap["p50"]),
+            _ms(snap["p95"]), _ms(snap["p99"]), _ms(snap["sum"]),
+        ]
+        for worker, phase, snap in rows
+    ]
+    header = ["worker", "phase", "count", "mean ms", "p50 ms",
+              "p95 ms", "p99 ms", "total ms"]
+    return _table(header, body)
+
+
+def _op_section(metrics: MetricSnapshot, prefix: str) -> List[str]:
+    body = []
+    for name, snap in sorted(metrics.items()):
+        if name.startswith(prefix) and snap.get("type") == "histogram":
+            body.append([
+                name[len(prefix):], str(snap["count"]),
+                _ms(snap["mean"]), _ms(snap["p50"]), _ms(snap["p99"]),
+            ])
+    if not body:
+        return []
+    return _table(["op", "count", "mean ms", "p50 ms", "p99 ms"], body)
+
+
+def _counter_section(metrics: MetricSnapshot) -> List[str]:
+    body = [
+        [name, str(snap["value"])]
+        for name, snap in sorted(metrics.items())
+        if snap.get("type") == "counter"
+    ]
+    if not body:
+        return []
+    return _table(["counter", "value"], body)
+
+
+def _pooled_phase_means(metrics: MetricSnapshot) -> Dict[str, float]:
+    """Per-phase mean seconds pooled across workers (weighted by count)."""
+    total: Dict[str, float] = {}
+    count: Dict[str, int] = {}
+    for _worker, phase, snap in phase_rows(metrics):
+        total[phase] = total.get(phase, 0.0) + float(snap["sum"])
+        count[phase] = count.get(phase, 0) + int(snap["count"])
+    return {
+        phase: total[phase] / count[phase]
+        for phase in total if count[phase]
+    }
+
+
+def perfmodel_comparison_rows(
+    metrics: MetricSnapshot,
+    model: str,
+    workers: int,
+) -> List[Dict[str, object]]:
+    """Measured vs analytic eq.-(8) phase decomposition.
+
+    Returns one row per paper phase with the predicted time on the
+    paper's hardware, the measured pooled mean, and each side's share of
+    its own iteration total — the share columns are directly comparable
+    across the hardware gap.
+    """
+    from ..perfmodel.iteration import seasgd_phase_expectations
+    from ..perfmodel.models import model_profile
+
+    predicted = seasgd_phase_expectations(
+        model_profile(model), max(workers, 2)
+    )
+    measured = _pooled_phase_means(metrics)
+    pred_total = sum(predicted.values()) or 1.0
+    meas_total = sum(
+        measured.get(phase, 0.0) for phase in PAPER_PHASES
+    ) or 1.0
+    rows: List[Dict[str, object]] = []
+    for phase in PAPER_PHASES:
+        meas = measured.get(phase)
+        rows.append({
+            "phase": phase,
+            "predicted_ms": predicted[phase],
+            "predicted_share": predicted[phase] / pred_total,
+            "measured_ms": None if meas is None else meas * 1e3,
+            "measured_share": (
+                None if meas is None else meas / meas_total
+            ),
+        })
+    return rows
+
+
+def _comparison_section(
+    metrics: MetricSnapshot, model: str, workers: int
+) -> List[str]:
+    rows = perfmodel_comparison_rows(metrics, model, workers)
+    if all(row["measured_ms"] is None for row in rows):
+        return []
+    body = []
+    for row in rows:
+        measured_ms = row["measured_ms"]
+        measured_share = row["measured_share"]
+        body.append([
+            str(row["phase"]),
+            f"{row['predicted_ms']:.2f}",
+            f"{row['predicted_share'] * 100:.1f}%",
+            "-" if measured_ms is None else f"{measured_ms:.3f}",
+            "-" if measured_share is None
+            else f"{measured_share * 100:.1f}%",
+        ])
+    lines = _table(
+        ["phase", "model ms", "model share", "measured ms",
+         "measured share"],
+        body,
+    )
+    lines.append(
+        "note: 'model' columns are the analytic eq.-(8) terms on the "
+        "paper's hardware; compare *shares*, not absolute times."
+    )
+    return lines
+
+
+def format_report(payload: Dict[str, object]) -> str:
+    """Render a saved telemetry payload as a human-readable report."""
+    metrics: MetricSnapshot = payload.get("metrics", {})  # type: ignore
+    meta: Dict[str, object] = payload.get("meta", {})  # type: ignore
+    sections: List[str] = []
+
+    if meta:
+        pairs = "  ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        sections.append(f"== run ==\n{pairs}")
+
+    sections.append(
+        "== phase timings (eq. 8) ==\n" + "\n".join(_phase_section(metrics))
+    )
+
+    for title, prefix in (
+        ("smb server ops", "smb/server/time/"),
+        ("smb client ops", "smb/client/time/"),
+        ("nccl collectives", "nccl/time/"),
+        ("experiments", "experiment/time/"),
+    ):
+        lines = _op_section(metrics, prefix)
+        if lines:
+            sections.append(f"== {title} ==\n" + "\n".join(lines))
+
+    counters = _counter_section(metrics)
+    if counters:
+        sections.append("== counters ==\n" + "\n".join(counters))
+
+    model = meta.get("model")
+    workers = meta.get("workers")
+    if isinstance(model, str) and isinstance(workers, int):
+        try:
+            lines = _comparison_section(metrics, model, workers)
+        except ValueError:
+            lines = []  # model not in the paper's Table IV
+        if lines:
+            sections.append(
+                "== measured vs perfmodel (Fig. 10 decomposition) ==\n"
+                + "\n".join(lines)
+            )
+
+    return "\n\n".join(sections)
+
+
+def report_from_session(
+    session: "object", meta: Optional[Dict[str, object]] = None
+) -> str:
+    """Format a live session without saving it first."""
+    return format_report({
+        "metrics": session.registry.snapshot(),  # type: ignore[attr-defined]
+        "meta": dict(meta or {}),
+    })

@@ -31,6 +31,33 @@ class TestParser:
         )
         assert args.connect == "10.0.0.1:7000"
 
+    def test_global_flag_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.log_level == "warning"
+        assert args.telemetry == "off"
+        assert args.telemetry_out == ""
+
+    def test_telemetry_and_log_level_flags(self):
+        args = build_parser().parse_args(
+            ["--log-level", "debug", "--telemetry", "trace",
+             "--telemetry-out", "/tmp/t", "train"]
+        )
+        assert args.log_level == "debug"
+        assert args.telemetry == "trace"
+        assert args.telemetry_out == "/tmp/t"
+
+    def test_telemetry_mode_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--telemetry", "loud", "train"])
+
+    def test_telemetry_report_requires_path(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["telemetry", "report"])
+        args = build_parser().parse_args(
+            ["telemetry", "report", "run/metrics.json"]
+        )
+        assert args.metrics == "run/metrics.json"
+
 
 class TestExecution:
     def test_train_tiny_run(self, capsys):
@@ -52,3 +79,46 @@ class TestExecution:
         out = capsys.readouterr().out
         for marker in ("fig9/table2", "fig12-13/table5", "fig15"):
             assert marker in out
+
+    def test_train_with_telemetry_saves_and_reports(self, capsys, tmp_path):
+        from repro import telemetry
+        from repro.telemetry import runtime
+
+        original = telemetry.current()
+        try:
+            code = main(
+                [
+                    "--telemetry", "trace",
+                    "--telemetry-out", str(tmp_path),
+                    "train", "--platform", "shmcaffe_a", "--workers", "2",
+                    "--epochs", "1", "--samples-per-class", "20",
+                    "--batch-size", "5",
+                ]
+            )
+        finally:
+            runtime._current = original
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase timings (eq. 8)" in out
+        assert "measured vs perfmodel" in out
+        assert (tmp_path / "metrics.json").exists()
+        assert (tmp_path / "trace.json").exists()
+
+        code = main(
+            ["telemetry", "report", str(tmp_path / "metrics.json")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "phase timings (eq. 8)" in out
+
+    def test_telemetry_report_bad_input_is_clean_error(self, capsys, tmp_path):
+        code = main(["telemetry", "report", str(tmp_path / "missing.json")])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"hello": 1}')
+        code = main(["telemetry", "report", str(bogus)])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "not a telemetry metrics dump" in err
