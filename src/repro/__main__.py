@@ -7,6 +7,9 @@ Commands:
   training).
 * ``train``       — run one platform on the synthetic task.
 * ``smb-server``  — start a standalone TCP Soft Memory Box server.
+* ``smb chaos``   — replay a seeded fault-injection scenario against a
+  small SEASGD job (retry/worker-loss drill; see
+  ``docs/fault_tolerance.md``).
 * ``bandwidth``   — run the Fig. 7 measurement against a server.
 * ``telemetry``   — inspect telemetry artifacts saved by a run
   (``telemetry report <metrics.json>``).
@@ -120,6 +123,110 @@ def _cmd_smb_server(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_smb_chaos(args: argparse.Namespace) -> int:
+    """Replay one seeded fault-injection scenario locally.
+
+    Runs a small SEASGD job on a tiny synthetic task with the requested
+    fault plan and retry policy, then reports per-worker outcomes and the
+    fault/retry counters — the CLI face of the ``pytest -m chaos`` suite,
+    for reproducing a scenario from its seed.
+    """
+    from .caffe import SolverConfig, SyntheticImageDataset
+    from .caffe.netspec import NetSpec
+    from .core import (
+        DistributedTrainingManager,
+        ShmCaffeConfig,
+        TerminationCriterion,
+    )
+    from .smb import FaultPlan, RetryPolicy
+    from .telemetry import session as telemetry_session
+
+    def spec_factory() -> NetSpec:
+        spec = NetSpec("chaos-drill")
+        data = spec.input("data", (args.batch_size, 3, 8, 8))
+        labels = spec.input("label", (args.batch_size,))
+        top = spec.conv_relu("conv1", data, 6, kernel=3, pad=1)
+        top = spec.pool("pool1", top, method="max", kernel=2, stride=2)
+        top = spec.pool("gp", top, method="ave", global_pool=True)
+        logits = spec.fc("fc", top, 4)
+        spec.softmax_loss("loss", logits, labels)
+        spec.accuracy("acc", logits, labels)
+        return spec
+
+    dataset = SyntheticImageDataset(
+        num_classes=4, image_size=8, train_per_class=40,
+        test_per_class=8, noise=0.7, seed=args.seed,
+    )
+    plan = FaultPlan(
+        seed=args.seed,
+        error_rate=args.error_rate,
+        delay_rate=args.delay_rate,
+        delay_seconds=args.delay,
+        disconnect_rate=args.disconnect_rate,
+        kill_rank=args.kill_rank,
+        kill_after=args.kill_after,
+    )
+    policy = RetryPolicy(
+        max_attempts=args.retries + 1,
+        base_backoff=args.backoff,
+        seed=args.seed,
+    )
+    config = ShmCaffeConfig(
+        solver=SolverConfig(base_lr=0.05, momentum=0.9),
+        moving_rate=0.2,
+        max_iterations=args.iterations,
+        termination=TerminationCriterion.AVERAGE_ITERATIONS,
+    )
+    print(f"chaos drill: {args.workers} workers x {args.iterations} iters, "
+          f"seed {args.seed}")
+    print(f"  plan:   error={plan.error_rate:.0%} delay={plan.delay_rate:.0%} "
+          f"disconnect={plan.disconnect_rate:.0%} "
+          f"kill_rank={plan.kill_rank} kill_after={plan.kill_after}")
+    print(f"  policy: {policy.max_attempts} attempts, "
+          f"base backoff {policy.base_backoff * 1e3:.1f} ms")
+    with telemetry_session("metrics") as tel:
+        manager = DistributedTrainingManager(
+            spec_factory=spec_factory,
+            config=config,
+            dataset=dataset,
+            batch_size=args.batch_size,
+            num_workers=args.workers,
+            seed=args.seed,
+            telemetry=tel,
+            retry_policy=policy,
+            fault_plan=plan,
+        )
+        result = manager.run(timeout=args.timeout)
+        snapshot = tel.registry.snapshot()
+
+    def counter(name: str) -> int:
+        entry = snapshot.get(name)
+        return int(entry["value"]) if entry else 0
+
+    print()
+    for history in result.histories:
+        status = "LOST" if history.failed else "ok"
+        line = (f"  worker {history.rank}: {status:>4s}  "
+                f"{history.completed_iterations:3d} iterations")
+        if history.failed:
+            line += f"  ({history.failure})"
+        print(line)
+    print()
+    print(f"  injected faults: "
+          + " ".join(f"{kind}={counter(f'smb/faults/{kind}')}"
+                     for kind in ("error", "delay", "disconnect", "kill")))
+    print(f"  client retries:  {counter('smb/client/retries')}")
+    print(f"  workers lost:    {len(result.failed_ranks)} "
+          f"{result.failed_ranks if result.failed_ranks else ''}")
+    survivors = result.surviving_ranks
+    if not survivors:
+        print("  outcome: every worker died")
+        return 1
+    print(f"  outcome: {len(survivors)}/{args.workers} workers completed "
+          f"training")
+    return 0
+
+
 def _cmd_bandwidth(args: argparse.Namespace) -> int:
     from .perfmodel import measure_smb_bandwidth, modeled_bandwidth_gbs
 
@@ -195,6 +302,38 @@ def build_parser() -> argparse.ArgumentParser:
     smb.add_argument("--port", type=int, default=0)
     smb.add_argument("--capacity-mb", type=float, default=1024.0)
     smb.set_defaults(entry=_cmd_smb_server)
+
+    smb_tools = commands.add_parser(
+        "smb", help="SMB utilities (fault-injection replay)"
+    )
+    smb_sub = smb_tools.add_subparsers(dest="smb_command", required=True)
+    chaos = smb_sub.add_parser(
+        "chaos",
+        help="replay a seeded fault-injection scenario against a small "
+             "SEASGD job",
+    )
+    chaos.add_argument("--workers", type=int, default=4)
+    chaos.add_argument("--iterations", type=int, default=6)
+    chaos.add_argument("--batch-size", type=int, default=4)
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="seed for data, faults, and retry jitter")
+    chaos.add_argument("--error-rate", type=float, default=0.05,
+                       help="per-request injected transport-error rate")
+    chaos.add_argument("--delay-rate", type=float, default=0.0)
+    chaos.add_argument("--delay", type=float, default=0.005,
+                       help="seconds per injected delay")
+    chaos.add_argument("--disconnect-rate", type=float, default=0.0)
+    chaos.add_argument("--kill-rank", type=int, default=None,
+                       help="rank whose transport dies permanently")
+    chaos.add_argument("--kill-after", type=int, default=15,
+                       help="requests the killed rank may complete first")
+    chaos.add_argument("--retries", type=int, default=5,
+                       help="retry attempts after a transient failure")
+    chaos.add_argument("--backoff", type=float, default=0.001,
+                       help="base retry backoff, seconds")
+    chaos.add_argument("--timeout", type=float, default=300.0,
+                       help="overall drill deadline, seconds")
+    chaos.set_defaults(entry=_cmd_smb_chaos)
 
     bandwidth = commands.add_parser(
         "bandwidth", help="Fig. 7 bandwidth sweep against an SMB server"

@@ -24,6 +24,7 @@ from .termination import (
 )
 from .trainer import DistributedTrainingManager, TrainingResult
 from .worker import (
+    FlushTimeoutError,
     IterationRecord,
     ShmCaffeWorker,
     WorkerError,
@@ -32,6 +33,7 @@ from .worker import (
 
 __all__ = [
     "DistributedTrainingManager",
+    "FlushTimeoutError",
     "HybridWorker",
     "IterationRecord",
     "STOP_FIRST_FINISHER",

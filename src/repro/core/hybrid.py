@@ -23,6 +23,7 @@ from ..caffe.net import Net
 from ..caffe.params import FlatParams
 from ..caffe.solver import SGDSolver
 from ..nccl.ring import RingGroup
+from ..smb import errors as smb_errors
 from ..smb.client import RemoteArray
 from ..telemetry import TelemetrySession
 from ..telemetry import current as _telemetry_current
@@ -94,6 +95,28 @@ class HybridWorker:
         tel = telemetry if telemetry is not None else _telemetry_current()
         self._telemetry = tel
         self._phases = tel.phase_timer(rank, "main")
+        self._smb_failed = False
+
+    def _record_smb_failure(
+        self, exc: smb_errors.SMBError, iteration: int
+    ) -> None:
+        """Root-only: the group's SMB path died; degrade, don't crash.
+
+        The group keeps its intra-node SSGD lockstep (the broadcasts the
+        members are blocked on still happen) but stops exchanging with the
+        global weights and winds down at the next stop broadcast, marked
+        dead in the control block so other groups rescale.
+        """
+        self._smb_failed = True
+        self.history.failed = True
+        self.history.failure = f"{type(exc).__name__}: {exc}"
+        if self._telemetry.enabled:
+            self._telemetry.registry.inc(f"worker{self.rank}/faults/fatal")
+        if self.termination is not None:
+            try:
+                self.termination.mark_failed(iteration)
+            except smb_errors.SMBError:
+                pass  # control block unreachable too; backstop applies
 
     def _seasgd_exchange(self) -> None:
         """Root-only inter-node elastic exchange (eqs. (5)-(7)).
@@ -124,7 +147,11 @@ class HybridWorker:
             exchanged = iteration % self.config.update_interval == 0
             if exchanged:
                 if self.is_root:
-                    self._seasgd_exchange()
+                    if not self._smb_failed:
+                        try:
+                            self._seasgd_exchange()
+                        except smb_errors.SMBError as exc:
+                            self._record_smb_failure(exc, iteration)
                     with self._phases.phase("nccl"):
                         synced = self.group.broadcast(
                             self.group_rank, self.flat.get_vector(), root=0
@@ -170,9 +197,17 @@ class HybridWorker:
             # through a one-element broadcast so members stop in lockstep.
             if self.is_root:
                 stop = 0.0
-                if self.termination is not None:
-                    self.termination.publish(iteration)
-                    if self.termination.should_stop(iteration):
+                if self._smb_failed:
+                    # The group cannot exchange with W_g any more; wind
+                    # down in lockstep (mark_failed already ran).
+                    stop = 1.0
+                elif self.termination is not None:
+                    try:
+                        self.termination.publish(iteration)
+                        if self.termination.should_stop(iteration):
+                            stop = 1.0
+                    except smb_errors.SMBError as exc:
+                        self._record_smb_failure(exc, iteration)
                         stop = 1.0
                 elif iteration >= self.config.max_iterations:
                     stop = 1.0

@@ -5,6 +5,15 @@ coordination the fast ones idle on their GPUs waiting for the stragglers.
 ShmCaffe avoids a master-side coordinator thread by sharing per-worker
 progress counters through an SMB control segment and letting every worker
 apply one of three predefined stop criteria locally.
+
+Fault tolerance: a worker whose SMB path dies for good calls
+:meth:`TerminationCoordinator.mark_failed`, which flips its control-block
+slot to the dead encoding (see
+:class:`~repro.smb.client.ControlBlock`).  Survivors *rescale* their
+criteria over the live fleet — ``AVERAGE_ITERATIONS`` averages only live
+counters, and under ``MASTER_STOP`` a dead master is replaced by
+first-finisher semantics — so worker loss degrades the job rather than
+hanging or aborting it.
 """
 
 from __future__ import annotations
@@ -50,6 +59,14 @@ class TerminationCoordinator:
         """Report this worker's completed iteration count to everyone."""
         self.control.publish_progress(self.rank, completed_iterations)
 
+    def mark_failed(self, completed_iterations: int) -> None:
+        """Declare this worker dead after ``completed_iterations``.
+
+        Survivors observe the dead slot and rescale; this worker must not
+        publish again afterwards.
+        """
+        self.control.mark_dead(self.rank, completed_iterations)
+
     def should_stop(self, completed_iterations: int) -> bool:
         """Evaluate the active criterion after an iteration.
 
@@ -65,7 +82,16 @@ class TerminationCoordinator:
                     self.control.signal_stop(STOP_MASTER_DONE)
                     return True
                 return False
-            return self.control.stop_code() != ControlBlock.STOP_CLEAR
+            if self.control.stop_code() != ControlBlock.STOP_CLEAR:
+                return True
+            # Degraded mode: if the master died its stop flag will never
+            # come, so survivors fall back to first-finisher semantics.
+            _, alive = self.control.live_progress()
+            if not bool(alive[0]):
+                if completed_iterations >= self.target_iterations:
+                    self.control.signal_stop(STOP_FIRST_FINISHER)
+                    return True
+            return False
 
         if self.criterion is TerminationCriterion.FIRST_FINISHER:
             if completed_iterations >= self.target_iterations:
@@ -76,5 +102,9 @@ class TerminationCoordinator:
         # AVERAGE_ITERATIONS: stop once the fleet's mean progress reaches
         # the target; each worker evaluates this locally from the shared
         # counters, so they all stop within one iteration of each other.
-        progress = self.control.read_progress()
-        return float(progress.mean()) >= self.target_iterations
+        # Dead workers are excluded from the mean — the surviving fleet's
+        # average is what must reach the target (degraded-mode rescale).
+        progress, alive = self.control.live_progress()
+        if not alive.any():
+            return completed_iterations >= self.target_iterations
+        return float(progress[alive].mean()) >= self.target_iterations

@@ -19,6 +19,7 @@ yields ShmCaffe-H with one SEASGD participant (the group root) per group.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -31,7 +32,10 @@ from ..caffe.netspec import NetSpec
 from ..caffe.params import FlatParams
 from ..nccl.ring import RingGroup
 from ..smb.client import ControlBlock, SMBClient
+from ..smb.faults import FaultInjectingTransport, FaultPlan
+from ..smb.retry import RetryPolicy
 from ..smb.server import SMBServer
+from ..smb.transport import InProcTransport, TcpTransport
 from ..telemetry import TelemetrySession
 from ..telemetry import current as _telemetry_current
 from .config import ShmCaffeConfig
@@ -54,6 +58,16 @@ class TrainingResult:
     def total_iterations(self) -> int:
         """Sum of iterations completed across all workers."""
         return sum(h.completed_iterations for h in self.histories)
+
+    @property
+    def failed_ranks(self) -> List[int]:
+        """Ranks that lost their SMB path and degraded out of the run."""
+        return [h.rank for h in self.histories if h.failed]
+
+    @property
+    def surviving_ranks(self) -> List[int]:
+        """Ranks that completed the run normally."""
+        return [h.rank for h in self.histories if not h.failed]
 
 
 class DistributedTrainingManager:
@@ -85,6 +99,14 @@ class DistributedTrainingManager:
         telemetry: Session propagated to the SMB server, every client,
             and every worker, so one run's metrics and trace land in one
             place; defaults to :func:`repro.telemetry.current`.
+        retry_policy: Transient-fault policy installed in every worker's
+            SMB client (see :class:`~repro.smb.retry.RetryPolicy`);
+            ``None`` keeps the fail-fast default.
+        fault_plan: Chaos-testing plan: each worker's transport is
+            wrapped in a seeded
+            :class:`~repro.smb.faults.FaultInjectingTransport` derived
+            per rank, so fault sequences are reproducible.  ``None``
+            (the default) injects nothing.
     """
 
     def __init__(
@@ -104,6 +126,8 @@ class DistributedTrainingManager:
         eval_every: Optional[int] = None,
         eval_batch_size: int = 50,
         telemetry: Optional[TelemetrySession] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -138,15 +162,39 @@ class DistributedTrainingManager:
         self.prefetch = prefetch
         self.eval_every = eval_every
         self.eval_batch_size = eval_batch_size
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
         self._eval_records: List[Tuple[int, Dict[str, float]]] = []
         # Ring groups are shared objects; one per HSGD group.
         self._rings = [RingGroup(group_size) for _ in range(self.num_groups)]
 
-    def _make_client(self) -> SMBClient:
-        """A fresh SMB client on the configured transport."""
+    def _make_client(self, rank: Optional[int] = None) -> SMBClient:
+        """A fresh SMB client on the configured transport.
+
+        ``rank`` identifies a worker client: it gets the manager's retry
+        policy and, when a fault plan is active, a per-rank seeded fault
+        injector.  Infrastructure clients (monitor, final-weights reader)
+        pass ``None`` and stay clean so chaos targets only the workers.
+        """
         if self.server_address is not None:
-            return SMBClient.connect(self.server_address, self.telemetry)
-        return SMBClient.in_process(self.server, self.telemetry)
+            policy = self.retry_policy
+            transport = TcpTransport(
+                self.server_address,
+                timeout=policy.connect_timeout if policy else 10.0,
+                request_timeout=(
+                    policy.request_timeout if policy else 30.0
+                ),
+            )
+        else:
+            transport = InProcTransport(self.server)
+        if rank is not None and self.fault_plan is not None:
+            transport = FaultInjectingTransport(
+                transport, self.fault_plan.for_rank(rank)
+            )
+        return SMBClient(
+            transport, self.telemetry,
+            retry_policy=self.retry_policy if rank is not None else None,
+        )
 
     # -- per-rank entry point ----------------------------------------------
 
@@ -156,7 +204,7 @@ class DistributedTrainingManager:
         flat = FlatParams(net)
         if self.initial_weights is not None:
             flat.set_vector(self.initial_weights)  # resume from checkpoint
-        client = self._make_client()
+        client = self._make_client(rank=rank)
 
         ns = self.namespace
         if comm.is_master:
@@ -301,6 +349,18 @@ class DistributedTrainingManager:
         with tel.timed("run/time/total", trace_name="training-run"):
             histories = mpi.run_spmd(
                 self.num_workers, self._rank_main, timeout=timeout
+            )
+        lost = [h.rank for h in histories if h.failed]
+        if tel.enabled:
+            tel.registry.set("run/workers_lost", len(lost))
+            for h in histories:
+                if h.failed:
+                    tel.registry.inc(f"worker{h.rank}/faults/lost")
+        if lost:
+            logging.getLogger(__name__).warning(
+                "run degraded: worker(s) %s lost their SMB path; "
+                "%d survivor(s) completed training",
+                lost, len(histories) - len(lost),
             )
         reader = self._make_client()
         shm_key, nbytes = reader.lookup(f"{self.namespace}W_g")

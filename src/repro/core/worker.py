@@ -32,6 +32,7 @@ from ..caffe.data import Minibatch
 from ..caffe.net import Net
 from ..caffe.params import FlatParams
 from ..caffe.solver import SGDSolver
+from ..smb import errors as smb_errors
 from ..smb.client import RemoteArray
 from ..telemetry import TelemetrySession
 from ..telemetry import current as _telemetry_current
@@ -42,6 +43,16 @@ from .termination import TerminationCoordinator
 
 class WorkerError(Exception):
     """The worker's protocol was violated or its update thread died."""
+
+
+class FlushTimeoutError(WorkerError):
+    """The update thread failed to flush within the deadline.
+
+    Proceeding would break the eq.-(8) mutual exclusion (the main thread
+    would race a still-running flush), so the worker either fails or —
+    when it has a termination coordinator — marks itself dead and leaves
+    the job to the survivors.
+    """
 
 
 @dataclass
@@ -61,6 +72,10 @@ class WorkerHistory:
     rank: int
     records: List[IterationRecord] = field(default_factory=list)
     completed_iterations: int = 0
+    #: True when the worker lost its SMB path and degraded out of the job
+    #: instead of finishing; ``failure`` carries the terminal error text.
+    failed: bool = False
+    failure: str = ""
 
     @property
     def losses(self) -> List[float]:
@@ -122,6 +137,7 @@ class ShmCaffeWorker:
         self.history = WorkerHistory(rank=rank)
 
         tel = telemetry if telemetry is not None else _telemetry_current()
+        self._telemetry = tel
         # Two timers, one per Fig.-6 thread: phase histograms are shared
         # per worker, trace spans land on separate main/update tracks.
         self._phases = tel.phase_timer(rank, "main")
@@ -169,14 +185,29 @@ class ShmCaffeWorker:
             )
             self._update_thread.start()
 
+    #: Longest the main thread will wait for the update thread to flush
+    #: before declaring the eq.-(8) mutual exclusion broken.
+    FLUSH_TIMEOUT = 60.0
+
     def _wait_for_flush(self) -> None:
-        """T.A5: block until the previous exchange reached the server."""
+        """T.A5: block until the previous exchange reached the server.
+
+        A flush that never lands (update thread wedged on a dead SMB
+        path) must not let the main thread proceed — that would race the
+        flush and break the mutual exclusion — so the bounded wait's
+        result is checked and a timeout is an error.
+        """
         with self._phases.phase("block"):
-            self._flushed.wait()
+            flushed = self._flushed.wait(timeout=self.FLUSH_TIMEOUT)
         if self._update_error is not None:
             raise WorkerError(
                 f"update thread failed: {self._update_error}"
             ) from self._update_error
+        if not flushed:
+            raise FlushTimeoutError(
+                f"update thread did not flush within "
+                f"{self.FLUSH_TIMEOUT:.0f}s"
+            )
 
     # -- exchange (T1-T3) ---------------------------------------------------
 
@@ -247,7 +278,16 @@ class ShmCaffeWorker:
     # -- main loop ------------------------------------------------------------
 
     def run(self) -> WorkerHistory:
-        """Train until the termination criterion fires; returns history."""
+        """Train until the termination criterion fires; returns history.
+
+        A worker whose SMB path dies for good (retries exhausted, closed
+        transport, wedged flush) does not crash the job: when a
+        termination coordinator is present it marks itself dead in the
+        control block — survivors rescale their stop criteria and keep
+        training — and returns its partial history with
+        :attr:`WorkerHistory.failed` set.  Without a coordinator there is
+        nobody to degrade for, so the error propagates.
+        """
         iteration = 0
         try:
             while True:
@@ -280,12 +320,49 @@ class ShmCaffeWorker:
                         break
                 elif iteration >= self.config.max_iterations:
                     break
+        except (smb_errors.SMBError, WorkerError) as exc:
+            if not self._degrade(exc, iteration):
+                raise
         finally:
             self._stop_update_thread()
         self.history.completed_iterations = iteration
         return self.history
 
+    def _degrade(self, exc: BaseException, iteration: int) -> bool:
+        """Try to absorb a terminal SMB failure as graceful worker loss.
+
+        Returns True when the worker marked itself dead (the caller then
+        returns the partial history); False when the failure is not an
+        SMB-path loss or there is no coordinator to inform.
+        """
+        if self.termination is None:
+            return False
+        smb_dead = isinstance(exc, smb_errors.SMBError) or isinstance(
+            exc.__cause__, smb_errors.SMBError
+        ) or isinstance(exc, FlushTimeoutError)
+        if not smb_dead:
+            return False
+        self.history.failed = True
+        self.history.failure = f"{type(exc).__name__}: {exc}"
+        tel = self._telemetry
+        if tel.enabled:
+            tel.registry.inc(f"worker{self.rank}/faults/fatal")
+        try:
+            self.termination.mark_failed(iteration)
+        except smb_errors.SMBError:
+            # The control block is unreachable too; survivors will rely
+            # on the 2x-target backstop instead of an explicit marker.
+            pass
+        return True
+
     def _stop_update_thread(self) -> None:
+        """Drain the update thread; never hang shutdown on a dead flush.
+
+        The bounded waits mean a wedged flush (e.g. SMB path gone) leaves
+        at worst one daemon thread behind instead of blocking the main
+        thread forever; its eventual error is already captured in
+        ``_update_error`` / the degradation path.
+        """
         self._flushed.wait(timeout=30.0)
         self._shutdown.set()
         self._wake.set()

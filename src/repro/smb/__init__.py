@@ -22,16 +22,23 @@ from .client import ControlBlock, RemoteArray, SMBClient
 from .errors import (
     AccessDeniedError,
     CapacityError,
+    FaultInjectedError,
     NotificationTimeout,
+    RetryExhaustedError,
     SegmentExistsError,
     SegmentRangeError,
+    ServerClosingError,
     SMBConnectionError,
     SMBError,
     SMBProtocolError,
+    TransportClosedError,
     UnknownKeyError,
+    is_retryable,
 )
+from .faults import FaultInjectingTransport, FaultPlan
 from .memory import DEFAULT_POOL_CAPACITY, MemoryPool, Segment
 from .protocol import Message, Op, Status
+from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy
 from .server import ServerStats, SMBServer, TcpSMBServer
 from .sharding import (
     ShardedArray,
@@ -46,15 +53,23 @@ __all__ = [
     "CapacityError",
     "ControlBlock",
     "DEFAULT_POOL_CAPACITY",
+    "DEFAULT_RETRY_POLICY",
+    "FaultInjectedError",
+    "FaultInjectingTransport",
+    "FaultPlan",
     "InProcTransport",
     "MemoryPool",
     "Message",
+    "NO_RETRY",
     "NotificationTimeout",
     "Op",
     "RemoteArray",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "Segment",
     "SegmentExistsError",
     "SegmentRangeError",
+    "ServerClosingError",
     "ServerStats",
     "SMBClient",
     "SMBConnectionError",
@@ -65,8 +80,10 @@ __all__ = [
     "Status",
     "TcpSMBServer",
     "TcpTransport",
+    "TransportClosedError",
     "UnknownKeyError",
     "attach_sharded_array",
     "create_sharded_array",
+    "is_retryable",
     "shard_counts",
 ]

@@ -18,6 +18,7 @@ Two convenience layers sit on top of the raw byte operations:
 from __future__ import annotations
 
 import json
+import time
 from time import perf_counter as _perf_counter
 from typing import Optional, Tuple, Union
 
@@ -27,34 +28,19 @@ from ..telemetry import TelemetrySession
 from ..telemetry import current as _telemetry_current
 from . import errors
 from .protocol import Message, Op, Status
+from .retry import NO_RETRY, RetryPolicy
 from .server import SMBServer
 from .transport import InProcTransport, TcpTransport, Transport
 
-_ERROR_TYPES = {
-    cls.__name__: cls
-    for cls in (
-        errors.SMBError,
-        errors.SMBConnectionError,
-        errors.SMBProtocolError,
-        errors.UnknownKeyError,
-        errors.CapacityError,
-        errors.SegmentRangeError,
-        errors.SegmentExistsError,
-        errors.AccessDeniedError,
-        errors.NotificationTimeout,
-    )
-}
-
 
 def _raise_remote(payload: bytes) -> None:
-    """Re-raise a server-side SMBError from its wire representation."""
-    text = payload.decode(errors="replace")
-    name, _, detail = text.partition(":")
-    cls = _ERROR_TYPES.get(name, errors.SMBError)
-    # Error subclasses have structured constructors; reconstruct generically.
-    exc = errors.SMBError.__new__(cls)
-    Exception.__init__(exc, detail)
-    raise exc
+    """Re-raise a server-side SMBError from its wire representation.
+
+    Structured subclasses come back through their real constructors (see
+    :func:`repro.smb.errors.from_wire`), so handlers that inspect e.g.
+    :attr:`CapacityError.available` work across the TCP hop.
+    """
+    raise errors.from_wire(payload)
 
 
 class SMBClient:
@@ -62,33 +48,54 @@ class SMBClient:
 
     Construct via :meth:`in_process` (shared-address-space emulation of
     RDMA) or :meth:`connect` (TCP, true multi-process sharing).
+
+    Args:
+        transport: The request/response channel to the server.
+        telemetry: Session receiving op timings/byte counters; defaults
+            to the process-wide session.
+        retry_policy: Transient-fault handling (see
+            :class:`~repro.smb.retry.RetryPolicy`).  The default fails
+            fast (no retries), preserving pre-fault-tolerance semantics;
+            pass :data:`~repro.smb.retry.DEFAULT_RETRY_POLICY` or your
+            own for resilient operation.
     """
 
     def __init__(
         self,
         transport: Transport,
         telemetry: Optional[TelemetrySession] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self._transport = transport
         self._telemetry = telemetry
+        self._retry = retry_policy if retry_policy is not None else NO_RETRY
+        self._retry_rng = self._retry.make_rng()
 
     @classmethod
     def in_process(
         cls,
         server: SMBServer,
         telemetry: Optional[TelemetrySession] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "SMBClient":
         """Attach directly to an in-process server core."""
-        return cls(InProcTransport(server), telemetry)
+        return cls(InProcTransport(server), telemetry, retry_policy)
 
     @classmethod
     def connect(
         cls,
         address: Tuple[str, int],
         telemetry: Optional[TelemetrySession] = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> "SMBClient":
         """Connect to a :class:`~repro.smb.server.TcpSMBServer`."""
-        return cls(TcpTransport(address), telemetry)
+        policy = retry_policy if retry_policy is not None else NO_RETRY
+        transport = TcpTransport(
+            address,
+            timeout=policy.connect_timeout,
+            request_timeout=policy.request_timeout,
+        )
+        return cls(transport, telemetry, retry_policy)
 
     def close(self) -> None:
         """Release the underlying transport."""
@@ -120,12 +127,48 @@ class SMBClient:
         return response
 
     def _call_raw(self, request: Message) -> Message:
-        response = self._transport.request(request)
-        if response.status is Status.TIMEOUT:
-            raise errors.NotificationTimeout(request.key, request.count, request.scale)
-        if response.status is Status.ERROR:
-            _raise_remote(response.payload)
-        return response
+        """One operation, retried per the client's policy.
+
+        Transient failures (see :func:`repro.smb.errors.is_retryable`)
+        are re-issued up to ``max_attempts`` times with jittered
+        exponential backoff; a persistent fault surfaces as
+        :class:`~repro.smb.errors.RetryExhaustedError` so the training
+        layer can degrade instead of crashing.  Fatal server verdicts
+        (unknown key, capacity, range) propagate immediately.
+        """
+        policy = self._retry
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                response = self._transport.request(request)
+            except errors.SMBError as exc:
+                if not errors.is_retryable(exc):
+                    raise
+                if attempt >= policy.max_attempts:
+                    if policy.max_attempts > 1:
+                        raise errors.RetryExhaustedError(
+                            request.op.name, attempt, f"{type(exc).__name__}: {exc}"
+                        ) from exc
+                    raise  # retries disabled: keep the original error
+                self._count_retry(request.op)
+                time.sleep(policy.backoff(attempt, self._retry_rng))
+                continue
+            if response.status is Status.TIMEOUT:
+                raise errors.NotificationTimeout(
+                    request.key, request.count, request.scale
+                )
+            if response.status is Status.ERROR:
+                _raise_remote(response.payload)
+            return response
+
+    def _count_retry(self, op: Op) -> None:
+        tel = self._telemetry
+        if tel is None:
+            tel = _telemetry_current()
+        if tel.enabled:
+            tel.registry.inc("smb/client/retries")
+            tel.registry.inc(f"smb/client/retries/{op.name}")
 
     def create_buffer(self, name: str, nbytes: int) -> int:
         """Create a named segment; returns its SHM key (master worker)."""
@@ -324,6 +367,12 @@ class ControlBlock:
     Layout: one int64 slot per worker holding its completed-iteration count,
     followed by one stop-flag slot.  Workers publish their own slot and read
     everyone's to decide when to terminate.
+
+    A worker that loses its SMB path for good marks itself **dead** by
+    negating its slot: value ``-(completed + 1)``.  Survivors decode that
+    with :meth:`decode_progress` and rescale their termination criteria
+    over the live fleet, so one lost worker degrades the job instead of
+    hanging it.
     """
 
     STOP_CLEAR = 0
@@ -371,8 +420,42 @@ class ControlBlock:
         )
 
     def read_progress(self) -> np.ndarray:
-        """All workers' completed-iteration counters."""
+        """All workers' completed-iteration counters (raw slot values).
+
+        Dead workers appear as negative values; most callers want
+        :meth:`decode_progress` instead.
+        """
         return self._array.read()[: self.num_workers]
+
+    def mark_dead(self, rank: int, completed_iterations: int) -> None:
+        """Record that ``rank`` lost its SMB path after ``completed_iterations``.
+
+        The slot keeps the completed count (negated, offset by one so even
+        0 iterations encodes as a distinct negative value); survivors see
+        the worker as dead and rescale their stop criteria.
+        """
+        if not 0 <= rank < self.num_workers:
+            raise ValueError(f"rank {rank} out of range")
+        value = np.asarray([-(completed_iterations + 1)], dtype=np.int64)
+        self._array._client.write(
+            self._array.access_key, value, offset=rank * 8
+        )
+
+    @staticmethod
+    def decode_progress(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Split raw slot values into ``(progress, alive)`` arrays.
+
+        ``progress`` holds each worker's completed-iteration count whether
+        it is alive or dead; ``alive`` is the boolean liveness mask.
+        """
+        values = np.asarray(values, dtype=np.int64)
+        alive = values >= 0
+        progress = np.where(alive, values, -values - 1)
+        return progress, alive
+
+    def live_progress(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Decoded ``(progress, alive)`` for the whole fleet."""
+        return self.decode_progress(self.read_progress())
 
     def signal_stop(self, code: int = 1) -> None:
         """Raise the shared stop flag with a nonzero reason code."""

@@ -5,9 +5,26 @@ small number of well-defined ways (unknown keys, exhausted capacity,
 out-of-range accesses, protocol violations).  Every failure surfaces as a
 subclass of :class:`SMBError` so callers can catch the whole family with one
 ``except`` clause.
+
+Failures split into two fault classes the retry layer cares about:
+
+* **transient** — the transport hiccuped (lost connection, injected fault,
+  request timed out on the wire).  :func:`is_retryable` returns True and
+  :class:`~repro.smb.retry.RetryPolicy` governs how often to try again.
+* **fatal** — the server understood the request and rejected it (unknown
+  key, capacity, range).  Retrying would return the same answer, so these
+  propagate immediately.
+
+Server-side errors cross the TCP wire via :func:`to_wire`/:func:`from_wire`,
+which round-trip the *constructor arguments* so structured attributes (e.g.
+:attr:`CapacityError.available`) survive the hop instead of being dropped by
+a message-only reconstruction.
 """
 
 from __future__ import annotations
+
+import json
+from typing import Dict, Tuple, Type
 
 
 class SMBError(Exception):
@@ -15,7 +32,40 @@ class SMBError(Exception):
 
 
 class SMBConnectionError(SMBError):
-    """The transport to the SMB server failed (connect, send, or receive)."""
+    """The transport to the SMB server failed (connect, send, or receive).
+
+    Transient by definition: the request may never have reached the server,
+    so the retry layer treats this whole subtree (except
+    :class:`TransportClosedError` and :class:`RetryExhaustedError`) as
+    safe to try again.
+    """
+
+
+class TransportClosedError(SMBConnectionError):
+    """The local transport was closed; no amount of retrying will help."""
+
+
+class FaultInjectedError(SMBConnectionError):
+    """A :class:`~repro.smb.faults.FaultInjectingTransport` fired (chaos)."""
+
+
+class RetryExhaustedError(SMBConnectionError):
+    """A transient failure persisted through every allowed retry attempt.
+
+    Raised by :class:`~repro.smb.client.SMBClient` with the last transient
+    error as ``__cause__``; the training layer reads this as "the SMB
+    server is gone for me" and degrades (marks the worker dead) instead of
+    crashing the job.
+    """
+
+    def __init__(self, op: str, attempts: int, last_error: str) -> None:
+        super().__init__(
+            f"{op} failed after {attempts} attempt(s); last error: "
+            f"{last_error}"
+        )
+        self.op = op
+        self.attempts = attempts
+        self.last_error = last_error
 
 
 class SMBProtocolError(SMBError):
@@ -76,3 +126,99 @@ class NotificationTimeout(SMBError):
         self.key = key
         self.version = version
         self.timeout = timeout
+
+
+class ServerClosingError(SMBError):
+    """The server is shutting down and will not serve this request."""
+
+
+# -- fault classification ---------------------------------------------------
+
+def is_retryable(exc: BaseException) -> bool:
+    """Whether a failed SMB operation is worth re-issuing.
+
+    Connection-level failures are transient (the peer may come back, the
+    transport reconnects); everything the server *decided* (unknown key,
+    capacity, range, denied access) is deterministic and fatal.  A closed
+    local transport and an already-exhausted retry budget are terminal by
+    construction.
+    """
+    if isinstance(exc, (TransportClosedError, RetryExhaustedError)):
+        return False
+    return isinstance(exc, SMBConnectionError)
+
+
+# -- wire representation ----------------------------------------------------
+
+#: Constructor-argument attribute names per error class, in positional
+#: order.  Only classes with structured constructors appear here; the rest
+#: round-trip as a plain message.
+_WIRE_ARGS: Dict[str, Tuple[str, ...]] = {
+    "UnknownKeyError": ("key",),
+    "CapacityError": ("requested", "available"),
+    "SegmentRangeError": ("offset", "nbytes", "size"),
+    "SegmentExistsError": ("name",),
+    "NotificationTimeout": ("key", "version", "timeout"),
+    "RetryExhaustedError": ("op", "attempts", "last_error"),
+}
+
+_WIRE_TYPES: Dict[str, Type[SMBError]] = {}
+
+
+def _wire_types() -> Dict[str, Type[SMBError]]:
+    if not _WIRE_TYPES:
+        stack: list = [SMBError]
+        while stack:
+            cls = stack.pop()
+            _WIRE_TYPES[cls.__name__] = cls
+            stack.extend(cls.__subclasses__())
+    return _WIRE_TYPES
+
+
+def to_wire(exc: SMBError) -> bytes:
+    """Serialise an SMB error for an ``ERROR`` response payload.
+
+    Format: ``ClassName:{json}`` where the JSON object carries the
+    human-readable ``message`` and, when the class has a structured
+    constructor whose attributes are all present, its positional ``args``.
+    """
+    name = type(exc).__name__
+    body: Dict[str, object] = {"message": str(exc)}
+    fields = _WIRE_ARGS.get(name)
+    if fields is not None:
+        try:
+            body["args"] = [getattr(exc, field) for field in fields]
+        except AttributeError:
+            pass  # half-constructed instance; message-only fallback
+    return f"{name}:{json.dumps(body)}".encode()
+
+
+def from_wire(payload: bytes) -> SMBError:
+    """Rebuild the error an ``ERROR`` response payload describes.
+
+    Structured classes are reconstructed through their real constructor so
+    attribute-inspecting handlers keep working across the TCP hop; anything
+    unrecognised (foreign class name, legacy ``Name:detail`` payloads,
+    un-JSON-decodable detail) degrades to a message-only instance of the
+    closest known class.
+    """
+    text = payload.decode(errors="replace")
+    name, _, detail = text.partition(":")
+    cls = _wire_types().get(name, SMBError)
+    message = detail
+    args = None
+    try:
+        body = json.loads(detail)
+    except (json.JSONDecodeError, ValueError):
+        body = None
+    if isinstance(body, dict):
+        message = str(body.get("message", detail))
+        args = body.get("args")
+    if args is not None:
+        try:
+            return cls(*args)
+        except (TypeError, ValueError):
+            pass  # constructor drifted; fall back to message-only
+    exc = SMBError.__new__(cls)
+    Exception.__init__(exc, message)
+    return exc

@@ -23,9 +23,17 @@ import threading
 from time import perf_counter as _perf_counter
 from typing import Dict, Optional, Tuple
 
+from time import monotonic as _monotonic
+
 from ..telemetry import MetricsRegistry, TelemetrySession
 from ..telemetry import current as _telemetry_current
-from .errors import NotificationTimeout, SMBConnectionError, SMBError
+from .errors import (
+    NotificationTimeout,
+    ServerClosingError,
+    SMBConnectionError,
+    SMBError,
+    to_wire,
+)
 from .memory import DEFAULT_POOL_CAPACITY, MemoryPool
 from .protocol import (
     HELLO,
@@ -127,6 +135,20 @@ class SMBServer:
         # the Fig. 7 benchmark reads them regardless of telemetry mode).
         self.stats = ServerStats(tel.registry if tel.enabled else None)
         self._accumulate_lock = threading.Lock()
+        self._closing = threading.Event()
+
+    def close(self) -> None:
+        """Refuse new waits and wake every blocked WAIT_UPDATE handler.
+
+        Long notification waits are the only place a handler thread can
+        park indefinitely; on shutdown they must unwind rather than pin
+        threads (and, for TCP, connections) forever.
+        """
+        self._closing.set()
+        def _wake(segment) -> None:
+            with segment.lock:
+                segment.updated.notify_all()
+        self.pool.for_each(_wake)
 
     def handle(self, request: Message) -> Message:
         """Process one request and return the response message.
@@ -174,7 +196,7 @@ class SMBServer:
                            payload=str(exc).encode())
         except SMBError as exc:
             return Message(op=request.op, status=Status.ERROR,
-                           payload=f"{type(exc).__name__}:{exc}".encode())
+                           payload=to_wire(exc))
 
     def _dispatch(self, req: Message) -> Message:
         if req.op is Op.CREATE:
@@ -233,9 +255,21 @@ class SMBServer:
         if req.op is Op.WAIT_UPDATE:
             segment = self.pool.by_access_key(req.key)
             timeout = req.scale if req.scale > 0 else None
-            version = segment.wait_for_update(req.count, timeout)
-            if version <= req.count:
-                raise NotificationTimeout(req.key, req.count, timeout or 0.0)
+            # Wait in bounded slices so close() can interrupt a handler
+            # parked on a notification that will never come.
+            deadline = _monotonic() + timeout if timeout is not None else None
+            version = segment.version
+            while version <= req.count:
+                if self._closing.is_set():
+                    raise ServerClosingError("server is shutting down")
+                wait = 0.5
+                if deadline is not None:
+                    wait = min(wait, deadline - _monotonic())
+                    if wait <= 0:
+                        raise NotificationTimeout(
+                            req.key, req.count, timeout or 0.0
+                        )
+                version = segment.wait_for_update(req.count, wait)
             self.stats.record(req.op)
             return Message(op=req.op, key=req.key, count=version)
 
@@ -324,8 +358,14 @@ class TcpSMBServer:
         return self
 
     def stop(self) -> None:
-        """Stop accepting and close the listener; handler threads drain."""
+        """Stop accepting and close the listener; handler threads drain.
+
+        Handler threads parked in a WAIT_UPDATE are woken through
+        :meth:`SMBServer.close` so shutdown never leaves pinned threads
+        behind.
+        """
         self._stop.set()
+        self.core.close()
         try:
             self._listener.close()
         except OSError:  # already closed

@@ -13,19 +13,37 @@ transports implement that contract:
   :class:`~repro.smb.server.TcpSMBServer`, for genuinely multi-process runs
   (the repro band's "emulate ... over sockets").
 
-Both are safe for use by the two threads of a ShmCaffe worker because each
-request/response exchange is serialised by an internal lock.
+Both are safe for use by the two threads of a ShmCaffe worker; each
+request/response exchange is serialised by an internal lock, **except**
+``WAIT_UPDATE``, which must never hold that lock: a notification wait can
+block for seconds while the other thread still needs to read/write/
+accumulate.  :class:`TcpTransport` therefore runs waits on a dedicated
+second connection (the *notification channel*), and both transports chop a
+long wait into bounded slices so ``close()`` wakes a blocked waiter
+promptly instead of letting shutdown hang.
+
+Fault tolerance: every TCP request observes a per-request deadline, and a
+connection that dies is re-established (with a fresh protocol handshake)
+on the next request — the retry layer in :class:`~repro.smb.client.SMBClient`
+turns that into a transparent reconnect-and-retry.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import socket
 import threading
-from typing import Protocol, Tuple
+from time import monotonic
+from typing import Callable, Optional, Protocol, Tuple
 
-from .errors import SMBConnectionError
-from .protocol import HELLO, Message, recv_message, send_message
+from .errors import SMBConnectionError, TransportClosedError
+from .protocol import HELLO, Message, Op, Status, recv_message, send_message
 from .server import SMBServer
+
+#: Upper bound on one server-side blocking slice of a WAIT_UPDATE.  Small
+#: enough that close() wakes a waiter quickly; large enough that re-arming
+#: the wait is not a busy loop.
+WAIT_SLICE = 0.25
 
 
 class Transport(Protocol):
@@ -36,8 +54,40 @@ class Transport(Protocol):
         ...
 
     def close(self) -> None:
-        """Release transport resources."""
+        """Release transport resources and wake any blocked waiter."""
         ...
+
+
+def _sliced_wait(
+    exchange: Callable[[Message], Message],
+    message: Message,
+    closed: threading.Event,
+    slice_seconds: float = WAIT_SLICE,
+) -> Message:
+    """Run one WAIT_UPDATE as a sequence of bounded server-side waits.
+
+    The caller's timeout semantics are preserved (``scale <= 0`` waits
+    forever, otherwise the deadline is honoured to within one slice), but
+    no single exchange blocks longer than ``slice_seconds`` — so a
+    concurrent :meth:`Transport.close` is observed promptly and shutdown
+    cannot hang on a notification that will never come.
+    """
+    deadline = monotonic() + message.scale if message.scale > 0 else None
+    while True:
+        if closed.is_set():
+            raise TransportClosedError("transport closed while waiting")
+        remaining = slice_seconds
+        if deadline is not None:
+            remaining = min(remaining, deadline - monotonic())
+            if remaining <= 0:
+                remaining = 1e-3  # at least one (instant) version check
+        response = exchange(
+            dataclasses.replace(message, scale=remaining)
+        )
+        if response.status is not Status.TIMEOUT:
+            return response
+        if deadline is not None and monotonic() >= deadline:
+            return response  # genuine timeout; client raises from it
 
 
 class InProcTransport:
@@ -46,50 +96,139 @@ class InProcTransport:
     def __init__(self, server: SMBServer) -> None:
         self._server = server
         self._lock = threading.Lock()
-        self._closed = False
+        self._closed = threading.Event()
 
     def request(self, message: Message) -> Message:
-        if self._closed:
-            raise SMBConnectionError("transport is closed")
-        # WAIT_UPDATE may block for a long time; do not hold the exchange
+        if self._closed.is_set():
+            raise TransportClosedError("transport is closed")
+        # WAIT_UPDATE may block for a long time; never hold the exchange
         # lock across it or the worker's other thread would stall too.
-        from .protocol import Op
-
         if message.op is Op.WAIT_UPDATE:
-            return self._server.handle(message)
+            return _sliced_wait(self._server.handle, message, self._closed)
         with self._lock:
             return self._server.handle(message)
 
     def close(self) -> None:
-        self._closed = True
+        self._closed.set()
 
 
 class TcpTransport:
-    """Framed request/response transport over one TCP connection."""
+    """Framed request/response transport over TCP, with fault tolerance.
 
-    def __init__(self, address: Tuple[str, int], timeout: float = 30.0) -> None:
+    Two connections are held against the server:
+
+    * the **command channel** — every ordinary request/response pair,
+      serialised under a lock;
+    * the **notification channel** — opened lazily for ``WAIT_UPDATE``
+      only, so a blocked wait never serialises the worker's other thread.
+
+    Either connection that dies (peer reset, timeout, server restart) is
+    torn down and re-established — including the protocol ``HELLO``
+    handshake — on the next request that needs it.  Every exchange
+    observes ``request_timeout``; an overdue response surfaces as
+    :class:`SMBConnectionError`, which the client's retry policy treats
+    as transient.
+    """
+
+    def __init__(
+        self,
+        address: Tuple[str, int],
+        timeout: float = 10.0,
+        request_timeout: float = 30.0,
+    ) -> None:
         self._address = address
+        self._connect_timeout = timeout
+        self._request_timeout = request_timeout
+        self._lock = threading.Lock()
+        self._notify_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._sock: Optional[socket.socket] = self._connect()
+        self._notify_sock: Optional[socket.socket] = None
+        self.reconnects = 0
+
+    # -- connection management -------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        """Open one handshaken connection to the server."""
         try:
-            self._sock = socket.create_connection(address, timeout=timeout)
+            sock = socket.create_connection(
+                self._address, timeout=self._connect_timeout
+            )
         except OSError as exc:
             raise SMBConnectionError(
-                f"cannot connect to SMB server at {address}: {exc}"
+                f"cannot connect to SMB server at {self._address}: {exc}"
             ) from exc
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        self._sock.settimeout(None)
-        self._lock = threading.Lock()
         try:
-            self._sock.sendall(HELLO)
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.settimeout(self._request_timeout)
+            sock.sendall(HELLO)
         except OSError as exc:
+            sock.close()
             raise SMBConnectionError(f"handshake failed: {exc}") from exc
+        return sock
+
+    @staticmethod
+    def _discard(sock: Optional[socket.socket]) -> None:
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def drop_connection(self) -> None:
+        """Abort both connections (fault injection / tests).
+
+        The next request transparently reconnects and re-handshakes; a
+        thread blocked in a wait observes a connection error and lets the
+        retry layer re-issue the wait.
+        """
+        with self._lock:
+            self._discard(self._sock)
+            self._sock = None
+        self._discard(self._notify_sock)
+        self._notify_sock = None
+
+    # -- request path -----------------------------------------------------
 
     def request(self, message: Message) -> Message:
+        if self._closed.is_set():
+            raise TransportClosedError("transport is closed")
+        if message.op is Op.WAIT_UPDATE:
+            return _sliced_wait(self._notify_exchange, message, self._closed)
         with self._lock:
-            send_message(self._sock, message)
-            return recv_message(self._sock)
+            if self._sock is None:
+                self._sock = self._connect()
+                self.reconnects += 1
+            try:
+                send_message(self._sock, message)
+                return recv_message(self._sock)
+            except SMBConnectionError:
+                # Connection state is unknown (partial frame possible);
+                # drop it so the next request starts clean.
+                self._discard(self._sock)
+                self._sock = None
+                raise
+
+    def _notify_exchange(self, message: Message) -> Message:
+        """One exchange on the dedicated notification connection."""
+        with self._notify_lock:
+            if self._closed.is_set():
+                raise TransportClosedError("transport is closed")
+            if self._notify_sock is None:
+                self._notify_sock = self._connect()
+            try:
+                send_message(self._notify_sock, message)
+                return recv_message(self._notify_sock)
+            except SMBConnectionError:
+                self._discard(self._notify_sock)
+                self._notify_sock = None
+                raise
 
     def close(self) -> None:
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        self._closed.set()
+        # Closing the sockets wakes any thread blocked in recv() with an
+        # OSError -> SMBConnectionError, so shutdown never waits a slice.
+        self._discard(self._sock)
+        self._sock = None
+        self._discard(self._notify_sock)
+        self._notify_sock = None

@@ -1,0 +1,389 @@
+"""Chaos suite: seeded fault injection against the SMB fault-tolerance path.
+
+Every test here is deterministic — fault decisions come from seeded RNG
+streams (one per worker transport), so a failure reproduces from its seed.
+The suite covers the acceptance scenarios of the fault-tolerance layer:
+convergence through transient faults, worker death with survivor
+completion, wait/wakeup deadlines, TCP reconnect, and structured remote
+errors.  All tests carry the ``chaos`` marker so CI can run them as a
+dedicated job (``pytest -m chaos``).
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.caffe import SolverConfig, SyntheticImageDataset
+from repro.core import (
+    DistributedTrainingManager,
+    ShmCaffeConfig,
+    TerminationCriterion,
+)
+from repro.smb import (
+    CapacityError,
+    FaultInjectedError,
+    FaultInjectingTransport,
+    FaultPlan,
+    InProcTransport,
+    NotificationTimeout,
+    Op,
+    RetryExhaustedError,
+    RetryPolicy,
+    SMBClient,
+    SMBServer,
+    TcpSMBServer,
+    TransportClosedError,
+    UnknownKeyError,
+)
+from repro.smb.protocol import Message
+
+from .test_netspec import small_spec
+
+pytestmark = pytest.mark.chaos
+
+#: Tight backoff so retry storms resolve in milliseconds, not seconds.
+FAST_RETRY = RetryPolicy(
+    max_attempts=6, base_backoff=0.001, max_backoff=0.01,
+    request_timeout=10.0, seed=7,
+)
+
+
+@pytest.fixture()
+def dataset():
+    return SyntheticImageDataset(
+        num_classes=4, image_size=8, train_per_class=40, test_per_class=8,
+        noise=0.7, seed=5,
+    )
+
+
+def make_config(iterations=6, criterion=TerminationCriterion.AVERAGE_ITERATIONS):
+    return ShmCaffeConfig(
+        solver=SolverConfig(base_lr=0.05, momentum=0.9),
+        moving_rate=0.2,
+        max_iterations=iterations,
+        termination=criterion,
+    )
+
+
+class TestFaultInjectingTransport:
+    def test_seeded_runs_replay_identically(self):
+        """Same seed, same request sequence => same fault sequence."""
+        def fault_positions(seed):
+            server = SMBServer(capacity=1 << 20)
+            plan = FaultPlan(seed=seed, error_rate=0.3)
+            transport = FaultInjectingTransport(
+                InProcTransport(server), plan
+            )
+            client = SMBClient(transport)
+            shm = None
+            key = None
+            positions = []
+            for i in range(60):
+                try:
+                    if shm is None:
+                        shm = client.create_buffer("seg", 64)
+                    elif key is None:
+                        key = client.attach(shm)
+                    else:
+                        client.version(key)
+                except FaultInjectedError:
+                    positions.append(i)
+            return positions
+
+        first = fault_positions(seed=42)
+        second = fault_positions(seed=42)
+        shifted = fault_positions(seed=43)
+        assert first == second
+        assert first  # 30% over 60 requests fires at least once
+        assert first != shifted
+
+    def test_op_filter_restricts_injection(self):
+        server = SMBServer(capacity=1 << 20)
+        plan = FaultPlan(seed=1, error_rate=1.0, ops=("READ",))
+        client = SMBClient(
+            FaultInjectingTransport(InProcTransport(server), plan)
+        )
+        shm = client.create_buffer("seg", 64)  # CREATE: never injected
+        key = client.attach(shm)
+        with pytest.raises(FaultInjectedError):
+            client.read(key, 8)
+
+    def test_kill_switch_is_permanent(self):
+        server = SMBServer(capacity=1 << 20)
+        plan = FaultPlan(seed=1, kill_rank=0, kill_after=2).for_rank(0)
+        transport = FaultInjectingTransport(InProcTransport(server), plan)
+        client = SMBClient(transport)
+        shm = client.create_buffer("seg", 64)
+        client.attach(shm)
+        for _ in range(3):
+            with pytest.raises(TransportClosedError):
+                client.version(1)
+        assert transport.stats["kill"] == 3
+
+
+class TestRetryPolicy:
+    def test_transient_faults_are_absorbed(self):
+        """A fault rate well under the retry budget is invisible."""
+        server = SMBServer(capacity=1 << 20)
+        plan = FaultPlan(seed=3, error_rate=0.25)
+        transport = FaultInjectingTransport(InProcTransport(server), plan)
+        client = SMBClient(transport, retry_policy=FAST_RETRY)
+        shm = client.create_buffer("seg", 256)
+        key = client.attach(shm)
+        payload = np.arange(64, dtype=np.float32)
+        for _ in range(40):
+            client.write(key, payload)
+            out = np.frombuffer(client.read(key, 256), dtype=np.float32)
+            np.testing.assert_array_equal(out, payload)
+        assert transport.stats["error"] > 0
+
+    def test_exhausted_retries_surface_with_context(self):
+        server = SMBServer(capacity=1 << 20)
+        plan = FaultPlan(seed=3, error_rate=1.0)
+        client = SMBClient(
+            FaultInjectingTransport(InProcTransport(server), plan),
+            retry_policy=RetryPolicy(
+                max_attempts=3, base_backoff=0.001, seed=0
+            ),
+        )
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            client.create_buffer("seg", 64)
+        assert excinfo.value.op == "CREATE"
+        assert excinfo.value.attempts == 3
+        assert "FaultInjectedError" in excinfo.value.last_error
+
+    def test_fatal_server_errors_are_not_retried(self):
+        """Deterministic rejections must not burn the retry budget."""
+        server = SMBServer(capacity=1 << 20)
+        client = SMBClient.in_process(server, retry_policy=FAST_RETRY)
+        with telemetry.session("metrics") as tel:
+            with pytest.raises(UnknownKeyError):
+                client.version(0xDEAD)
+            assert tel.registry.counter("smb/client/retries").value == 0
+
+    def test_backoff_is_bounded_and_jittered(self):
+        policy = RetryPolicy(
+            base_backoff=0.1, backoff_factor=2.0, max_backoff=0.3,
+            jitter=0.5, seed=11,
+        )
+        rng = policy.make_rng()
+        sleeps = [policy.backoff(attempt, rng) for attempt in range(1, 8)]
+        assert all(0.05 <= s <= 0.3 for s in sleeps)
+        assert len(set(sleeps)) > 1  # jitter actually varies
+
+
+class TestRemoteErrorReconstruction:
+    def test_structured_attributes_survive_tcp(self):
+        with TcpSMBServer(capacity=4096) as server:
+            client = SMBClient.connect(server.address)
+            with pytest.raises(CapacityError) as excinfo:
+                client.create_buffer("too-big", 1 << 20)
+            assert excinfo.value.requested == 1 << 20
+            assert excinfo.value.available == 4096
+            with pytest.raises(UnknownKeyError) as excinfo:
+                client.read(0xBEEF, 8)
+            assert excinfo.value.key == 0xBEEF
+            client.close()
+
+    def test_notification_timeout_attributes_over_tcp(self):
+        with TcpSMBServer(capacity=1 << 20) as server:
+            client = SMBClient.connect(server.address)
+            array = client.create_array("seg", 16)
+            with pytest.raises(NotificationTimeout) as excinfo:
+                array.wait_update(version=array.version(), timeout=0.05)
+            assert excinfo.value.key == array.access_key
+            assert excinfo.value.timeout == pytest.approx(0.05)
+            client.close()
+
+
+class TestWaitUpdateLifecycle:
+    @pytest.mark.parametrize("transport_kind", ["inproc", "tcp"])
+    def test_close_wakes_blocked_wait(self, transport_kind):
+        """close() unblocks an infinite WAIT_UPDATE promptly."""
+        if transport_kind == "tcp":
+            server = TcpSMBServer(capacity=1 << 20).start()
+            client = SMBClient.connect(server.address)
+        else:
+            server = None
+            client = SMBClient.in_process(SMBServer(capacity=1 << 20))
+        array = client.create_array("seg", 16)
+        outcome = {}
+
+        def waiter():
+            try:
+                array.wait_update(version=array.version(), timeout=0.0)
+                outcome["result"] = "returned"
+            except BaseException as exc:  # noqa: BLE001 - recorded for assert
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=waiter, daemon=True)
+        thread.start()
+        time.sleep(0.2)  # let the wait actually block
+        client.close()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive(), "close() failed to wake the waiter"
+        assert isinstance(
+            outcome.get("error"),
+            (TransportClosedError, Exception),
+        )
+        if server is not None:
+            server.stop()
+
+    def test_wait_does_not_block_the_other_thread_over_tcp(self):
+        """The notification channel keeps commands flowing during a wait.
+
+        Regression test for TcpTransport.request holding the exchange lock
+        across WAIT_UPDATE, which serialised the worker's other thread.
+        """
+        with TcpSMBServer(capacity=1 << 20) as server:
+            client = SMBClient.connect(server.address)
+            array = client.create_array("seg", 16)
+            version = array.version()
+            got = {}
+
+            def waiter():
+                got["version"] = array.wait_update(version, timeout=10.0)
+
+            thread = threading.Thread(target=waiter, daemon=True)
+            thread.start()
+            time.sleep(0.2)
+            # This write must NOT deadlock behind the blocked wait; it is
+            # also the update the waiter is waiting for.
+            start = time.monotonic()
+            array.write(np.zeros(16, dtype=np.float32))
+            elapsed = time.monotonic() - start
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+            assert got["version"] > version
+            assert elapsed < 2.0, "write serialised behind WAIT_UPDATE"
+            client.close()
+
+
+class TestTcpReconnect:
+    def test_reconnect_after_server_side_disconnect(self):
+        """A dropped connection heals transparently under retry."""
+        with TcpSMBServer(capacity=1 << 20) as server:
+            client = SMBClient.connect(
+                server.address, retry_policy=FAST_RETRY
+            )
+            array = client.create_array("seg", 16)
+            payload = np.arange(16, dtype=np.float32)
+            array.write(payload)
+            transport = client._transport
+            transport.drop_connection()  # server side sees a dead peer
+            out = array.read()  # reconnects + re-handshakes under retry
+            np.testing.assert_array_equal(out, payload)
+            assert transport.reconnects >= 1
+            client.close()
+
+    def test_injected_disconnects_heal_under_retry(self):
+        with TcpSMBServer(capacity=1 << 20) as server:
+            plan = FaultPlan(seed=9, disconnect_rate=0.2)
+            from repro.smb.transport import TcpTransport
+
+            tcp = TcpTransport(server.address)
+            transport = FaultInjectingTransport(tcp, plan)
+            client = SMBClient(transport, retry_policy=FAST_RETRY)
+            array = client.create_array("seg", 64)
+            payload = np.arange(64, dtype=np.float32)
+            for _ in range(25):
+                array.write(payload)
+                np.testing.assert_array_equal(array.read(), payload)
+            assert transport.stats["disconnect"] > 0
+            assert tcp.reconnects >= 1
+            client.close()
+
+
+class TestChaosTraining:
+    def test_seasgd_converges_through_transient_faults(self, dataset):
+        """2-worker SEASGD with ~10% injected faults completes cleanly."""
+        with telemetry.session("metrics") as tel:
+            manager = DistributedTrainingManager(
+                spec_factory=lambda: small_spec(batch=4),
+                config=make_config(iterations=6),
+                dataset=dataset,
+                batch_size=4,
+                num_workers=2,
+                seed=1,
+                retry_policy=FAST_RETRY,
+                fault_plan=FaultPlan(seed=1234, error_rate=0.1),
+            )
+            result = manager.run(timeout=300)
+            assert result.failed_ranks == []
+            assert all(
+                h.completed_iterations >= 1 for h in result.histories
+            )
+            assert np.isfinite(result.final_global_weights).all()
+            # The faults really fired and the retries really absorbed them.
+            snapshot = tel.registry.snapshot()
+            assert snapshot["smb/faults/error"]["value"] > 0
+            assert snapshot["smb/client/retries"]["value"] > 0
+
+    def test_worker_death_survivors_complete(self, dataset):
+        """Acceptance scenario: 1 of 4 workers dies mid-run under >=5%
+        transient faults; survivors finish with rescaled termination."""
+        with telemetry.session("metrics") as tel:
+            manager = DistributedTrainingManager(
+                spec_factory=lambda: small_spec(batch=4),
+                config=make_config(
+                    iterations=6,
+                    criterion=TerminationCriterion.AVERAGE_ITERATIONS,
+                ),
+                dataset=dataset,
+                batch_size=4,
+                num_workers=4,
+                seed=1,
+                retry_policy=FAST_RETRY,
+                fault_plan=FaultPlan(
+                    seed=77, error_rate=0.05,
+                    kill_rank=2, kill_after=15,
+                ),
+            )
+            result = manager.run(timeout=300)
+            assert result.failed_ranks == [2]
+            assert sorted(result.surviving_ranks) == [0, 1, 3]
+            dead = result.histories[2]
+            assert dead.failed and dead.failure
+            # Survivors ran to the (rescaled) termination criterion: the
+            # mean progress of the live fleet reached the target.
+            survivor_iters = [
+                h.completed_iterations
+                for h in result.histories if not h.failed
+            ]
+            assert np.mean(survivor_iters) >= 6
+            assert all(it >= 1 for it in survivor_iters)
+            assert np.isfinite(result.final_global_weights).all()
+            # Fault counters landed in the telemetry snapshot.
+            snapshot = tel.registry.snapshot()
+            assert snapshot["run/workers_lost"]["value"] == 1
+            assert snapshot["worker2/faults/fatal"]["value"] == 1
+            assert snapshot["worker2/faults/lost"]["value"] == 1
+            assert snapshot["smb/faults/kill"]["value"] >= 1
+
+    def test_master_death_falls_back_to_first_finisher(self, dataset):
+        """MASTER_STOP survivors terminate even when the master dies."""
+        manager = DistributedTrainingManager(
+            spec_factory=lambda: small_spec(batch=4),
+            config=make_config(
+                iterations=5,
+                criterion=TerminationCriterion.MASTER_STOP,
+            ),
+            dataset=dataset,
+            batch_size=4,
+            num_workers=3,
+            seed=1,
+            retry_policy=FAST_RETRY,
+            # kill_after is generous enough to let bring-up (segment
+            # creation, key broadcast) finish before the master dies,
+            # but small enough to fire before the master's 5 iterations
+            # (~6 SMB requests each) complete.
+            fault_plan=FaultPlan(seed=5, kill_rank=0, kill_after=20),
+        )
+        result = manager.run(timeout=300)
+        assert 0 in result.failed_ranks
+        survivors = [h for h in result.histories if not h.failed]
+        assert survivors, "every worker died; expected survivors"
+        assert all(h.completed_iterations >= 1 for h in survivors)
