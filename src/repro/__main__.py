@@ -280,7 +280,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     train.add_argument("--platform", default="shmcaffe_a",
                        choices=["caffe", "caffe_mpi", "mpi_caffe",
-                                "shmcaffe_a", "shmcaffe_h"])
+                                "shmcaffe_a", "shmcaffe_h", "smb_asgd"])
     train.add_argument("--model", default="inception_v1",
                        choices=["inception_v1", "resnet_50",
                                 "inception_resnet_v2", "vgg16"])

@@ -5,10 +5,37 @@ This package is the paper's primary contribution.  The substrates it rides
 on live in :mod:`repro.smb` (remote shared memory), :mod:`repro.mpi`
 (bring-up and baselines), :mod:`repro.nccl` (intra-group collectives) and
 :mod:`repro.caffe` (the deep-learning engine).
+
+The training core is layered (see ``docs/architecture.md``):
+:class:`TrainingEngine` owns the iteration loop, an
+:class:`ExchangeStrategy` owns the parameter-sharing rule, and the
+:class:`OverlapDriver` owns the Fig.-6 update thread.  ``ShmCaffeWorker``
+and ``HybridWorker`` remain as thin construction facades.
 """
 
 from .config import ShmCaffeConfig, TerminationCriterion
+from .engine import (
+    FlushTimeoutError,
+    IterationRecord,
+    TrainingEngine,
+    WorkerError,
+    WorkerHistory,
+    smb_path_lost,
+)
+from .exchange import (
+    EXCHANGES,
+    BaseExchange,
+    ExchangeStrategy,
+    HybridExchange,
+    SEASGDExchange,
+    SMBAsgdExchange,
+    StaleReadExchange,
+    elastic_increment,
+    make_exchange,
+    register_exchange,
+)
 from .hybrid import HybridWorker
+from .overlap import OverlapDriver
 from .seasgd import (
     apply_increment_global,
     apply_increment_local,
@@ -23,25 +50,28 @@ from .termination import (
     TerminationCoordinator,
 )
 from .trainer import DistributedTrainingManager, TrainingResult
-from .worker import (
-    FlushTimeoutError,
-    IterationRecord,
-    ShmCaffeWorker,
-    WorkerError,
-    WorkerHistory,
-)
+from .worker import ShmCaffeWorker
 
 __all__ = [
+    "BaseExchange",
     "DistributedTrainingManager",
+    "EXCHANGES",
+    "ExchangeStrategy",
     "FlushTimeoutError",
+    "HybridExchange",
     "HybridWorker",
     "IterationRecord",
+    "OverlapDriver",
     "STOP_FIRST_FINISHER",
     "STOP_MASTER_DONE",
+    "SEASGDExchange",
+    "SMBAsgdExchange",
     "ShmCaffeConfig",
     "ShmCaffeWorker",
+    "StaleReadExchange",
     "TerminationCoordinator",
     "TerminationCriterion",
+    "TrainingEngine",
     "TrainingResult",
     "WorkerError",
     "WorkerHistory",
@@ -49,6 +79,10 @@ __all__ = [
     "apply_increment_local",
     "easgd_server_update",
     "easgd_worker_update",
+    "elastic_increment",
+    "make_exchange",
+    "register_exchange",
     "seasgd_exchange",
+    "smb_path_lost",
     "weight_increment",
 ]

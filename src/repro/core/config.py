@@ -46,6 +46,10 @@ class ShmCaffeConfig:
             paper deliberately refuses this ("the learning performance
             deteriorates due to the delayed parameter problem"); enabling
             it reproduces that deterioration.
+        algorithm: Named exchange strategy for SMB participants (see
+            :data:`repro.core.exchange.EXCHANGES`).  ``"seasgd"`` is the
+            paper's rule; ``"smb_asgd"`` runs the Downpour baseline over
+            the SMB accumulate primitive.
     """
 
     solver: SolverConfig = field(default_factory=SolverConfig)
@@ -55,11 +59,17 @@ class ShmCaffeConfig:
     termination: TerminationCriterion = TerminationCriterion.MASTER_STOP
     overlap_updates: bool = True
     stale_global_read: bool = False
+    algorithm: str = "seasgd"
 
     def __post_init__(self) -> None:
         if not 0.0 < self.moving_rate <= 1.0:
             raise ValueError(
                 f"moving_rate must be in (0, 1], got {self.moving_rate}"
+            )
+        if self.stale_global_read and self.algorithm != "seasgd":
+            raise ValueError(
+                "stale_global_read is a SEASGD ablation; it cannot be "
+                f"combined with algorithm={self.algorithm!r}"
             )
         if self.update_interval < 1:
             raise ValueError(

@@ -1,0 +1,481 @@
+"""Pluggable parameter-exchange strategies for the training engine.
+
+Each platform's parameter-sharing rule is one :class:`ExchangeStrategy`
+implementation driven by the shared
+:class:`~repro.core.engine.TrainingEngine` loop:
+
+* :class:`SEASGDExchange` — the paper's SEASGD (eqs. (5)-(7)), with the
+  Fig.-6 write-side overlap when ``config.overlap_updates`` is on;
+* :class:`StaleReadExchange` — the ablation that hides the *read* side
+  too (the delayed-parameter behaviour the paper refuses);
+* :class:`HybridExchange` — HSGD: intra-group ring allreduce, root-only
+  SEASGD against the SMB server, weight broadcast back to the group.
+  Roots now honor ``overlap_updates`` (the pre-refactor ``HybridWorker``
+  forced the exchange synchronous);
+* :class:`SMBAsgdExchange` — the :mod:`repro.platforms.asgd` Downpour
+  rule ported onto the SMB accumulate primitive, proving the seam admits
+  new update rules without a new worker class.
+
+:func:`elastic_increment` is the **only** training-stack call site of the
+eqs. (5)-(6) math; every strategy that exchanges elastically goes through
+it.  Strategies are typed against
+:class:`~repro.smb.buffer.ParameterBuffer`, so they run unchanged on a
+single :class:`~repro.smb.client.RemoteArray` or a multi-server
+:class:`~repro.smb.sharding.ShardedArray`.
+
+New strategies register under a name with :func:`register_exchange`;
+``ShmCaffeConfig.algorithm`` selects one by name through
+:func:`make_exchange`.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Optional,
+    Protocol,
+    Tuple,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from ..nccl.ring import RingGroup
+from ..smb import errors as smb_errors
+from ..smb.buffer import ParameterBuffer
+from ..telemetry.phases import NullPhaseTimer, PhaseTimer
+from .config import ShmCaffeConfig
+from .engine import WorkerError, smb_path_lost
+from .overlap import OverlapDriver
+from .seasgd import apply_increment_local, weight_increment
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .engine import TrainingEngine
+
+
+def elastic_increment(
+    local_now: np.ndarray, global_now: np.ndarray, moving_rate: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Eqs. (5)-(6): the increment and the elastically pulled replica.
+
+    This is the single place the training stack computes the SEASGD
+    exchange math; strategies differ only in *when* and *where* the
+    pieces are applied.  Returns ``(increment, updated_local)`` where
+    ``increment = alpha * (W'_x - W_g)`` and
+    ``updated_local = W'_x - increment``.
+    """
+    increment = weight_increment(local_now, global_now, moving_rate)
+    return increment, apply_increment_local(local_now, increment)
+
+
+@runtime_checkable
+class ExchangeStrategy(Protocol):
+    """What the training engine needs from a parameter-sharing rule."""
+
+    def bind(self, engine: "TrainingEngine") -> None:
+        """Attach to the engine; validate buffers against the model."""
+        ...
+
+    def exchange(self, iteration: int) -> None:
+        """Run one parameter exchange (called every ``update_interval``)."""
+        ...
+
+    def train_step(self) -> Dict[str, float]:
+        """Run one training iteration; must return ``loss`` and ``lr``."""
+        ...
+
+    def should_stop(self, iteration: int) -> bool:
+        """Decide (possibly collectively) whether training ends now."""
+        ...
+
+    def close(self) -> None:
+        """Release strategy resources (e.g. the overlap driver)."""
+        ...
+
+
+class BaseExchange:
+    """Shared plumbing: engine binding, default step and stop rules."""
+
+    engine: "TrainingEngine"
+
+    def bind(self, engine: "TrainingEngine") -> None:
+        self.engine = engine
+
+    def exchange(self, iteration: int) -> None:
+        raise NotImplementedError
+
+    def train_step(self) -> Dict[str, float]:
+        """T4-T5: train one minibatch with the local solver."""
+        engine = self.engine
+        with engine.phases.phase("comp"):
+            batch = next(engine.batches)
+            return engine.solver.step(batch.as_inputs())
+
+    def should_stop(self, iteration: int) -> bool:
+        return self.engine.default_should_stop(iteration)
+
+    def close(self) -> None:
+        pass
+
+    # -- shared buffer helpers --------------------------------------------
+
+    @staticmethod
+    def check_buffer(buffer: ParameterBuffer, count: int, label: str) -> None:
+        """Ctor-time shape validation with the historical error text."""
+        if buffer.count != count:
+            raise WorkerError(
+                f"{label} buffer holds {buffer.count} weights, "
+                f"model has {count}"
+            )
+
+
+class SEASGDExchange(BaseExchange):
+    """The paper's SEASGD exchange (eqs. (5)-(7)) with Fig.-6 overlap.
+
+    Per exchange: wait for the previous flush (T.A5, the eq.-(8)
+    ``block``), read ``W_g`` (T1, ``rgw``), compute the elastic increment
+    and pull the replica (T2, ``ulw``), then hand the write side — the
+    ``wwi`` segment write and the ``ugw`` server accumulate of eq. (7) —
+    to the :class:`~repro.core.overlap.OverlapDriver` (T3) so it hides
+    behind the next minibatch.  With ``overlap_updates=False`` the write
+    side runs inline on the main thread, giving the deterministic
+    single-threaded exchange the correctness tests rely on.
+    """
+
+    def __init__(
+        self,
+        global_weights: ParameterBuffer,
+        increment_buffer: ParameterBuffer,
+    ) -> None:
+        self.global_weights = global_weights
+        self.increment_buffer = increment_buffer
+        self.driver: Optional[OverlapDriver] = None
+
+    def bind(self, engine: "TrainingEngine") -> None:
+        super().bind(engine)
+        self.check_buffer(self.global_weights, engine.flat.count, "global")
+        self.check_buffer(
+            self.increment_buffer, engine.flat.count, "increment"
+        )
+        if engine.config.overlap_updates:
+            self.driver = OverlapDriver(engine.rank, engine.telemetry)
+
+    def _flush(
+        self, increment: np.ndarray, phases: "PhaseTimer | NullPhaseTimer"
+    ) -> None:
+        """T.A1-T.A3: write dW_x and accumulate it into W_g (eq. (7))."""
+        with phases.phase("wwi"):
+            self.increment_buffer.write(increment)
+        with phases.phase("ugw"):
+            self.increment_buffer.accumulate_into(self.global_weights)
+
+    def exchange(self, iteration: int) -> None:
+        engine = self.engine
+        driver = self.driver
+        if driver is not None:
+            driver.wait_for_flush(engine.phases)                       # T.A5
+        with engine.phases.phase("rgw"):
+            global_now = self.global_weights.read()                    # T1
+        with engine.phases.phase("ulw"):
+            local_now = engine.flat.get_vector()
+            increment, updated = elastic_increment(                    # T2
+                local_now, global_now, engine.config.moving_rate
+            )
+            engine.flat.set_vector(updated)
+        if driver is not None:
+            driver.submit(lambda: self._flush(increment, driver.phases))
+        else:
+            self._flush(increment, engine.phases)
+
+    def close(self) -> None:
+        if self.driver is not None:
+            self.driver.stop()
+
+
+class StaleReadExchange(SEASGDExchange):
+    """Ablation: the whole exchange (read included) runs on the driver.
+
+    The replica keeps training on weights that have not yet absorbed the
+    global pull — the delayed-parameter behaviour the paper avoids ("the
+    learning performance deteriorates due to the delayed parameter
+    problem").  Always driven by an :class:`OverlapDriver` regardless of
+    ``overlap_updates``: a synchronous stale read would not be stale.
+    """
+
+    def bind(self, engine: "TrainingEngine") -> None:
+        super().bind(engine)
+        if self.driver is None:
+            self.driver = OverlapDriver(engine.rank, engine.telemetry)
+
+    def exchange(self, iteration: int) -> None:
+        engine = self.engine
+        driver = self.driver
+        assert driver is not None  # bind() guarantees it
+        driver.wait_for_flush(engine.phases)
+        local_snapshot = engine.flat.get_vector()
+
+        def deferred() -> None:
+            phases = driver.phases
+            with phases.phase("rgw"):
+                global_now = self.global_weights.read()
+            increment, _ = elastic_increment(
+                local_snapshot, global_now, engine.config.moving_rate
+            )
+            self._flush(increment, phases)
+            # Apply to the live replica *late*, racing with training.
+            with phases.phase("ulw"):
+                engine.flat.add_to_params(increment, scale=-1.0)
+
+        driver.submit(deferred)
+
+
+class HybridExchange(BaseExchange):
+    """HSGD: intra-group SSGD + root-only SEASGD (paper Sec. III-D).
+
+    Group members contribute gradients to the ring allreduce and receive
+    the root's post-exchange weights by broadcast; only the root talks to
+    the SMB server, through an inner :class:`SEASGDExchange` — which
+    means roots inherit the Fig.-6 overlap when ``overlap_updates`` is on
+    (the pre-refactor ``HybridWorker`` always exchanged synchronously).
+
+    The root decides termination for the whole group and shares the
+    decision through a one-element broadcast so members stop in lockstep;
+    on a terminal SMB-path loss the root keeps the lockstep broadcasts
+    alive, marks the group dead for the survivors, and winds down.
+    """
+
+    def __init__(
+        self,
+        group: RingGroup,
+        group_rank: int,
+        global_weights: Optional[ParameterBuffer] = None,
+        increment_buffer: Optional[ParameterBuffer] = None,
+    ) -> None:
+        self.group = group
+        self.group_rank = group_rank
+        self.is_root = group_rank == 0
+        self.global_weights = global_weights
+        self.increment_buffer = increment_buffer
+        self._inner: Optional[SEASGDExchange] = None
+        if self.is_root:
+            if global_weights is None or increment_buffer is None:
+                raise WorkerError("group root needs SMB buffers")
+            self._inner = SEASGDExchange(global_weights, increment_buffer)
+        self._smb_failed = False
+
+    @property
+    def smb_failed(self) -> bool:
+        """True once the root lost its SMB path and the group is winding
+        down."""
+        return self._smb_failed
+
+    def bind(self, engine: "TrainingEngine") -> None:
+        super().bind(engine)
+        if self._inner is not None:
+            self._inner.bind(engine)
+
+    def _record_smb_failure(self, exc: BaseException, iteration: int) -> None:
+        """Root-only: the group's SMB path died; degrade, don't crash.
+
+        The group keeps its intra-node SSGD lockstep (the broadcasts the
+        members are blocked on still happen) but stops exchanging with
+        the global weights and winds down at the next stop broadcast,
+        marked dead in the control block so other groups rescale.
+        """
+        self._smb_failed = True
+        self.engine.record_smb_failure(exc, iteration)
+
+    def exchange(self, iteration: int) -> None:
+        """Inter-node SEASGD (root) + intra-group weight broadcast."""
+        engine = self.engine
+        if self.is_root:
+            assert self._inner is not None  # ctor guarantees it for roots
+            if not self._smb_failed:
+                try:
+                    self._inner.exchange(iteration)
+                except (smb_errors.SMBError, WorkerError) as exc:
+                    # With overlap on, a flush failure surfaces wrapped
+                    # in WorkerError at the next wait; classify with the
+                    # shared predicate so non-SMB bugs still propagate.
+                    if not smb_path_lost(exc):
+                        raise
+                    self._record_smb_failure(exc, iteration)
+            with engine.phases.phase("nccl"):
+                synced = self.group.broadcast(
+                    self.group_rank, engine.flat.get_vector(), root=0
+                )
+        else:
+            with engine.phases.phase("nccl"):
+                synced = self.group.broadcast(self.group_rank, None, root=0)
+        engine.flat.set_vector(synced)
+
+    def train_step(self) -> Dict[str, float]:
+        """Intra-group synchronous SGD: average gradients, same update."""
+        engine = self.engine
+        with engine.phases.phase("comp"):
+            batch = next(engine.batches)
+            stats = engine.solver.compute_gradients(batch.as_inputs())
+            gradients = engine.flat.get_grad_vector()
+        # The NCCL phase: the intra-group ring allreduce (the part of an
+        # HSGD iteration SEASGD never pays).
+        with engine.phases.phase("nccl"):
+            averaged = self.group.allreduce(
+                self.group_rank, gradients, average=True
+            )
+        with engine.phases.phase("comp"):
+            engine.flat.set_grad_vector(averaged)
+            lr = engine.solver.learning_rate
+            engine.solver.apply_update(lr)
+            engine.solver.advance_iteration()
+        stats["lr"] = lr
+        return stats
+
+    def should_stop(self, iteration: int) -> bool:
+        """The root decides for the whole group; members follow the flag."""
+        engine = self.engine
+        if self.is_root:
+            stop = 0.0
+            if self._smb_failed:
+                # The group cannot exchange with W_g any more; wind down
+                # in lockstep (mark_failed already ran).
+                stop = 1.0
+            elif engine.termination is not None:
+                try:
+                    engine.termination.publish(iteration)
+                    if engine.termination.should_stop(iteration):
+                        stop = 1.0
+                except smb_errors.SMBError as exc:
+                    self._record_smb_failure(exc, iteration)
+                    stop = 1.0
+            elif iteration >= engine.config.max_iterations:
+                stop = 1.0
+            flag = self.group.broadcast(
+                self.group_rank, np.asarray([stop]), root=0
+            )
+        else:
+            flag = self.group.broadcast(self.group_rank, None, root=0)
+        return float(flag[0]) != 0.0
+
+    def close(self) -> None:
+        if self._inner is not None:
+            self._inner.close()
+
+
+class SMBAsgdExchange(BaseExchange):
+    """Downpour ASGD (see :mod:`repro.platforms.asgd`) on SMB primitives.
+
+    The demonstration that the strategy seam admits a genuinely different
+    update rule: ``exchange`` *replaces* the replica with ``W_g`` (the
+    Downpour fetch; ``update_interval`` plays ``fetch_interval``), and
+    every step pushes ``-lr * gradient`` through the worker's private
+    segment into the server-side accumulate — apply-on-arrival, no
+    elastic averaging.  The write side rides the same
+    :class:`OverlapDriver` as SEASGD when ``overlap_updates`` is on.
+    """
+
+    def __init__(
+        self,
+        global_weights: ParameterBuffer,
+        increment_buffer: ParameterBuffer,
+    ) -> None:
+        self.global_weights = global_weights
+        self.increment_buffer = increment_buffer
+        self.driver: Optional[OverlapDriver] = None
+
+    def bind(self, engine: "TrainingEngine") -> None:
+        super().bind(engine)
+        self.check_buffer(self.global_weights, engine.flat.count, "global")
+        self.check_buffer(
+            self.increment_buffer, engine.flat.count, "increment"
+        )
+        if engine.config.overlap_updates:
+            self.driver = OverlapDriver(engine.rank, engine.telemetry)
+
+    def _push(
+        self, delta: np.ndarray, phases: "PhaseTimer | NullPhaseTimer"
+    ) -> None:
+        with phases.phase("wwi"):
+            self.increment_buffer.write(delta)
+        with phases.phase("ugw"):
+            self.increment_buffer.accumulate_into(self.global_weights)
+
+    def exchange(self, iteration: int) -> None:
+        """The Downpour fetch: replace the replica with the server state."""
+        engine = self.engine
+        if self.driver is not None:
+            self.driver.wait_for_flush(engine.phases)
+        with engine.phases.phase("rgw"):
+            global_now = self.global_weights.read()
+        with engine.phases.phase("ulw"):
+            engine.flat.set_vector(global_now)
+
+    def train_step(self) -> Dict[str, float]:
+        """Compute a gradient, push ``-lr * g``, step the local replica."""
+        engine = self.engine
+        with engine.phases.phase("comp"):
+            batch = next(engine.batches)
+            stats = engine.solver.compute_gradients(batch.as_inputs())
+            lr = engine.solver.learning_rate
+            delta = (-lr * engine.flat.get_grad_vector()).astype(np.float32)
+        driver = self.driver
+        if driver is not None:
+            driver.wait_for_flush(engine.phases)
+            driver.submit(lambda: self._push(delta, driver.phases))
+        else:
+            self._push(delta, engine.phases)
+        # The local replica also steps so inter-fetch iterations make
+        # progress (Downpour keeps training between fetches).
+        with engine.phases.phase("comp"):
+            engine.solver.apply_update(lr)
+            engine.solver.advance_iteration()
+        stats["lr"] = lr
+        return stats
+
+    def close(self) -> None:
+        if self.driver is not None:
+            self.driver.stop()
+
+
+#: Registry of named exchange strategies for SEASGD-style participants
+#: (one worker, two SMB buffers).  ``ShmCaffeConfig.algorithm`` selects
+#: by name; third parties extend it with :func:`register_exchange`.
+EXCHANGES: Dict[
+    str, Callable[[ParameterBuffer, ParameterBuffer], BaseExchange]
+] = {}
+
+
+def register_exchange(
+    name: str,
+    factory: Callable[[ParameterBuffer, ParameterBuffer], BaseExchange],
+) -> None:
+    """Register a strategy factory under ``config.algorithm`` name."""
+    EXCHANGES[name] = factory
+
+
+register_exchange("seasgd", SEASGDExchange)
+register_exchange("smb_asgd", SMBAsgdExchange)
+
+
+def make_exchange(
+    config: ShmCaffeConfig,
+    global_weights: ParameterBuffer,
+    increment_buffer: ParameterBuffer,
+) -> BaseExchange:
+    """Build the configured strategy for a direct SMB participant."""
+    if config.stale_global_read:
+        if config.algorithm != "seasgd":
+            raise ValueError(
+                "stale_global_read is a SEASGD ablation; it cannot be "
+                f"combined with algorithm={config.algorithm!r}"
+            )
+        return StaleReadExchange(global_weights, increment_buffer)
+    try:
+        factory = EXCHANGES[config.algorithm]
+    except KeyError:
+        raise ValueError(
+            f"unknown exchange algorithm {config.algorithm!r}; "
+            f"registered: {sorted(EXCHANGES)}"
+        ) from None
+    return factory(global_weights, increment_buffer)

@@ -1,11 +1,12 @@
-"""Hybrid SGD (HSGD): intra-node SSGD + inter-node SEASGD (paper Sec. III-D).
+"""Back-compat facade: ``HybridWorker`` on top of the unified engine.
 
-Workers on the same node form a *worker group*.  Within a group every
-iteration is synchronous: gradients are averaged with an
-NCCL-style ring allreduce, so all members hold identical replicas.  Only
-the group's **root** exchanges with the SMB server via SEASGD and then
-broadcasts the elastically adjusted weights back to the group — cutting
-SMB traffic by the group size, which is exactly the Fig. 14/15 effect.
+Hybrid SGD (paper Sec. III-D) is now the
+:class:`~repro.core.exchange.HybridExchange` strategy driven by the shared
+:class:`~repro.core.engine.TrainingEngine`: intra-group ring allreduce,
+root-only SEASGD against the SMB server, weight broadcast back to the
+group, lockstep stop flag.  One consequence of the refactor: group roots
+honor ``config.overlap_updates`` and hide the ``wwi``/``ugw`` write side
+on the Fig.-6 update thread, which the pre-refactor class could not do.
 
 The master-worker role of the whole job is played by the root of group 0
 (paper: "the role of the master worker is performed by the root worker of
@@ -16,21 +17,17 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Iterator, Optional
 
-import numpy as np
-
 from ..caffe.data import Minibatch
 from ..caffe.net import Net
-from ..caffe.params import FlatParams
-from ..caffe.solver import SGDSolver
 from ..nccl.ring import RingGroup
-from ..smb import errors as smb_errors
-from ..smb.client import RemoteArray
+from ..smb.buffer import ParameterBuffer
 from ..telemetry import TelemetrySession
-from ..telemetry import current as _telemetry_current
 from .config import ShmCaffeConfig
-from .seasgd import apply_increment_local, weight_increment
+from .engine import TrainingEngine, WorkerHistory
+from .exchange import HybridExchange
 from .termination import TerminationCoordinator
-from .worker import IterationRecord, WorkerError, WorkerHistory
+
+__all__ = ["HybridWorker"]
 
 
 class HybridWorker:
@@ -38,7 +35,8 @@ class HybridWorker:
 
     Non-root members never touch the SMB server: they contribute gradients
     to the group allreduce and receive the root's post-exchange weights by
-    broadcast.  The root additionally runs the SEASGD exchange.
+    broadcast.  The root additionally runs the SEASGD exchange (overlapped
+    when ``config.overlap_updates`` is on).
 
     Args:
         rank: Global worker rank (for reporting).
@@ -46,9 +44,9 @@ class HybridWorker:
         group: The shared :class:`RingGroup` clique.
         net: Local replica (all group members start identical).
         config: ShmCaffe hyper-parameters.
+        batches: This worker's data shard.
         global_weights: Attached ``W_g`` view — **root only**, else None.
         increment_buffer: Private ``dW_grp`` segment — root only.
-        batches: This worker's data shard.
         termination: Stop coordinator (root only; members follow the group).
         on_iteration: Optional live-monitoring callback.
         telemetry: Session receiving phase timings (paper terms plus the
@@ -64,160 +62,72 @@ class HybridWorker:
         net: Net,
         config: ShmCaffeConfig,
         batches: Iterator[Minibatch],
-        global_weights: Optional[RemoteArray] = None,
-        increment_buffer: Optional[RemoteArray] = None,
+        global_weights: Optional[ParameterBuffer] = None,
+        increment_buffer: Optional[ParameterBuffer] = None,
         termination: Optional[TerminationCoordinator] = None,
-        on_iteration: Optional[Callable[[int, int, Dict[str, float]], None]] = None,
+        on_iteration: Optional[
+            Callable[[int, int, Dict[str, float]], None]
+        ] = None,
         telemetry: Optional[TelemetrySession] = None,
     ) -> None:
-        self.rank = rank
         self.group_rank = group_rank
         self.group = group
-        self.net = net
-        self.config = config
-        self.flat = FlatParams(net)
-        self.solver = SGDSolver(net, config.solver)
-        self.batches = batches
         self.is_root = group_rank == 0
-        if self.is_root:
-            if global_weights is None or increment_buffer is None:
-                raise WorkerError("group root needs SMB buffers")
-            if global_weights.count != self.flat.count:
-                raise WorkerError(
-                    f"global buffer holds {global_weights.count} weights, "
-                    f"model has {self.flat.count}"
-                )
         self.global_weights = global_weights
         self.increment_buffer = increment_buffer
-        self.termination = termination
+        self.strategy = HybridExchange(
+            group=group,
+            group_rank=group_rank,
+            global_weights=global_weights,
+            increment_buffer=increment_buffer,
+        )
         self.on_iteration = on_iteration
-        self.history = WorkerHistory(rank=rank)
-        tel = telemetry if telemetry is not None else _telemetry_current()
-        self._telemetry = tel
-        self._phases = tel.phase_timer(rank, "main")
-        self._smb_failed = False
+        self._engine = TrainingEngine(
+            rank=rank,
+            net=net,
+            config=config,
+            batches=batches,
+            strategy=self.strategy,
+            termination=termination,
+            on_iteration=on_iteration,
+            telemetry=telemetry,
+        )
 
-    def _record_smb_failure(
-        self, exc: smb_errors.SMBError, iteration: int
-    ) -> None:
-        """Root-only: the group's SMB path died; degrade, don't crash.
+    # -- engine state, exposed under the historical names -------------------
 
-        The group keeps its intra-node SSGD lockstep (the broadcasts the
-        members are blocked on still happen) but stops exchanging with the
-        global weights and winds down at the next stop broadcast, marked
-        dead in the control block so other groups rescale.
-        """
-        self._smb_failed = True
-        self.history.failed = True
-        self.history.failure = f"{type(exc).__name__}: {exc}"
-        if self._telemetry.enabled:
-            self._telemetry.registry.inc(f"worker{self.rank}/faults/fatal")
-        if self.termination is not None:
-            try:
-                self.termination.mark_failed(iteration)
-            except smb_errors.SMBError:
-                pass  # control block unreachable too; backstop applies
+    @property
+    def rank(self) -> int:
+        return self._engine.rank
 
-    def _seasgd_exchange(self) -> None:
-        """Root-only inter-node elastic exchange (eqs. (5)-(7)).
+    @property
+    def net(self) -> Net:
+        return self._engine.net
 
-        HSGD roots run the exchange synchronously (no update thread),
-        so all four eq.-(8) terms land on the main-thread track.
-        """
-        with self._phases.phase("rgw"):
-            global_now = self.global_weights.read()
-        with self._phases.phase("ulw"):
-            local_now = self.flat.get_vector()
-            increment = weight_increment(
-                local_now, global_now, self.config.moving_rate
-            )
-            self.flat.set_vector(
-                apply_increment_local(local_now, increment)
-            )
-        with self._phases.phase("wwi"):
-            self.increment_buffer.write(increment)
-        with self._phases.phase("ugw"):
-            self.increment_buffer.accumulate_into(self.global_weights)
+    @property
+    def config(self) -> ShmCaffeConfig:
+        return self._engine.config
+
+    @property
+    def flat(self):
+        return self._engine.flat
+
+    @property
+    def solver(self):
+        return self._engine.solver
+
+    @property
+    def batches(self) -> Iterator[Minibatch]:
+        return self._engine.batches
+
+    @property
+    def termination(self) -> Optional[TerminationCoordinator]:
+        return self._engine.termination
+
+    @property
+    def history(self) -> WorkerHistory:
+        return self._engine.history
 
     def run(self) -> WorkerHistory:
         """Train until the group agrees to stop; returns history."""
-        iteration = 0
-        while True:
-            # Inter-node SEASGD (root) + intra-group weight broadcast.
-            exchanged = iteration % self.config.update_interval == 0
-            if exchanged:
-                if self.is_root:
-                    if not self._smb_failed:
-                        try:
-                            self._seasgd_exchange()
-                        except smb_errors.SMBError as exc:
-                            self._record_smb_failure(exc, iteration)
-                    with self._phases.phase("nccl"):
-                        synced = self.group.broadcast(
-                            self.group_rank, self.flat.get_vector(), root=0
-                        )
-                else:
-                    with self._phases.phase("nccl"):
-                        synced = self.group.broadcast(
-                            self.group_rank, None, root=0
-                        )
-                self.flat.set_vector(synced)
-
-            # Intra-group synchronous SGD: average gradients, same update.
-            with self._phases.phase("comp"):
-                batch = next(self.batches)
-                stats = self.solver.compute_gradients(batch.as_inputs())
-                gradients = self.flat.get_grad_vector()
-            # The NCCL phase: the intra-group ring allreduce (the part
-            # of an HSGD iteration SEASGD never pays).
-            with self._phases.phase("nccl"):
-                averaged = self.group.allreduce(
-                    self.group_rank, gradients, average=True
-                )
-            with self._phases.phase("comp"):
-                self.flat.set_grad_vector(averaged)
-                self.solver.apply_update()
-                self.solver.advance_iteration()
-            iteration += 1
-
-            self.history.records.append(
-                IterationRecord(
-                    iteration=iteration,
-                    loss=stats["loss"],
-                    learning_rate=self.solver.config.learning_rate(
-                        iteration - 1
-                    ),
-                    exchanged=exchanged,
-                )
-            )
-            if self.on_iteration is not None:
-                self.on_iteration(self.rank, iteration, stats)
-
-            # The root decides for the whole group; the decision is shared
-            # through a one-element broadcast so members stop in lockstep.
-            if self.is_root:
-                stop = 0.0
-                if self._smb_failed:
-                    # The group cannot exchange with W_g any more; wind
-                    # down in lockstep (mark_failed already ran).
-                    stop = 1.0
-                elif self.termination is not None:
-                    try:
-                        self.termination.publish(iteration)
-                        if self.termination.should_stop(iteration):
-                            stop = 1.0
-                    except smb_errors.SMBError as exc:
-                        self._record_smb_failure(exc, iteration)
-                        stop = 1.0
-                elif iteration >= self.config.max_iterations:
-                    stop = 1.0
-                flag = self.group.broadcast(
-                    self.group_rank, np.asarray([stop]), root=0
-                )
-            else:
-                flag = self.group.broadcast(self.group_rank, None, root=0)
-            if float(flag[0]) != 0.0:
-                break
-
-        self.history.completed_iterations = iteration
-        return self.history
+        self._engine.on_iteration = self.on_iteration
+        return self._engine.run()

@@ -39,9 +39,9 @@ from ..smb.transport import InProcTransport, TcpTransport
 from ..telemetry import TelemetrySession
 from ..telemetry import current as _telemetry_current
 from .config import ShmCaffeConfig
-from .hybrid import HybridWorker
+from .engine import TrainingEngine, WorkerHistory
+from .exchange import HybridExchange, make_exchange
 from .termination import TerminationCoordinator
-from .worker import ShmCaffeWorker, WorkerHistory
 
 
 @dataclass
@@ -135,6 +135,20 @@ class DistributedTrainingManager:
             raise ValueError(
                 f"group_size {group_size} must divide num_workers "
                 f"{num_workers}"
+            )
+        if group_size > 1 and config.stale_global_read:
+            # HybridWorker used to drop this ablation on the floor; fail
+            # loudly instead of silently training something else.
+            raise ValueError(
+                "stale_global_read is not supported with group_size > 1: "
+                "the stale-read ablation is defined for direct SEASGD "
+                "participants, not HSGD group roots"
+            )
+        if group_size > 1 and config.algorithm != "seasgd":
+            raise ValueError(
+                f"algorithm={config.algorithm!r} is not supported with "
+                "group_size > 1: HSGD group roots always exchange via "
+                "SEASGD"
             )
         self.spec_factory = spec_factory
         self.config = config
@@ -267,35 +281,32 @@ class DistributedTrainingManager:
         ) else None
 
         if self.group_size == 1:
-            worker = ShmCaffeWorker(
-                rank=rank,
-                net=net,
-                config=self.config,
+            strategy = make_exchange(
+                self.config,
                 global_weights=global_array,
                 increment_buffer=increment,
-                batches=batches,
-                termination=termination,
-                on_iteration=on_iteration,
-                telemetry=self.telemetry,
             )
         else:
-            worker = HybridWorker(
-                rank=rank,
-                group_rank=group_rank,
+            strategy = HybridExchange(
                 group=self._rings[group_id],
-                net=net,
-                config=self.config,
-                batches=batches,
+                group_rank=group_rank,
                 global_weights=global_array,
                 increment_buffer=increment,
-                termination=termination,
-                on_iteration=on_iteration,
-                telemetry=self.telemetry,
             )
+        engine = TrainingEngine(
+            rank=rank,
+            net=net,
+            config=self.config,
+            batches=batches,
+            strategy=strategy,
+            termination=termination,
+            on_iteration=on_iteration,
+            telemetry=self.telemetry,
+        )
         # Everyone is attached before anyone starts mutating W_g.
         mpi.barrier(comm)
         try:
-            return worker.run()
+            return engine.run()
         finally:
             if prefetcher is not None:
                 prefetcher.stop()

@@ -1,89 +1,53 @@
-"""The ShmCaffe worker: SEASGD training with the Fig. 6 overlap protocol.
+"""Back-compat facade: ``ShmCaffeWorker`` on top of the unified engine.
 
-Each worker runs two threads:
+The SEASGD worker of paper Fig. 6 is now the composition of three layers:
+the :class:`~repro.core.engine.TrainingEngine` iteration loop, a
+:class:`~repro.core.exchange.SEASGDExchange` (or the
+:class:`~repro.core.exchange.StaleReadExchange` ablation, or any strategy
+selected by ``config.algorithm``), and — when ``overlap_updates`` is on —
+the :class:`~repro.core.overlap.OverlapDriver` update thread.  This module
+keeps the historical one-class construction surface: build a
+``ShmCaffeWorker`` from buffers and a batch stream, call :meth:`run`.
 
-* **main_thread** — per iteration: read the global weights from SMB (T1),
-  compute the weight increment and pull the local replica toward the
-  global weights (T2, eqs. (5)-(6)), wake the update_thread (T3), train a
-  minibatch (T4) and apply the local SGD update (T5).
-* **update_thread** — on wake: write the increment to this worker's
-  private SMB segment (T.A1) and request the server-side accumulate into
-  the global weights (T.A2-T.A4, eq. (7)).
-
-The two sides ping-pong on a pair of events, giving exactly the paper's
-mutual exclusion: the main thread blocks before the next T1/T2 until the
-update thread has finished flushing (T.A5), so the *write* side hides
-behind computation while the *read* side is deliberately synchronous (the
-paper refuses to hide it to avoid stale parameters).  Setting
-``overlap_updates=False`` degenerates to a single-threaded, deterministic
-exchange used by correctness tests; ``stale_global_read=True`` is the
-ablation that hides the read too and demonstrably hurts accuracy.
+``IterationRecord``/``WorkerHistory``/``WorkerError``/``FlushTimeoutError``
+live in :mod:`repro.core.engine` now and are re-exported here unchanged.
 """
 
 from __future__ import annotations
 
-import threading
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional
-
-import numpy as np
+from typing import Callable, Dict, Iterator, Optional
 
 from ..caffe.data import Minibatch
 from ..caffe.net import Net
-from ..caffe.params import FlatParams
-from ..caffe.solver import SGDSolver
-from ..smb import errors as smb_errors
-from ..smb.client import RemoteArray
+from ..smb.buffer import ParameterBuffer
 from ..telemetry import TelemetrySession
-from ..telemetry import current as _telemetry_current
 from .config import ShmCaffeConfig
-from .seasgd import apply_increment_local, weight_increment
+from .engine import (
+    FlushTimeoutError,
+    IterationRecord,
+    TrainingEngine,
+    WorkerError,
+    WorkerHistory,
+)
+from .exchange import make_exchange
+from .overlap import OverlapDriver
 from .termination import TerminationCoordinator
 
-
-class WorkerError(Exception):
-    """The worker's protocol was violated or its update thread died."""
-
-
-class FlushTimeoutError(WorkerError):
-    """The update thread failed to flush within the deadline.
-
-    Proceeding would break the eq.-(8) mutual exclusion (the main thread
-    would race a still-running flush), so the worker either fails or —
-    when it has a termination coordinator — marks itself dead and leaves
-    the job to the survivors.
-    """
-
-
-@dataclass
-class IterationRecord:
-    """Per-iteration training telemetry."""
-
-    iteration: int
-    loss: float
-    learning_rate: float
-    exchanged: bool
-
-
-@dataclass
-class WorkerHistory:
-    """Everything a worker reports back after a run."""
-
-    rank: int
-    records: List[IterationRecord] = field(default_factory=list)
-    completed_iterations: int = 0
-    #: True when the worker lost its SMB path and degraded out of the job
-    #: instead of finishing; ``failure`` carries the terminal error text.
-    failed: bool = False
-    failure: str = ""
-
-    @property
-    def losses(self) -> List[float]:
-        return [record.loss for record in self.records]
+__all__ = [
+    "FlushTimeoutError",
+    "IterationRecord",
+    "ShmCaffeWorker",
+    "WorkerError",
+    "WorkerHistory",
+]
 
 
 class ShmCaffeWorker:
     """One SEASGD worker (an MPI process in the paper; a thread here).
+
+    Thin facade over :class:`~repro.core.engine.TrainingEngine` with the
+    strategy chosen by ``config`` (``algorithm`` / ``stale_global_read``).
+    Buffer-shape validation still happens at construction time.
 
     Args:
         rank: Worker rank (rank 0 is the master worker).
@@ -102,269 +66,79 @@ class ShmCaffeWorker:
             the process-wide :func:`repro.telemetry.current` session.
     """
 
+    #: Longest the main thread will wait for the update thread to flush
+    #: before declaring the eq.-(8) mutual exclusion broken.
+    FLUSH_TIMEOUT = OverlapDriver.FLUSH_TIMEOUT
+
     def __init__(
         self,
         rank: int,
         net: Net,
         config: ShmCaffeConfig,
-        global_weights: RemoteArray,
-        increment_buffer: RemoteArray,
+        global_weights: ParameterBuffer,
+        increment_buffer: ParameterBuffer,
         batches: Iterator[Minibatch],
         termination: Optional[TerminationCoordinator] = None,
-        on_iteration: Optional[Callable[[int, int, Dict[str, float]], None]] = None,
+        on_iteration: Optional[
+            Callable[[int, int, Dict[str, float]], None]
+        ] = None,
         telemetry: Optional[TelemetrySession] = None,
     ) -> None:
-        self.rank = rank
-        self.net = net
-        self.config = config
-        self.flat = FlatParams(net)
-        if global_weights.count != self.flat.count:
-            raise WorkerError(
-                f"global buffer holds {global_weights.count} weights, "
-                f"model has {self.flat.count}"
-            )
-        if increment_buffer.count != self.flat.count:
-            raise WorkerError(
-                f"increment buffer holds {increment_buffer.count} weights, "
-                f"model has {self.flat.count}"
-            )
         self.global_weights = global_weights
         self.increment_buffer = increment_buffer
-        self.solver = SGDSolver(net, config.solver)
-        self.batches = batches
-        self.termination = termination
+        self.strategy = make_exchange(
+            config,
+            global_weights=global_weights,
+            increment_buffer=increment_buffer,
+        )
         self.on_iteration = on_iteration
-        self.history = WorkerHistory(rank=rank)
+        self._engine = TrainingEngine(
+            rank=rank,
+            net=net,
+            config=config,
+            batches=batches,
+            strategy=self.strategy,
+            termination=termination,
+            on_iteration=on_iteration,
+            telemetry=telemetry,
+        )
 
-        tel = telemetry if telemetry is not None else _telemetry_current()
-        self._telemetry = tel
-        # Two timers, one per Fig.-6 thread: phase histograms are shared
-        # per worker, trace spans land on separate main/update tracks.
-        self._phases = tel.phase_timer(rank, "main")
-        self._flush_phases = tel.phase_timer(rank, "update")
+    # -- engine state, exposed under the historical names -------------------
 
-        self._pending_increment: Optional[np.ndarray] = None
-        self._wake = threading.Event()
-        self._flushed = threading.Event()
-        self._flushed.set()  # nothing in flight initially
-        self._shutdown = threading.Event()
-        self._update_error: Optional[BaseException] = None
-        self._update_thread: Optional[threading.Thread] = None
+    @property
+    def rank(self) -> int:
+        return self._engine.rank
 
-    # -- update thread (T.A1-T.A4) ----------------------------------------
+    @property
+    def net(self) -> Net:
+        return self._engine.net
 
-    def _update_loop(self) -> None:
-        while True:
-            self._wake.wait()
-            self._wake.clear()
-            if self._shutdown.is_set():
-                return
-            try:
-                increment = self._pending_increment
-                if increment is None:
-                    raise WorkerError("update thread woken with no increment")
-                self._pending_increment = None
-                with self._flush_phases.phase("wwi"):                  # T.A1
-                    self.increment_buffer.write(increment)
-                with self._flush_phases.phase("ugw"):                  # T.A2-3
-                    self.increment_buffer.accumulate_into(
-                        self.global_weights
-                    )
-            except BaseException as exc:  # noqa: BLE001 - report to main
-                self._update_error = exc
-                self._flushed.set()
-                return
-            self._flushed.set()                                        # T.A4
+    @property
+    def config(self) -> ShmCaffeConfig:
+        return self._engine.config
 
-    def _ensure_update_thread(self) -> None:
-        if self._update_thread is None:
-            self._update_thread = threading.Thread(
-                target=self._update_loop,
-                name=f"shmcaffe-update-{self.rank}",
-                daemon=True,
-            )
-            self._update_thread.start()
+    @property
+    def flat(self):
+        return self._engine.flat
 
-    #: Longest the main thread will wait for the update thread to flush
-    #: before declaring the eq.-(8) mutual exclusion broken.
-    FLUSH_TIMEOUT = 60.0
+    @property
+    def solver(self):
+        return self._engine.solver
 
-    def _wait_for_flush(self) -> None:
-        """T.A5: block until the previous exchange reached the server.
+    @property
+    def batches(self) -> Iterator[Minibatch]:
+        return self._engine.batches
 
-        A flush that never lands (update thread wedged on a dead SMB
-        path) must not let the main thread proceed — that would race the
-        flush and break the mutual exclusion — so the bounded wait's
-        result is checked and a timeout is an error.
-        """
-        with self._phases.phase("block"):
-            flushed = self._flushed.wait(timeout=self.FLUSH_TIMEOUT)
-        if self._update_error is not None:
-            raise WorkerError(
-                f"update thread failed: {self._update_error}"
-            ) from self._update_error
-        if not flushed:
-            raise FlushTimeoutError(
-                f"update thread did not flush within "
-                f"{self.FLUSH_TIMEOUT:.0f}s"
-            )
+    @property
+    def termination(self) -> Optional[TerminationCoordinator]:
+        return self._engine.termination
 
-    # -- exchange (T1-T3) ---------------------------------------------------
-
-    def _exchange(self) -> None:
-        """Read W_g, elastic-update the replica, hand dW_x to the flusher."""
-        self._wait_for_flush()
-        with self._phases.phase("rgw"):
-            global_now = self.global_weights.read()                    # T1
-        with self._phases.phase("ulw"):
-            local_now = self.flat.get_vector()
-            increment = weight_increment(                              # T2
-                local_now, global_now, self.config.moving_rate
-            )
-            self.flat.set_vector(
-                apply_increment_local(local_now, increment)
-            )
-
-        if self.config.overlap_updates:
-            self._ensure_update_thread()
-            self._pending_increment = increment
-            self._flushed.clear()
-            self._wake.set()                                           # T3
-        else:
-            with self._phases.phase("wwi"):
-                self.increment_buffer.write(increment)
-            with self._phases.phase("ugw"):
-                self.increment_buffer.accumulate_into(self.global_weights)
-
-    def _exchange_stale(self) -> None:
-        """Ablation: whole exchange (read included) runs on the flusher.
-
-        The replica keeps training on weights that have not yet absorbed
-        the global pull — the delayed-parameter behaviour the paper avoids.
-        """
-        self._wait_for_flush()
-        local_snapshot = self.flat.get_vector()
-
-        def deferred() -> None:
-            with self._flush_phases.phase("rgw"):
-                global_now = self.global_weights.read()
-            increment = weight_increment(
-                local_snapshot, global_now, self.config.moving_rate
-            )
-            with self._flush_phases.phase("wwi"):
-                self.increment_buffer.write(increment)
-            with self._flush_phases.phase("ugw"):
-                self.increment_buffer.accumulate_into(self.global_weights)
-            # Apply to the live replica *late*, racing with training.
-            with self._flush_phases.phase("ulw"):
-                self.flat.add_to_params(increment, scale=-1.0)
-
-        self._flushed.clear()
-        self._run_stale_async(deferred)
-
-    def _run_stale_async(self, deferred) -> None:
-        def runner() -> None:
-            try:
-                deferred()
-            except BaseException as exc:  # noqa: BLE001
-                self._update_error = exc
-            finally:
-                self._flushed.set()
-
-        threading.Thread(
-            target=runner, name=f"shmcaffe-stale-{self.rank}", daemon=True
-        ).start()
-
-    # -- main loop ------------------------------------------------------------
+    @property
+    def history(self) -> WorkerHistory:
+        return self._engine.history
 
     def run(self) -> WorkerHistory:
-        """Train until the termination criterion fires; returns history.
-
-        A worker whose SMB path dies for good (retries exhausted, closed
-        transport, wedged flush) does not crash the job: when a
-        termination coordinator is present it marks itself dead in the
-        control block — survivors rescale their stop criteria and keep
-        training — and returns its partial history with
-        :attr:`WorkerHistory.failed` set.  Without a coordinator there is
-        nobody to degrade for, so the error propagates.
-        """
-        iteration = 0
-        try:
-            while True:
-                exchanged = iteration % self.config.update_interval == 0
-                if exchanged:
-                    if self.config.stale_global_read:
-                        self._exchange_stale()
-                    else:
-                        self._exchange()
-
-                with self._phases.phase("comp"):
-                    batch = next(self.batches)                         # T4
-                    stats = self.solver.step(batch.as_inputs())        # T5
-                iteration += 1
-
-                self.history.records.append(
-                    IterationRecord(
-                        iteration=iteration,
-                        loss=stats["loss"],
-                        learning_rate=stats["lr"],
-                        exchanged=exchanged,
-                    )
-                )
-                if self.on_iteration is not None:
-                    self.on_iteration(self.rank, iteration, stats)
-
-                if self.termination is not None:
-                    self.termination.publish(iteration)
-                    if self.termination.should_stop(iteration):
-                        break
-                elif iteration >= self.config.max_iterations:
-                    break
-        except (smb_errors.SMBError, WorkerError) as exc:
-            if not self._degrade(exc, iteration):
-                raise
-        finally:
-            self._stop_update_thread()
-        self.history.completed_iterations = iteration
-        return self.history
-
-    def _degrade(self, exc: BaseException, iteration: int) -> bool:
-        """Try to absorb a terminal SMB failure as graceful worker loss.
-
-        Returns True when the worker marked itself dead (the caller then
-        returns the partial history); False when the failure is not an
-        SMB-path loss or there is no coordinator to inform.
-        """
-        if self.termination is None:
-            return False
-        smb_dead = isinstance(exc, smb_errors.SMBError) or isinstance(
-            exc.__cause__, smb_errors.SMBError
-        ) or isinstance(exc, FlushTimeoutError)
-        if not smb_dead:
-            return False
-        self.history.failed = True
-        self.history.failure = f"{type(exc).__name__}: {exc}"
-        tel = self._telemetry
-        if tel.enabled:
-            tel.registry.inc(f"worker{self.rank}/faults/fatal")
-        try:
-            self.termination.mark_failed(iteration)
-        except smb_errors.SMBError:
-            # The control block is unreachable too; survivors will rely
-            # on the 2x-target backstop instead of an explicit marker.
-            pass
-        return True
-
-    def _stop_update_thread(self) -> None:
-        """Drain the update thread; never hang shutdown on a dead flush.
-
-        The bounded waits mean a wedged flush (e.g. SMB path gone) leaves
-        at worst one daemon thread behind instead of blocking the main
-        thread forever; its eventual error is already captured in
-        ``_update_error`` / the degradation path.
-        """
-        self._flushed.wait(timeout=30.0)
-        self._shutdown.set()
-        self._wake.set()
-        if self._update_thread is not None:
-            self._update_thread.join(timeout=5.0)
+        """Train until the termination criterion fires; returns history."""
+        # ``on_iteration`` is historically assignable after construction.
+        self._engine.on_iteration = self.on_iteration
+        return self._engine.run()

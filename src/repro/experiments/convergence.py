@@ -129,14 +129,19 @@ def run_platform(
         return caffe_mpi.train(num_workers=workers, **common)
     if platform == "mpi_caffe":
         return mpi_caffe.train(num_workers=workers, **common)
-    if platform in ("shmcaffe", "shmcaffe_a", "shmcaffe_h"):
+    if platform in ("shmcaffe", "shmcaffe_a", "shmcaffe_h", "smb_asgd"):
         if platform == "shmcaffe_a":
+            group_size = 1
+        if platform == "smb_asgd":
+            # Downpour over the SMB accumulate primitive: a direct
+            # (group-less) participant per worker.
             group_size = 1
         return shmcaffe.train(
             num_workers=workers,
             group_size=group_size,
             moving_rate=setup.moving_rate,
             update_interval=setup.update_interval,
+            algorithm="smb_asgd" if platform == "smb_asgd" else "seasgd",
             **common,
         )
     raise ValueError(f"unknown platform {platform!r}")

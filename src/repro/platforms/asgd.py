@@ -16,7 +16,11 @@ This module implements that baseline so the repository can demonstrate
 
 Note the architectural difference from ShmCaffe: this server runs *update
 logic* (it is a parameter server); the SMB server only stores bytes and
-accumulates vectors.
+accumulates vectors.  The same Downpour rule also runs *on* the SMB
+substrate as :class:`repro.core.exchange.SMBAsgdExchange` (platform name
+``smb_asgd``), where the push is expressed as a ``-lr * gradient`` write
+plus the server-side accumulate — a demonstration of the pluggable
+exchange-strategy seam.
 
 A real limitation this baseline faithfully inherits: gradient-push servers
 never learn batch-norm *running statistics* (their "gradient" is zero), so

@@ -36,6 +36,7 @@ def train(
     overlap_updates: bool = True,
     termination: TerminationCriterion = TerminationCriterion.MASTER_STOP,
     timeout: Optional[float] = None,
+    algorithm: str = "seasgd",
 ) -> PlatformResult:
     """Run ShmCaffe; ``group_size=1`` is variant A, ``>1`` is variant H.
 
@@ -48,6 +49,10 @@ def train(
             computation, accepting delayed parameters.
         overlap_updates: Run the Fig. 6 update thread (default, faithful).
         termination: Sec. III-E alignment criterion.
+        algorithm: Named exchange strategy (``"seasgd"`` or any name in
+            :data:`repro.core.exchange.EXCHANGES`, e.g. ``"smb_asgd"``
+            for Downpour over SMB; ``update_interval`` then acts as the
+            fetch interval).
     """
     config = ShmCaffeConfig(
         solver=solver_config,
@@ -57,6 +62,7 @@ def train(
         termination=termination,
         overlap_updates=overlap_updates,
         stale_global_read=stale_global_read,
+        algorithm=algorithm,
     )
     manager = DistributedTrainingManager(
         spec_factory=spec_factory,
@@ -70,7 +76,12 @@ def train(
     )
     outcome = manager.run(timeout=timeout)
 
-    name = "shmcaffe_a" if group_size == 1 else "shmcaffe_h"
+    if algorithm != "seasgd":
+        name = algorithm
+    elif group_size == 1:
+        name = "shmcaffe_a"
+    else:
+        name = "shmcaffe_h"
     result = PlatformResult(platform=name, num_workers=num_workers)
     master = outcome.histories[0]
     result.losses = list(master.losses)

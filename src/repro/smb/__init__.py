@@ -18,6 +18,7 @@ Quick start::
     view = worker.attach_array("W_g", weights.shm_key, count=1000)
 """
 
+from .buffer import ParameterBuffer
 from .client import ControlBlock, RemoteArray, SMBClient
 from .errors import (
     AccessDeniedError,
@@ -63,6 +64,7 @@ __all__ = [
     "NO_RETRY",
     "NotificationTimeout",
     "Op",
+    "ParameterBuffer",
     "RemoteArray",
     "RetryExhaustedError",
     "RetryPolicy",

@@ -1,0 +1,63 @@
+"""The ``ParameterBuffer`` protocol: what training code needs from SMB.
+
+The SEASGD training stack programs against remote parameter storage
+through exactly six capabilities — typed whole-buffer ``read``/``write``,
+the server-side ``accumulate_into`` that implements eq. (7), the element
+``count``, the element ``dtype``, and the mutation ``version`` counter.
+Two backends provide them today:
+
+* :class:`repro.smb.client.RemoteArray` — one segment on one SMB server
+  (the evaluated system's single memory server);
+* :class:`repro.smb.sharding.ShardedArray` — one logical vector striped
+  over K servers (the paper's multi-server future work).
+
+Historically the second backend was duck-typed into the worker; this
+protocol makes the seam formal, so the training engine and its exchange
+strategies are *typed* against :class:`ParameterBuffer` and multi-server
+sharding is a first-class backend rather than an accident of attribute
+names.  The protocol is :func:`typing.runtime_checkable`, so tests can
+assert conformance with ``isinstance``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class ParameterBuffer(Protocol):
+    """Typed remote storage for one flat parameter vector.
+
+    Implementations hold ``count`` elements of ``dtype`` (float32 in every
+    training path) in remote shared memory and support RDMA-style
+    whole-buffer transfers plus the server-side accumulate of eq. (7).
+    """
+
+    #: Logical segment name (diagnostics only).
+    name: str
+    #: Number of elements in the buffer.
+    count: int
+    #: Element type of the buffer.
+    dtype: np.dtype
+
+    def read(self) -> np.ndarray:
+        """Fetch the whole buffer as a typed array (RDMA Read)."""
+        ...
+
+    def write(self, values: np.ndarray) -> int:
+        """Overwrite the whole buffer; returns the new version."""
+        ...
+
+    def accumulate_into(self, dst: "ParameterBuffer", scale: float = 1.0) -> int:
+        """Server-side ``dst += scale * self`` (the eq.-(7) primitive).
+
+        Both buffers must live on the same backend (same server, or the
+        same stripe layout for sharded buffers).
+        """
+        ...
+
+    def version(self) -> int:
+        """Monotone mutation counter (advances on write/accumulate)."""
+        ...

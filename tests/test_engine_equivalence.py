@@ -1,0 +1,418 @@
+"""The refactored training core is behaviorally identical to its ancestors.
+
+The engine/strategy/driver refactor replaced ``ShmCaffeWorker`` and
+``HybridWorker``'s welded-in loops with one ``TrainingEngine`` and
+pluggable ``ExchangeStrategy`` implementations.  These tests pin the
+refactor down:
+
+* **golden equivalence** — seeded runs must reproduce, bit for bit, the
+  per-iteration loss trajectories captured from the pre-refactor classes
+  for ShmCaffe-A (overlap on/off), ShmCaffe-H, and the stale-read
+  ablation;
+* **lr canonicalization** — every platform records the learning rate
+  actually applied at that step (``HybridWorker`` used to derive it
+  separately);
+* **validation** — misconfigurations that used to be silently ignored now
+  raise;
+* **seams** — ``ParameterBuffer`` conformance, the ``smb_asgd`` strategy
+  end to end, HSGD root overlap on the update-thread telemetry track, and
+  the single-call-site rule for the eqs. (5)-(7) math.
+"""
+
+import re
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.caffe import SolverConfig, SyntheticImageDataset
+from repro.core import (
+    DistributedTrainingManager,
+    ExchangeStrategy,
+    HybridExchange,
+    OverlapDriver,
+    SEASGDExchange,
+    ShmCaffeConfig,
+    ShmCaffeWorker,
+    SMBAsgdExchange,
+    StaleReadExchange,
+    TerminationCriterion,
+)
+from repro.smb import (
+    ParameterBuffer,
+    RetryPolicy,
+    SMBClient,
+    SMBServer,
+    create_sharded_array,
+)
+from repro.smb.faults import FaultPlan
+
+from .test_netspec import small_spec
+
+#: Per-iteration losses captured from the pre-refactor ShmCaffeWorker /
+#: HybridWorker classes (commit 8034117) under the exact seeded setup of
+#: ``run_job`` below.  The refactored engine must reproduce them exactly.
+GOLDEN_LOSSES = {
+    "a": [[1.9139208793640137, 1.4326462745666504, 1.5501587390899658,
+           1.278092861175537, 1.4465742111206055, 1.3167544603347778]],
+    "hybrid": [[1.3550125360488892, 1.5377461910247803, 1.5437177419662476,
+                1.4608427286148071, 1.5365022420883179],
+               [1.3739042282104492, 1.3872113227844238, 1.4314543008804321,
+                1.4363481998443604, 1.569166660308838]],
+}
+GOLDEN_HYBRID_LRS = [[0.05] * 5, [0.05] * 5]
+
+
+def golden_dataset():
+    return SyntheticImageDataset(
+        num_classes=4, image_size=8, train_per_class=40, test_per_class=8,
+        noise=0.7, seed=11,
+    )
+
+
+def run_job(
+    num_workers=1,
+    group_size=1,
+    iterations=6,
+    overlap=True,
+    stale=False,
+    algorithm="seasgd",
+    solver=None,
+    telemetry_session=None,
+    retry_policy=None,
+    fault_plan=None,
+    criterion=TerminationCriterion.MASTER_STOP,
+):
+    """The seeded job the goldens were captured from (and variations)."""
+    config = ShmCaffeConfig(
+        solver=solver if solver is not None else SolverConfig(
+            base_lr=0.05, momentum=0.9
+        ),
+        moving_rate=0.2,
+        update_interval=1,
+        max_iterations=iterations,
+        termination=criterion,
+        overlap_updates=overlap,
+        stale_global_read=stale,
+        algorithm=algorithm,
+    )
+    manager = DistributedTrainingManager(
+        spec_factory=lambda: small_spec(batch=4),
+        config=config,
+        dataset=golden_dataset(),
+        batch_size=4,
+        num_workers=num_workers,
+        group_size=group_size,
+        seed=3,
+        telemetry=telemetry_session,
+        retry_policy=retry_policy,
+        fault_plan=fault_plan,
+    )
+    return manager.run(timeout=300)
+
+
+class TestGoldenEquivalence:
+    """Refactored engine == pre-refactor workers, bit for bit."""
+
+    def test_shmcaffe_a_sync_matches_prerefactor(self):
+        result = run_job(overlap=False)
+        assert [h.losses for h in result.histories] == GOLDEN_LOSSES["a"]
+
+    def test_shmcaffe_a_overlap_matches_prerefactor(self):
+        result = run_job(overlap=True)
+        assert [h.losses for h in result.histories] == GOLDEN_LOSSES["a"]
+
+    def test_stale_read_matches_prerefactor(self, monkeypatch):
+        # The stale ablation is inherently racy; force the deferred
+        # exchange inline (exactly how the pre-refactor golden was
+        # captured) so the trajectory is deterministic.
+        monkeypatch.setattr(
+            OverlapDriver, "submit", lambda self, thunk: thunk()
+        )
+        result = run_job(stale=True)
+        assert [h.losses for h in result.histories] == GOLDEN_LOSSES["a"]
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_hybrid_matches_prerefactor(self, overlap):
+        # The pre-refactor HybridWorker always exchanged synchronously;
+        # with a single group the overlapped root is provably identical
+        # (the flush is awaited before the only reader's next read), so
+        # one golden pins both modes.
+        result = run_job(
+            num_workers=2, group_size=2, iterations=5, overlap=overlap
+        )
+        assert [h.losses for h in result.histories] == GOLDEN_LOSSES[
+            "hybrid"
+        ]
+        assert [
+            [r.learning_rate for r in h.records] for h in result.histories
+        ] == GOLDEN_HYBRID_LRS
+
+
+class TestLearningRateCanonicalization:
+    """Every platform records the lr actually applied at that step."""
+
+    STEP_SOLVER = SolverConfig(
+        base_lr=0.05, momentum=0.9, lr_policy="step", gamma=0.5, stepsize=2
+    )
+
+    def check_records(self, histories):
+        for history in histories:
+            assert history.records, "no iterations recorded"
+            for record in history.records:
+                # Iteration i in the history was trained with the solver
+                # clock at i-1; the canonical lr is the one applied then.
+                assert record.learning_rate == pytest.approx(
+                    self.STEP_SOLVER.learning_rate(record.iteration - 1)
+                )
+
+    def test_seasgd_records_applied_lr(self):
+        result = run_job(iterations=5, solver=self.STEP_SOLVER)
+        self.check_records(result.histories)
+
+    def test_hybrid_records_applied_lr(self):
+        # The pre-refactor HybridWorker derived this value through a
+        # separate formula; the engine now records the strategy's
+        # stats["lr"] everywhere.
+        result = run_job(
+            num_workers=2, group_size=2, iterations=5,
+            solver=self.STEP_SOLVER,
+        )
+        self.check_records(result.histories)
+
+    def test_smb_asgd_records_applied_lr(self):
+        result = run_job(
+            iterations=5, algorithm="smb_asgd", solver=self.STEP_SOLVER
+        )
+        self.check_records(result.histories)
+
+
+class TestValidation:
+    """Misconfigurations fail loudly instead of silently degrading."""
+
+    def test_update_interval_below_one_rejected(self):
+        with pytest.raises(ValueError, match="update_interval"):
+            ShmCaffeConfig(update_interval=0)
+
+    def test_stale_read_with_non_seasgd_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="stale_global_read"):
+            ShmCaffeConfig(stale_global_read=True, algorithm="smb_asgd")
+
+    def test_stale_read_with_groups_rejected(self):
+        # HybridWorker used to drop the ablation on the floor.
+        with pytest.raises(ValueError, match="stale_global_read"):
+            DistributedTrainingManager(
+                spec_factory=lambda: small_spec(batch=4),
+                config=ShmCaffeConfig(stale_global_read=True),
+                dataset=golden_dataset(),
+                batch_size=4,
+                num_workers=2,
+                group_size=2,
+            )
+
+    def test_non_seasgd_algorithm_with_groups_rejected(self):
+        with pytest.raises(ValueError, match="smb_asgd"):
+            DistributedTrainingManager(
+                spec_factory=lambda: small_spec(batch=4),
+                config=ShmCaffeConfig(algorithm="smb_asgd"),
+                dataset=golden_dataset(),
+                batch_size=4,
+                num_workers=2,
+                group_size=2,
+            )
+
+    def test_unknown_algorithm_rejected_at_worker_build(self):
+        from repro.caffe import Net
+
+        server = SMBServer(capacity=1 << 22)
+        client = SMBClient.in_process(server)
+        net = Net(small_spec(batch=4), seed=0)
+        from repro.caffe.params import FlatParams
+
+        count = FlatParams(net).count
+        global_array = client.create_array("W_g", count)
+        increment = client.create_array("dW_0", count)
+        with pytest.raises(ValueError, match="unknown exchange algorithm"):
+            ShmCaffeWorker(
+                rank=0,
+                net=net,
+                config=ShmCaffeConfig(algorithm="definitely_not_real"),
+                global_weights=global_array,
+                increment_buffer=increment,
+                batches=iter([]),
+            )
+
+
+class TestParameterBufferProtocol:
+    """Both SMB backends satisfy the formal buffer seam."""
+
+    def test_remote_array_conforms(self):
+        server = SMBServer(capacity=1 << 20)
+        client = SMBClient.in_process(server)
+        array = client.create_array("seg", 32)
+        assert isinstance(array, ParameterBuffer)
+
+    def test_sharded_array_conforms(self):
+        clients = [
+            SMBClient.in_process(SMBServer(capacity=1 << 20))
+            for _ in range(2)
+        ]
+        sharded = create_sharded_array(clients, "seg", 32)
+        assert isinstance(sharded, ParameterBuffer)
+
+    def test_arbitrary_object_does_not_conform(self):
+        assert not isinstance(object(), ParameterBuffer)
+
+    def test_strategies_satisfy_exchange_protocol(self):
+        for cls in (
+            SEASGDExchange, StaleReadExchange, SMBAsgdExchange,
+            HybridExchange,
+        ):
+            assert issubclass(cls, object)
+        server = SMBServer(capacity=1 << 20)
+        client = SMBClient.in_process(server)
+        a = client.create_array("a", 8)
+        b = client.create_array("b", 8)
+        assert isinstance(SEASGDExchange(a, b), ExchangeStrategy)
+        assert isinstance(SMBAsgdExchange(a, b), ExchangeStrategy)
+
+
+class TestHsgdRootOverlap:
+    """HSGD roots now hide their write side on the Fig.-6 update thread."""
+
+    def test_root_wwi_ugw_land_on_update_thread_track(self):
+        with telemetry.session("trace") as tel:
+            result = run_job(
+                num_workers=2, group_size=2, iterations=4, overlap=True,
+                telemetry_session=tel,
+            )
+            assert all(h.completed_iterations == 4 for h in result.histories)
+            events = tel.trace.events()
+        spans = {
+            (e["pid"], e["tid"], e["name"])
+            for e in events if e.get("ph") == "X"
+        }
+        # Root = rank 0: its flushes run on the update-thread lane (tid 1).
+        assert (0, 1, "wwi") in spans
+        assert (0, 1, "ugw") in spans
+        # The read side stays deliberately synchronous on the main lane.
+        assert (0, 0, "rgw") in spans
+        assert (0, 0, "block") in spans
+        # The non-root member (rank 1) never touches SMB.
+        assert not any(
+            pid == 1 and name in ("wwi", "ugw", "rgw") for pid, _, name in spans
+        )
+
+    def test_root_sync_mode_keeps_flushes_on_main_track(self):
+        with telemetry.session("trace") as tel:
+            run_job(
+                num_workers=2, group_size=2, iterations=3, overlap=False,
+                telemetry_session=tel,
+            )
+            events = tel.trace.events()
+        spans = {
+            (e["pid"], e["tid"], e["name"])
+            for e in events if e.get("ph") == "X"
+        }
+        assert (0, 0, "wwi") in spans
+        assert (0, 0, "ugw") in spans
+        assert not any(tid == 1 for _, tid, _ in spans)
+
+
+class TestSmbAsgdExchange:
+    """The Downpour-over-SMB strategy runs end to end through the stack."""
+
+    @pytest.mark.parametrize("overlap", [False, True])
+    def test_two_worker_run_completes(self, overlap):
+        result = run_job(
+            num_workers=2, iterations=5, algorithm="smb_asgd",
+            overlap=overlap,
+        )
+        # MASTER_STOP: the master runs its full budget; the other worker
+        # winds down as soon as the master is done.
+        assert result.histories[0].completed_iterations == 5
+        assert all(
+            h.completed_iterations >= 1 for h in result.histories
+        )
+        assert all(
+            np.isfinite(h.losses).all() for h in result.histories
+        )
+        assert np.isfinite(result.final_global_weights).all()
+
+    def test_pushes_reach_the_global_weights(self):
+        # The server-side W_g must move: every iteration accumulates
+        # -lr * gradient into it (apply-on-arrival, no elastic pull).
+        from repro.caffe import Net
+        from repro.caffe.params import FlatParams
+
+        initial = FlatParams(Net(small_spec(batch=4), seed=3)).get_vector()
+        result = run_job(iterations=4, algorithm="smb_asgd", overlap=False)
+        assert not np.allclose(result.final_global_weights, initial)
+
+    def test_registered_in_exchange_registry(self):
+        from repro.core import EXCHANGES
+
+        assert "seasgd" in EXCHANGES
+        assert "smb_asgd" in EXCHANGES
+
+
+class TestSingleExchangeImplementation:
+    """Grep-level acceptance: eqs. (5)-(7) math has one call site."""
+
+    def test_weight_increment_called_only_from_strategy_layer(self):
+        src = Path(__file__).resolve().parent.parent / "src" / "repro"
+        callers = set()
+        pattern = re.compile(r"(?<!def )\bweight_increment\(")
+        for path in src.rglob("*.py"):
+            rel = path.relative_to(src).as_posix()
+            body = path.read_text(encoding="utf-8")
+            if pattern.search(body):
+                callers.add(rel)
+        # The pure-math module may compose its own primitives; the only
+        # *training-stack* call site is elastic_increment in exchange.py.
+        assert callers == {"core/seasgd.py", "core/exchange.py"}
+
+
+@pytest.mark.chaos
+class TestEngineDegradation:
+    """Kill-1-rank graceful degradation works through the engine path."""
+
+    FAST_RETRY = RetryPolicy(
+        max_attempts=6, base_backoff=0.001, max_backoff=0.01,
+        request_timeout=10.0, seed=7,
+    )
+
+    def test_seasgd_kill_one_rank_survivors_complete(self):
+        result = run_job(
+            num_workers=4, iterations=6,
+            criterion=TerminationCriterion.AVERAGE_ITERATIONS,
+            retry_policy=self.FAST_RETRY,
+            fault_plan=FaultPlan(
+                seed=77, error_rate=0.05, kill_rank=2, kill_after=15
+            ),
+        )
+        assert result.failed_ranks == [2]
+        assert sorted(result.surviving_ranks) == [0, 1, 3]
+        assert result.histories[2].failed and result.histories[2].failure
+        survivor_iters = [
+            h.completed_iterations
+            for h in result.histories if not h.failed
+        ]
+        assert np.mean(survivor_iters) >= 6
+        assert np.isfinite(result.final_global_weights).all()
+
+    def test_smb_asgd_kill_one_rank_survivors_complete(self):
+        # The degradation path is strategy-agnostic: the new Downpour
+        # strategy inherits it from the engine untouched.
+        result = run_job(
+            num_workers=4, iterations=6, algorithm="smb_asgd",
+            criterion=TerminationCriterion.AVERAGE_ITERATIONS,
+            retry_policy=self.FAST_RETRY,
+            fault_plan=FaultPlan(seed=21, kill_rank=1, kill_after=12),
+        )
+        assert result.failed_ranks == [1]
+        survivors = [h for h in result.histories if not h.failed]
+        assert len(survivors) == 3
+        assert all(h.completed_iterations >= 1 for h in survivors)
+        assert np.isfinite(result.final_global_weights).all()
