@@ -6,10 +6,16 @@ Commands:
   (``--analytic`` for the model-only ones, ``--full`` for full-length
   training).
 * ``train``       — run one platform on the synthetic task.
-* ``smb-server``  — start a standalone TCP Soft Memory Box server.
+* ``smb serve``   — start a standalone TCP Soft Memory Box server,
+  optionally durable (``--journal-dir``); ``smb-server`` is a
+  compatibility alias.
 * ``smb chaos``   — replay a seeded fault-injection scenario against a
   small SEASGD job (retry/worker-loss drill; see
   ``docs/fault_tolerance.md``).
+* ``smb drill``   — the server-loss drill: kill a journaled server
+  mid-run, restart it from its journal, verify every worker re-attaches.
+* ``checkpoint``  — ``inspect`` / ``resume`` a coordinated-checkpoint
+  directory; ``save`` forces a durable server snapshot.
 * ``bandwidth``   — run the Fig. 7 measurement against a server.
 * ``telemetry``   — inspect telemetry artifacts saved by a run
   (``telemetry report <metrics.json>``).
@@ -103,15 +109,23 @@ def _cmd_telemetry_report(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_smb_server(args: argparse.Namespace) -> int:
+def _cmd_smb_serve(args: argparse.Namespace) -> int:
     from .smb import TcpSMBServer
 
     server = TcpSMBServer(
         host=args.host, port=args.port,
         capacity=int(args.capacity_mb * 1e6),
+        journal_dir=args.journal_dir or None,
+        snapshot_interval=args.snapshot_interval,
+        journal_ops=not args.no_journal_ops,
     ).start()
     print(f"SMB server listening on {server.address[0]}:{server.address[1]} "
           f"(capacity {args.capacity_mb:.0f} MB); Ctrl-C to stop")
+    if args.journal_dir:
+        mode = "snapshots only" if args.no_journal_ops else "snapshots + ops"
+        print(f"durable: journal dir {args.journal_dir} ({mode}, "
+              f"snapshot every {args.snapshot_interval:.0f}s, "
+              f"epoch {server.core.epoch})")
     try:
         import time
 
@@ -132,26 +146,17 @@ def _cmd_smb_chaos(args: argparse.Namespace) -> int:
     for reproducing a scenario from its seed.
     """
     from .caffe import SolverConfig, SyntheticImageDataset
-    from .caffe.netspec import NetSpec
     from .core import (
         DistributedTrainingManager,
         ShmCaffeConfig,
         TerminationCriterion,
     )
+    from .experiments.recovery import drill_spec
     from .smb import FaultPlan, RetryPolicy
     from .telemetry import session as telemetry_session
 
-    def spec_factory() -> NetSpec:
-        spec = NetSpec("chaos-drill")
-        data = spec.input("data", (args.batch_size, 3, 8, 8))
-        labels = spec.input("label", (args.batch_size,))
-        top = spec.conv_relu("conv1", data, 6, kernel=3, pad=1)
-        top = spec.pool("pool1", top, method="max", kernel=2, stride=2)
-        top = spec.pool("gp", top, method="ave", global_pool=True)
-        logits = spec.fc("fc", top, 4)
-        spec.softmax_loss("loss", logits, labels)
-        spec.accuracy("acc", logits, labels)
-        return spec
+    def spec_factory():
+        return drill_spec(args.batch_size)
 
     dataset = SyntheticImageDataset(
         num_classes=4, image_size=8, train_per_class=40,
@@ -227,6 +232,132 @@ def _cmd_smb_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_smb_drill(args: argparse.Namespace) -> int:
+    """Kill the SMB server mid-run and restart it from its journal.
+
+    The server-loss companion to ``smb chaos``: instead of flaky
+    requests, the whole parameter box dies (``kill -9`` semantics) once
+    the fleet has sealed a checkpoint, and a replacement recovers from
+    the journal directory on a fresh port.  Success means every worker
+    re-attached within its grace window and the run completed with no
+    lost ranks.
+    """
+    import tempfile
+
+    from .experiments.recovery import run_server_loss_drill
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="smb-drill-")
+    print(f"server-loss drill: {args.workers} workers x {args.iterations} "
+          f"iters, seed {args.seed}, workdir {workdir}")
+    print(f"  kill after checkpoint at iteration {args.kill_at}, "
+          f"outage {args.outage:.1f}s, grace {args.grace:.0f}s")
+    report = run_server_loss_drill(
+        workdir,
+        num_workers=args.workers,
+        iterations=args.iterations,
+        checkpoint_every=args.checkpoint_every,
+        kill_at_iteration=args.kill_at,
+        outage=args.outage,
+        grace=args.grace,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        timeout=args.timeout,
+    )
+    print()
+    for history in report.result.histories:
+        status = "LOST" if history.failed else "ok"
+        print(f"  worker {history.rank}: {status:>4s}  "
+              f"{history.completed_iterations:3d} iterations")
+    print()
+    print(f"  server: {report.old_address[1]} -> {report.new_address[1]} "
+          f"(epoch {report.recovered_epoch}, "
+          f"{report.recoveries} recovery)")
+    print(f"  client re-attachments: {report.reattachments}")
+    print(f"  final loss: {report.result.histories[0].losses[-1]:.4f}")
+    if not report.completed:
+        print(f"  outcome: FAILED — lost ranks {report.result.failed_ranks}")
+        return 1
+    print(f"  outcome: all {args.workers} workers survived the server loss")
+    return 0
+
+
+def _parse_address(value: str):
+    host, _, port = value.partition(":")
+    return host, int(port)
+
+
+def _cmd_checkpoint_inspect(args: argparse.Namespace) -> int:
+    import json
+
+    from .core import inspect_checkpoint
+
+    print(json.dumps(inspect_checkpoint(args.directory), indent=2))
+    return 0
+
+
+def _cmd_checkpoint_save(args: argparse.Namespace) -> int:
+    """Force a journaled SMB server to write a durable snapshot now."""
+    from .smb import SMBClient, errors, read_rendezvous
+
+    if args.rendezvous:
+        address = read_rendezvous(args.rendezvous)
+        if address is None:
+            print(f"error: no readable rendezvous at {args.rendezvous}",
+                  file=sys.stderr)
+            return 1
+    elif args.connect:
+        address = _parse_address(args.connect)
+    else:
+        print("error: one of --connect or --rendezvous is required",
+              file=sys.stderr)
+        return 1
+    with SMBClient.connect(address) as client:
+        try:
+            seq, epoch = client.request_snapshot()
+        except errors.SMBError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+    print(f"snapshot seq {seq} written (server epoch {epoch})")
+    return 0
+
+
+def _cmd_checkpoint_resume(args: argparse.Namespace) -> int:
+    """Continue a run from its latest checkpoint, rebuilt from metadata."""
+    from .core import latest_checkpoint
+    from .experiments.recovery import build_manager
+
+    info = latest_checkpoint(args.directory)
+    if info is None:
+        print(f"error: no complete checkpoint under {args.directory}",
+              file=sys.stderr)
+        return 1
+    print(f"resuming from {info.directory} "
+          f"(iteration {info.iteration}, {info.num_workers} workers)")
+    try:
+        manager = build_manager(
+            info.metadata,
+            resume=args.directory,
+            max_iterations=args.iterations or None,
+            server_address=(
+                _parse_address(args.connect) if args.connect else None
+            ),
+            rendezvous=args.rendezvous or None,
+            server_down_grace=args.grace,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    result = manager.run(timeout=args.timeout)
+    print()
+    for history in result.histories:
+        status = "LOST" if history.failed else "ok"
+        final = f"{history.losses[-1]:.4f}" if history.records else "n/a"
+        print(f"  worker {history.rank}: {status:>4s}  "
+              f"{history.completed_iterations:3d} iterations, "
+              f"final loss {final}")
+    return 1 if result.failed_ranks else 0
+
+
 def _cmd_bandwidth(args: argparse.Namespace) -> int:
     from .perfmodel import measure_smb_bandwidth, modeled_bandwidth_gbs
 
@@ -295,18 +426,41 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--update-interval", type=int, default=1)
     train.set_defaults(entry=_cmd_train)
 
-    smb = commands.add_parser(
-        "smb-server", help="run a standalone TCP Soft Memory Box server"
+    def _add_serve_args(target: argparse.ArgumentParser) -> None:
+        target.add_argument("--host", default="127.0.0.1")
+        target.add_argument("--port", type=int, default=0)
+        target.add_argument("--capacity-mb", type=float, default=1024.0)
+        target.add_argument(
+            "--journal-dir", default="",
+            help="make the server durable: snapshots + op journal + "
+                 "rendezvous file go here; restarting with the same "
+                 "directory recovers every segment",
+        )
+        target.add_argument(
+            "--snapshot-interval", type=float, default=30.0,
+            help="seconds between periodic durable snapshots",
+        )
+        target.add_argument(
+            "--no-journal-ops", action="store_true",
+            help="snapshot-only durability (bounded lost-delta window "
+                 "instead of per-op journaling)",
+        )
+        target.set_defaults(entry=_cmd_smb_serve)
+
+    smb_legacy = commands.add_parser(
+        "smb-server",
+        help="alias for `smb serve` (kept for compatibility)",
     )
-    smb.add_argument("--host", default="127.0.0.1")
-    smb.add_argument("--port", type=int, default=0)
-    smb.add_argument("--capacity-mb", type=float, default=1024.0)
-    smb.set_defaults(entry=_cmd_smb_server)
+    _add_serve_args(smb_legacy)
 
     smb_tools = commands.add_parser(
-        "smb", help="SMB utilities (fault-injection replay)"
+        "smb", help="SMB utilities (server, fault-injection replay)"
     )
     smb_sub = smb_tools.add_subparsers(dest="smb_command", required=True)
+    serve = smb_sub.add_parser(
+        "serve", help="run a standalone TCP Soft Memory Box server"
+    )
+    _add_serve_args(serve)
     chaos = smb_sub.add_parser(
         "chaos",
         help="replay a seeded fault-injection scenario against a small "
@@ -334,6 +488,72 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--timeout", type=float, default=300.0,
                        help="overall drill deadline, seconds")
     chaos.set_defaults(entry=_cmd_smb_chaos)
+
+    drill = smb_sub.add_parser(
+        "drill",
+        help="server-loss drill: kill a journaled server mid-run, "
+             "restart it from the journal, verify workers re-attach",
+    )
+    drill.add_argument("--workers", type=int, default=2)
+    drill.add_argument("--iterations", type=int, default=10)
+    drill.add_argument("--batch-size", type=int, default=4)
+    drill.add_argument("--seed", type=int, default=0,
+                       help="seed for data, weights, and retry jitter")
+    drill.add_argument("--checkpoint-every", type=int, default=2)
+    drill.add_argument("--kill-at", type=int, default=4,
+                       help="kill once a checkpoint at this iteration "
+                            "is sealed")
+    drill.add_argument("--outage", type=float, default=0.3,
+                       help="seconds the server stays dead")
+    drill.add_argument("--grace", type=float, default=30.0,
+                       help="per-client server-down reconnect window, "
+                            "seconds")
+    drill.add_argument("--workdir", default="",
+                       help="journal + checkpoint root (default: a "
+                            "fresh temp dir)")
+    drill.add_argument("--timeout", type=float, default=300.0)
+    drill.set_defaults(entry=_cmd_smb_drill)
+
+    checkpoint = commands.add_parser(
+        "checkpoint",
+        help="coordinated checkpoints: inspect/resume a checkpoint "
+             "directory, force a server snapshot",
+    )
+    ckpt_sub = checkpoint.add_subparsers(
+        dest="checkpoint_command", required=True
+    )
+    ckpt_inspect = ckpt_sub.add_parser(
+        "inspect", help="summarize a checkpoint directory as JSON"
+    )
+    ckpt_inspect.add_argument("directory")
+    ckpt_inspect.set_defaults(entry=_cmd_checkpoint_inspect)
+    ckpt_save = ckpt_sub.add_parser(
+        "save",
+        help="ask a journaled SMB server to write a durable snapshot now",
+    )
+    ckpt_save.add_argument("--connect", default="",
+                           help="host:port of the server")
+    ckpt_save.add_argument("--rendezvous", default="",
+                           help="endpoint.json written by a journaled "
+                                "server (alternative to --connect)")
+    ckpt_save.set_defaults(entry=_cmd_checkpoint_save)
+    ckpt_resume = ckpt_sub.add_parser(
+        "resume",
+        help="rebuild a run from its checkpoint metadata and continue it",
+    )
+    ckpt_resume.add_argument("directory")
+    ckpt_resume.add_argument("--iterations", type=int, default=0,
+                             help="override the stored iteration target")
+    ckpt_resume.add_argument("--connect", default="",
+                             help="host:port of an SMB server to resume "
+                                  "against (default: fresh in-process)")
+    ckpt_resume.add_argument("--rendezvous", default="",
+                             help="journaled server's endpoint.json, "
+                                  "re-resolved on reconnects")
+    ckpt_resume.add_argument("--grace", type=float, default=0.0,
+                             help="server-down reconnect window, seconds")
+    ckpt_resume.add_argument("--timeout", type=float, default=300.0)
+    ckpt_resume.set_defaults(entry=_cmd_checkpoint_resume)
 
     bandwidth = commands.add_parser(
         "bandwidth", help="Fig. 7 bandwidth sweep against an SMB server"

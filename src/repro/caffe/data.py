@@ -134,17 +134,36 @@ class SyntheticImageDataset:
         seed: int = 0,
         rank: int = 0,
         num_shards: int = 1,
+        skip: int = 0,
     ) -> Iterator[Minibatch]:
-        """Endless stream of shuffled minibatches from this worker's shard."""
+        """Endless stream of shuffled minibatches from this worker's shard.
+
+        The stream is a pure function of ``(seed, rank, num_shards)``, so
+        ``skip=N`` fast-forwards past the first ``N`` batches — this is
+        the *dataset cursor* a resumed training leg uses to continue the
+        exact batch sequence an interrupted run was consuming.  Skipping
+        only advances the shuffle RNG (no batch materialisation), so a
+        large cursor is cheap.
+        """
+        if skip < 0:
+            raise ValueError(f"skip must be >= 0, got {skip}")
         images, labels = self.shard(rank, num_shards)
         if batch_size > len(labels):
             raise ValueError(
                 f"batch {batch_size} exceeds shard size {len(labels)}"
             )
         rng = np.random.default_rng(seed)
+        per_epoch = (len(labels) - batch_size) // batch_size + 1
+        # Fast-forward whole epochs by burning one permutation each.
+        for _ in range(skip // per_epoch):
+            rng.permutation(len(labels))
+        skip %= per_epoch
         while True:
             order = rng.permutation(len(labels))
             for start in range(0, len(order) - batch_size + 1, batch_size):
+                if skip:
+                    skip -= 1
+                    continue
                 chosen = order[start:start + batch_size]
                 yield Minibatch(images[chosen], labels[chosen])
 

@@ -7,15 +7,22 @@ bit-exactly.  This module provides both in NumPy's ``.npz`` container:
 * :func:`save_net` / :func:`load_net` — parameter blobs by name (the
   ``.caffemodel``).  Loading is name-checked, so restoring into a net
   built from a different spec fails loudly.
-* :func:`save_solver_state` / :func:`load_solver_state` — iteration and
-  momentum history (the ``.solverstate``); weights are saved alongside so
-  one file resumes everything.
+* :func:`save_solver_state` / :func:`load_solver_state` — iteration,
+  momentum history, the net's RNG state (dropout masks) and the dataset
+  cursor (the ``.solverstate``); weights are saved alongside so one file
+  resumes everything *deterministically*, not just momentum/iteration-
+  continuously.
+
+All restores are dtype-checked: a blob saved as float64 cannot silently
+narrow into a float32 net (or vice versa) — that would resume training
+from subtly different weights and break bit-exact recovery guarantees.
 """
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Dict, Union
+from typing import IO, Dict, Optional, Union
 
 import numpy as np
 
@@ -23,10 +30,21 @@ from .net import Net
 from .solver import SGDSolver
 
 PathLike = Union[str, os.PathLike]
+#: Snapshot sinks/sources: a filesystem path or an open binary file
+#: object (callers doing atomic tmp-write-then-rename pass the handle).
+FileOrPath = Union[PathLike, IO[bytes]]
 
 
 class SnapshotError(Exception):
     """A snapshot did not match the net/solver it was restored into."""
+
+
+def _check_dtype(name: str, stored: np.dtype, expected: np.dtype) -> None:
+    if stored != expected:
+        raise SnapshotError(
+            f"{name}: snapshot dtype {stored} != expected {expected} "
+            "(refusing to cast silently)"
+        )
 
 
 def _param_items(net: Net) -> Dict[str, np.ndarray]:
@@ -65,24 +83,48 @@ def load_net(net: Net, path: PathLike) -> None:
                     f"{blob.name}: snapshot shape {stored.shape} != "
                     f"blob shape {blob.shape}"
                 )
+            _check_dtype(blob.name, stored.dtype, blob.data.dtype)
             blob.data[...] = stored
 
 
-def save_solver_state(solver: SGDSolver, path: PathLike) -> None:
-    """Write weights + iteration + momentum history to ``path``."""
+def save_solver_state(
+    solver: SGDSolver, path: FileOrPath, cursor: Optional[int] = None
+) -> None:
+    """Write weights + iteration + momentum + RNG state to ``path``.
+
+    Args:
+        solver: Solver whose net/iteration/history are captured.
+        cursor: Optional dataset cursor — how many minibatches the data
+            pipeline has consumed — so a resumed leg fast-forwards its
+            (deterministic, seeded) batch stream to the exact position
+            instead of replaying data from the start.
+    """
     payload = _param_items(solver.net)
     payload["__iteration__"] = np.asarray([solver.iteration], dtype=np.int64)
     for index, history in enumerate(solver._history):
         payload[f"__history__{index}"] = history
+    rng = getattr(solver.net, "_rng", None)
+    if rng is not None:
+        payload["__rng_state__"] = np.frombuffer(
+            json.dumps(rng.bit_generator.state).encode(), dtype=np.uint8
+        ).copy()
+    if cursor is not None:
+        payload["__cursor__"] = np.asarray([cursor], dtype=np.int64)
     np.savez(path, **payload)
 
 
-def load_solver_state(solver: SGDSolver, path: PathLike) -> None:
+def load_solver_state(solver: SGDSolver, path: FileOrPath) -> Optional[int]:
     """Resume a solver from :func:`save_solver_state` output.
 
     Restores weights, the iteration counter (and hence the LR schedule
-    position) and the momentum history, so continued training is
-    bit-identical to an uninterrupted run.
+    position), the momentum history and — when present in the snapshot —
+    the net's RNG state (so dropout masks continue the saved stream), and
+    returns the dataset cursor so the caller can fast-forward its batch
+    pipeline.  With all four restored, continued training is bit-identical
+    to an uninterrupted run.
+
+    Returns:
+        The saved dataset cursor, or ``None`` for snapshots without one.
     """
     with np.load(path) as archive:
         if "__iteration__" not in archive.files:
@@ -90,7 +132,14 @@ def load_solver_state(solver: SGDSolver, path: PathLike) -> None:
         for blob in solver.net.params:
             if blob.name not in archive.files:
                 raise SnapshotError(f"snapshot lacks parameter {blob.name!r}")
-            blob.data[...] = archive[blob.name]
+            stored = archive[blob.name]
+            if stored.shape != blob.shape:
+                raise SnapshotError(
+                    f"{blob.name}: snapshot shape {stored.shape} != "
+                    f"blob shape {blob.shape}"
+                )
+            _check_dtype(blob.name, stored.dtype, blob.data.dtype)
+            blob.data[...] = stored
         solver.iteration = int(archive["__iteration__"][0])
         for index, history in enumerate(solver._history):
             key = f"__history__{index}"
@@ -102,4 +151,15 @@ def load_solver_state(solver: SGDSolver, path: PathLike) -> None:
                     f"momentum slot {index}: shape {stored.shape} != "
                     f"{history.shape}"
                 )
+            _check_dtype(f"momentum slot {index}", stored.dtype,
+                         history.dtype)
             history[...] = stored
+        if "__rng_state__" in archive.files:
+            rng = getattr(solver.net, "_rng", None)
+            if rng is not None:
+                rng.bit_generator.state = json.loads(
+                    bytes(archive["__rng_state__"]).decode()
+                )
+        if "__cursor__" in archive.files:
+            return int(archive["__cursor__"][0])
+    return None

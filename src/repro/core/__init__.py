@@ -13,6 +13,13 @@ The training core is layered (see ``docs/architecture.md``):
 and ``HybridWorker`` remain as thin construction facades.
 """
 
+from .checkpoint import (
+    CheckpointCoordinator,
+    CheckpointError,
+    CheckpointInfo,
+    inspect_checkpoint,
+    latest_checkpoint,
+)
 from .config import ShmCaffeConfig, TerminationCriterion
 from .engine import (
     FlushTimeoutError,
@@ -54,6 +61,9 @@ from .worker import ShmCaffeWorker
 
 __all__ = [
     "BaseExchange",
+    "CheckpointCoordinator",
+    "CheckpointError",
+    "CheckpointInfo",
     "DistributedTrainingManager",
     "EXCHANGES",
     "ExchangeStrategy",
@@ -80,6 +90,8 @@ __all__ = [
     "easgd_server_update",
     "easgd_worker_update",
     "elastic_increment",
+    "inspect_checkpoint",
+    "latest_checkpoint",
     "make_exchange",
     "register_exchange",
     "seasgd_exchange",

@@ -42,6 +42,7 @@ from .config import ShmCaffeConfig
 from .termination import TerminationCoordinator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .checkpoint import CheckpointCoordinator
     from .exchange import ExchangeStrategy
 
 
@@ -128,6 +129,14 @@ class TrainingEngine:
             to the process-wide :func:`repro.telemetry.current` session.
         solver: Pre-built solver to reuse (one is created from
             ``config.solver`` when omitted).
+        checkpoint: Optional
+            :class:`~repro.core.checkpoint.CheckpointCoordinator`; its
+            hook runs after each iteration is recorded and *before*
+            progress is published, so a rank's published progress always
+            implies its checkpoint state for that boundary is durable.
+        start_iteration: Resume point — the loop continues from here
+            (the solver, RNG and dataset cursor must have been restored
+            to match by the caller).
     """
 
     def __init__(
@@ -143,6 +152,8 @@ class TrainingEngine:
         ] = None,
         telemetry: Optional[TelemetrySession] = None,
         solver: Optional[SGDSolver] = None,
+        checkpoint: Optional["CheckpointCoordinator"] = None,
+        start_iteration: int = 0,
     ) -> None:
         self.rank = rank
         self.net = net
@@ -154,6 +165,8 @@ class TrainingEngine:
         self.batches = batches
         self.termination = termination
         self.on_iteration = on_iteration
+        self.checkpoint = checkpoint
+        self.start_iteration = start_iteration
         self.history = WorkerHistory(rank=rank)
 
         tel = telemetry if telemetry is not None else _telemetry_current()
@@ -180,7 +193,7 @@ class TrainingEngine:
         nobody to degrade for, so the error propagates.
         """
         strategy = self.strategy
-        iteration = 0
+        iteration = self.start_iteration
         try:
             while True:
                 exchanged = iteration % self.config.update_interval == 0
@@ -200,6 +213,11 @@ class TrainingEngine:
                 )
                 if self.on_iteration is not None:
                     self.on_iteration(self.rank, iteration, stats)
+
+                if self.checkpoint is not None:
+                    # Before should_stop (which publishes progress): a
+                    # published boundary must imply a durable state file.
+                    self.checkpoint.maybe_checkpoint(iteration, self)
 
                 if strategy.should_stop(iteration):
                     break

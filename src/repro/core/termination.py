@@ -18,6 +18,8 @@ hanging or aborting it.
 
 from __future__ import annotations
 
+from time import monotonic, sleep
+
 from ..smb.client import ControlBlock
 from .config import TerminationCriterion
 
@@ -66,6 +68,36 @@ class TerminationCoordinator:
         publish again afterwards.
         """
         self.control.mark_dead(self.rank, completed_iterations)
+
+    def wait_for_fleet(
+        self,
+        minimum: int,
+        timeout: float = 120.0,
+        poll: float = 0.05,
+    ) -> bool:
+        """Block until every *live* worker's progress reaches ``minimum``.
+
+        The coordinated-checkpoint barrier: the master waits here before
+        reading ``W_g`` so every surviving rank has durably saved its own
+        state for the boundary first.  Dead workers are excluded; a
+        raised stop flag or an empty live fleet ends the wait early.
+
+        Returns True when the fleet reached ``minimum``; False on
+        timeout/stop (callers decide whether a best-effort checkpoint is
+        still worth writing).
+        """
+        deadline = monotonic() + timeout
+        while True:
+            progress, alive = self.control.live_progress()
+            if not alive.any():
+                return False
+            if int(progress[alive].min()) >= minimum:
+                return True
+            if self.control.stop_code() != ControlBlock.STOP_CLEAR:
+                return False
+            if monotonic() >= deadline:
+                return False
+            sleep(poll)
 
     def should_stop(self, completed_iterations: int) -> bool:
         """Evaluate the active criterion after an iteration.

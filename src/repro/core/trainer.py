@@ -30,14 +30,23 @@ from ..caffe.data import SyntheticImageDataset
 from ..caffe.net import Net
 from ..caffe.netspec import NetSpec
 from ..caffe.params import FlatParams
+from ..caffe.snapshot import load_solver_state
+from ..caffe.solver import SGDSolver
 from ..nccl.ring import RingGroup
-from ..smb.client import ControlBlock, SMBClient
+from ..smb import errors as smb_errors
+from ..smb.client import ControlBlock, RemoteArray, SMBClient
 from ..smb.faults import FaultInjectingTransport, FaultPlan
 from ..smb.retry import RetryPolicy
 from ..smb.server import SMBServer
 from ..smb.transport import InProcTransport, TcpTransport
 from ..telemetry import TelemetrySession
 from ..telemetry import current as _telemetry_current
+from .checkpoint import (
+    CheckpointCoordinator,
+    CheckpointError,
+    CheckpointInfo,
+    latest_checkpoint,
+)
 from .config import ShmCaffeConfig
 from .engine import TrainingEngine, WorkerHistory
 from .exchange import HybridExchange, make_exchange
@@ -107,6 +116,24 @@ class DistributedTrainingManager:
             :class:`~repro.smb.faults.FaultInjectingTransport` derived
             per rank, so fault sequences are reproducible.  ``None``
             (the default) injects nothing.
+        rendezvous: Path of a journaled server's ``endpoint.json``; TCP
+            clients re-resolve the server address through it on every
+            reconnect, so a server restarted on a new port is found
+            without reconfiguration.
+        server_down_grace: Seconds each TCP (re)connect keeps retrying a
+            dead endpoint before failing — the bounded outage window a
+            server restart must fit into.
+        checkpoint_dir: Enable coordinated checkpoints into this
+            directory (requires ``group_size == 1``).
+        checkpoint_every: Boundary interval in iterations (default 0 =
+            only meaningful with ``checkpoint_dir``).
+        checkpoint_metadata: JSON-serialisable job description stored in
+            each checkpoint manifest (``repro checkpoint resume`` uses
+            it to rebuild the run).
+        resume: Directory previously used as ``checkpoint_dir``; the run
+            restarts from its latest complete checkpoint — ``W_g``, each
+            rank's solver/momentum/RNG state and dataset cursor, and the
+            iteration counters all continue where they stopped.
     """
 
     def __init__(
@@ -128,6 +155,12 @@ class DistributedTrainingManager:
         telemetry: Optional[TelemetrySession] = None,
         retry_policy: Optional[RetryPolicy] = None,
         fault_plan: Optional[FaultPlan] = None,
+        rendezvous: Optional[str] = None,
+        server_down_grace: float = 0.0,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 0,
+        checkpoint_metadata: Optional[Dict] = None,
+        resume: Optional[str] = None,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
@@ -178,6 +211,35 @@ class DistributedTrainingManager:
         self.eval_batch_size = eval_batch_size
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
+        self.rendezvous = rendezvous
+        self.server_down_grace = server_down_grace
+        if (checkpoint_dir or resume) and group_size > 1:
+            raise ValueError(
+                "checkpoint/resume requires group_size == 1: only direct "
+                "SEASGD participants carry per-rank solver state through "
+                "the coordinated checkpoint protocol"
+            )
+        if checkpoint_dir is not None and checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1 with checkpoint_dir, "
+                f"got {checkpoint_every}"
+            )
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
+        self.checkpoint_metadata = checkpoint_metadata
+        self._resume_info: Optional[CheckpointInfo] = None
+        if resume is not None:
+            info = latest_checkpoint(resume)
+            if info is None:
+                raise CheckpointError(
+                    f"no complete checkpoint found under {resume}"
+                )
+            if info.num_workers != num_workers:
+                raise CheckpointError(
+                    f"checkpoint was taken with {info.num_workers} "
+                    f"worker(s), cannot resume with {num_workers}"
+                )
+            self._resume_info = info
         self._eval_records: List[Tuple[int, Dict[str, float]]] = []
         # Ring groups are shared objects; one per HSGD group.
         self._rings = [RingGroup(group_size) for _ in range(self.num_groups)]
@@ -198,6 +260,8 @@ class DistributedTrainingManager:
                 request_timeout=(
                     policy.request_timeout if policy else 30.0
                 ),
+                rendezvous=self.rendezvous,
+                server_down_grace=self.server_down_grace,
             )
         else:
             transport = InProcTransport(self.server)
@@ -210,6 +274,38 @@ class DistributedTrainingManager:
             retry_policy=self.retry_policy if rank is not None else None,
         )
 
+    def _reclaim_array(
+        self, client: SMBClient, name: str, count: int,
+        dtype: str = "float32",
+    ) -> RemoteArray:
+        """Attach to a segment that survived a server recovery.
+
+        Resuming a job against a journal-recovered server finds its old
+        segments still allocated (SHM keys are stable across restarts);
+        instead of failing the CREATE, the run adopts them — after
+        checking the size still matches the model being resumed.
+        """
+        shm_key, nbytes = client.lookup(name)
+        expected = count * np.dtype(dtype).itemsize
+        if nbytes != expected:
+            raise CheckpointError(
+                f"segment {name!r} on the recovered server holds {nbytes} "
+                f"bytes but the resumed job needs {expected}"
+            )
+        return client.attach_array(name, shm_key, count, dtype)
+
+    def _create_array(
+        self, client: SMBClient, name: str, count: int,
+        dtype: str = "float32",
+    ) -> RemoteArray:
+        """CREATE a segment; on resume, reclaim one a recovery left behind."""
+        try:
+            return client.create_array(name, count, dtype)
+        except smb_errors.SegmentExistsError:
+            if self._resume_info is None:
+                raise
+            return self._reclaim_array(client, name, count, dtype)
+
     # -- per-rank entry point ----------------------------------------------
 
     def _rank_main(self, comm: mpi.Communicator) -> WorkerHistory:
@@ -217,16 +313,55 @@ class DistributedTrainingManager:
         net = Net(self.spec_factory(), seed=self.seed)
         flat = FlatParams(net)
         if self.initial_weights is not None:
-            flat.set_vector(self.initial_weights)  # resume from checkpoint
+            flat.set_vector(self.initial_weights)  # warm start
+        solver = SGDSolver(net, self.config.solver)
+        start_iteration = 0
+        cursor = 0
+        resume = self._resume_info
+        if resume is not None:
+            state_path = resume.rank_state_path(rank)
+            if state_path.exists():
+                # Local weights, momentum, iteration counter, RNG state
+                # — and the dataset cursor to fast-forward the batch
+                # stream — all continue from the saved boundary.
+                saved_cursor = load_solver_state(solver, state_path)
+                start_iteration = solver.iteration
+                cursor = (
+                    saved_cursor if saved_cursor is not None
+                    else start_iteration
+                )
+            else:
+                # This rank had died (or never saved) before the
+                # checkpoint was sealed: restart it fresh from the saved
+                # global weights, like a late joiner.
+                flat.set_vector(resume.load_global_weights())
         client = self._make_client(rank=rank)
 
         ns = self.namespace
         if comm.is_master:
-            global_array = client.create_array(f"{ns}W_g", flat.count)
-            global_array.write(flat.get_vector())
-            control = ControlBlock.create(
-                client, f"{ns}control", self.num_groups
-            )
+            global_array = self._create_array(client, f"{ns}W_g", flat.count)
+            if resume is not None:
+                # W_g continues from the checkpointed elastic centre,
+                # NOT from the master's replica — they differ under
+                # EASGD and conflating them would perturb every worker.
+                global_array.write(resume.load_global_weights())
+            else:
+                global_array.write(flat.get_vector())
+            try:
+                control = ControlBlock.create(
+                    client, f"{ns}control", self.num_groups
+                )
+            except smb_errors.SegmentExistsError:
+                if resume is None:
+                    raise
+                # Adopt the recovered control segment, but wipe it: the
+                # previous run's Iter_x counters and stop flag must not
+                # leak into the resumed fleet's termination decisions.
+                array = self._reclaim_array(
+                    client, f"{ns}control", self.num_groups + 1, "int64"
+                )
+                array.write(np.zeros(self.num_groups + 1, dtype=np.int64))
+                control = ControlBlock(array, self.num_groups)
             keys = {
                 "W_g": global_array.shm_key,
                 "control": control.shm_key,
@@ -251,7 +386,9 @@ class DistributedTrainingManager:
                     client, f"{ns}control", keys["control"],
                     self.num_groups,
                 )
-            increment = client.create_array(f"{ns}dW_{rank}", flat.count)
+            increment = self._create_array(
+                client, f"{ns}dW_{rank}", flat.count
+            )
             termination = TerminationCoordinator(
                 control,
                 rank=group_id,
@@ -267,6 +404,7 @@ class DistributedTrainingManager:
             seed=self.seed + 1000 + rank,
             rank=rank,
             num_shards=self.num_workers,
+            skip=cursor,
         )
         prefetcher = None
         if self.prefetch:
@@ -293,6 +431,18 @@ class DistributedTrainingManager:
                 global_weights=global_array,
                 increment_buffer=increment,
             )
+        coordinator = None
+        if self.checkpoint_dir is not None:
+            coordinator = CheckpointCoordinator(
+                directory=self.checkpoint_dir,
+                every=self.checkpoint_every,
+                rank=rank,
+                num_workers=self.num_workers,
+                global_weights=global_array if rank == 0 else None,
+                termination=termination,
+                metadata=self.checkpoint_metadata,
+                telemetry=self.telemetry,
+            )
         engine = TrainingEngine(
             rank=rank,
             net=net,
@@ -302,6 +452,9 @@ class DistributedTrainingManager:
             termination=termination,
             on_iteration=on_iteration,
             telemetry=self.telemetry,
+            solver=solver,
+            checkpoint=coordinator,
+            start_iteration=start_iteration,
         )
         # Everyone is attached before anyone starts mutating W_g.
         mpi.barrier(comm)

@@ -116,6 +116,9 @@ def measure_smb_bandwidth(
                 else:
                     array.read()
                 moved[index] += array.nbytes
+            # Free the segment so repeated samples against one external
+            # server (the CLI's process sweep) can reuse the name.
+            array.free()
             client.close()
         except BaseException as exc:  # noqa: BLE001 - surfaced below
             errors.append(exc)

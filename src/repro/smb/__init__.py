@@ -37,6 +37,14 @@ from .errors import (
     is_retryable,
 )
 from .faults import FaultInjectingTransport, FaultPlan
+from .journal import (
+    DurabilityStore,
+    JournalError,
+    PoolImage,
+    SegmentImage,
+    read_rendezvous,
+    write_rendezvous,
+)
 from .memory import DEFAULT_POOL_CAPACITY, MemoryPool, Segment
 from .protocol import Message, Op, Status
 from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy
@@ -55,21 +63,25 @@ __all__ = [
     "ControlBlock",
     "DEFAULT_POOL_CAPACITY",
     "DEFAULT_RETRY_POLICY",
+    "DurabilityStore",
     "FaultInjectedError",
     "FaultInjectingTransport",
     "FaultPlan",
     "InProcTransport",
+    "JournalError",
     "MemoryPool",
     "Message",
     "NO_RETRY",
     "NotificationTimeout",
     "Op",
     "ParameterBuffer",
+    "PoolImage",
     "RemoteArray",
     "RetryExhaustedError",
     "RetryPolicy",
     "Segment",
     "SegmentExistsError",
+    "SegmentImage",
     "SegmentRangeError",
     "ServerClosingError",
     "ServerStats",
@@ -87,5 +99,7 @@ __all__ = [
     "attach_sharded_array",
     "create_sharded_array",
     "is_retryable",
+    "read_rendezvous",
     "shard_counts",
+    "write_rendezvous",
 ]

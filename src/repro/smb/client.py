@@ -17,10 +17,14 @@ Two convenience layers sit on top of the raw byte operations:
 
 from __future__ import annotations
 
+import dataclasses
 import json
+import logging
+import os
+import threading
 import time
 from time import perf_counter as _perf_counter
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 import numpy as np
 
@@ -31,6 +35,32 @@ from .protocol import Message, Op, Status
 from .retry import NO_RETRY, RetryPolicy
 from .server import SMBServer
 from .transport import InProcTransport, TcpTransport, Transport
+
+logger = logging.getLogger(__name__)
+
+#: Ops whose ``key`` slot carries an access key (``key2`` too for
+#: ACCUMULATE) and therefore must be re-mapped after a server restart.
+_ACCESS_KEY_OPS = frozenset(
+    {Op.READ, Op.WRITE, Op.ACCUMULATE, Op.VERSION, Op.WAIT_UPDATE}
+)
+
+
+@dataclasses.dataclass
+class _Attachment:
+    """Client-side record of one segment attachment.
+
+    The *held* access key is what the caller (``RemoteArray`` etc.)
+    keeps; access keys die with the server process, so after a restart
+    the client transparently re-attaches by the stable SHM key and maps
+    the held key onto the freshly minted ``current`` key.
+    """
+
+    held_key: int
+    shm_key: int
+    expected_nbytes: Optional[int]
+    current_key: int
+    epoch: int
+    version: int
 
 
 def _raise_remote(payload: bytes) -> None:
@@ -70,6 +100,16 @@ class SMBClient:
         self._telemetry = telemetry
         self._retry = retry_policy if retry_policy is not None else NO_RETRY
         self._retry_rng = self._retry.make_rng()
+        # held access key -> attachment record / current server key.  The
+        # map lets every op keep using the key the caller was handed even
+        # after a server restart invalidated it (see _try_reattach).
+        self._attach_lock = threading.Lock()
+        self._attachments: Dict[int, _Attachment] = {}
+        self._key_map: Dict[int, int] = {}
+        #: Last server epoch observed via ATTACH (None before the first).
+        self.server_epoch: Optional[int] = None
+        #: How many transparent re-attachments this client performed.
+        self.reattachments = 0
 
     @classmethod
     def in_process(
@@ -87,13 +127,29 @@ class SMBClient:
         address: Tuple[str, int],
         telemetry: Optional[TelemetrySession] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        rendezvous: Optional[Union[str, os.PathLike]] = None,
+        server_down_grace: float = 0.0,
     ) -> "SMBClient":
-        """Connect to a :class:`~repro.smb.server.TcpSMBServer`."""
+        """Connect to a :class:`~repro.smb.server.TcpSMBServer`.
+
+        Args:
+            address: Static server endpoint.
+            telemetry: Session receiving op timings/byte counters.
+            retry_policy: Transient-fault handling.
+            rendezvous: Optional ``endpoint.json`` path published by a
+                journaled server; re-read on every reconnect so the
+                client finds a restarted server on a fresh port.
+            server_down_grace: Seconds each (re)connect keeps retrying a
+                dead endpoint before giving up — the bounded window that
+                turns a server restart into a recoverable outage.
+        """
         policy = retry_policy if retry_policy is not None else NO_RETRY
         transport = TcpTransport(
             address,
             timeout=policy.connect_timeout,
             request_timeout=policy.request_timeout,
+            rendezvous=rendezvous,
+            server_down_grace=server_down_grace,
         )
         return cls(transport, telemetry, retry_policy)
 
@@ -138,10 +194,11 @@ class SMBClient:
         """
         policy = self._retry
         attempt = 0
+        reattached: set = set()
         while True:
             attempt += 1
             try:
-                response = self._transport.request(request)
+                response = self._transport.request(self._translate(request))
             except errors.SMBError as exc:
                 if not errors.is_retryable(exc):
                     raise
@@ -159,8 +216,113 @@ class SMBClient:
                     request.key, request.count, request.scale
                 )
             if response.status is Status.ERROR:
-                _raise_remote(response.payload)
+                exc = errors.from_wire(response.payload)
+                # A restarted server forgot every access key it ever
+                # minted.  If the unknown key belongs to one of our
+                # registered attachments, re-attach by the stable SHM
+                # key and re-issue the op (bounded: once per held key
+                # per call).
+                if (
+                    isinstance(exc, errors.UnknownKeyError)
+                    and request.op in _ACCESS_KEY_OPS
+                    and self._try_reattach(exc.key, reattached)
+                ):
+                    continue
+                raise exc
+            if self._attachments and request.op in _ACCESS_KEY_OPS:
+                # Track the newest version seen per attachment so a
+                # post-restart re-attach can tell how much (if anything)
+                # the recovered buffer lost.
+                record = self._attachments.get(request.key)
+                if record is not None and response.count > record.version:
+                    record.version = response.count
             return response
+
+    def _translate(self, request: Message) -> Message:
+        """Re-map held access keys onto the server's current keys."""
+        if not self._key_map or request.op not in _ACCESS_KEY_OPS:
+            return request
+        key = self._key_map.get(request.key, request.key)
+        key2 = request.key2
+        if request.op is Op.ACCUMULATE:
+            key2 = self._key_map.get(request.key2, request.key2)
+        if key == request.key and key2 == request.key2:
+            return request
+        return dataclasses.replace(request, key=key, key2=key2)
+
+    def _register_attachment(
+        self,
+        held_key: int,
+        shm_key: int,
+        expected_nbytes: Optional[int],
+        epoch: int,
+        version: int,
+    ) -> None:
+        with self._attach_lock:
+            self._attachments[held_key] = _Attachment(
+                held_key=held_key,
+                shm_key=shm_key,
+                expected_nbytes=expected_nbytes,
+                current_key=held_key,
+                epoch=epoch,
+                version=version,
+            )
+            self.server_epoch = epoch
+
+    def _try_reattach(self, dead_key: int, reattached: set) -> bool:
+        """Re-attach the segment whose *current* key the server rejected.
+
+        Returns True when the held->current mapping was refreshed and the
+        caller should re-issue its request; False when the key is not one
+        of ours (a genuinely unknown key must surface to the caller).
+        """
+        with self._attach_lock:
+            record = next(
+                (a for a in self._attachments.values()
+                 if a.current_key == dead_key),
+                None,
+            )
+        if record is None or record.held_key in reattached:
+            return False
+        reattached.add(record.held_key)
+        response = self._call(
+            Message(
+                op=Op.ATTACH,
+                key=record.shm_key,
+                count=record.expected_nbytes or 0,
+            )
+        )
+        with self._attach_lock:
+            new_epoch = response.key2
+            if record.epoch != new_epoch:
+                logger.info(
+                    "server restart observed for segment shm_key=%#x: "
+                    "epoch %d -> %d, version %d -> %d",
+                    record.shm_key, record.epoch, new_epoch,
+                    record.version, response.count,
+                )
+            if response.count < record.version:
+                # Snapshot-only durability may restore an older buffer;
+                # the lost deltas are bounded by the snapshot cadence
+                # (see docs/fault_tolerance.md) but worth surfacing.
+                logger.warning(
+                    "segment shm_key=%#x came back at version %d "
+                    "(last seen %d): deltas since the last snapshot "
+                    "were lost",
+                    record.shm_key, response.count, record.version,
+                )
+            record.current_key = response.key
+            record.epoch = new_epoch
+            record.version = response.count
+            self._key_map[record.held_key] = response.key
+            self.server_epoch = new_epoch
+            self.reattachments += 1
+        tel = self._telemetry
+        if tel is None:
+            tel = _telemetry_current()
+        if tel.enabled:
+            tel.registry.inc("smb/recovery/reattach")
+        return True
 
     def _count_retry(self, op: Op) -> None:
         tel = self._telemetry
@@ -183,9 +345,22 @@ class SMBClient:
         return response.key, response.count
 
     def attach(self, shm_key: int, expected_nbytes: Optional[int] = None) -> int:
-        """Exchange a broadcast SHM key for an access key (slave worker)."""
+        """Exchange a broadcast SHM key for an access key (slave worker).
+
+        The attachment is remembered client-side: if the server restarts
+        and forgets the access key, any later op transparently
+        re-attaches by this SHM key and keeps the returned key valid
+        from the caller's point of view.
+        """
         response = self._call(
             Message(op=Op.ATTACH, key=shm_key, count=expected_nbytes or 0)
+        )
+        self._register_attachment(
+            held_key=response.key,
+            shm_key=shm_key,
+            expected_nbytes=expected_nbytes,
+            epoch=response.key2,
+            version=response.count,
         )
         return response.key
 
@@ -279,6 +454,19 @@ class SMBClient:
     def shutdown_server(self) -> None:
         """Ask a TCP server to stop (administrative)."""
         self._call(Message(op=Op.SHUTDOWN))
+
+    def request_snapshot(self) -> Tuple[int, int]:
+        """Force the server to write a durable snapshot *now*.
+
+        Returns:
+            ``(seq, epoch)`` of the snapshot just written.
+
+        Raises:
+            errors.SMBError: If the server runs without a journal
+                directory (durability disabled).
+        """
+        response = self._call(Message(op=Op.SNAPSHOT))
+        return response.key, response.key2
 
     # -- typed conveniences -----------------------------------------------
 

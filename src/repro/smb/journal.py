@@ -1,0 +1,391 @@
+"""Durability for the SMB server: snapshots, an op journal, rendezvous.
+
+The Soft Memory Box is the one component every worker depends on; losing
+the server process must not discard ``W_g`` (the elastic centre EASGD
+anchors the fleet to).  This module gives a server a *journal directory*
+holding three kinds of files:
+
+* ``snapshot-<seq>.npz`` — an atomically written, versioned image of the
+  whole memory pool: every segment's bytes, name, SHM key, version and
+  owner, plus the pool's key-mint counters and the server *epoch*.
+  Snapshots are written on an interval and on the ``SNAPSHOT`` opcode.
+* ``journal-<seq>.log`` — an append-only log of every mutating operation
+  (CREATE/WRITE/ACCUMULATE/FREE) applied *after* snapshot ``seq``, framed
+  as ordinary protocol :class:`~repro.smb.protocol.Message` records with
+  **SHM keys** in the key slots (access keys die with the process).
+  Replaying the journal on top of its snapshot reproduces the pool
+  bit-exactly, versions included, so a ``kill -9`` loses nothing.
+* ``endpoint.json`` — the rendezvous file: the address (and epoch) the
+  live server currently listens on.  A restarted server may land on a
+  new port; clients re-resolve through this file during their
+  ``server_down`` grace window.
+
+Atomicity: snapshots go through ``<name>.tmp`` + fsync + ``os.replace``;
+journal appends are flushed per record and a truncated tail record (a
+crash mid-append) is tolerated — replay stops at the first incomplete
+record, which by construction is an operation whose response was never
+sent.
+
+Recovery picks the highest-``seq`` snapshot that loads cleanly, replays
+its journal, and bumps the epoch, so every restart is observable to
+clients that care (the ``ATTACH`` response carries the epoch).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import struct
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from .errors import SMBError
+from .protocol import HEADER_FORMAT, HEADER_SIZE, Message, Op
+
+logger = logging.getLogger(__name__)
+
+PathLike = Union[str, os.PathLike]
+
+#: Current snapshot format; bumped on incompatible layout changes.
+SNAPSHOT_FORMAT = 1
+
+#: File-name patterns inside a journal directory.
+SNAPSHOT_PATTERN = "snapshot-{seq:08d}.npz"
+JOURNAL_PATTERN = "journal-{seq:08d}.log"
+RENDEZVOUS_NAME = "endpoint.json"
+
+
+class JournalError(SMBError):
+    """A journal directory held no usable state or corrupt metadata."""
+
+
+# -- rendezvous --------------------------------------------------------------
+
+def write_rendezvous(
+    path: PathLike, address: Tuple[str, int], epoch: int = 0
+) -> None:
+    """Atomically publish a server's current address (and epoch)."""
+    path = Path(path)
+    payload = json.dumps(
+        {"host": address[0], "port": address[1], "epoch": epoch,
+         "pid": os.getpid()}
+    )
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(payload)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def read_rendezvous(path: PathLike) -> Optional[Tuple[str, int]]:
+    """Resolve ``(host, port)`` from a rendezvous file; None if unusable.
+
+    Unreadable, missing, or half-written files return ``None`` so callers
+    (the transport's reconnect loop) fall back to their static address
+    and try again on the next attempt.
+    """
+    try:
+        body = json.loads(Path(path).read_text())
+        return str(body["host"]), int(body["port"])
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+
+
+# -- snapshot payload --------------------------------------------------------
+
+@dataclass
+class SegmentImage:
+    """One segment as captured in (or restored from) a snapshot."""
+
+    name: str
+    shm_key: int
+    data: np.ndarray  # uint8 bytes
+    version: int
+    owner: str = ""
+
+
+@dataclass
+class PoolImage:
+    """Everything needed to rebuild a memory pool bit-exactly."""
+
+    capacity: int
+    epoch: int
+    seq: int
+    shm_minted: int
+    access_minted: int
+    segments: List[SegmentImage] = field(default_factory=list)
+
+
+def _atomic_savez(path: Path, payload: Dict[str, np.ndarray]) -> None:
+    fd, tmp = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, **payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class DurabilityStore:
+    """Snapshot + journal persistence for one server's memory pool.
+
+    Not thread-safe by itself: the server serialises all calls behind its
+    journal lock (mutation order in the journal must match effect order,
+    which the coarse lock guarantees).
+
+    Args:
+        directory: The journal directory; created if missing.
+        journal_ops: Append mutations between snapshots.  With ``False``
+            only snapshots persist and a crash loses every delta since
+            the last one (the documented lost-delta bound); with ``True``
+            (default) recovery is bit-exact.
+    """
+
+    def __init__(self, directory: PathLike, journal_ops: bool = True) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.journal_ops = journal_ops
+        self.seq = 0
+        self._journal_file = None
+
+    # -- write path -------------------------------------------------------
+
+    def write_snapshot(self, image: PoolImage) -> int:
+        """Persist a pool image as the next snapshot; returns its seq.
+
+        The matching (empty) journal is opened afterwards, so any
+        mutation that lands after this call is replayed on top of this
+        snapshot during recovery.
+        """
+        self.seq += 1
+        image.seq = self.seq
+        meta = {
+            "format": SNAPSHOT_FORMAT,
+            "seq": image.seq,
+            "epoch": image.epoch,
+            "capacity": image.capacity,
+            "shm_minted": image.shm_minted,
+            "access_minted": image.access_minted,
+            "segments": [
+                {
+                    "name": seg.name,
+                    "shm_key": seg.shm_key,
+                    "version": seg.version,
+                    "owner": seg.owner,
+                    "nbytes": int(seg.data.nbytes),
+                }
+                for seg in image.segments
+            ],
+        }
+        payload: Dict[str, np.ndarray] = {
+            "__meta__": np.frombuffer(
+                json.dumps(meta).encode(), dtype=np.uint8
+            ).copy(),
+        }
+        for seg in image.segments:
+            payload[f"seg/{seg.name}"] = seg.data
+        path = self.directory / SNAPSHOT_PATTERN.format(seq=self.seq)
+        _atomic_savez(path, payload)
+        self._open_journal(self.seq)
+        self._prune(keep_before=self.seq)
+        return self.seq
+
+    def _open_journal(self, seq: int) -> None:
+        if self._journal_file is not None:
+            self._journal_file.close()
+            self._journal_file = None
+        if not self.journal_ops:
+            return
+        path = self.directory / JOURNAL_PATTERN.format(seq=seq)
+        self._journal_file = open(path, "ab")
+
+    def append(self, record: Message) -> None:
+        """Durably log one mutating operation (SHM keys in key slots)."""
+        if self._journal_file is None:
+            return
+        self._journal_file.write(record.encode())
+        self._journal_file.flush()
+
+    def _prune(self, keep_before: int) -> None:
+        """Drop superseded snapshot/journal generations (keep latest 2)."""
+        for kind in ("snapshot-*.npz", "journal-*.log"):
+            for path in sorted(self.directory.glob(kind))[:-2]:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        if self._journal_file is not None:
+            self._journal_file.close()
+            self._journal_file = None
+
+    # -- read path --------------------------------------------------------
+
+    def has_state(self) -> bool:
+        """Whether the directory holds at least one snapshot."""
+        return bool(sorted(self.directory.glob("snapshot-*.npz")))
+
+    def recover(self) -> PoolImage:
+        """Load the newest usable snapshot and replay its journal.
+
+        Returns the recovered :class:`PoolImage` (journal already
+        applied); raises :class:`JournalError` when no snapshot loads.
+        The store's own seq counter continues from the recovered seq so
+        the next snapshot supersedes it.
+        """
+        candidates = sorted(self.directory.glob("snapshot-*.npz"),
+                            reverse=True)
+        last_error: Optional[Exception] = None
+        for path in candidates:
+            try:
+                image = _load_snapshot(path)
+            except (OSError, ValueError, KeyError, json.JSONDecodeError) as exc:
+                last_error = exc
+                logger.warning("skipping unreadable snapshot %s: %s",
+                               path.name, exc)
+                continue
+            journal = self.directory / JOURNAL_PATTERN.format(seq=image.seq)
+            if journal.exists():
+                _replay_journal(journal, image)
+            self.seq = image.seq
+            return image
+        raise JournalError(
+            f"no usable snapshot in {self.directory}"
+            + (f" (last error: {last_error})" if last_error else "")
+        )
+
+
+def _load_snapshot(path: Path) -> PoolImage:
+    with np.load(path) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode())
+        if meta.get("format") != SNAPSHOT_FORMAT:
+            raise ValueError(
+                f"unsupported snapshot format {meta.get('format')!r}"
+            )
+        segments = []
+        for entry in meta["segments"]:
+            data = archive[f"seg/{entry['name']}"].astype(np.uint8).copy()
+            if data.nbytes != entry["nbytes"]:
+                raise ValueError(
+                    f"segment {entry['name']!r}: snapshot holds "
+                    f"{data.nbytes} bytes, metadata says {entry['nbytes']}"
+                )
+            segments.append(SegmentImage(
+                name=entry["name"],
+                shm_key=int(entry["shm_key"]),
+                data=data,
+                version=int(entry["version"]),
+                owner=str(entry.get("owner", "")),
+            ))
+    return PoolImage(
+        capacity=int(meta["capacity"]),
+        epoch=int(meta["epoch"]),
+        seq=int(meta["seq"]),
+        shm_minted=int(meta["shm_minted"]),
+        access_minted=int(meta["access_minted"]),
+        segments=segments,
+    )
+
+
+def _replay_journal(path: Path, image: PoolImage) -> None:
+    """Apply journal records to a pool image, in order, tolerating a
+    truncated tail (the crash may have landed mid-append)."""
+    by_key: Dict[int, SegmentImage] = {
+        seg.shm_key: seg for seg in image.segments
+    }
+    data = path.read_bytes()
+    offset = 0
+    applied = 0
+    while offset + HEADER_SIZE <= len(data):
+        header = data[offset:offset + HEADER_SIZE]
+        paylen = struct.unpack(HEADER_FORMAT, header)[-1]
+        end = offset + HEADER_SIZE + paylen
+        if end > len(data):
+            break  # truncated tail record: op never acked, drop it
+        try:
+            record = Message.decode(header, data[offset + HEADER_SIZE:end])
+        except SMBError:
+            break  # corrupt tail; everything before it already applied
+        offset = end
+        _apply_record(record, image, by_key)
+        applied += 1
+    if applied:
+        logger.info("replayed %d journaled op(s) from %s", applied, path.name)
+
+
+def _apply_record(
+    record: Message,
+    image: PoolImage,
+    by_key: Dict[int, SegmentImage],
+) -> None:
+    if record.op is Op.CREATE:
+        seg = SegmentImage(
+            name=record.payload.decode(),
+            shm_key=record.key,
+            data=np.zeros(record.count, dtype=np.uint8),
+            version=0,
+        )
+        image.segments.append(seg)
+        by_key[seg.shm_key] = seg
+        image.shm_minted += 1
+        return
+    if record.op is Op.FREE:
+        seg = by_key.pop(record.key, None)
+        if seg is not None:
+            image.segments.remove(seg)
+        return
+    seg = by_key.get(record.key)
+    if seg is None:
+        logger.warning("journal references unknown SHM key %#x; skipping",
+                       record.key)
+        return
+    if record.op is Op.WRITE:
+        seg.data[record.offset:record.offset + len(record.payload)] = (
+            np.frombuffer(record.payload, dtype=np.uint8)
+        )
+        seg.version += 1
+        return
+    if record.op is Op.ACCUMULATE:
+        src = by_key.get(record.key2)
+        if src is None:
+            logger.warning(
+                "journal ACCUMULATE references unknown source %#x; skipping",
+                record.key2,
+            )
+            return
+        itemsize = np.dtype("float32").itemsize
+        count = record.count or (src.data.nbytes // itemsize)
+        nbytes = count * itemsize
+        dst_view = seg.data[record.offset:record.offset + nbytes].view(
+            "float32"
+        )
+        src_view = src.data[:nbytes].view("float32")
+        if record.scale == 1.0:
+            dst_view += src_view
+        else:
+            dst_view += record.scale * src_view
+        seg.version += 1
+        return
+    logger.warning("unexpected journal opcode %r; skipping", record.op)

@@ -176,6 +176,11 @@ class MemoryPool:
         self._shm_keys = _key_sequence(start=0x5348_0001)
         self._access_keys = _key_sequence(start=0x4143_0001)
         self._used = 0
+        # Counters of how many keys of each kind were ever minted, so a
+        # restored pool can advance its generators past every key a
+        # previous server life handed out (see advance_keys).
+        self._shm_minted = 0
+        self._access_minted = 0
 
     @property
     def capacity(self) -> int:
@@ -215,6 +220,7 @@ class MemoryPool:
                 buffer=np.zeros(nbytes, dtype=np.uint8),
                 owner=owner,
             )
+            self._shm_minted += 1
             self._by_shm_key[segment.shm_key] = segment
             self._by_name[name] = segment
             self._used += nbytes
@@ -232,6 +238,7 @@ class MemoryPool:
             raise SegmentRangeError(0, expected_nbytes, segment.size)
         with self._lock:
             access_key = next(self._access_keys)
+            self._access_minted += 1
             self._by_access_key[access_key] = segment
             return access_key
 
@@ -273,6 +280,91 @@ class MemoryPool:
             for key in stale:
                 del self._by_access_key[key]
             self._used -= segment.size
+
+    @property
+    def shm_minted(self) -> int:
+        """How many SHM keys this pool has ever minted."""
+        with self._lock:
+            return self._shm_minted
+
+    @property
+    def access_minted(self) -> int:
+        """How many access keys this pool has ever minted."""
+        with self._lock:
+            return self._access_minted
+
+    def restore_segment(
+        self,
+        name: str,
+        shm_key: int,
+        data: np.ndarray,
+        version: int = 0,
+        owner: str = "",
+    ) -> Segment:
+        """Rebuild a segment from durable state, keeping its SHM key.
+
+        Recovery must preserve SHM keys: clients re-attach to a restarted
+        server by the SHM key the master broadcast before the crash, so
+        the key is segment identity, not a per-life handle.  Call
+        :meth:`advance_keys` afterwards so freshly minted keys never
+        collide with restored ones.
+        """
+        nbytes = int(data.nbytes)
+        with self._lock:
+            if name in self._by_name:
+                raise SegmentExistsError(name)
+            if shm_key in self._by_shm_key:
+                raise SegmentExistsError(f"shm_key {shm_key:#x}")
+            if self._used + nbytes > self._capacity:
+                raise CapacityError(nbytes, self._capacity - self._used)
+            segment = Segment(
+                name=name,
+                shm_key=shm_key,
+                buffer=np.ascontiguousarray(data, dtype=np.uint8).reshape(-1),
+                owner=owner,
+            )
+            segment.version = version
+            self._by_shm_key[shm_key] = segment
+            self._by_name[name] = segment
+            self._used += nbytes
+            return segment
+
+    def reseed_access_keys(self, salt: int) -> None:
+        """Mint future access keys from a salted, disjoint subsequence.
+
+        Access keys die with the server process, but clients may still
+        *present* pre-crash keys after a recovery.  The snapshot's
+        ``access_minted`` count undershoots (attaches are not journaled),
+        so advancing the generator is not enough: a recovered pool could
+        re-mint a key some client still holds for a *different* segment,
+        and that stale key would silently resolve instead of raising
+        :class:`UnknownKeyError` — the error the client re-attach logic
+        keys off.  Both key sequences are arithmetic with the same
+        stride, so any ``0 < salt < stride`` (the server uses the
+        recovery epoch) yields a sequence provably disjoint from every
+        earlier life's.
+        """
+        if salt < 0:
+            raise ValueError(f"salt must be non-negative, got {salt}")
+        with self._lock:
+            self._access_keys = _key_sequence(start=0x4143_0001 + salt)
+
+    def advance_keys(self, shm_minted: int, access_minted: int) -> None:
+        """Skip the key generators past a previous life's mint counts.
+
+        The generators are deterministic arithmetic sequences, so a
+        restored pool that replayed ``shm_minted`` creations would
+        otherwise re-mint exactly the keys the dead server handed out —
+        colliding with restored SHM keys and, worse, making a client's
+        stale access key silently resolve to the wrong segment.
+        """
+        with self._lock:
+            while self._shm_minted < shm_minted:
+                next(self._shm_keys)
+                self._shm_minted += 1
+            while self._access_minted < access_minted:
+                next(self._access_keys)
+                self._access_minted += 1
 
     def segments(self) -> Dict[str, Segment]:
         """Snapshot of live segments keyed by name."""

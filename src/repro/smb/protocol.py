@@ -46,6 +46,7 @@ class Op(enum.IntEnum):
     SHUTDOWN = 10       # stop the server (tests/administration)
     LOOKUP = 11         # name -> shm_key (late joiners)
     LIST = 12           # segment inventory (administration)
+    SNAPSHOT = 13       # force a durable snapshot -> snapshot seq
 
 
 class Status(enum.IntEnum):

@@ -17,11 +17,14 @@ Fig. 7 bandwidth benchmark reads.
 
 from __future__ import annotations
 
+import contextlib
 import logging
+import os
 import socket
 import threading
+import warnings
 from time import perf_counter as _perf_counter
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from time import monotonic as _monotonic
 
@@ -33,6 +36,13 @@ from .errors import (
     SMBConnectionError,
     SMBError,
     to_wire,
+)
+from .journal import (
+    RENDEZVOUS_NAME,
+    DurabilityStore,
+    PoolImage,
+    SegmentImage,
+    write_rendezvous,
 )
 from .memory import DEFAULT_POOL_CAPACITY, MemoryPool
 from .protocol import (
@@ -96,7 +106,7 @@ class ServerStats:
             if name.startswith(prefix)
         }
 
-    def snapshot(self) -> Dict[str, int]:
+    def counters(self) -> Dict[str, int]:
         """Return a plain-dict copy safe to serialise.
 
         Shape is unchanged from the original dataclass implementation
@@ -112,6 +122,21 @@ class ServerStats:
             data[key] = count
         return data
 
+    def snapshot(self) -> Dict[str, int]:
+        """Deprecated alias for :meth:`counters`.
+
+        "Snapshot" now unambiguously means *durable state* in the SMB
+        layer (see :mod:`repro.smb.journal`); the stats copy was renamed
+        to avoid the overload.
+        """
+        warnings.warn(
+            "ServerStats.snapshot() is deprecated; use "
+            "ServerStats.counters()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.counters()
+
 
 class SMBServer:
     """Transport-agnostic SMB request processor.
@@ -125,6 +150,9 @@ class SMBServer:
         self,
         capacity: int = DEFAULT_POOL_CAPACITY,
         telemetry: Optional[TelemetrySession] = None,
+        journal_dir: Optional[Union[str, os.PathLike]] = None,
+        snapshot_interval: float = 30.0,
+        journal_ops: bool = True,
     ) -> None:
         self.pool = MemoryPool(capacity)
         self._telemetry = telemetry
@@ -136,6 +164,105 @@ class SMBServer:
         self.stats = ServerStats(tel.registry if tel.enabled else None)
         self._accumulate_lock = threading.Lock()
         self._closing = threading.Event()
+        # -- durability (off unless a journal directory is given) --------
+        #: Restart counter: 0 for a fresh pool, +1 per recovery.  Carried
+        #: in ATTACH responses so clients can observe server restarts.
+        self.epoch = 0
+        self._store: Optional[DurabilityStore] = None
+        self._snapshot_interval = snapshot_interval
+        self._last_snapshot = _monotonic()
+        self._journal_lock = threading.Lock()
+        if journal_dir is not None:
+            self._store = DurabilityStore(journal_dir, journal_ops=journal_ops)
+            if self._store.has_state():
+                self._recover()
+            else:
+                # Seed the directory so a crash before the first interval
+                # still leaves a recoverable (empty) generation behind.
+                self._write_snapshot_locked()
+
+    def _recover(self) -> None:
+        """Rehydrate pool, key table, versions and epoch from disk."""
+        assert self._store is not None
+        image = self._store.recover()
+        for seg in image.segments:
+            self.pool.restore_segment(
+                name=seg.name,
+                shm_key=seg.shm_key,
+                data=seg.data,
+                version=seg.version,
+                owner=seg.owner,
+            )
+        self.pool.advance_keys(image.shm_minted, image.access_minted)
+        self.epoch = image.epoch + 1
+        # Attaches are not journaled, so ``access_minted`` undershoots
+        # whatever the dead life handed out after its last snapshot;
+        # epoch-salting the sequence makes collisions impossible instead
+        # of merely unlikely.
+        self.pool.reseed_access_keys(self.epoch)
+        self.stats.registry.inc("smb/recovery/recoveries")
+        self.stats.registry.inc(
+            "smb/recovery/restored_segments", len(image.segments)
+        )
+        logger.info(
+            "recovered %d segment(s) from %s (epoch %d)",
+            len(image.segments), self._store.directory, self.epoch,
+        )
+        # The recovered image plus any replayed journal becomes the new
+        # baseline snapshot, so the next crash recovers from one file.
+        self._write_snapshot_locked()
+
+    def _pool_image(self) -> PoolImage:
+        segments = [
+            SegmentImage(
+                name=segment.name,
+                shm_key=segment.shm_key,
+                data=segment.buffer.copy(),
+                version=segment.version,
+                owner=segment.owner,
+            )
+            for segment in self.pool.segments().values()
+        ]
+        return PoolImage(
+            capacity=self.pool.capacity,
+            epoch=self.epoch,
+            seq=0,  # assigned by the store
+            shm_minted=self.pool.shm_minted,
+            access_minted=self.pool.access_minted,
+            segments=segments,
+        )
+
+    def _write_snapshot_locked(self) -> int:
+        """Write a snapshot; caller holds (or doesn't need) the journal
+        lock — this is the unsynchronised core."""
+        assert self._store is not None
+        seq = self._store.write_snapshot(self._pool_image())
+        self._last_snapshot = _monotonic()
+        self.stats.registry.inc("smb/recovery/snapshots")
+        return seq
+
+    def take_snapshot(self) -> int:
+        """Force a durable snapshot now; returns its sequence number."""
+        if self._store is None:
+            raise SMBError("server has no journal directory configured")
+        with self._journal_lock:
+            return self._write_snapshot_locked()
+
+    def _mutation_guard(self) -> contextlib.AbstractContextManager:
+        """Lock held across {mutate + journal-append} so the journal's
+        record order always matches the pool's effect order.  A no-op
+        when durability is off — the hot path stays lock-free."""
+        if self._store is None:
+            return contextlib.nullcontext()
+        return self._journal_lock
+
+    def _journal(self, record: Message) -> None:
+        """Append one mutation record; caller holds the journal lock."""
+        if self._store is None:
+            return
+        self._store.append(record)
+        if _monotonic() - self._last_snapshot >= self._snapshot_interval:
+            self._write_snapshot_locked()
 
     def close(self) -> None:
         """Refuse new waits and wake every blocked WAIT_UPDATE handler.
@@ -143,8 +270,18 @@ class SMBServer:
         Long notification waits are the only place a handler thread can
         park indefinitely; on shutdown they must unwind rather than pin
         threads (and, for TCP, connections) forever.
+
+        With durability on, a final snapshot is written so a *clean*
+        shutdown always restarts bit-exactly regardless of journal mode.
         """
         self._closing.set()
+        if self._store is not None:
+            try:
+                with self._journal_lock:
+                    self._write_snapshot_locked()
+            except OSError:
+                logger.exception("final snapshot failed during close")
+            self._store.close()
         def _wake(segment) -> None:
             with segment.lock:
                 segment.updated.notify_all()
@@ -201,15 +338,23 @@ class SMBServer:
     def _dispatch(self, req: Message) -> Message:
         if req.op is Op.CREATE:
             name = req.payload.decode()
-            segment = self.pool.create(name, req.count)
+            with self._mutation_guard():
+                segment = self.pool.create(name, req.count)
+                self._journal(Message(op=Op.CREATE, key=segment.shm_key,
+                                      count=req.count, payload=req.payload))
             self.stats.record(req.op)
             return Message(op=req.op, key=segment.shm_key)
 
         if req.op is Op.ATTACH:
             expected = req.count if req.count else None
+            segment = self.pool.by_shm_key(req.key)
             access_key = self.pool.attach(req.key, expected)
             self.stats.record(req.op)
-            return Message(op=req.op, key=access_key)
+            # key2/count were unused in ATTACH responses; they now carry
+            # the server epoch and segment version so re-attaching
+            # clients can verify what survived a restart.
+            return Message(op=req.op, key=access_key, key2=self.epoch,
+                           count=segment.version)
 
         if req.op is Op.LOOKUP:
             segment = self.pool.by_name(req.payload.decode())
@@ -226,7 +371,11 @@ class SMBServer:
 
         if req.op is Op.WRITE:
             segment = self.pool.by_access_key(req.key)
-            version = segment.write(req.offset, req.payload)
+            with self._mutation_guard():
+                version = segment.write(req.offset, req.payload)
+                self._journal(Message(op=Op.WRITE, key=segment.shm_key,
+                                      offset=req.offset,
+                                      payload=req.payload))
             self.stats.record(req.op, len(req.payload))
             return Message(op=req.op, key=req.key, count=version)
 
@@ -237,18 +386,23 @@ class SMBServer:
             # requests of global weights from each worker" (paper T.A3):
             # serialise all accumulates through one lock, on top of the
             # per-segment locks taken inside accumulate_from.
-            with self._accumulate_lock:
+            with self._mutation_guard(), self._accumulate_lock:
                 version = dst.accumulate_from(
                     src,
                     scale=req.scale,
                     offset=req.offset,
                     count=req.count or None,
                 )
+                self._journal(Message(op=Op.ACCUMULATE, key=dst.shm_key,
+                                      key2=src.shm_key, offset=req.offset,
+                                      count=req.count, scale=req.scale))
             self.stats.record(req.op, (req.count or src.size // 4) * 4)
             return Message(op=req.op, key=req.key, count=version)
 
         if req.op is Op.FREE:
-            self.pool.free(req.key)
+            with self._mutation_guard():
+                self.pool.free(req.key)
+                self._journal(Message(op=Op.FREE, key=req.key))
             self.stats.record(req.op)
             return Message(op=req.op)
 
@@ -281,8 +435,13 @@ class SMBServer:
         if req.op is Op.STATS:
             import json
 
-            payload = json.dumps(self.stats.snapshot()).encode()
+            payload = json.dumps(self.stats.counters()).encode()
             return Message(op=req.op, payload=payload)
+
+        if req.op is Op.SNAPSHOT:
+            seq = self.take_snapshot()
+            self.stats.record(req.op)
+            return Message(op=req.op, key=seq, key2=self.epoch)
 
         if req.op is Op.LIST:
             import json
@@ -334,10 +493,18 @@ class TcpSMBServer:
         capacity: int = DEFAULT_POOL_CAPACITY,
         core: Optional[SMBServer] = None,
         telemetry: Optional[TelemetrySession] = None,
+        journal_dir: Optional[Union[str, os.PathLike]] = None,
+        snapshot_interval: float = 30.0,
+        journal_ops: bool = True,
     ) -> None:
         self.core = core if core is not None else SMBServer(
-            capacity, telemetry=telemetry
+            capacity,
+            telemetry=telemetry,
+            journal_dir=journal_dir,
+            snapshot_interval=snapshot_interval,
+            journal_ops=journal_ops,
         )
+        self._journal_dir = journal_dir
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
@@ -346,11 +513,25 @@ class TcpSMBServer:
         self._stop = threading.Event()
         self._accept_thread: Optional[threading.Thread] = None
         self._handlers: list[threading.Thread] = []
+        self._conns: list[socket.socket] = []
+        self._conns_lock = threading.Lock()
 
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> "TcpSMBServer":
-        """Begin accepting connections on a background thread."""
+        """Begin accepting connections on a background thread.
+
+        With a journal directory configured, the rendezvous file is
+        (re)published first: a restarted server usually lands on a new
+        ephemeral port, and clients in their grace window re-resolve the
+        address through this file.
+        """
+        if self._journal_dir is not None:
+            write_rendezvous(
+                os.path.join(os.fspath(self._journal_dir), RENDEZVOUS_NAME),
+                self.address,
+                epoch=self.core.epoch,
+            )
         self._accept_thread = threading.Thread(
             target=self._accept_loop, name="smb-accept", daemon=True
         )
@@ -370,6 +551,39 @@ class TcpSMBServer:
             self._listener.close()
         except OSError:  # already closed
             pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    def kill(self) -> None:
+        """Die abruptly: sever every connection, skip the clean-shutdown
+        snapshot.  Chaos drills use this to emulate ``kill -9`` on an
+        in-process server — recovery must come from the journal
+        directory, exactly as it would after a real process death.
+        """
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        # Wake WAIT_UPDATE handler threads and release the journal file
+        # handle (mimicking the OS reclaiming it on death) WITHOUT the
+        # final snapshot that core.close() would write.
+        self.core._closing.set()
+        if self.core._store is not None:
+            self.core._store.close()
+
+        def _wake(segment) -> None:
+            with segment.lock:
+                segment.updated.notify_all()
+
+        self.core.pool.for_each(_wake)
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
 
@@ -397,6 +611,8 @@ class TcpSMBServer:
             self._handlers.append(handler)
 
     def _serve_connection(self, conn: socket.socket, peer: object) -> None:
+        with self._conns_lock:
+            self._conns.append(conn)
         try:
             conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
             hello = recv_exact(conn, len(HELLO))
@@ -416,4 +632,7 @@ class TcpSMBServer:
         except Exception:  # noqa: BLE001 - keep the server alive
             logger.exception("SMB handler crashed for peer %s", peer)
         finally:
+            with self._conns_lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
             conn.close()

@@ -31,12 +31,14 @@ turns that into a transparent reconnect-and-retry.
 from __future__ import annotations
 
 import dataclasses
+import os
 import socket
 import threading
-from time import monotonic
-from typing import Callable, Optional, Protocol, Tuple
+from time import monotonic, sleep
+from typing import Callable, Optional, Protocol, Tuple, Union
 
 from .errors import SMBConnectionError, TransportClosedError
+from .journal import read_rendezvous
 from .protocol import HELLO, Message, Op, Status, recv_message, send_message
 from .server import SMBServer
 
@@ -44,6 +46,9 @@ from .server import SMBServer
 #: enough that close() wakes a waiter quickly; large enough that re-arming
 #: the wait is not a busy loop.
 WAIT_SLICE = 0.25
+
+#: Pause between connect attempts while inside a server-down grace window.
+RECONNECT_PAUSE = 0.2
 
 
 class Transport(Protocol):
@@ -135,10 +140,14 @@ class TcpTransport:
         address: Tuple[str, int],
         timeout: float = 10.0,
         request_timeout: float = 30.0,
+        rendezvous: Optional[Union[str, os.PathLike]] = None,
+        server_down_grace: float = 0.0,
     ) -> None:
         self._address = address
         self._connect_timeout = timeout
         self._request_timeout = request_timeout
+        self._rendezvous = rendezvous
+        self._server_down_grace = server_down_grace
         self._lock = threading.Lock()
         self._notify_lock = threading.Lock()
         self._closed = threading.Event()
@@ -148,24 +157,55 @@ class TcpTransport:
 
     # -- connection management -------------------------------------------
 
+    def _resolve_address(self) -> Tuple[str, int]:
+        """Current server endpoint: rendezvous file, else static address.
+
+        A restarted server usually binds a new ephemeral port and
+        republishes it through the rendezvous file; re-reading the file
+        on *every* attempt is what lets a client inside its grace window
+        find the new endpoint without any out-of-band coordination.
+        """
+        if self._rendezvous is not None:
+            resolved = read_rendezvous(self._rendezvous)
+            if resolved is not None:
+                return resolved
+        return self._address
+
     def _connect(self) -> socket.socket:
-        """Open one handshaken connection to the server."""
-        try:
-            sock = socket.create_connection(
-                self._address, timeout=self._connect_timeout
-            )
-        except OSError as exc:
-            raise SMBConnectionError(
-                f"cannot connect to SMB server at {self._address}: {exc}"
-            ) from exc
-        try:
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            sock.settimeout(self._request_timeout)
-            sock.sendall(HELLO)
-        except OSError as exc:
-            sock.close()
-            raise SMBConnectionError(f"handshake failed: {exc}") from exc
-        return sock
+        """Open one handshaken connection to the server.
+
+        With ``server_down_grace > 0`` a refused/failed connection is not
+        terminal: attempts repeat (re-resolving the rendezvous each time)
+        until the grace window expires, turning a server restart into a
+        bounded outage instead of a run-killing error.
+        """
+        grace = self._server_down_grace
+        deadline = monotonic() + grace if grace > 0 else None
+        last_exc: Optional[OSError] = None
+        address = self._address
+        while True:
+            if self._closed.is_set():
+                raise TransportClosedError("transport is closed")
+            address = self._resolve_address()
+            sock: Optional[socket.socket] = None
+            try:
+                sock = socket.create_connection(
+                    address, timeout=self._connect_timeout
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                sock.settimeout(self._request_timeout)
+                sock.sendall(HELLO)
+                self._address = address
+                return sock
+            except OSError as exc:
+                if sock is not None:
+                    sock.close()
+                last_exc = exc
+            if deadline is None or monotonic() >= deadline:
+                raise SMBConnectionError(
+                    f"cannot connect to SMB server at {address}: {last_exc}"
+                ) from last_exc
+            sleep(min(RECONNECT_PAUSE, max(deadline - monotonic(), 0.0)))
 
     @staticmethod
     def _discard(sock: Optional[socket.socket]) -> None:

@@ -70,11 +70,12 @@ def make_straggler_manager(dataset, criterion, iterations, slow_rank=1,
             slow = SlowBatches(real, delay_s)
             fast_minibatches = dataset.minibatches
 
-            def patched(batch_size, seed=0, rank=0, num_shards=1):
+            def patched(batch_size, seed=0, rank=0, num_shards=1,
+                        skip=0):
                 if rank == slow_rank:
                     return slow
                 return fast_minibatches(batch_size, seed=seed, rank=rank,
-                                        num_shards=num_shards)
+                                        num_shards=num_shards, skip=skip)
 
             dataset.minibatches = patched
             try:

@@ -88,6 +88,31 @@ class TestSyntheticDataset:
         b = next(dataset.minibatches(10, seed=5))
         np.testing.assert_array_equal(a.images, b.images)
 
+    @pytest.mark.parametrize("skip", [3, 10, 17, 25])
+    def test_minibatches_skip_fast_forwards(self, dataset, skip):
+        """skip=N resumes the exact batch sequence at position N — the
+        dataset-cursor contract a resumed training leg relies on — even
+        when the cursor crosses epoch (re-shuffle) boundaries."""
+        full = dataset.minibatches(10, seed=5)
+        reference = [next(full) for _ in range(skip + 3)][skip:]
+        resumed = dataset.minibatches(10, seed=5, skip=skip)
+        for expected in reference:
+            batch = next(resumed)
+            np.testing.assert_array_equal(batch.images, expected.images)
+            np.testing.assert_array_equal(batch.labels, expected.labels)
+
+    def test_minibatches_skip_respects_sharding(self, dataset):
+        full = dataset.minibatches(5, seed=2, rank=1, num_shards=2)
+        reference = [next(full) for _ in range(6)]
+        resumed = dataset.minibatches(5, seed=2, rank=1, num_shards=2, skip=4)
+        np.testing.assert_array_equal(
+            next(resumed).images, reference[4].images
+        )
+
+    def test_minibatches_negative_skip_rejected(self, dataset):
+        with pytest.raises(ValueError, match="skip"):
+            next(dataset.minibatches(10, seed=0, skip=-1))
+
     def test_test_batches_cover_split(self, dataset):
         batches = dataset.test_batches(8)
         assert sum(b.size for b in batches) == dataset.test_size

@@ -104,3 +104,68 @@ class TestSolverSnapshot:
         solver = SGDSolver(Net(small_spec(), seed=0))
         with pytest.raises(SnapshotError, match="solver-state"):
             load_solver_state(solver, path)
+
+    def test_rng_state_restored(self, tmp_path):
+        """The net's RNG stream (dropout masks) continues where the
+        snapshot left it, even if the restored net drew differently."""
+        solver = SGDSolver(Net(small_spec(), seed=0))
+        solver.net._rng.random(13)  # advance the stream off its seed
+        path = tmp_path / "state.npz"
+        save_solver_state(solver, path)
+        expected = solver.net._rng.random(4)
+
+        resumed = SGDSolver(Net(small_spec(), seed=0))
+        resumed.net._rng.random(99)  # desynchronize before restoring
+        load_solver_state(resumed, path)
+        np.testing.assert_array_equal(resumed.net._rng.random(4), expected)
+
+    def test_dataset_cursor_round_trips(self, tmp_path):
+        solver = SGDSolver(Net(small_spec(), seed=0))
+        solver.step(make_inputs())
+        path = tmp_path / "state.npz"
+        save_solver_state(solver, path, cursor=7)
+        assert load_solver_state(
+            SGDSolver(Net(small_spec(), seed=0)), path
+        ) == 7
+
+    def test_cursor_absent_returns_none(self, tmp_path):
+        solver = SGDSolver(Net(small_spec(), seed=0))
+        path = tmp_path / "state.npz"
+        save_solver_state(solver, path)
+        assert load_solver_state(
+            SGDSolver(Net(small_spec(), seed=0)), path
+        ) is None
+
+
+class TestDtypeChecking:
+    """A snapshot must never silently cast into a mismatched net."""
+
+    def _float64_copy(self, path, out):
+        with np.load(path) as archive:
+            payload = {}
+            for name in archive.files:
+                stored = archive[name]
+                payload[name] = (
+                    stored.astype(np.float64)
+                    if stored.dtype == np.float32 else stored
+                )
+        np.savez(out, **payload)
+
+    def test_load_net_rejects_dtype_mismatch(self, tmp_path):
+        net = Net(small_spec(), seed=0)
+        path = tmp_path / "weights.npz"
+        save_net(net, path)
+        widened = tmp_path / "weights64.npz"
+        self._float64_copy(path, widened)
+        with pytest.raises(SnapshotError, match="refusing to cast"):
+            load_net(Net(small_spec(), seed=0), widened)
+
+    def test_load_solver_state_rejects_dtype_mismatch(self, tmp_path):
+        solver = SGDSolver(Net(small_spec(), seed=0))
+        solver.step(make_inputs())
+        path = tmp_path / "state.npz"
+        save_solver_state(solver, path)
+        widened = tmp_path / "state64.npz"
+        self._float64_copy(path, widened)
+        with pytest.raises(SnapshotError, match="refusing to cast"):
+            load_solver_state(SGDSolver(Net(small_spec(), seed=0)), widened)

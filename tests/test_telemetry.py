@@ -225,16 +225,24 @@ class TestSessionScoping:
 
 
 class TestServerStatsMigration:
-    def test_snapshot_shape_preserved(self):
+    def test_counters_shape_preserved(self):
         stats = ServerStats()
         stats.record(Op.WRITE, 100)
         stats.record(Op.READ, 40)
         stats.record(Op.READ, 60)
-        snap = stats.snapshot()
-        assert snap["bytes_written"] == 100
-        assert snap["bytes_read"] == 100
-        assert snap["WRITE"] == 1
-        assert snap["READ"] == 2
+        counters = stats.counters()
+        assert counters["bytes_written"] == 100
+        assert counters["bytes_read"] == 100
+        assert counters["WRITE"] == 1
+        assert counters["READ"] == 2
+
+    def test_snapshot_alias_deprecated_but_equivalent(self):
+        # "snapshot" now belongs to the durability layer (a durable pool
+        # image on disk); the stats accessor was renamed to counters().
+        stats = ServerStats()
+        stats.record(Op.WRITE, 8)
+        with pytest.deprecated_call():
+            assert stats.snapshot() == stats.counters()
 
     def test_byte_counters_and_op_counts_are_separate_namespaces(self):
         stats = ServerStats()
@@ -286,7 +294,10 @@ class TestSeasgdSmoke:
 
     def test_all_five_phases_per_worker(self, run_session):
         tel, result = run_session
-        assert result.total_iterations >= 10
+        # MASTER_STOP: the master runs exactly its target; the other
+        # worker stops at the flag, however many iterations it managed.
+        assert result.histories[0].completed_iterations >= 5
+        assert all(h.completed_iterations >= 1 for h in result.histories)
         snap = tel.registry.snapshot()
         for worker in range(2):
             for phase in PAPER_PHASES:
