@@ -152,12 +152,19 @@ class SEASGDExchange(BaseExchange):
         self.global_weights = global_weights
         self.increment_buffer = increment_buffer
         self.driver: Optional[OverlapDriver] = None
+        self._global_scratch: Optional[np.ndarray] = None
 
     def bind(self, engine: "TrainingEngine") -> None:
         super().bind(engine)
         self.check_buffer(self.global_weights, engine.flat.count, "global")
         self.check_buffer(
             self.increment_buffer, engine.flat.count, "increment"
+        )
+        # One model-sized destination for every W_g read; with the
+        # zero-copy SMB path this makes the steady-state exchange
+        # allocation-free on the read side.
+        self._global_scratch = np.empty(
+            self.global_weights.count, dtype=self.global_weights.dtype
         )
         if engine.config.overlap_updates:
             self.driver = OverlapDriver(engine.rank, engine.telemetry)
@@ -177,7 +184,9 @@ class SEASGDExchange(BaseExchange):
         if driver is not None:
             driver.wait_for_flush(engine.phases)                       # T.A5
         with engine.phases.phase("rgw"):
-            global_now = self.global_weights.read()                    # T1
+            global_now = self.global_weights.read(                     # T1
+                out=self._global_scratch
+            )
         with engine.phases.phase("ulw"):
             local_now = engine.flat.get_vector()
             increment, updated = elastic_increment(                    # T2
@@ -218,8 +227,12 @@ class StaleReadExchange(SEASGDExchange):
 
         def deferred() -> None:
             phases = driver.phases
+            # The scratch is safe to reuse here: wait_for_flush above
+            # guarantees at most one deferred exchange is in flight.
             with phases.phase("rgw"):
-                global_now = self.global_weights.read()
+                global_now = self.global_weights.read(
+                    out=self._global_scratch
+                )
             increment, _ = elastic_increment(
                 local_snapshot, global_now, engine.config.moving_rate
             )
@@ -383,12 +396,16 @@ class SMBAsgdExchange(BaseExchange):
         self.global_weights = global_weights
         self.increment_buffer = increment_buffer
         self.driver: Optional[OverlapDriver] = None
+        self._global_scratch: Optional[np.ndarray] = None
 
     def bind(self, engine: "TrainingEngine") -> None:
         super().bind(engine)
         self.check_buffer(self.global_weights, engine.flat.count, "global")
         self.check_buffer(
             self.increment_buffer, engine.flat.count, "increment"
+        )
+        self._global_scratch = np.empty(
+            self.global_weights.count, dtype=self.global_weights.dtype
         )
         if engine.config.overlap_updates:
             self.driver = OverlapDriver(engine.rank, engine.telemetry)
@@ -407,7 +424,7 @@ class SMBAsgdExchange(BaseExchange):
         if self.driver is not None:
             self.driver.wait_for_flush(engine.phases)
         with engine.phases.phase("rgw"):
-            global_now = self.global_weights.read()
+            global_now = self.global_weights.read(out=self._global_scratch)
         with engine.phases.phase("ulw"):
             engine.flat.set_vector(global_now)
 

@@ -25,6 +25,7 @@ from .errors import (
     CapacityError,
     FaultInjectedError,
     NotificationTimeout,
+    PayloadSizeError,
     RetryExhaustedError,
     SegmentExistsError,
     SegmentRangeError,
@@ -75,6 +76,7 @@ __all__ = [
     "NotificationTimeout",
     "Op",
     "ParameterBuffer",
+    "PayloadSizeError",
     "PoolImage",
     "RemoteArray",
     "RetryExhaustedError",

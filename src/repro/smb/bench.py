@@ -1,0 +1,413 @@
+"""SMB data-path benchmark: the regression gate for the zero-copy work.
+
+The paper's Fig. 7 speedups live or die on the per-operation cost of the
+SMB primitives, so this module measures exactly that: READ / WRITE /
+ACCUMULATE latency and throughput, per transport (``inproc`` — the RDMA
+stand-in — and ``tcp`` loopback), across a payload sweep from 1 KiB to
+64 MiB.  The timings come from the client's own telemetry histograms
+(``smb/client/time/<OP>``), so the benchmark measures the same code path
+training measures, including retry/validation overhead.
+
+Results serialise to ``BENCH_smb.json``; :func:`compare` diffs a current
+run against a committed baseline and flags cells whose p50 latency
+regressed beyond a factor (the CI gate).  An optional sharded section
+times a K-server :class:`~repro.smb.sharding.ShardedArray` gather/scatter
+against the sum of its per-shard sequential costs, quantifying the
+fan-out overlap.
+
+CLI: ``repro smb bench [--quick] [--out BENCH_smb.json]
+[--compare baseline.json --max-regression 2.0] [--sharded K]``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..telemetry import TelemetrySession
+from .client import RemoteArray, SMBClient
+from .server import SMBServer, TcpSMBServer
+from .sharding import ShardedArray, create_sharded_array
+
+#: Default payload sweep (bytes): 1 KiB -> 64 MiB in 16x steps, i.e. the
+#: span from a tiny control block to an AlexNet-scale weight vector.
+DEFAULT_SIZES = (1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26)
+
+#: Reduced sweep for CI smoke runs (keeps the job in seconds).
+QUICK_SIZES = (1 << 10, 1 << 20)
+
+OPS = ("READ", "WRITE", "ACCUMULATE")
+TRANSPORTS = ("inproc", "tcp")
+
+#: Aim each cell's timed section at roughly this many bytes moved, so
+#: small payloads get many iterations (stable quantiles) and huge ones
+#: only a few (bounded wall time).
+TARGET_CELL_BYTES = 1 << 28
+MIN_ITERATIONS = 5
+MAX_ITERATIONS = 200
+
+
+@dataclass
+class CellResult:
+    """One (transport, op, size) measurement."""
+
+    transport: str
+    op: str
+    size_bytes: int
+    iterations: int
+    p50_s: float
+    p95_s: float
+    gb_per_s: float
+
+
+@dataclass
+class ShardedResult:
+    """K-way fan-out overlap measurement at one payload size."""
+
+    num_shards: int
+    size_bytes: int
+    iterations: int
+    read_wall_s: float
+    read_shard_sum_s: float
+    write_wall_s: float
+    write_shard_sum_s: float
+
+    @property
+    def read_overlap(self) -> float:
+        """Per-shard-sum / wall ratio; > 1 means transfers overlapped."""
+        return self.read_shard_sum_s / max(self.read_wall_s, 1e-12)
+
+
+@dataclass
+class BenchConfig:
+    """What to measure; defaults give the full sweep."""
+
+    sizes: Sequence[int] = DEFAULT_SIZES
+    ops: Sequence[str] = OPS
+    transports: Sequence[str] = TRANSPORTS
+    iterations: Optional[int] = None  # None = auto-scale per size
+    warmup: int = 2
+    sharded: int = 0  # shard count for the overlap section; 0 = skip
+    quick: bool = False
+
+    def __post_init__(self) -> None:
+        if self.quick:
+            self.sizes = QUICK_SIZES
+        for op in self.ops:
+            if op not in OPS:
+                raise ValueError(f"unknown op {op!r}; choose from {OPS}")
+        for transport in self.transports:
+            if transport not in TRANSPORTS:
+                raise ValueError(
+                    f"unknown transport {transport!r}; "
+                    f"choose from {TRANSPORTS}"
+                )
+
+    def iterations_for(self, size_bytes: int) -> int:
+        if self.iterations is not None:
+            return self.iterations
+        auto = TARGET_CELL_BYTES // max(size_bytes, 1)
+        if self.quick:
+            auto = min(auto, 20)
+        return max(MIN_ITERATIONS, min(MAX_ITERATIONS, auto))
+
+
+@dataclass
+class _Rig:
+    """One transport's server + client + per-size arrays."""
+
+    client: SMBClient
+    teardown: Callable[[], None]
+    arrays: Dict[int, Tuple[RemoteArray, RemoteArray]] = field(
+        default_factory=dict
+    )
+
+
+def _capacity_for(sizes: Sequence[int]) -> int:
+    # Two arrays (target + delta) per size, plus slack for headers.
+    return 2 * sum(sizes) + (1 << 22)
+
+
+def _make_rig(transport: str, sizes: Sequence[int]) -> _Rig:
+    capacity = _capacity_for(sizes)
+    if transport == "inproc":
+        server = SMBServer(capacity=capacity)
+        client = SMBClient.in_process(server)
+        teardown: Callable[[], None] = client.close
+    else:
+        tcp_server = TcpSMBServer(capacity=capacity).start()
+        client = SMBClient.connect(tcp_server.address)
+
+        def teardown() -> None:
+            client.close()
+            tcp_server.stop()
+
+    rig = _Rig(client=client, teardown=teardown)
+    for size in sizes:
+        count = max(size // 4, 1)  # float32 elements
+        target = client.create_array(f"bench.{size}", count)
+        delta = client.create_array(f"bench.{size}.delta", count)
+        delta.write(np.ones(count, dtype=np.float32))
+        rig.arrays[size] = (target, delta)
+    return rig
+
+
+def _measure_cell(
+    client: SMBClient,
+    transport: str,
+    op: str,
+    size_bytes: int,
+    target: RemoteArray,
+    delta: RemoteArray,
+    iterations: int,
+    warmup: int,
+) -> CellResult:
+    """Time one op at one size through the client's own telemetry."""
+    scratch = np.empty(target.count, dtype=target.dtype)
+    payload = np.zeros(target.count, dtype=np.float32)
+
+    def once() -> None:
+        if op == "READ":
+            target.read(out=scratch)
+        elif op == "WRITE":
+            target.write(payload)
+        else:
+            delta.accumulate_into(target)
+
+    for _ in range(warmup):
+        once()
+    # A fresh session isolates the timed iterations from warmup (and from
+    # any other cell); the client records into whichever session it was
+    # handed at construction, so swap it for the duration.
+    session = TelemetrySession("metrics")
+    previous = client._telemetry
+    client._telemetry = session
+    try:
+        for _ in range(iterations):
+            once()
+    finally:
+        client._telemetry = previous
+    histogram = session.registry.histogram(f"smb/client/time/{op}")
+    p50, p95 = histogram.quantiles([0.5, 0.95])
+    return CellResult(
+        transport=transport,
+        op=op,
+        size_bytes=size_bytes,
+        iterations=iterations,
+        p50_s=p50,
+        p95_s=p95,
+        gb_per_s=size_bytes / max(p50, 1e-12) / 1e9,
+    )
+
+
+def _measure_sharded(num_shards: int, size_bytes: int) -> ShardedResult:
+    """Wall-clock K-way gather/scatter vs the sum of per-shard costs.
+
+    Uses K TCP loopback servers (one per shard) so each stripe has a real
+    socket to overlap on; the per-shard-sum is measured on the very same
+    arrays read sequentially, so the comparison is apples-to-apples.
+    """
+    count = max(size_bytes // 4, num_shards)
+    servers = [
+        TcpSMBServer(capacity=size_bytes * 3 + (1 << 22)).start()
+        for _ in range(num_shards)
+    ]
+    clients = [SMBClient.connect(server.address) for server in servers]
+    try:
+        array = create_sharded_array(clients, "bench.sharded", count)
+        values = np.ones(count, dtype=np.float32)
+        scratch = np.empty(count, dtype=np.float32)
+        iterations = max(3, min(20, TARGET_CELL_BYTES // max(size_bytes, 1)))
+        array.write(values)
+        array.read(out=scratch)  # warmup
+
+        start = time.perf_counter()
+        for _ in range(iterations):
+            array.read(out=scratch)
+        read_wall = (time.perf_counter() - start) / iterations
+
+        flat = scratch.reshape(-1)
+        start = time.perf_counter()
+        for _ in range(iterations):
+            for shard, (lo, hi) in zip(array.shards, array._bounds):
+                shard.read(out=flat[lo:hi])
+        read_seq = (time.perf_counter() - start) / iterations
+
+        start = time.perf_counter()
+        for _ in range(iterations):
+            array.write(values)
+        write_wall = (time.perf_counter() - start) / iterations
+
+        start = time.perf_counter()
+        for _ in range(iterations):
+            for shard, (lo, hi) in zip(array.shards, array._bounds):
+                shard.write(values[lo:hi])
+        write_seq = (time.perf_counter() - start) / iterations
+    finally:
+        for client in clients:
+            client.close()
+        for server in servers:
+            server.stop()
+    return ShardedResult(
+        num_shards=num_shards,
+        size_bytes=size_bytes,
+        iterations=iterations,
+        read_wall_s=read_wall,
+        read_shard_sum_s=read_seq,
+        write_wall_s=write_wall,
+        write_shard_sum_s=write_seq,
+    )
+
+
+def run_bench(config: Optional[BenchConfig] = None) -> dict:
+    """Run the configured sweep; returns the ``BENCH_smb.json`` payload."""
+    config = config or BenchConfig()
+    cells: List[CellResult] = []
+    for transport in config.transports:
+        rig = _make_rig(transport, config.sizes)
+        try:
+            for size in config.sizes:
+                target, delta = rig.arrays[size]
+                for op in config.ops:
+                    cells.append(
+                        _measure_cell(
+                            rig.client,
+                            transport,
+                            op,
+                            size,
+                            target,
+                            delta,
+                            config.iterations_for(size),
+                            config.warmup,
+                        )
+                    )
+        finally:
+            rig.teardown()
+    payload = {
+        "meta": {
+            "benchmark": "smb-data-path",
+            "created_unix": time.time(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "quick": config.quick,
+        },
+        "cells": [asdict(cell) for cell in cells],
+    }
+    if config.sharded > 1:
+        sharded_size = max(config.sizes)
+        result = _measure_sharded(config.sharded, sharded_size)
+        payload["sharded"] = dict(
+            asdict(result), read_overlap=result.read_overlap
+        )
+    return payload
+
+
+# -- baseline comparison ---------------------------------------------------
+
+
+@dataclass
+class Regression:
+    """One cell whose p50 latency exceeded the allowed factor."""
+
+    transport: str
+    op: str
+    size_bytes: int
+    baseline_p50_s: float
+    current_p50_s: float
+
+    @property
+    def factor(self) -> float:
+        return self.current_p50_s / max(self.baseline_p50_s, 1e-12)
+
+    def describe(self) -> str:
+        return (
+            f"{self.transport}/{self.op}/{self.size_bytes}B: "
+            f"p50 {self.current_p50_s * 1e3:.3f} ms vs baseline "
+            f"{self.baseline_p50_s * 1e3:.3f} ms ({self.factor:.2f}x)"
+        )
+
+
+def _index(payload: dict) -> Dict[Tuple[str, str, int], dict]:
+    return {
+        (cell["transport"], cell["op"], int(cell["size_bytes"])): cell
+        for cell in payload.get("cells", [])
+    }
+
+
+def compare(
+    current: dict, baseline: dict, max_regression: float = 2.0
+) -> List[Regression]:
+    """Cells in ``current`` slower than ``max_regression`` x the baseline.
+
+    Cells present in only one payload are skipped (sweeps may differ —
+    e.g. a quick CI run against a full committed baseline); the gate
+    judges only directly comparable measurements.
+    """
+    if max_regression <= 0:
+        raise ValueError("max_regression must be positive")
+    baseline_cells = _index(baseline)
+    regressions: List[Regression] = []
+    for key, cell in _index(current).items():
+        base = baseline_cells.get(key)
+        if base is None:
+            continue
+        if cell["p50_s"] > base["p50_s"] * max_regression:
+            regressions.append(
+                Regression(
+                    transport=key[0],
+                    op=key[1],
+                    size_bytes=key[2],
+                    baseline_p50_s=float(base["p50_s"]),
+                    current_p50_s=float(cell["p50_s"]),
+                )
+            )
+    regressions.sort(key=lambda r: r.factor, reverse=True)
+    return regressions
+
+
+def format_table(payload: dict) -> str:
+    """Human-readable rendering of a bench payload."""
+    lines = [
+        f"{'transport':<9} {'op':<10} {'size':>9} {'iters':>5} "
+        f"{'p50 ms':>10} {'p95 ms':>10} {'GB/s':>8}"
+    ]
+    for cell in payload.get("cells", []):
+        size = int(cell["size_bytes"])
+        human = (
+            f"{size // (1 << 20)} MiB" if size >= (1 << 20)
+            else f"{size // (1 << 10)} KiB"
+        )
+        lines.append(
+            f"{cell['transport']:<9} {cell['op']:<10} {human:>9} "
+            f"{cell['iterations']:>5} {cell['p50_s'] * 1e3:>10.3f} "
+            f"{cell['p95_s'] * 1e3:>10.3f} {cell['gb_per_s']:>8.2f}"
+        )
+    sharded = payload.get("sharded")
+    if sharded:
+        lines.append(
+            f"sharded K={sharded['num_shards']} @ "
+            f"{int(sharded['size_bytes']) // (1 << 20)} MiB: "
+            f"read wall {sharded['read_wall_s'] * 1e3:.2f} ms vs "
+            f"per-shard sum {sharded['read_shard_sum_s'] * 1e3:.2f} ms "
+            f"({sharded['read_overlap']:.2f}x overlap)"
+        )
+    return "\n".join(lines)
+
+
+def save(payload: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        loaded = json.load(handle)
+    if not isinstance(loaded, dict) or "cells" not in loaded:
+        raise ValueError(f"{path} is not a BENCH_smb payload")
+    return loaded

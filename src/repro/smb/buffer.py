@@ -21,7 +21,7 @@ assert conformance with ``isinstance``.
 
 from __future__ import annotations
 
-from typing import Protocol, runtime_checkable
+from typing import Optional, Protocol, runtime_checkable
 
 import numpy as np
 
@@ -42,8 +42,15 @@ class ParameterBuffer(Protocol):
     #: Element type of the buffer.
     dtype: np.dtype
 
-    def read(self) -> np.ndarray:
-        """Fetch the whole buffer as a typed array (RDMA Read)."""
+    def read(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Fetch the whole buffer as a typed array (RDMA Read).
+
+        With ``out`` (a C-contiguous writable array of ``count`` elements
+        of ``dtype``), the transfer lands in the caller's buffer and
+        ``out`` is returned — the steady-state training loop reads into
+        one preallocated scratch vector instead of allocating a
+        model-sized array every exchange.
+        """
         ...
 
     def write(self, values: np.ndarray) -> int:

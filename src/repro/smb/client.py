@@ -31,12 +31,38 @@ import numpy as np
 from ..telemetry import TelemetrySession
 from ..telemetry import current as _telemetry_current
 from . import errors
-from .protocol import Message, Op, Status
+from .protocol import Buffer, Message, Op, Status
 from .retry import NO_RETRY, RetryPolicy
 from .server import SMBServer
 from .transport import InProcTransport, TcpTransport, Transport
 
 logger = logging.getLogger(__name__)
+
+
+def _writable_byte_view(out: object) -> memoryview:
+    """Normalise a caller-supplied output buffer to a writable byte view.
+
+    Accepts a NumPy array, ``bytearray`` or ``memoryview`` (anything
+    exposing a writable C-contiguous buffer).  This is the contract of
+    every ``read_into``-style API: the bytes land *in this buffer*, so it
+    must be flat, writable and contiguous.
+    """
+    view = memoryview(out)  # type: ignore[arg-type]
+    if view.readonly:
+        raise ValueError("output buffer must be writable")
+    if view.format == "B" and view.ndim == 1:
+        return view
+    try:
+        return view.cast("B")
+    except TypeError as exc:
+        raise ValueError(
+            f"output buffer must be C-contiguous: {exc}"
+        ) from exc
+
+
+def _aliases(payload: Buffer, view: memoryview) -> bool:
+    """Whether ``payload`` is already a view of ``view``'s backing buffer."""
+    return isinstance(payload, memoryview) and payload.obj is view.obj
 
 #: Ops whose ``key`` slot carries an access key (``key2`` too for
 #: ACCUMULATE) and therefore must be re-mapped after a server restart.
@@ -165,24 +191,30 @@ class SMBClient:
 
     # -- raw segment operations ------------------------------------------
 
-    def _call(self, request: Message) -> Message:
+    def _call(
+        self, request: Message, out: Optional[memoryview] = None
+    ) -> Message:
         tel = self._telemetry
         if tel is None:
             tel = _telemetry_current()
         if not tel.enabled:
-            return self._call_raw(request)
+            return self._call_raw(request, out)
         start = _perf_counter()
-        response = self._call_raw(request)
+        response = self._call_raw(request, out)
         elapsed = _perf_counter() - start
         name = request.op.name
         tel.registry.observe(f"smb/client/time/{name}", elapsed)
         if request.op is Op.READ:
             tel.registry.inc("smb/client/bytes_read", len(response.payload))
         elif request.op is Op.WRITE:
-            tel.registry.inc("smb/client/bytes_written", len(request.payload))
+            tel.registry.inc(
+                "smb/client/bytes_written", request.payload_nbytes
+            )
         return response
 
-    def _call_raw(self, request: Message) -> Message:
+    def _call_raw(
+        self, request: Message, out: Optional[memoryview] = None
+    ) -> Message:
         """One operation, retried per the client's policy.
 
         Transient failures (see :func:`repro.smb.errors.is_retryable`)
@@ -198,7 +230,9 @@ class SMBClient:
         while True:
             attempt += 1
             try:
-                response = self._transport.request(self._translate(request))
+                response = self._transport.request(
+                    self._translate(request), out
+                )
             except errors.SMBError as exc:
                 if not errors.is_retryable(exc):
                     raise
@@ -364,24 +398,90 @@ class SMBClient:
         )
         return response.key
 
+    @staticmethod
+    def _check_payload(op: Op, expected: int, payload: Buffer) -> None:
+        """Reject short/oversized response payloads loudly.
+
+        A stale or truncated response would otherwise surface far
+        downstream as a wrong-sized array; see
+        :class:`~repro.smb.errors.PayloadSizeError`.
+        """
+        got = len(payload)
+        if got != expected:
+            raise errors.PayloadSizeError(op.name, expected, got)
+
     def read(self, access_key: int, nbytes: int, offset: int = 0) -> bytes:
-        """RDMA-Read ``nbytes`` from the segment."""
+        """RDMA-Read ``nbytes`` from the segment.
+
+        Raises:
+            errors.PayloadSizeError: If the response payload length does
+                not match ``nbytes``.
+        """
         response = self._call(
             Message(op=Op.READ, key=access_key, offset=offset, count=nbytes)
         )
-        return response.payload
+        self._check_payload(Op.READ, nbytes, response.payload)
+        payload = response.payload
+        return payload if isinstance(payload, bytes) else bytes(payload)
+
+    def read_into(
+        self,
+        access_key: int,
+        out: Union[np.ndarray, bytearray, memoryview],
+        offset: int = 0,
+    ) -> int:
+        """RDMA-Read ``len(out)`` bytes straight into ``out`` (zero-copy).
+
+        The steady-state read primitive: the response payload is received
+        (TCP) or copied (in-process) directly into the caller's buffer —
+        no intermediate bytes objects, no model-size garbage per
+        iteration.  Returns the segment's version at read time.
+
+        Args:
+            out: Writable C-contiguous buffer (NumPy array, bytearray or
+                memoryview); its byte length is the read size.
+            offset: Byte offset into the segment.
+
+        Raises:
+            errors.PayloadSizeError: If the server returned a payload of
+                a different length (``out`` may then hold partial data).
+        """
+        view = _writable_byte_view(out)
+        nbytes = view.nbytes
+        response = self._call(
+            Message(op=Op.READ, key=access_key, offset=offset, count=nbytes),
+            out=view,
+        )
+        self._check_payload(Op.READ, nbytes, response.payload)
+        if not _aliases(response.payload, view):
+            # Transport could not use the buffer (e.g. a wrapper that
+            # ignores ``out``); land the bytes where the caller asked.
+            np.frombuffer(view, dtype=np.uint8)[:] = np.frombuffer(
+                response.payload, dtype=np.uint8
+            )
+        return response.count
 
     def write(
         self,
         access_key: int,
-        data: Union[bytes, np.ndarray],
+        data: Union[bytes, bytearray, memoryview, np.ndarray],
         offset: int = 0,
     ) -> int:
-        """RDMA-Write bytes/array into the segment; returns new version."""
+        """RDMA-Write bytes/array into the segment; returns new version.
+
+        A C-contiguous NumPy array is sent as a memoryview of its own
+        storage (vectored send) — no ``tobytes()`` copy; non-contiguous
+        input is compacted first because the wire needs contiguity.
+        """
+        payload: Buffer
         if isinstance(data, np.ndarray):
-            data = np.ascontiguousarray(data).tobytes()
+            payload = memoryview(np.ascontiguousarray(data)).cast("B")
+        else:
+            payload = data
         response = self._call(
-            Message(op=Op.WRITE, key=access_key, offset=offset, payload=data)
+            Message(
+                op=Op.WRITE, key=access_key, offset=offset, payload=payload
+            )
         )
         return response.count
 
@@ -512,13 +612,57 @@ class RemoteArray:
         """Segment size in bytes."""
         return self.count * self.dtype.itemsize
 
-    def read(self) -> np.ndarray:
-        """Fetch the whole segment as a typed array (RDMA Read)."""
-        data = self._client.read(self.access_key, self.nbytes)
-        return np.frombuffer(data, dtype=self.dtype).copy()
+    def _check_out(self, out: np.ndarray) -> np.ndarray:
+        """Validate a caller-supplied read destination."""
+        if not isinstance(out, np.ndarray):
+            raise TypeError(
+                f"out must be a numpy array, got {type(out).__name__}"
+            )
+        if out.dtype != self.dtype:
+            raise ValueError(
+                f"out dtype {out.dtype} != segment dtype {self.dtype}"
+            )
+        if out.size != self.count:
+            raise ValueError(
+                f"out holds {out.size} elements, segment has {self.count}"
+            )
+        if not out.flags.c_contiguous or not out.flags.writeable:
+            raise ValueError("out must be C-contiguous and writable")
+        return out
+
+    def read(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Fetch the whole segment as a typed array (RDMA Read).
+
+        Args:
+            out: Optional preallocated destination (same dtype and element
+                count, C-contiguous, writable).  When given, the segment
+                bytes are received *directly into it* and ``out`` itself
+                is returned — the steady-state SEASGD loop reuses one
+                buffer instead of allocating a model-size array per
+                iteration.  Without ``out`` a fresh array is allocated
+                (still filled in place: one copy total).
+        """
+        if out is None:
+            out = np.empty(self.count, dtype=self.dtype)
+        else:
+            out = self._check_out(out)
+        self._client.read_into(self.access_key, out)
+        return out
+
+    def read_into(self, out: np.ndarray) -> int:
+        """Fill ``out`` from the segment; returns the version read.
+
+        Same zero-copy path as :meth:`read` with ``out=``, exposed
+        separately for callers that want the version number.
+        """
+        return self._client.read_into(self.access_key, self._check_out(out))
 
     def write(self, values: np.ndarray) -> int:
-        """Overwrite the whole segment (RDMA Write)."""
+        """Overwrite the whole segment (RDMA Write).
+
+        Contiguous float32 input is sent without any userspace copy
+        (vectored send of a memoryview onto ``values``).
+        """
         values = np.ascontiguousarray(values, dtype=self.dtype)
         if values.size != self.count:
             raise ValueError(

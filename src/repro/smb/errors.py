@@ -72,6 +72,24 @@ class SMBProtocolError(SMBError):
     """A malformed or unexpected message was seen on the wire."""
 
 
+class PayloadSizeError(SMBProtocolError):
+    """A response payload did not match the byte count the request asked for.
+
+    A short (or oversized) READ payload silently yields a wrong-sized —
+    or stale — array downstream, which is far harder to debug than a
+    loud protocol failure at the call site.  The client validates every
+    READ/read_into payload length and raises this instead.
+    """
+
+    def __init__(self, op: str, expected: int, got: int) -> None:
+        super().__init__(
+            f"{op} returned {got} payload byte(s), expected {expected}"
+        )
+        self.op = op
+        self.expected = expected
+        self.got = got
+
+
 class UnknownKeyError(SMBError):
     """An SHM key or access key does not name a live segment."""
 
@@ -154,6 +172,7 @@ def is_retryable(exc: BaseException) -> bool:
 #: order.  Only classes with structured constructors appear here; the rest
 #: round-trip as a plain message.
 _WIRE_ARGS: Dict[str, Tuple[str, ...]] = {
+    "PayloadSizeError": ("op", "expected", "got"),
     "UnknownKeyError": ("key",),
     "CapacityError": ("requested", "available"),
     "SegmentRangeError": ("offset", "nbytes", "size"),

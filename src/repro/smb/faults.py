@@ -143,7 +143,9 @@ class FaultInjectingTransport:
                 fault = "delay"
         return fault
 
-    def request(self, message: Message) -> Message:
+    def request(
+        self, message: Message, out: Optional[memoryview] = None
+    ) -> Message:
         with self._lock:
             fault = self._decide(message)
             if fault is not None:
@@ -166,7 +168,7 @@ class FaultInjectingTransport:
             )
         if fault == "delay":
             time.sleep(self.plan.delay_seconds)
-        return self.inner.request(message)
+        return self.inner.request(message, out)
 
     def close(self) -> None:
         self.inner.close()

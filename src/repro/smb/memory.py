@@ -85,6 +85,21 @@ class Segment:
         with self.lock:
             return self.buffer[offset:offset + nbytes].tobytes()
 
+    def read_into(self, offset: int, out: memoryview) -> int:
+        """Copy ``len(out)`` bytes starting at ``offset`` straight into
+        ``out`` (the zero-copy RDMA Read: one copy, segment to caller
+        buffer, taken under the segment lock for a consistent snapshot).
+
+        Returns the number of bytes copied.
+        """
+        nbytes = len(out)
+        self._check_range(offset, nbytes)
+        with self.lock:
+            np.frombuffer(out, dtype=np.uint8)[:] = (
+                self.buffer[offset:offset + nbytes]
+            )
+        return nbytes
+
     def write(self, offset: int, data: bytes) -> int:
         """Store ``data`` at ``offset`` (RDMA Write); returns new version."""
         self._check_range(offset, len(data))

@@ -9,8 +9,26 @@ Every exchange is a request/response pair:
 The header is a fixed-size packed struct (:data:`HEADER_FORMAT`) carrying the
 opcode, up to two keys, a byte offset, an element count, a float scale and
 the payload length.  Strings (segment names) and bulk data travel in the
-payload.  The format is deliberately simple: the protocol's job is to make
-the socket transport byte-compatible across processes, not to be fast.
+payload.
+
+The framed *format* is deliberately simple, but the hot path is engineered
+for zero userspace copies ("RPC Considered Harmful": one-sided, copy-free
+data movement is what makes RDMA-class systems fast):
+
+* **Sends are vectored.**  :func:`send_message` hands the header and the
+  payload to ``socket.sendmsg`` as two iovecs, so a payload — which may be
+  a ``memoryview`` straight onto a NumPy parameter array — is never
+  concatenated into a fresh ``header + payload`` bytes object.
+* **Receives land in caller buffers.**  :func:`recv_message` accepts an
+  optional writable ``out`` memoryview; a well-formed ``OK`` payload that
+  fits is read with ``recv_into`` directly into it (one kernel→user copy,
+  zero intermediate allocations).  Without ``out``, the payload is read
+  into a single preallocated ``bytearray`` instead of the historical
+  chunk-list + ``b"".join`` (which cost two copies).
+
+:class:`Message.payload` therefore accepts ``bytes``, ``bytearray`` or a
+C-contiguous ``memoryview``; :meth:`Message.encode` still produces the
+classic contiguous frame for journaling and tests.
 """
 
 from __future__ import annotations
@@ -19,6 +37,7 @@ import enum
 import socket
 import struct
 from dataclasses import dataclass, field
+from typing import Optional, Union
 
 from .errors import SMBConnectionError, SMBProtocolError
 
@@ -29,6 +48,32 @@ HEADER_SIZE = struct.calcsize(HEADER_FORMAT)
 #: Magic bytes every connection opens with, so a stray client that connects
 #: to the wrong port fails immediately instead of hanging mid-protocol.
 HELLO = b"SMB1"
+
+#: Payload types a message may carry.  ``memoryview`` payloads enable the
+#: zero-copy send/receive paths; they must be 1-D, C-contiguous views of
+#: bytes (use :func:`as_byte_view` to normalise).
+Buffer = Union[bytes, bytearray, memoryview]
+
+_HAS_SENDMSG = hasattr(socket.socket, "sendmsg")
+
+
+def as_byte_view(data: Buffer) -> memoryview:
+    """Normalise any contiguous buffer to a flat ``uint8`` memoryview.
+
+    Accepts ``bytes``/``bytearray``/``memoryview`` and anything else
+    exposing the buffer protocol (e.g. a NumPy array).  Raises
+    :class:`SMBProtocolError` for non-contiguous inputs — the zero-copy
+    paths require contiguity, and silently copying here would defeat them.
+    """
+    view = memoryview(data)
+    if view.format == "B" and view.ndim == 1:
+        return view
+    try:
+        return view.cast("B")
+    except TypeError as exc:
+        raise SMBProtocolError(
+            f"payload buffer must be C-contiguous bytes: {exc}"
+        ) from exc
 
 
 class Op(enum.IntEnum):
@@ -65,6 +110,11 @@ class Message:
     ``key`` carries the primary key or a returned key, ``key2`` the second
     key for ACCUMULATE (source) or the source offset slot is reused via
     ``count`` conventions documented per-op in :mod:`repro.smb.client`.
+
+    ``payload`` may be a ``memoryview`` (zero-copy send/receive); such a
+    view is only guaranteed valid until the next operation on the
+    transport or buffer that produced it — callers that need to retain
+    payload bytes must copy (``bytes(message.payload)``).
     """
 
     op: Op
@@ -74,11 +124,23 @@ class Message:
     offset: int = 0
     count: int = 0
     scale: float = 1.0
-    payload: bytes = field(default=b"", repr=False)
+    payload: Buffer = field(default=b"", repr=False)
 
-    def encode(self) -> bytes:
-        """Serialise to header + payload bytes."""
-        header = struct.pack(
+    def payload_view(self) -> memoryview:
+        """The payload as a flat byte view (no copy)."""
+        return as_byte_view(self.payload)
+
+    @property
+    def payload_nbytes(self) -> int:
+        """Byte length of the payload regardless of its container type."""
+        payload = self.payload
+        if isinstance(payload, (bytes, bytearray)):
+            return len(payload)
+        return as_byte_view(payload).nbytes
+
+    def encode_header(self) -> bytes:
+        """Serialise the fixed-size header only (for vectored sends)."""
+        return struct.pack(
             HEADER_FORMAT,
             int(self.op),
             int(self.status),
@@ -87,20 +149,33 @@ class Message:
             self.offset,
             self.count,
             self.scale,
-            len(self.payload),
+            self.payload_nbytes,
         )
-        return header + self.payload
+
+    def encode(self) -> bytes:
+        """Serialise to one contiguous header + payload frame.
+
+        This is the *copying* representation, kept for the op journal and
+        for tests; the socket path uses :meth:`encode_header` plus a
+        vectored send of the payload view instead.
+        """
+        payload = self.payload
+        if not isinstance(payload, bytes):
+            payload = bytes(payload)
+        return self.encode_header() + payload
 
     @classmethod
-    def decode(cls, header: bytes, payload: bytes) -> "Message":
+    def decode(cls, header: bytes, payload: Buffer) -> "Message":
         """Rebuild a message from its framed parts."""
         op, status, key, key2, offset, count, scale, paylen = struct.unpack(
             HEADER_FORMAT, header
         )
-        if paylen != len(payload):
+        got = len(payload) if isinstance(payload, (bytes, bytearray)) \
+            else as_byte_view(payload).nbytes
+        if paylen != got:
             raise SMBProtocolError(
                 f"payload length mismatch: header says {paylen}, "
-                f"got {len(payload)}"
+                f"got {got}"
             )
         try:
             return cls(
@@ -117,33 +192,99 @@ class Message:
             raise SMBProtocolError(str(exc)) from exc
 
 
-def recv_exact(sock: socket.socket, nbytes: int) -> bytes:
-    """Read exactly ``nbytes`` from a socket or raise on EOF."""
-    chunks = []
-    remaining = nbytes
-    while remaining:
+def recv_exact_into(sock: socket.socket, view: memoryview) -> None:
+    """Fill ``view`` completely from the socket or raise on EOF.
+
+    The zero-copy receive primitive: bytes land directly in the caller's
+    buffer via ``recv_into``; no intermediate chunks are allocated.
+    """
+    while len(view):
         try:
-            chunk = sock.recv(min(remaining, 1 << 20))
+            received = sock.recv_into(view)
         except OSError as exc:
             raise SMBConnectionError(f"socket receive failed: {exc}") from exc
-        if not chunk:
+        if not received:
             raise SMBConnectionError("connection closed mid-message")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        view = view[received:]
+
+
+def recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+    """Read exactly ``nbytes`` from a socket or raise on EOF."""
+    buf = bytearray(nbytes)
+    recv_exact_into(sock, memoryview(buf))
+    return bytes(buf)
+
+
+def _sendall_vectored(
+    sock: socket.socket, header: bytes, payload: memoryview
+) -> None:
+    """Send header + payload as two iovecs, finishing any partial send."""
+    sent = sock.sendmsg([header, payload])
+    total = len(header) + len(payload)
+    if sent >= total:
+        return
+    # Partial send (large payload vs. socket buffer): finish with
+    # sendall over the remaining views — still no concatenation.
+    if sent < len(header):
+        sock.sendall(header[sent:])
+        sock.sendall(payload)
+    else:
+        sock.sendall(payload[sent - len(header):])
 
 
 def send_message(sock: socket.socket, message: Message) -> None:
-    """Write one framed message to a socket."""
+    """Write one framed message to a socket (vectored, copy-free).
+
+    The payload — whether ``bytes`` or a memoryview onto a NumPy array —
+    is handed to the kernel as its own iovec; the historical
+    ``header + payload`` concatenation (a full payload-sized copy per
+    send) no longer happens.  Falls back to ``sendall`` on platforms
+    without ``sendmsg``.
+    """
     try:
-        sock.sendall(message.encode())
+        view = message.payload_view()
+        header = message.encode_header()
+        if view.nbytes == 0:
+            sock.sendall(header)
+        elif _HAS_SENDMSG:
+            _sendall_vectored(sock, header, view)
+        else:  # pragma: no cover - non-POSIX fallback
+            sock.sendall(header + view.tobytes())
     except OSError as exc:
         raise SMBConnectionError(f"socket send failed: {exc}") from exc
 
 
-def recv_message(sock: socket.socket) -> Message:
-    """Read one framed message from a socket."""
-    header = recv_exact(sock, HEADER_SIZE)
-    paylen = struct.unpack(HEADER_FORMAT, header)[-1]
-    payload = recv_exact(sock, paylen) if paylen else b""
-    return Message.decode(header, payload)
+def recv_message(
+    sock: socket.socket, out: Optional[memoryview] = None
+) -> Message:
+    """Read one framed message from a socket.
+
+    Args:
+        sock: Connected socket positioned at a frame boundary.
+        out: Optional writable byte view.  An ``OK`` payload that fits in
+            ``out`` is received *directly into it* and the returned
+            message's ``payload`` is a view of ``out`` — the zero-copy
+            read path.  Error/oversized payloads never touch ``out``;
+            they fall back to a private buffer, so a failed read cannot
+            clobber the caller's array with an error blob.
+    """
+    header = bytearray(HEADER_SIZE)
+    recv_exact_into(sock, memoryview(header))
+    fields = struct.unpack(HEADER_FORMAT, header)
+    status, paylen = fields[1], fields[-1]
+    payload: Buffer
+    if paylen == 0:
+        payload = b""
+    elif (
+        out is not None
+        and status == int(Status.OK)
+        and paylen <= len(out)
+    ):
+        view = out[:paylen]
+        recv_exact_into(sock, view)
+        payload = view
+    else:
+        buf = bytearray(paylen)
+        recv_exact_into(sock, memoryview(buf))
+        payload = bytes(buf)
+    return Message.decode(bytes(header), payload)

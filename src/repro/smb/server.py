@@ -287,7 +287,9 @@ class SMBServer:
                 segment.updated.notify_all()
         self.pool.for_each(_wake)
 
-    def handle(self, request: Message) -> Message:
+    def handle(
+        self, request: Message, out: Optional[memoryview] = None
+    ) -> Message:
         """Process one request and return the response message.
 
         Protocol errors never escape: every :class:`SMBError` is converted
@@ -295,18 +297,23 @@ class SMBServer:
         clients can re-raise a faithful exception.  With telemetry
         recording, every request is timed into a per-opcode histogram
         and (in trace mode) emitted on the server's trace lane.
+
+        ``out`` is the in-process zero-copy seam: a READ whose result fits
+        is copied *once*, segment to caller buffer, under the segment
+        lock — the function-call analogue of a one-sided RDMA Read — and
+        the response payload is a view of ``out``.
         """
         tel = self._telemetry
         if tel is None:
             tel = _telemetry_current()
         if not tel.enabled:
-            return self._handle(request)
+            return self._handle(request, out)
         trace = tel.trace
         if trace is not None:
             trace.name_process(SMB_SERVER_TRACE_PID, "smb-server")
         ts_us = trace.now_us() if trace is not None else 0.0
         start = _perf_counter()
-        response = self._handle(request)
+        response = self._handle(request, out)
         elapsed = _perf_counter() - start
         tel.registry.observe(
             f"smb/server/time/{request.op.name}", elapsed
@@ -325,9 +332,11 @@ class SMBServer:
             )
         return response
 
-    def _handle(self, request: Message) -> Message:
+    def _handle(
+        self, request: Message, out: Optional[memoryview] = None
+    ) -> Message:
         try:
-            return self._dispatch(request)
+            return self._dispatch(request, out)
         except NotificationTimeout as exc:
             return Message(op=request.op, status=Status.TIMEOUT,
                            payload=str(exc).encode())
@@ -335,9 +344,11 @@ class SMBServer:
             return Message(op=request.op, status=Status.ERROR,
                            payload=to_wire(exc))
 
-    def _dispatch(self, req: Message) -> Message:
+    def _dispatch(
+        self, req: Message, out: Optional[memoryview] = None
+    ) -> Message:
         if req.op is Op.CREATE:
-            name = req.payload.decode()
+            name = bytes(req.payload).decode()
             with self._mutation_guard():
                 segment = self.pool.create(name, req.count)
                 self._journal(Message(op=Op.CREATE, key=segment.shm_key,
@@ -357,14 +368,19 @@ class SMBServer:
                            count=segment.version)
 
         if req.op is Op.LOOKUP:
-            segment = self.pool.by_name(req.payload.decode())
+            segment = self.pool.by_name(bytes(req.payload).decode())
             self.stats.record(req.op)
             return Message(op=req.op, key=segment.shm_key,
                            count=segment.size)
 
         if req.op is Op.READ:
             segment = self.pool.by_access_key(req.key)
-            data = segment.read(req.offset, req.count)
+            data: "memoryview | bytes"
+            if out is not None and req.count <= len(out):
+                nbytes = segment.read_into(req.offset, out[:req.count])
+                data = out[:nbytes]
+            else:
+                data = segment.read(req.offset, req.count)
             self.stats.record(req.op, len(data))
             return Message(op=req.op, key=req.key, count=segment.version,
                            payload=data)
@@ -619,9 +635,25 @@ class TcpSMBServer:
             if hello != HELLO:
                 logger.warning("rejecting non-SMB client from %s", peer)
                 return
+            # Per-connection pooled buffers: request payloads (WRITE data)
+            # and READ responses land in these instead of a fresh
+            # payload-sized allocation per message.  Grown on demand to
+            # the largest payload seen, so steady-state training traffic
+            # allocates nothing.  Safe to reuse each iteration because a
+            # request is fully handled (segment copy + journal append are
+            # synchronous) before the next recv touches the buffer.
+            recv_buf = bytearray(1 << 16)
+            read_buf = bytearray(0)
             while not self._stop.is_set():
-                request = recv_message(conn)
-                response = self.core.handle(request)
+                request = recv_message(conn, memoryview(recv_buf))
+                if request.payload_nbytes > len(recv_buf):
+                    recv_buf = bytearray(request.payload_nbytes)
+                out: Optional[memoryview] = None
+                if request.op is Op.READ and request.count > 0:
+                    if request.count > len(read_buf):
+                        read_buf = bytearray(request.count)
+                    out = memoryview(read_buf)
+                response = self.core.handle(request, out)
                 send_message(conn, response)
                 if request.op is Op.SHUTDOWN:
                     self._stop.set()

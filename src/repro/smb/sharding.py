@@ -21,15 +21,83 @@ Striping is contiguous and balanced: shard ``i`` holds
 ``counts[i] ~ ceil(count / K)`` elements.  Accumulates remain per-shard
 server-side additions, so the no-parameter-server property is preserved
 exactly — just K accumulators instead of one.
+
+**Parallel fan-out.**  Shard operations run concurrently on a small
+shared thread pool (one task per remote shard; the first stripe runs on
+the calling thread), so K servers give ~K-way transfer overlap instead
+of a sequential walk that re-serialises the very bottleneck striping was
+meant to remove.  Stripes are disjoint slices of the logical vector, so
+parallel execution is bit-exact with the sequential order.
+
+**Version aggregation.**  ``write`` / ``accumulate_into`` return the
+*sum* of the new per-shard versions — the same monotone scale as
+:meth:`ShardedArray.version` (which also sums) — so version-based
+wait/update logic observes every stripe, not just the last one written.
+Per-stripe detail is available from :meth:`ShardedArray.shard_versions`.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+import os
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Tuple, TypeVar
 
 import numpy as np
 
 from .client import RemoteArray, SMBClient
+
+T = TypeVar("T")
+
+#: Upper bound on fan-out worker threads shared by every ShardedArray in
+#: the process.  Shard requests block in socket syscalls (or short
+#: segment copies), so a modest pool gives full overlap for realistic
+#: shard counts without unbounded thread growth.
+MAX_FANOUT_THREADS = 16
+
+_executor: Optional[ThreadPoolExecutor] = None
+_executor_lock = threading.Lock()
+
+
+def _fanout_executor() -> ThreadPoolExecutor:
+    """The process-wide shard fan-out pool (created on first use)."""
+    global _executor
+    with _executor_lock:
+        if _executor is None:
+            workers = min(MAX_FANOUT_THREADS, max(4, os.cpu_count() or 4))
+            _executor = ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="smb-shard"
+            )
+        return _executor
+
+
+def _fan_out(tasks: Sequence[Callable[[], T]]) -> List[T]:
+    """Run shard tasks concurrently; results in task order.
+
+    The first task runs on the calling thread (it would otherwise idle
+    in ``result()``), the rest on the shared pool.  Exceptions propagate
+    after every submitted task has settled, so no shard op is silently
+    abandoned mid-flight.
+    """
+    if len(tasks) == 1:
+        return [tasks[0]()]
+    pool = _fanout_executor()
+    futures: List[Future] = [pool.submit(task) for task in tasks[1:]]
+    results: List[T] = []
+    first_error: Optional[BaseException] = None
+    try:
+        results.append(tasks[0]())
+    except BaseException as exc:  # noqa: BLE001 - re-raised below
+        first_error = exc
+    for future in futures:
+        try:
+            results.append(future.result())
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            if first_error is None:
+                first_error = exc
+    if first_error is not None:
+        raise first_error
+    return results
 
 
 def shard_counts(count: int, num_shards: int) -> List[int]:
@@ -51,7 +119,8 @@ class ShardedArray:
 
     Drop-in for :class:`RemoteArray` from the worker's point of view; the
     shards are hidden behind the same operations, each touching only its
-    own server.
+    own server — and, since each shard has its own server (and its own
+    client transport), operations fan out concurrently.
     """
 
     def __init__(self, shards: Sequence[RemoteArray], name: str = "") -> None:
@@ -83,31 +152,62 @@ class ShardedArray:
         """Per-shard creation keys, in stripe order (what gets broadcast)."""
         return [shard.shm_key for shard in self.shards]
 
-    def read(self) -> np.ndarray:
-        """Gather all stripes into one contiguous array."""
-        out = np.empty(self.count, dtype=self.dtype)
-        for shard, (lo, hi) in zip(self.shards, self._bounds):
-            out[lo:hi] = shard.read()
+    def read(self, out: Optional[np.ndarray] = None) -> np.ndarray:
+        """Gather all stripes into one contiguous array (parallel).
+
+        Each stripe is read *directly into its slice* of the destination
+        (``RemoteArray.read(out=...)``), so the gather costs zero
+        intermediate allocations; the K per-server transfers overlap on
+        the fan-out pool.
+        """
+        if out is None:
+            out = np.empty(self.count, dtype=self.dtype)
+        else:
+            if not isinstance(out, np.ndarray):
+                raise TypeError(
+                    f"out must be a numpy array, got {type(out).__name__}"
+                )
+            if out.dtype != self.dtype or out.size != self.count:
+                raise ValueError(
+                    f"out must hold {self.count} x {self.dtype}, "
+                    f"got {out.size} x {out.dtype}"
+                )
+            if not out.flags.c_contiguous or not out.flags.writeable:
+                raise ValueError("out must be C-contiguous and writable")
+        flat = out.reshape(-1)
+        _fan_out([
+            (lambda s=shard, lo=lo, hi=hi: s.read(out=flat[lo:hi]))
+            for shard, (lo, hi) in zip(self.shards, self._bounds)
+        ])
         return out
 
     def write(self, values: np.ndarray) -> int:
-        """Scatter a full-length array across the stripes."""
+        """Scatter a full-length array across the stripes (parallel).
+
+        Returns the sum of the new per-shard versions — consistent with
+        :meth:`version`, so callers comparing against a previously
+        observed aggregate see *every* stripe's mutation (the old
+        last-shard-only return could miss updates on other stripes).
+        """
         values = np.ascontiguousarray(values, dtype=self.dtype)
         if values.size != self.count:
             raise ValueError(
                 f"expected {self.count} elements, got {values.size}"
             )
-        version = 0
-        for shard, (lo, hi) in zip(self.shards, self._bounds):
-            version = shard.write(values[lo:hi])
-        return version
+        versions = _fan_out([
+            (lambda s=shard, lo=lo, hi=hi: s.write(values[lo:hi]))
+            for shard, (lo, hi) in zip(self.shards, self._bounds)
+        ])
+        return sum(versions)
 
     def accumulate_into(self, dst: "ShardedArray", scale: float = 1.0) -> int:
         """Per-shard server-side ``dst += scale * self`` (eq. (7), K-way).
 
         Both arrays must be striped identically (same shard layout on the
         same servers), which :func:`attach_sharded_array` guarantees for
-        buffers created by :func:`create_sharded_array`.
+        buffers created by :func:`create_sharded_array`.  The K
+        accumulates run concurrently (they touch disjoint servers);
+        returns the sum of the destination's new per-shard versions.
         """
         if not isinstance(dst, ShardedArray):
             raise TypeError("destination must be a ShardedArray")
@@ -116,14 +216,28 @@ class ShardedArray:
                 f"stripe layout mismatch: {self.num_shards}x{self.count} "
                 f"vs {dst.num_shards}x{dst.count}"
             )
-        version = 0
-        for src_shard, dst_shard in zip(self.shards, dst.shards):
-            version = src_shard.accumulate_into(dst_shard, scale=scale)
-        return version
+        versions = _fan_out([
+            (lambda s=src_shard, d=dst_shard: s.accumulate_into(
+                d, scale=scale
+            ))
+            for src_shard, dst_shard in zip(self.shards, dst.shards)
+        ])
+        return sum(versions)
+
+    def shard_versions(self) -> List[int]:
+        """Per-stripe mutation counters, in stripe order (parallel)."""
+        return _fan_out([
+            (lambda s=shard: s.version()) for shard in self.shards
+        ])
 
     def version(self) -> int:
-        """Sum of shard versions (monotone under any mutation)."""
-        return sum(shard.version() for shard in self.shards)
+        """Sum of shard versions (monotone under any mutation).
+
+        The same aggregate :meth:`write` and :meth:`accumulate_into`
+        return, so ``array.write(v) == array.version()`` holds in the
+        absence of concurrent mutators.
+        """
+        return sum(self.shard_versions())
 
     def free(self) -> None:
         """Deallocate every stripe."""

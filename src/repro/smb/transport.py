@@ -54,8 +54,17 @@ RECONNECT_PAUSE = 0.2
 class Transport(Protocol):
     """What the SMB client needs from a transport."""
 
-    def request(self, message: Message) -> Message:
-        """Send one request and return the server's response."""
+    def request(
+        self, message: Message, out: Optional[memoryview] = None
+    ) -> Message:
+        """Send one request and return the server's response.
+
+        ``out`` is the zero-copy receive seam: when given, a successful
+        response payload that fits is delivered *into* ``out`` (and the
+        returned message's ``payload`` is a view of it) instead of being
+        allocated.  Transports that cannot honour ``out`` may ignore it —
+        the client detects aliasing and copies as a fallback.
+        """
         ...
 
     def close(self) -> None:
@@ -103,7 +112,9 @@ class InProcTransport:
         self._lock = threading.Lock()
         self._closed = threading.Event()
 
-    def request(self, message: Message) -> Message:
+    def request(
+        self, message: Message, out: Optional[memoryview] = None
+    ) -> Message:
         if self._closed.is_set():
             raise TransportClosedError("transport is closed")
         # WAIT_UPDATE may block for a long time; never hold the exchange
@@ -111,7 +122,7 @@ class InProcTransport:
         if message.op is Op.WAIT_UPDATE:
             return _sliced_wait(self._server.handle, message, self._closed)
         with self._lock:
-            return self._server.handle(message)
+            return self._server.handle(message, out)
 
     def close(self) -> None:
         self._closed.set()
@@ -153,6 +164,9 @@ class TcpTransport:
         self._closed = threading.Event()
         self._sock: Optional[socket.socket] = self._connect()
         self._notify_sock: Optional[socket.socket] = None
+        #: Whether the notification channel has ever been opened; its
+        #: first lazy connect is an open, not a reconnect.
+        self._notify_connected_once = False
         self.reconnects = 0
 
     # -- connection management -------------------------------------------
@@ -221,16 +235,30 @@ class TcpTransport:
         The next request transparently reconnects and re-handshakes; a
         thread blocked in a wait observes a connection error and lets the
         retry layer re-issue the wait.
+
+        The notification socket is *closed without the lock* — that is
+        what interrupts a waiter blocked in ``recv`` (which holds
+        ``_notify_lock`` for up to a wait slice) — but the shared
+        ``_notify_sock`` slot itself is only cleared under the lock, and
+        only if it still holds the socket we closed.  The old code
+        assigned ``None`` lock-free, so a concurrent ``_notify_exchange``
+        could read ``None`` mid-exchange and crash with ``TypeError``
+        instead of the retryable ``SMBConnectionError``.
         """
         with self._lock:
             self._discard(self._sock)
             self._sock = None
-        self._discard(self._notify_sock)
-        self._notify_sock = None
+        notify = self._notify_sock
+        self._discard(notify)  # interrupts a blocked recv, never blocks
+        with self._notify_lock:
+            if self._notify_sock is notify:
+                self._notify_sock = None
 
     # -- request path -----------------------------------------------------
 
-    def request(self, message: Message) -> Message:
+    def request(
+        self, message: Message, out: Optional[memoryview] = None
+    ) -> Message:
         if self._closed.is_set():
             raise TransportClosedError("transport is closed")
         if message.op is Op.WAIT_UPDATE:
@@ -241,7 +269,7 @@ class TcpTransport:
                 self.reconnects += 1
             try:
                 send_message(self._sock, message)
-                return recv_message(self._sock)
+                return recv_message(self._sock, out)
             except SMBConnectionError:
                 # Connection state is unknown (partial frame possible);
                 # drop it so the next request starts clean.
@@ -256,6 +284,11 @@ class TcpTransport:
                 raise TransportClosedError("transport is closed")
             if self._notify_sock is None:
                 self._notify_sock = self._connect()
+                # Reconnects on this channel count too; only the very
+                # first (lazy) open is free.
+                if self._notify_connected_once:
+                    self.reconnects += 1
+                self._notify_connected_once = True
             try:
                 send_message(self._notify_sock, message)
                 return recv_message(self._notify_sock)
