@@ -73,6 +73,8 @@ def _finish_telemetry(args: argparse.Namespace, meta: dict) -> None:
 
 
 def _cmd_train(args: argparse.Namespace) -> int:
+    import tempfile
+
     from .experiments.convergence import ConvergenceSetup, run_platform
 
     setup = ConvergenceSetup(
@@ -85,15 +87,110 @@ def _cmd_train(args: argparse.Namespace) -> int:
         moving_rate=args.moving_rate,
         update_interval=args.update_interval,
     )
+    registry_dir = args.registry_dir or None
+    if args.elastic and registry_dir is None:
+        registry_dir = tempfile.mkdtemp(prefix="repro-registry-")
+        print(f"elastic: membership registry in {registry_dir}")
     result = run_platform(
         setup, args.platform, workers=args.workers,
         group_size=args.group_size,
+        elastic=args.elastic,
+        max_workers=args.max_workers,
+        registry_dir=registry_dir,
+        autoscale=args.elastic,
     )
     print(f"platform:   {result.platform}")
     print(f"workers:    {result.num_workers}")
     print(f"final acc:  {result.final_accuracy:.3f}")
     print(f"final loss: {result.final_loss:.3f}")
     _finish_telemetry(args, _telemetry_meta(args))
+    return 0
+
+
+def _cmd_smb_members(args: argparse.Namespace) -> int:
+    """Inspect an elastic run's membership registry."""
+    import json as json_mod
+
+    from .smb import MembershipRegistry
+
+    registry = MembershipRegistry(args.registry)
+    view = registry.read()
+    if args.json:
+        print(json_mod.dumps(view.to_doc(), indent=2, sort_keys=True))
+        return 0
+    if not view.has_job and not view.members:
+        print(f"no job published in {args.registry}")
+        return 1
+    print(f"registry:  {args.registry}")
+    print(f"version:   {view.version}   epoch: {view.epoch}   "
+          f"capacity: {view.capacity}")
+    if view.server:
+        mode = view.server.get("mode", "?")
+        if mode == "tcp":
+            print(f"server:    tcp {view.server.get('host')}:"
+                  f"{view.server.get('port')}")
+        else:
+            print(f"server:    {mode}")
+    if view.job:
+        print(f"job:       namespace={view.job.get('namespace', '')!r} "
+              f"count={view.job.get('count')} "
+              f"algorithm={view.job.get('algorithm')}")
+    members = view.live_members()
+    print(f"members:   {len(members)} live")
+    for member in members:
+        print(f"  {member.member_id:>12s}  slot {member.slot}  "
+              f"gen {member.generation}  {member.status:>8s}  "
+              f"{member.heartbeats} heartbeat(s)")
+    return 0
+
+
+def _cmd_smb_elastic_drill(args: argparse.Namespace) -> int:
+    """The ``--scenario elastic`` branch of ``smb chaos``."""
+    import tempfile
+
+    from .experiments.elastic import run_elastic_drill
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="elastic-drill-")
+    print(f"elastic drill: {args.workers} launch workers, "
+          f"ceiling {args.max_workers}, seed {args.seed}")
+    print(f"  join after {args.join_at} heartbeat(s), retire after "
+          f"{args.retire_after}; workdir {workdir}")
+    report = run_elastic_drill(
+        workdir,
+        num_workers=args.workers,
+        max_workers=args.max_workers,
+        iterations=args.iterations,
+        join_at=args.join_at,
+        retire_after=args.retire_after,
+        seed=args.seed,
+        batch_size=args.batch_size,
+        timeout=args.timeout,
+    )
+    print()
+    for event in report.events:
+        print(f"  {event}")
+    print()
+    for history in report.result.histories:
+        status = ("LOST" if history.failed
+                  else "retired" if history.retired else "ok")
+        print(f"  worker {history.rank}: {status:>7s}  "
+              f"{history.completed_iterations:3d} iterations")
+    print()
+    print(f"  membership epoch: {report.final_epoch}")
+    for name in sorted(report.membership_counters):
+        print(f"  {name}: {report.membership_counters[name]}")
+    joiner, replacement = report.joiner, report.replacement
+    if joiner is not None:
+        print(f"  joiner:      {joiner.member_id} slot={joiner.slot} "
+              f"gen={joiner.generation} retired={report.joiner_retired}")
+    if replacement is not None:
+        print(f"  replacement: {replacement.member_id} "
+              f"slot={replacement.slot} gen={replacement.generation} "
+              f"reclaimed={report.slot_reclaimed}")
+    if not report.completed:
+        print("  outcome: drill FAILED")
+        return 1
+    print("  outcome: join, retire and slot reclaim all completed")
     return 0
 
 
@@ -143,8 +240,11 @@ def _cmd_smb_chaos(args: argparse.Namespace) -> int:
     Runs a small SEASGD job on a tiny synthetic task with the requested
     fault plan and retry policy, then reports per-worker outcomes and the
     fault/retry counters — the CLI face of the ``pytest -m chaos`` suite,
-    for reproducing a scenario from its seed.
+    for reproducing a scenario from its seed.  ``--scenario elastic``
+    runs the membership churn drill instead (join / retire / reclaim).
     """
+    if args.scenario == "elastic":
+        return _cmd_smb_elastic_drill(args)
     from .caffe import SolverConfig, SyntheticImageDataset
     from .core import (
         DistributedTrainingManager,
@@ -472,6 +572,17 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--lr", type=float, default=0.05)
     train.add_argument("--moving-rate", type=float, default=0.2)
     train.add_argument("--update-interval", type=int, default=1)
+    train.add_argument("--elastic", action="store_true",
+                       help="elastic membership: workers claim slots "
+                            "dynamically and an autoscaler may grow or "
+                            "shrink the fleet (shmcaffe_a only)")
+    train.add_argument("--max-workers", type=int, default=None,
+                       help="slot ceiling for --elastic (default: "
+                            "--workers, i.e. churn without growth)")
+    train.add_argument("--registry-dir", default="",
+                       help="membership registry directory for --elastic "
+                            "(default: a fresh temp dir); inspect it "
+                            "live with `repro smb members`")
     train.set_defaults(entry=_cmd_train)
 
     def _add_serve_args(target: argparse.ArgumentParser) -> None:
@@ -512,8 +623,13 @@ def build_parser() -> argparse.ArgumentParser:
     chaos = smb_sub.add_parser(
         "chaos",
         help="replay a seeded fault-injection scenario against a small "
-             "SEASGD job",
+             "SEASGD job (or an elastic membership churn drill)",
     )
+    chaos.add_argument("--scenario", default="faults",
+                       choices=["faults", "elastic"],
+                       help="faults: seeded fault injection; elastic: "
+                            "join a worker mid-run, retire one, reclaim "
+                            "its slot")
     chaos.add_argument("--workers", type=int, default=4)
     chaos.add_argument("--iterations", type=int, default=6)
     chaos.add_argument("--batch-size", type=int, default=4)
@@ -535,7 +651,29 @@ def build_parser() -> argparse.ArgumentParser:
                        help="base retry backoff, seconds")
     chaos.add_argument("--timeout", type=float, default=300.0,
                        help="overall drill deadline, seconds")
+    chaos.add_argument("--max-workers", type=int, default=4,
+                       help="[elastic] control-block slot ceiling")
+    chaos.add_argument("--join-at", type=int, default=5,
+                       help="[elastic] spawn the joiner once rank0 has "
+                            "this many registry heartbeats")
+    chaos.add_argument("--retire-after", type=int, default=3,
+                       help="[elastic] retire the joiner after this many "
+                            "of its heartbeats")
+    chaos.add_argument("--workdir", default="",
+                       help="[elastic] registry root (default: a fresh "
+                            "temp dir)")
     chaos.set_defaults(entry=_cmd_smb_chaos)
+
+    members = smb_sub.add_parser(
+        "members",
+        help="inspect an elastic run's membership registry (job, live "
+             "members, leases)",
+    )
+    members.add_argument("--registry", required=True,
+                         help="registry directory of the run")
+    members.add_argument("--json", action="store_true",
+                         help="dump the raw registry document")
+    members.set_defaults(entry=_cmd_smb_members)
 
     smb_bench = smb_sub.add_parser(
         "bench",

@@ -13,6 +13,13 @@ The training core is layered (see ``docs/architecture.md``):
 and ``HybridWorker`` remain as thin construction facades.
 """
 
+from .autoscale import (
+    AutoscaleController,
+    AutoscalePolicy,
+    AutoscaleSupervisor,
+    FleetSignals,
+    ScaleDecision,
+)
 from .checkpoint import (
     CheckpointCoordinator,
     CheckpointError,
@@ -56,17 +63,26 @@ from .termination import (
     STOP_MASTER_DONE,
     TerminationCoordinator,
 )
-from .trainer import DistributedTrainingManager, TrainingResult
+from .trainer import (
+    DistributedTrainingManager,
+    ElasticWorkerHandle,
+    TrainingResult,
+)
 from .worker import ShmCaffeWorker
 
 __all__ = [
+    "AutoscaleController",
+    "AutoscalePolicy",
+    "AutoscaleSupervisor",
     "BaseExchange",
     "CheckpointCoordinator",
     "CheckpointError",
     "CheckpointInfo",
     "DistributedTrainingManager",
     "EXCHANGES",
+    "ElasticWorkerHandle",
     "ExchangeStrategy",
+    "FleetSignals",
     "FlushTimeoutError",
     "HybridExchange",
     "HybridWorker",
@@ -74,6 +90,7 @@ __all__ = [
     "OverlapDriver",
     "STOP_FIRST_FINISHER",
     "STOP_MASTER_DONE",
+    "ScaleDecision",
     "SEASGDExchange",
     "SMBAsgdExchange",
     "ShmCaffeConfig",

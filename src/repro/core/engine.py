@@ -97,6 +97,9 @@ class WorkerHistory:
     #: instead of finishing; ``failure`` carries the terminal error text.
     failed: bool = False
     failure: str = ""
+    #: True when the worker left the run because a retire was requested
+    #: (elastic membership) rather than because the criterion fired.
+    retired: bool = False
 
     @property
     def losses(self) -> List[float]:
@@ -137,6 +140,13 @@ class TrainingEngine:
         start_iteration: Resume point — the loop continues from here
             (the solver, RNG and dataset cursor must have been restored
             to match by the caller).
+        retire_signal: Optional zero-argument predicate checked once per
+            iteration (after the stop criterion); when it returns True
+            the worker drains out of the loop with
+            :attr:`WorkerHistory.retired` set — the elastic-membership
+            retire path, distinct from both completion and failure.  The
+            caller (the trainer's elastic runner) releases the worker's
+            control-block slot and registry record afterwards.
     """
 
     def __init__(
@@ -154,6 +164,7 @@ class TrainingEngine:
         solver: Optional[SGDSolver] = None,
         checkpoint: Optional["CheckpointCoordinator"] = None,
         start_iteration: int = 0,
+        retire_signal: Optional[Callable[[], bool]] = None,
     ) -> None:
         self.rank = rank
         self.net = net
@@ -167,6 +178,7 @@ class TrainingEngine:
         self.on_iteration = on_iteration
         self.checkpoint = checkpoint
         self.start_iteration = start_iteration
+        self.retire_signal = retire_signal
         self.history = WorkerHistory(rank=rank)
 
         tel = telemetry if telemetry is not None else _telemetry_current()
@@ -220,6 +232,15 @@ class TrainingEngine:
                     self.checkpoint.maybe_checkpoint(iteration, self)
 
                 if strategy.should_stop(iteration):
+                    break
+                if (
+                    self.retire_signal is not None
+                    and self.retire_signal()
+                ):
+                    # Elastic retire: drain out after a full iteration
+                    # (progress already published by should_stop), leaving
+                    # the criterion decision to the remaining fleet.
+                    self.history.retired = True
                     break
         except (smb_errors.SMBError, WorkerError) as exc:
             if not self._degrade(exc, iteration):

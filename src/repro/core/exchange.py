@@ -54,6 +54,10 @@ from .seasgd import apply_increment_local, weight_increment
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from .engine import TrainingEngine
 
+#: Live-fleet size source for elastic runs, e.g.
+#: :meth:`~repro.smb.client.ControlBlock.live_count`.
+FleetSource = Callable[[], int]
+
 
 def elastic_increment(
     local_now: np.ndarray, global_now: np.ndarray, moving_rate: float
@@ -142,17 +146,35 @@ class SEASGDExchange(BaseExchange):
     behind the next minibatch.  With ``overlap_updates=False`` the write
     side runs inline on the main thread, giving the deterministic
     single-threaded exchange the correctness tests rely on.
+
+    **Elastic rescaling** (membership-aware fleets): with a ``fleet``
+    source the exchange reads the *current* live worker count ``p`` every
+    time and applies ``alpha = config.moving_rate / p`` — the EASGD
+    stability rule ``alpha = beta / p`` (Zhang et al.) with ``p`` no
+    longer a launch-time constant, so eqs. (5)-(7) stay stable while
+    workers join and retire mid-run.  Without a ``fleet`` source,
+    ``config.moving_rate`` is ``alpha`` directly, bit-exact with the
+    historical fixed-fleet behaviour.
     """
 
     def __init__(
         self,
         global_weights: ParameterBuffer,
         increment_buffer: ParameterBuffer,
+        fleet: Optional[FleetSource] = None,
     ) -> None:
         self.global_weights = global_weights
         self.increment_buffer = increment_buffer
+        self.fleet = fleet
         self.driver: Optional[OverlapDriver] = None
         self._global_scratch: Optional[np.ndarray] = None
+
+    def moving_rate(self) -> float:
+        """The alpha applied this exchange (live ``beta / p`` if elastic)."""
+        rate = self.engine.config.moving_rate
+        if self.fleet is None:
+            return rate
+        return rate / max(int(self.fleet()), 1)
 
     def bind(self, engine: "TrainingEngine") -> None:
         super().bind(engine)
@@ -190,7 +212,7 @@ class SEASGDExchange(BaseExchange):
         with engine.phases.phase("ulw"):
             local_now = engine.flat.get_vector()
             increment, updated = elastic_increment(                    # T2
-                local_now, global_now, engine.config.moving_rate
+                local_now, global_now, self.moving_rate()
             )
             engine.flat.set_vector(updated)
         if driver is not None:
@@ -234,7 +256,7 @@ class StaleReadExchange(SEASGDExchange):
                     out=self._global_scratch
                 )
             increment, _ = elastic_increment(
-                local_snapshot, global_now, engine.config.moving_rate
+                local_snapshot, global_now, self.moving_rate()
             )
             self._flush(increment, phases)
             # Apply to the live replica *late*, racing with training.
@@ -386,15 +408,21 @@ class SMBAsgdExchange(BaseExchange):
     segment into the server-side accumulate — apply-on-arrival, no
     elastic averaging.  The write side rides the same
     :class:`OverlapDriver` as SEASGD when ``overlap_updates`` is on.
+
+    Downpour has no per-worker averaging coefficient to rescale, so the
+    ``fleet`` source is accepted (elastic runs build every strategy the
+    same way) but unused: the update rule is natively elastic.
     """
 
     def __init__(
         self,
         global_weights: ParameterBuffer,
         increment_buffer: ParameterBuffer,
+        fleet: Optional[FleetSource] = None,
     ) -> None:
         self.global_weights = global_weights
         self.increment_buffer = increment_buffer
+        self.fleet = fleet
         self.driver: Optional[OverlapDriver] = None
         self._global_scratch: Optional[np.ndarray] = None
 
@@ -456,16 +484,15 @@ class SMBAsgdExchange(BaseExchange):
 
 
 #: Registry of named exchange strategies for SEASGD-style participants
-#: (one worker, two SMB buffers).  ``ShmCaffeConfig.algorithm`` selects
-#: by name; third parties extend it with :func:`register_exchange`.
-EXCHANGES: Dict[
-    str, Callable[[ParameterBuffer, ParameterBuffer], BaseExchange]
-] = {}
+#: (one worker, two SMB buffers, optionally a live-fleet source for
+#: elastic runs).  ``ShmCaffeConfig.algorithm`` selects by name; third
+#: parties extend it with :func:`register_exchange`.
+EXCHANGES: Dict[str, Callable[..., BaseExchange]] = {}
 
 
 def register_exchange(
     name: str,
-    factory: Callable[[ParameterBuffer, ParameterBuffer], BaseExchange],
+    factory: Callable[..., BaseExchange],
 ) -> None:
     """Register a strategy factory under ``config.algorithm`` name."""
     EXCHANGES[name] = factory
@@ -479,15 +506,20 @@ def make_exchange(
     config: ShmCaffeConfig,
     global_weights: ParameterBuffer,
     increment_buffer: ParameterBuffer,
+    fleet: Optional[FleetSource] = None,
 ) -> BaseExchange:
-    """Build the configured strategy for a direct SMB participant."""
+    """Build the configured strategy for a direct SMB participant.
+
+    ``fleet`` (elastic runs) is forwarded to the factory; a registered
+    strategy that cannot take one rejects elastic membership loudly.
+    """
     if config.stale_global_read:
         if config.algorithm != "seasgd":
             raise ValueError(
                 "stale_global_read is a SEASGD ablation; it cannot be "
                 f"combined with algorithm={config.algorithm!r}"
             )
-        return StaleReadExchange(global_weights, increment_buffer)
+        return StaleReadExchange(global_weights, increment_buffer, fleet)
     try:
         factory = EXCHANGES[config.algorithm]
     except KeyError:
@@ -495,4 +527,12 @@ def make_exchange(
             f"unknown exchange algorithm {config.algorithm!r}; "
             f"registered: {sorted(EXCHANGES)}"
         ) from None
-    return factory(global_weights, increment_buffer)
+    if fleet is None:
+        return factory(global_weights, increment_buffer)
+    try:
+        return factory(global_weights, increment_buffer, fleet=fleet)
+    except TypeError:
+        raise ValueError(
+            f"algorithm {config.algorithm!r} does not support elastic "
+            "membership (its factory takes no fleet source)"
+        ) from None

@@ -33,11 +33,18 @@ class TerminationCoordinator:
 
     Args:
         control: The shared SMB control block.
-        rank: This worker's rank.
+        rank: This worker's control-block slot (the launch path assigns
+            slot == rank; elastic joiners use whatever slot they claimed).
         criterion: Which Sec. III-E rule is active.
         target_iterations: The per-worker iteration budget; under
             ``AVERAGE_ITERATIONS`` it is the target for the *mean* progress
             of all workers instead.
+        generation: This worker's slot generation from its
+            :meth:`~repro.smb.client.ControlBlock.claim`.  When set, every
+            publish is generation-checked, so a worker whose slot was
+            reclaimed (elastic churn) fails loudly instead of corrupting
+            its successor's counter.  ``None`` keeps the unstamped
+            fixed-fleet behaviour.
     """
 
     def __init__(
@@ -46,6 +53,7 @@ class TerminationCoordinator:
         rank: int,
         criterion: TerminationCriterion,
         target_iterations: int,
+        generation: "int | None" = None,
     ) -> None:
         if target_iterations < 1:
             raise ValueError(
@@ -55,11 +63,14 @@ class TerminationCoordinator:
         self.rank = rank
         self.criterion = criterion
         self.target_iterations = target_iterations
+        self.generation = generation
         self._is_master = rank == 0
 
     def publish(self, completed_iterations: int) -> None:
         """Report this worker's completed iteration count to everyone."""
-        self.control.publish_progress(self.rank, completed_iterations)
+        self.control.publish_progress(
+            self.rank, completed_iterations, generation=self.generation
+        )
 
     def mark_failed(self, completed_iterations: int) -> None:
         """Declare this worker dead after ``completed_iterations``.
@@ -67,7 +78,9 @@ class TerminationCoordinator:
         Survivors observe the dead slot and rescale; this worker must not
         publish again afterwards.
         """
-        self.control.mark_dead(self.rank, completed_iterations)
+        self.control.mark_dead(
+            self.rank, completed_iterations, generation=self.generation
+        )
 
     def wait_for_fleet(
         self,

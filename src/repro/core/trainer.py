@@ -19,7 +19,9 @@ yields ShmCaffe-H with one SEASGD participant (the group root) per group.
 
 from __future__ import annotations
 
+import itertools
 import logging
+import threading
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
@@ -34,8 +36,9 @@ from ..caffe.snapshot import load_solver_state
 from ..caffe.solver import SGDSolver
 from ..nccl.ring import RingGroup
 from ..smb import errors as smb_errors
-from ..smb.client import ControlBlock, RemoteArray, SMBClient
+from ..smb.client import ControlBlock, RemoteArray, SlotClaim, SMBClient
 from ..smb.faults import FaultInjectingTransport, FaultPlan
+from ..smb.membership import MembershipRegistry
 from ..smb.retry import RetryPolicy
 from ..smb.server import SMBServer
 from ..smb.transport import InProcTransport, TcpTransport
@@ -47,7 +50,7 @@ from .checkpoint import (
     CheckpointInfo,
     latest_checkpoint,
 )
-from .config import ShmCaffeConfig
+from .config import ShmCaffeConfig, TerminationCriterion
 from .engine import TrainingEngine, WorkerHistory
 from .exchange import HybridExchange, make_exchange
 from .termination import TerminationCoordinator
@@ -77,6 +80,36 @@ class TrainingResult:
     def surviving_ranks(self) -> List[int]:
         """Ranks that completed the run normally."""
         return [h.rank for h in self.histories if not h.failed]
+
+    @property
+    def retired_ranks(self) -> List[int]:
+        """Ranks that were retired out of the run (elastic membership)."""
+        return [h.rank for h in self.histories if h.retired]
+
+
+@dataclass
+class ElasticWorkerHandle:
+    """One elastically spawned worker, as seen by the spawning side.
+
+    ``slot``/``generation`` are filled in once the worker's claim lands;
+    ``history`` once its engine returns; ``error`` if the member died
+    before (or outside) its training loop.
+    """
+
+    member_id: str
+    seq: int
+    slot: Optional[int] = None
+    generation: Optional[int] = None
+    history: Optional[WorkerHistory] = None
+    error: Optional[str] = None
+    thread: Optional[threading.Thread] = None
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for the worker thread; True when it has finished."""
+        if self.thread is None:
+            return True
+        self.thread.join(timeout)
+        return not self.thread.is_alive()
 
 
 class DistributedTrainingManager:
@@ -134,6 +167,25 @@ class DistributedTrainingManager:
             restarts from its latest complete checkpoint — ``W_g``, each
             rank's solver/momentum/RNG state and dataset cursor, and the
             iteration counters all continue where they stopped.
+        registry_dir: Directory for the elastic-membership registry
+            (:class:`~repro.smb.membership.MembershipRegistry`).  The
+            master publishes the job document (endpoint, SHM keys, spec)
+            there and every SEASGD participant holds a leased member
+            record, so ``repro smb members`` can inspect the fleet even
+            for a fixed-size run.  Required when ``elastic`` is on.
+        elastic: Allow the fleet to change size mid-run: the control
+            block is sized to ``max_workers`` slots, workers claim slots
+            dynamically (generation-stamped), the exchange rescales
+            eqs. (5)-(7) over the *live* worker count, and
+            :meth:`spawn_worker`/:meth:`retire_worker` add and drain
+            members against the registry.  Requires ``group_size == 1``
+            and ``AVERAGE_ITERATIONS`` termination (the one Sec. III-E
+            criterion whose rescale is well-defined under churn).
+        max_workers: Slot capacity of an elastic run (>= ``num_workers``);
+            defaults to ``num_workers`` (an elastic run that cannot grow,
+            only churn).
+        registry_lease: Seconds a member record survives without a
+            heartbeat before being presumed dead and evicted.
     """
 
     def __init__(
@@ -161,9 +213,37 @@ class DistributedTrainingManager:
         checkpoint_every: int = 0,
         checkpoint_metadata: Optional[Dict] = None,
         resume: Optional[str] = None,
+        registry_dir: Optional[str] = None,
+        elastic: bool = False,
+        max_workers: Optional[int] = None,
+        registry_lease: float = 30.0,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if elastic:
+            if registry_dir is None:
+                raise ValueError(
+                    "elastic membership requires registry_dir: late "
+                    "joiners discover the job through the registry"
+                )
+            if group_size != 1:
+                raise ValueError(
+                    "elastic membership requires group_size == 1: HSGD "
+                    "groups are launch-time structures and cannot churn"
+                )
+            if config.termination is not TerminationCriterion.AVERAGE_ITERATIONS:
+                raise ValueError(
+                    "elastic membership requires AVERAGE_ITERATIONS "
+                    "termination: the mean over the live fleet is the one "
+                    "Sec. III-E criterion well-defined under join/leave "
+                    "churn"
+                )
+        if max_workers is not None and max_workers < num_workers:
+            raise ValueError(
+                f"max_workers {max_workers} < num_workers {num_workers}"
+            )
+        if max_workers is not None and not elastic:
+            raise ValueError("max_workers only applies to elastic runs")
         if group_size < 1 or num_workers % group_size != 0:
             raise ValueError(
                 f"group_size {group_size} must divide num_workers "
@@ -243,6 +323,25 @@ class DistributedTrainingManager:
         self._eval_records: List[Tuple[int, Dict[str, float]]] = []
         # Ring groups are shared objects; one per HSGD group.
         self._rings = [RingGroup(group_size) for _ in range(self.num_groups)]
+
+        # -- elastic membership --------------------------------------------
+        self.elastic = elastic
+        self.max_workers = (
+            max_workers if max_workers is not None else num_workers
+        )
+        #: Control-block slot capacity: the elastic ceiling, or exactly
+        #: one slot per SEASGD participant for a fixed fleet.
+        self.control_capacity = self.max_workers if elastic else self.num_groups
+        self.registry: Optional[MembershipRegistry] = (
+            MembershipRegistry(
+                registry_dir, lease=registry_lease, telemetry=self.telemetry
+            ) if registry_dir is not None else None
+        )
+        self._job_ready = threading.Event()
+        self._spawn_counter = itertools.count()
+        self._elastic_lock = threading.Lock()
+        self._elastic_handles: List[ElasticWorkerHandle] = []
+        self._retire_events: Dict[str, threading.Event] = {}
 
     def _make_client(self, rank: Optional[int] = None) -> SMBClient:
         """A fresh SMB client on the configured transport.
@@ -338,6 +437,10 @@ class DistributedTrainingManager:
         client = self._make_client(rank=rank)
 
         ns = self.namespace
+        capacity = self.control_capacity
+        # Elastic fleets start with every slot FREE and claim explicitly;
+        # fixed fleets pre-claim all slots (the historical layout).
+        preclaimed = 0 if self.elastic else None
         if comm.is_master:
             global_array = self._create_array(client, f"{ns}W_g", flat.count)
             if resume is not None:
@@ -349,7 +452,7 @@ class DistributedTrainingManager:
                 global_array.write(flat.get_vector())
             try:
                 control = ControlBlock.create(
-                    client, f"{ns}control", self.num_groups
+                    client, f"{ns}control", capacity, preclaimed
                 )
             except smb_errors.SegmentExistsError:
                 if resume is None:
@@ -358,10 +461,12 @@ class DistributedTrainingManager:
                 # previous run's Iter_x counters and stop flag must not
                 # leak into the resumed fleet's termination decisions.
                 array = self._reclaim_array(
-                    client, f"{ns}control", self.num_groups + 1, "int64"
+                    client, f"{ns}control", 2 * capacity + 1, "int64"
                 )
-                array.write(np.zeros(self.num_groups + 1, dtype=np.int64))
-                control = ControlBlock(array, self.num_groups)
+                control = ControlBlock(array, capacity)
+                control.reset(preclaimed)
+            if self.registry is not None:
+                self._publish_job(global_array, control, flat.count)
             keys = {
                 "W_g": global_array.shm_key,
                 "control": control.shm_key,
@@ -376,6 +481,8 @@ class DistributedTrainingManager:
         group_rank = rank % self.group_size
         is_seasgd_participant = group_rank == 0
 
+        member_id = f"rank{rank}"
+        claim: Optional[SlotClaim] = None
         if is_seasgd_participant:
             if global_array is None:
                 global_array = client.attach_array(
@@ -383,8 +490,17 @@ class DistributedTrainingManager:
                 )
             if control is None:
                 control = ControlBlock.attach(
-                    client, f"{ns}control", keys["control"],
-                    self.num_groups,
+                    client, f"{ns}control", keys["control"], capacity
+                )
+            if self.registry is not None:
+                # Launch workers take their deterministic slot (== group
+                # id); the registry serialises the record, the claim
+                # stamps the slot's generation.
+                if self.elastic:
+                    claim = control.claim(slot=group_id)
+                self.registry.join(
+                    member_id, slot=group_id,
+                    generation=claim.generation if claim else 1,
                 )
             increment = self._create_array(
                 client, f"{ns}dW_{rank}", flat.count
@@ -394,6 +510,7 @@ class DistributedTrainingManager:
                 rank=group_id,
                 criterion=self.config.termination,
                 target_iterations=self.config.max_iterations,
+                generation=claim.generation if claim else None,
             )
         else:
             increment = None
@@ -417,12 +534,21 @@ class DistributedTrainingManager:
         on_iteration = self._make_monitor(net) if (
             comm.is_master and self.eval_every
         ) else None
+        retire_event: Optional[threading.Event] = None
+        if self.registry is not None and is_seasgd_participant:
+            retire_event = threading.Event()
+            with self._elastic_lock:
+                self._retire_events[member_id] = retire_event
+            on_iteration = self._membership_monitor(
+                member_id, retire_event, on_iteration
+            )
 
         if self.group_size == 1:
             strategy = make_exchange(
                 self.config,
                 global_weights=global_array,
                 increment_buffer=increment,
+                fleet=control.live_count if self.elastic else None,
             )
         else:
             strategy = HybridExchange(
@@ -455,14 +581,27 @@ class DistributedTrainingManager:
             solver=solver,
             checkpoint=coordinator,
             start_iteration=start_iteration,
+            retire_signal=(
+                retire_event.is_set if (
+                    self.elastic and retire_event is not None
+                ) else None
+            ),
         )
         # Everyone is attached before anyone starts mutating W_g.
         mpi.barrier(comm)
+        if comm.is_master and self.registry is not None:
+            # Only now are the launch fleet's slots all claimed and
+            # registered — opening the gate earlier would let a spawned
+            # joiner race a launch worker for its deterministic slot.
+            self._job_ready.set()
         try:
-            return engine.run()
+            history = engine.run()
         finally:
             if prefetcher is not None:
                 prefetcher.stop()
+        if is_seasgd_participant and control is not None:
+            self._depart(control, member_id, claim, history)
+        return history
 
     def _make_monitor(self, net: Net):
         """Rank-0 callback snapshotting global-weight test metrics."""
@@ -501,11 +640,311 @@ class DistributedTrainingManager:
 
         return monitor
 
+    # -- elastic membership ----------------------------------------------------
+
+    def _publish_job(
+        self, global_array: RemoteArray, control: ControlBlock, count: int
+    ) -> None:
+        """Master-side: announce this job in the membership registry."""
+        assert self.registry is not None
+        if self.server_address is not None:
+            server_doc: Dict[str, object] = {
+                "mode": "tcp",
+                "host": self.server_address[0],
+                "port": self.server_address[1],
+            }
+            if self.rendezvous:
+                server_doc["rendezvous"] = self.rendezvous
+        else:
+            server_doc = {"mode": "inproc"}
+        job = {
+            "namespace": self.namespace,
+            "count": count,
+            "w_g_key": global_array.shm_key,
+            "control_key": control.shm_key,
+            "capacity": self.control_capacity,
+            "num_launch_workers": self.num_workers,
+            "algorithm": self.config.algorithm,
+            "max_iterations": self.config.max_iterations,
+            "moving_rate": self.config.moving_rate,
+            "update_interval": self.config.update_interval,
+            "elastic": self.elastic,
+        }
+        self.registry.publish_job(server_doc, job, self.control_capacity)
+
+    def _membership_monitor(
+        self,
+        member_id: str,
+        retire_event: threading.Event,
+        inner: Optional[Callable[[int, int, Dict[str, float]], None]],
+    ) -> Callable[[int, int, Dict[str, float]], None]:
+        """Per-iteration lease renewal + registry-driven retire pickup.
+
+        Heartbeats are best-effort: a worker must never die because the
+        registry hiccuped — at worst its lease lapses and the fleet
+        presumes it dead, which is exactly the failure semantics leases
+        exist to provide.
+        """
+        registry = self.registry
+        assert registry is not None
+
+        def monitor(rank: int, iteration: int, stats: Dict[str, float]) -> None:
+            if inner is not None:
+                inner(rank, iteration, stats)
+            try:
+                registry.heartbeat(member_id)
+                if registry.retiring(member_id):
+                    retire_event.set()
+            except smb_errors.MembershipError as exc:
+                logging.getLogger(__name__).warning(
+                    "heartbeat for %s failed: %s", member_id, exc
+                )
+
+        return monitor
+
+    def _depart(
+        self,
+        control: ControlBlock,
+        member_id: str,
+        claim: Optional[SlotClaim],
+        history: WorkerHistory,
+    ) -> None:
+        """Post-run membership bookkeeping for one participant.
+
+        A *retired* worker releases its slot back to FREE (reclaimable by
+        a later joiner, excluded from every criterion).  A worker that
+        *completed* keeps its final progress in the slot — the mean the
+        fleet terminates on includes it, exactly like the fixed fleet.  A
+        *failed* worker's dead encoding likewise stays (survivors rescale
+        over it; the slot remains claimable).  In every case the registry
+        record goes away.
+        """
+        if self.registry is None:
+            return
+        try:
+            if history.retired and claim is not None:
+                control.release(claim.slot, claim.generation)
+        except smb_errors.SMBError as exc:
+            logging.getLogger(__name__).warning(
+                "slot release for %s failed: %s", member_id, exc
+            )
+        try:
+            self.registry.leave(member_id)
+        except smb_errors.MembershipError as exc:
+            logging.getLogger(__name__).warning(
+                "registry leave for %s failed: %s", member_id, exc
+            )
+        with self._elastic_lock:
+            self._retire_events.pop(member_id, None)
+
+    def spawn_worker(self, timeout: float = 30.0) -> ElasticWorkerHandle:
+        """Add one worker to a live elastic run; returns its handle.
+
+        Safe to call from any thread (the autoscale supervisor, a test
+        harness, the elastic drill) once the run is underway; blocks up
+        to ``timeout`` for the master's job publication.  The worker
+        discovers the job **through the registry** — SHM keys, model
+        size, namespace — exactly as an out-of-process joiner would.
+        """
+        if not self.elastic or self.registry is None:
+            raise ValueError("spawn_worker requires an elastic run")
+        if not self._job_ready.wait(timeout):
+            raise smb_errors.MembershipError(
+                f"job not published within {timeout:.1f}s; is run() active?"
+            )
+        seq = next(self._spawn_counter)
+        handle = ElasticWorkerHandle(member_id=f"elastic-{seq}", seq=seq)
+        retire_event = threading.Event()
+        with self._elastic_lock:
+            self._retire_events[handle.member_id] = retire_event
+            self._elastic_handles.append(handle)
+        thread = threading.Thread(
+            target=self._elastic_member_main,
+            args=(handle, retire_event),
+            name=handle.member_id,
+            daemon=True,
+        )
+        handle.thread = thread
+        thread.start()
+        return handle
+
+    def retire_worker(self, member_id: Optional[str] = None) -> bool:
+        """Drain one member out of a live elastic run.
+
+        Without a ``member_id`` the youngest elastic joiner is picked,
+        falling back to the highest-slot launch worker except the master
+        (slot 0 stays; it owns bring-up and the eval monitor).  The
+        member finishes its current iteration, releases its slot, and
+        leaves; returns False when there is nobody suitable to retire.
+        """
+        if self.registry is None:
+            raise ValueError("retire_worker requires a membership registry")
+        if member_id is None:
+            members = [
+                m for m in self.registry.read().live_members()
+                if m.status == "active" and m.slot != 0
+            ]
+            if not members:
+                return False
+            elastic = [
+                m for m in members if m.member_id.startswith("elastic-")
+            ]
+            pool = elastic if elastic else members
+            member_id = max(
+                pool, key=lambda m: (m.joined_at, m.slot)
+            ).member_id
+        if not self.registry.request_retire(member_id):
+            return False
+        with self._elastic_lock:
+            event = self._retire_events.get(member_id)
+        if event is not None:
+            event.set()
+        return True
+
+    def _elastic_member_main(
+        self, handle: ElasticWorkerHandle, retire_event: threading.Event
+    ) -> None:
+        """A late joiner's whole life: discover, join, claim, train, leave.
+
+        Mirrors ``_rank_main`` minus MPI: the job document replaces the
+        key broadcast, the registry replaces the launch-time rank
+        assignment, and ``W_g`` (the current elastic centre) replaces the
+        identical-seed replica init — the paper's warm start for a worker
+        that missed bring-up.
+        """
+        registry = self.registry
+        assert registry is not None
+        member_id = handle.member_id
+        joined = False
+        client: Optional[SMBClient] = None
+        try:
+            view = registry.wait_for_job()
+            job = view.job
+            ns = str(job.get("namespace", ""))
+            count = int(job["count"])                # type: ignore[arg-type]
+            capacity = int(job["capacity"])          # type: ignore[arg-type]
+            launch = int(job.get("num_launch_workers", self.num_workers))  # type: ignore[arg-type]
+            # Telemetry/fault identity: continues the rank sequence past
+            # the launch fleet so per-worker metrics stay distinct.
+            rank_id = launch + handle.seq
+            client = self._make_client(rank=rank_id)
+            member = registry.join(member_id)
+            joined = True
+            control = ControlBlock.attach(
+                client, f"{ns}control",
+                int(job["control_key"]), capacity,    # type: ignore[arg-type]
+            )
+            claim = control.claim(slot=member.slot)
+            registry.update_member(member_id, generation=claim.generation)
+            handle.slot, handle.generation = claim.slot, claim.generation
+
+            net = Net(self.spec_factory(), seed=self.seed)
+            flat = FlatParams(net)
+            global_array = client.attach_array(
+                f"{ns}W_g", int(job["w_g_key"]), count,  # type: ignore[arg-type]
+            )
+            if flat.count != count:
+                raise smb_errors.MembershipError(
+                    f"job model has {count} weights, local spec builds "
+                    f"{flat.count}"
+                )
+            # Seed the replica from the current elastic centre, not from
+            # the launch-time init: the fleet has moved on.
+            flat.set_vector(global_array.read())
+            increment = client.create_array(
+                f"{ns}dW_{member_id}", count
+            )
+            strategy = make_exchange(
+                self.config,
+                global_weights=global_array,
+                increment_buffer=increment,
+                fleet=control.live_count,
+            )
+            termination = TerminationCoordinator(
+                control,
+                rank=claim.slot,
+                criterion=self.config.termination,
+                target_iterations=self.config.max_iterations,
+                generation=claim.generation,
+            )
+            # Late joiners share a launch shard (distinct batch order via
+            # the rank-salted seed): the shard layout is fixed at launch.
+            batches = self.dataset.minibatches(
+                self.batch_size,
+                seed=self.seed + 1000 + rank_id,
+                rank=rank_id % self.num_workers,
+                num_shards=self.num_workers,
+            )
+            engine = TrainingEngine(
+                rank=rank_id,
+                net=net,
+                config=self.config,
+                batches=batches,
+                strategy=strategy,
+                termination=termination,
+                on_iteration=self._membership_monitor(
+                    member_id, retire_event, None
+                ),
+                telemetry=self.telemetry,
+                retire_signal=retire_event.is_set,
+            )
+            if self.telemetry.enabled:
+                self.telemetry.registry.inc("smb/membership/spawned")
+            history = engine.run()
+            handle.history = history
+            self._depart(control, member_id, claim, history)
+            if history.retired:
+                # A retired joiner's private segment is dead weight on
+                # the server; completed workers keep theirs (symmetrical
+                # with the launch fleet, freed with the server).
+                try:
+                    increment.free()
+                except smb_errors.SMBError:
+                    pass
+        except Exception as exc:  # noqa: BLE001 - reported via the handle
+            handle.error = f"{type(exc).__name__}: {exc}"
+            logging.getLogger(__name__).warning(
+                "elastic member %s died: %s", member_id, handle.error
+            )
+            if joined:
+                try:
+                    registry.leave(member_id)
+                except (smb_errors.MembershipError, OSError):
+                    pass  # registry dir may already be torn down
+            with self._elastic_lock:
+                self._retire_events.pop(member_id, None)
+        finally:
+            if client is not None and self.server_address is not None:
+                client.close()
+
+    def drain_elastic(self, timeout: float = 120.0) -> List[WorkerHistory]:
+        """Wait for every spawned worker and collect their histories."""
+        with self._elastic_lock:
+            handles = list(self._elastic_handles)
+        histories: List[WorkerHistory] = []
+        for handle in handles:
+            if not handle.join(timeout):
+                handle.error = (
+                    handle.error or f"still running after {timeout:.0f}s"
+                )
+            if handle.history is not None:
+                histories.append(handle.history)
+        return histories
+
     # -- public API -----------------------------------------------------------
 
     def run(self, timeout: Optional[float] = None) -> TrainingResult:
-        """Launch all ranks, wait for completion, and collect results."""
+        """Launch all ranks, wait for completion, and collect results.
+
+        For an elastic run the result also folds in every worker spawned
+        through :meth:`spawn_worker` while the launch fleet was training
+        (their histories ride along after the launch ranks').
+        """
         self._eval_records = []
+        self._job_ready.clear()
+        with self._elastic_lock:
+            self._elastic_handles = []
+            self._retire_events = {}
         tel = self.telemetry
         if tel.enabled:
             tel.registry.set("run/workers", self.num_workers)
@@ -514,6 +953,7 @@ class DistributedTrainingManager:
             histories = mpi.run_spmd(
                 self.num_workers, self._rank_main, timeout=timeout
             )
+            histories = list(histories) + self.drain_elastic()
         lost = [h.rank for h in histories if h.failed]
         if tel.enabled:
             tel.registry.set("run/workers_lost", len(lost))

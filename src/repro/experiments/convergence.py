@@ -103,8 +103,18 @@ def run_platform(
     workers: int,
     group_size: int = 1,
     eval_every: Optional[int] = None,
+    elastic: bool = False,
+    max_workers: Optional[int] = None,
+    registry_dir: Optional[str] = None,
+    autoscale: bool = False,
 ) -> PlatformResult:
-    """Train one platform under a shared setup and return its history."""
+    """Train one platform under a shared setup and return its history.
+
+    The elastic options (``elastic``/``max_workers``/``registry_dir``/
+    ``autoscale``) only apply to the direct-participant ShmCaffe variants
+    (``shmcaffe_a``, ``smb_asgd``); see
+    :func:`repro.platforms.shmcaffe.train`.
+    """
     dataset = setup.dataset()
     spec_factory = setup.spec_factory()
     iterations = setup.iterations(dataset, workers)
@@ -129,6 +139,11 @@ def run_platform(
         return caffe_mpi.train(num_workers=workers, **common)
     if platform == "mpi_caffe":
         return mpi_caffe.train(num_workers=workers, **common)
+    if elastic and platform not in ("shmcaffe", "shmcaffe_a"):
+        raise ValueError(
+            f"elastic membership is only supported on shmcaffe_a, "
+            f"not {platform!r}"
+        )
     if platform in ("shmcaffe", "shmcaffe_a", "shmcaffe_h", "smb_asgd"):
         if platform == "shmcaffe_a":
             group_size = 1
@@ -142,6 +157,10 @@ def run_platform(
             moving_rate=setup.moving_rate,
             update_interval=setup.update_interval,
             algorithm="smb_asgd" if platform == "smb_asgd" else "seasgd",
+            elastic=elastic,
+            max_workers=max_workers,
+            registry_dir=registry_dir,
+            autoscale=autoscale,
             **common,
         )
     raise ValueError(f"unknown platform {platform!r}")

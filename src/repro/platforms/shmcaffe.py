@@ -15,6 +15,11 @@ from typing import Optional
 
 from ..caffe.data import SyntheticImageDataset
 from ..caffe.solver import SolverConfig
+from ..core.autoscale import (
+    AutoscaleController,
+    AutoscalePolicy,
+    AutoscaleSupervisor,
+)
 from ..core.config import ShmCaffeConfig, TerminationCriterion
 from ..core.trainer import DistributedTrainingManager
 from .base import EvalRecord, PlatformResult, SpecFactory, evaluate_weights
@@ -37,6 +42,10 @@ def train(
     termination: TerminationCriterion = TerminationCriterion.MASTER_STOP,
     timeout: Optional[float] = None,
     algorithm: str = "seasgd",
+    elastic: bool = False,
+    max_workers: Optional[int] = None,
+    registry_dir: Optional[str] = None,
+    autoscale: bool = False,
 ) -> PlatformResult:
     """Run ShmCaffe; ``group_size=1`` is variant A, ``>1`` is variant H.
 
@@ -48,12 +57,26 @@ def train(
         stale_global_read: Ablation — hide the global-weight read behind
             computation, accepting delayed parameters.
         overlap_updates: Run the Fig. 6 update thread (default, faithful).
-        termination: Sec. III-E alignment criterion.
+        termination: Sec. III-E alignment criterion.  Elastic runs force
+            ``AVERAGE_ITERATIONS`` (the criterion defined under churn).
         algorithm: Named exchange strategy (``"seasgd"`` or any name in
             :data:`repro.core.exchange.EXCHANGES`, e.g. ``"smb_asgd"``
             for Downpour over SMB; ``update_interval`` then acts as the
             fetch interval).
+        elastic: Let the fleet change size mid-run (requires variant A);
+            a membership registry is kept in ``registry_dir``.
+        max_workers: Slot ceiling for an elastic run (defaults to
+            ``num_workers``).
+        registry_dir: Membership registry directory; required when
+            ``elastic`` (a temp directory is a fine choice for local
+            runs).
+        autoscale: Drive :meth:`spawn_worker`/:meth:`retire_worker` from
+            an :class:`~repro.core.autoscale.AutoscaleController` polling
+            the run's phase telemetry (needs an enabled telemetry
+            session to see any signal).
     """
+    if elastic:
+        termination = TerminationCriterion.AVERAGE_ITERATIONS
     config = ShmCaffeConfig(
         solver=solver_config,
         moving_rate=moving_rate,
@@ -73,8 +96,28 @@ def train(
         group_size=group_size,
         seed=seed,
         eval_every=eval_every,
+        registry_dir=registry_dir,
+        elastic=elastic,
+        max_workers=max_workers,
     )
-    outcome = manager.run(timeout=timeout)
+    supervisor = None
+    if autoscale:
+        if not elastic or manager.registry is None:
+            raise ValueError("autoscale requires an elastic run")
+        controller = AutoscaleController(
+            AutoscalePolicy(
+                min_workers=num_workers,
+                max_workers=manager.max_workers,
+            ),
+            telemetry=manager.telemetry,
+            live_source=manager.registry.live_count,
+        )
+        supervisor = AutoscaleSupervisor(manager, controller).start()
+    try:
+        outcome = manager.run(timeout=timeout)
+    finally:
+        if supervisor is not None:
+            supervisor.stop()
 
     if algorithm != "seasgd":
         name = algorithm

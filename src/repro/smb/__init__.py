@@ -19,20 +19,23 @@ Quick start::
 """
 
 from .buffer import ParameterBuffer
-from .client import ControlBlock, RemoteArray, SMBClient
+from .client import ControlBlock, RemoteArray, SlotClaim, SMBClient
 from .errors import (
     AccessDeniedError,
     CapacityError,
     FaultInjectedError,
+    MembershipError,
     NotificationTimeout,
     PayloadSizeError,
     RetryExhaustedError,
     SegmentExistsError,
     SegmentRangeError,
     ServerClosingError,
+    SlotsExhaustedError,
     SMBConnectionError,
     SMBError,
     SMBProtocolError,
+    StaleGenerationError,
     TransportClosedError,
     UnknownKeyError,
     is_retryable,
@@ -43,9 +46,12 @@ from .journal import (
     JournalError,
     PoolImage,
     SegmentImage,
+    publish_json,
+    read_json,
     read_rendezvous,
     write_rendezvous,
 )
+from .membership import MemberRecord, MembershipRegistry, RegistryView
 from .memory import DEFAULT_POOL_CAPACITY, MemoryPool, Segment
 from .protocol import Message, Op, Status
 from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy
@@ -70,6 +76,9 @@ __all__ = [
     "FaultPlan",
     "InProcTransport",
     "JournalError",
+    "MemberRecord",
+    "MembershipError",
+    "MembershipRegistry",
     "MemoryPool",
     "Message",
     "NO_RETRY",
@@ -78,6 +87,7 @@ __all__ = [
     "ParameterBuffer",
     "PayloadSizeError",
     "PoolImage",
+    "RegistryView",
     "RemoteArray",
     "RetryExhaustedError",
     "RetryPolicy",
@@ -87,12 +97,15 @@ __all__ = [
     "SegmentRangeError",
     "ServerClosingError",
     "ServerStats",
+    "SlotClaim",
+    "SlotsExhaustedError",
     "SMBClient",
     "SMBConnectionError",
     "SMBError",
     "SMBProtocolError",
     "SMBServer",
     "ShardedArray",
+    "StaleGenerationError",
     "Status",
     "TcpSMBServer",
     "TcpTransport",
@@ -101,6 +114,8 @@ __all__ = [
     "attach_sharded_array",
     "create_sharded_array",
     "is_retryable",
+    "publish_json",
+    "read_json",
     "read_rendezvous",
     "shard_counts",
     "write_rendezvous",

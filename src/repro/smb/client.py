@@ -693,85 +693,231 @@ class RemoteArray:
         self._client.free(self.shm_key)
 
 
+@dataclasses.dataclass(frozen=True)
+class SlotClaim:
+    """Proof of a successful slot claim: the slot and its generation."""
+
+    slot: int
+    generation: int
+
+
 class ControlBlock:
     """Shared training-progress block (paper Sec. III-E, "control info").
 
-    Layout: one int64 slot per worker holding its completed-iteration count,
-    followed by one stop-flag slot.  Workers publish their own slot and read
+    Layout (``2 * capacity + 1`` int64 values): one *progress* slot per
+    unit of capacity, then one *generation* counter per slot, then the
+    shared stop flag.  Workers publish their own progress slot and read
     everyone's to decide when to terminate.
 
-    A worker that loses its SMB path for good marks itself **dead** by
-    negating its slot: value ``-(completed + 1)``.  Survivors decode that
-    with :meth:`decode_progress` and rescale their termination criteria
-    over the live fleet, so one lost worker degrades the job instead of
-    hanging it.
+    Slots are **dynamically allocated** so the fleet can change size
+    mid-run (elastic membership):
+
+    * an unclaimed slot holds the :data:`FREE` sentinel and is invisible
+      to the termination criteria;
+    * :meth:`claim` takes the lowest claimable slot (or a requested one),
+      bumps its generation counter and resets its progress to 0;
+    * :meth:`release` returns a retiring worker's slot to :data:`FREE` so
+      a later joiner can reclaim it — the generation counter is *kept*,
+      which is what makes reclaims detectable;
+    * a worker that loses its SMB path for good marks itself **dead** by
+      negating its slot: value ``-(completed + 1)``.  Survivors decode
+      that with :meth:`decode_progress` and rescale their termination
+      criteria over the live fleet.  Dead slots stay claimable: the dead
+      encoding survives until a re-joining worker claims the slot.
+
+    Fixed fleets are the degenerate case: :meth:`create` pre-claims every
+    slot by default (progress 0, generation 1), which reproduces the
+    historical one-slot-per-rank behaviour exactly.
+
+    Generation stamping: callers that pass their claim's ``generation``
+    to :meth:`publish_progress`/:meth:`mark_dead`/:meth:`release` get a
+    :class:`~repro.smb.errors.StaleGenerationError` if the slot was
+    reclaimed out from under them — a retired-then-forgotten worker fails
+    loudly instead of corrupting its successor's counter.  The check is a
+    read-then-write, so *claims* themselves must be serialised by the
+    caller (the membership registry does; the fixed-fleet launch path
+    claims disjoint slots).
     """
 
     STOP_CLEAR = 0
+    #: Sentinel marking an unclaimed progress slot (int64 min — never a
+    #: valid progress value and never a valid dead encoding).
+    FREE = int(np.iinfo(np.int64).min)
 
-    def __init__(self, array: RemoteArray, num_workers: int) -> None:
-        expected = num_workers + 1
+    def __init__(self, array: RemoteArray, capacity: int) -> None:
+        expected = 2 * capacity + 1
         if array.count != expected or array.dtype != np.dtype("int64"):
             raise ValueError(
                 f"control block needs {expected} int64 slots, "
                 f"got {array.count} x {array.dtype}"
             )
         self._array = array
-        self.num_workers = num_workers
+        self.capacity = capacity
+        #: Historical alias: a fixed fleet's block is sized to its ranks.
+        self.num_workers = capacity
 
     @classmethod
     def create(
-        cls, client: SMBClient, name: str, num_workers: int
+        cls,
+        client: SMBClient,
+        name: str,
+        capacity: int,
+        preclaimed: Optional[int] = None,
     ) -> "ControlBlock":
-        """Master-side creation of the control segment."""
-        array = client.create_array(name, num_workers + 1, dtype="int64")
-        return cls(array, num_workers)
+        """Master-side creation of the control segment.
+
+        ``preclaimed`` slots start claimed (progress 0, generation 1) —
+        the default pre-claims *all* of them, the fixed-fleet layout.
+        Elastic jobs pass the launch worker count (or 0) and let workers
+        claim their slots explicitly.
+        """
+        array = client.create_array(name, 2 * capacity + 1, dtype="int64")
+        block = cls(array, capacity)
+        block.reset(preclaimed)
+        return block
+
+    def reset(self, preclaimed: Optional[int] = None) -> None:
+        """(Re)initialise every slot; see :meth:`create` for semantics.
+
+        Also used when a run adopts a control segment that survived a
+        server recovery: the previous run's counters must not leak into
+        the new fleet's termination decisions.
+        """
+        claimed = self.capacity if preclaimed is None else preclaimed
+        if not 0 <= claimed <= self.capacity:
+            raise ValueError(
+                f"preclaimed {claimed} out of range [0, {self.capacity}]"
+            )
+        values = np.full(2 * self.capacity + 1, 0, dtype=np.int64)
+        values[claimed:self.capacity] = self.FREE
+        values[self.capacity:self.capacity + claimed] = 1  # generations
+        self._array.write(values)
 
     @classmethod
     def attach(
-        cls, client: SMBClient, name: str, shm_key: int, num_workers: int
+        cls, client: SMBClient, name: str, shm_key: int, capacity: int
     ) -> "ControlBlock":
         """Slave-side attachment using the broadcast SHM key."""
         array = client.attach_array(
-            name, shm_key, num_workers + 1, dtype="int64"
+            name, shm_key, 2 * capacity + 1, dtype="int64"
         )
-        return cls(array, num_workers)
+        return cls(array, capacity)
 
     @property
     def shm_key(self) -> int:
         """Creation key to broadcast to other workers."""
         return self._array.shm_key
 
-    def publish_progress(self, rank: int, iteration: int) -> None:
-        """Record that ``rank`` has completed ``iteration`` iterations."""
-        if not 0 <= rank < self.num_workers:
-            raise ValueError(f"rank {rank} out of range")
-        value = np.asarray([iteration], dtype=np.int64)
+    # -- raw slot IO -------------------------------------------------------
+
+    def _write_slot(self, slot: int, value: int) -> None:
+        data = np.asarray([value], dtype=np.int64)
         self._array._client.write(
-            self._array.access_key, value, offset=rank * 8
+            self._array.access_key, data, offset=slot * 8
         )
 
-    def read_progress(self) -> np.ndarray:
-        """All workers' completed-iteration counters (raw slot values).
+    def _write_generation(self, slot: int, generation: int) -> None:
+        data = np.asarray([generation], dtype=np.int64)
+        self._array._client.write(
+            self._array.access_key, data, offset=(self.capacity + slot) * 8
+        )
 
-        Dead workers appear as negative values; most callers want
-        :meth:`decode_progress` instead.
+    def _check_slot(self, slot: int) -> None:
+        if not 0 <= slot < self.capacity:
+            raise ValueError(f"rank {slot} out of range")
+
+    def _check_generation(self, slot: int, generation: Optional[int]) -> None:
+        if generation is None:
+            return
+        current = int(self.read_generations()[slot])
+        if current != generation:
+            raise errors.StaleGenerationError(slot, generation, current)
+
+    # -- slot allocation ---------------------------------------------------
+
+    def claim(
+        self, slot: Optional[int] = None
+    ) -> SlotClaim:
+        """Claim a slot for a (re)joining worker; returns its generation.
+
+        Claimable slots are :data:`FREE` ones and **dead** ones (a worker
+        that degraded out leaves its dead encoding behind; a re-joiner
+        takes the slot over).  Without an explicit ``slot`` the lowest
+        claimable slot wins; with one, that exact slot must be claimable.
+        Raises :class:`~repro.smb.errors.SlotsExhaustedError` when every
+        slot is held by a live worker.
+
+        Not atomic against concurrent claims — the membership registry
+        (or the launcher's disjoint slot assignment) serialises them.
         """
-        return self._array.read()[: self.num_workers]
+        values = self.read_progress()
+        claimable = (values == self.FREE) | (values < 0)
+        if slot is None:
+            open_slots = np.flatnonzero(claimable)
+            if open_slots.size == 0:
+                raise errors.SlotsExhaustedError(self.capacity)
+            slot = int(open_slots[0])
+        else:
+            self._check_slot(slot)
+            if not bool(claimable[slot]):
+                raise errors.SlotsExhaustedError(self.capacity)
+        generation = int(self.read_generations()[slot]) + 1
+        self._write_generation(slot, generation)
+        self._write_slot(slot, 0)
+        return SlotClaim(slot=slot, generation=generation)
 
-    def mark_dead(self, rank: int, completed_iterations: int) -> None:
-        """Record that ``rank`` lost its SMB path after ``completed_iterations``.
+    def release(self, slot: int, generation: Optional[int] = None) -> None:
+        """Return a retiring worker's slot to the :data:`FREE` pool.
+
+        The generation counter stays where the claim left it (strictly
+        monotonic per slot), so the next claim's bump still supersedes
+        every stamp this worker ever held.
+        """
+        self._check_slot(slot)
+        self._check_generation(slot, generation)
+        self._write_slot(slot, self.FREE)
+
+    # -- progress protocol -------------------------------------------------
+
+    def publish_progress(
+        self, rank: int, iteration: int,
+        generation: Optional[int] = None,
+    ) -> None:
+        """Record that the worker on slot ``rank`` completed ``iteration``
+        iterations; with ``generation``, fail if the slot was reclaimed."""
+        self._check_slot(rank)
+        if iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {iteration}")
+        self._check_generation(rank, generation)
+        self._write_slot(rank, iteration)
+
+    def read_progress(self) -> np.ndarray:
+        """All slots' completed-iteration counters (raw slot values).
+
+        Dead workers appear as negative values and unclaimed slots as
+        :data:`FREE`; most callers want :meth:`decode_progress` instead.
+        """
+        return self._array.read()[: self.capacity]
+
+    def read_generations(self) -> np.ndarray:
+        """Every slot's current generation counter."""
+        return self._array.read()[self.capacity: 2 * self.capacity]
+
+    def mark_dead(
+        self, rank: int, completed_iterations: int,
+        generation: Optional[int] = None,
+    ) -> None:
+        """Record that slot ``rank`` lost its SMB path after
+        ``completed_iterations``.
 
         The slot keeps the completed count (negated, offset by one so even
         0 iterations encodes as a distinct negative value); survivors see
-        the worker as dead and rescale their stop criteria.
+        the worker as dead and rescale their stop criteria.  The slot
+        stays claimable by a re-joining worker.
         """
-        if not 0 <= rank < self.num_workers:
-            raise ValueError(f"rank {rank} out of range")
-        value = np.asarray([-(completed_iterations + 1)], dtype=np.int64)
-        self._array._client.write(
-            self._array.access_key, value, offset=rank * 8
-        )
+        self._check_slot(rank)
+        self._check_generation(rank, generation)
+        self._write_slot(rank, -(completed_iterations + 1))
 
     @staticmethod
     def decode_progress(values: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
@@ -779,15 +925,28 @@ class ControlBlock:
 
         ``progress`` holds each worker's completed-iteration count whether
         it is alive or dead; ``alive`` is the boolean liveness mask.
+        Unclaimed (:data:`FREE`) slots decode as not-alive with progress 0
+        — like dead slots, they are excluded from every criterion.
         """
         values = np.asarray(values, dtype=np.int64)
         alive = values >= 0
-        progress = np.where(alive, values, -values - 1)
+        dead = ~alive & (values != ControlBlock.FREE)
+        progress = np.zeros_like(values)
+        progress[alive] = values[alive]
+        progress[dead] = -values[dead] - 1
         return progress, alive
 
     def live_progress(self) -> Tuple[np.ndarray, np.ndarray]:
         """Decoded ``(progress, alive)`` for the whole fleet."""
         return self.decode_progress(self.read_progress())
+
+    def live_count(self) -> int:
+        """How many slots are currently held by live workers.
+
+        The elastic exchange rescales eqs. (5)-(7) over this count (the
+        EASGD ``alpha = beta / p`` stability rule with *p* read live).
+        """
+        return int((self.read_progress() >= 0).sum())
 
     def signal_stop(self, code: int = 1) -> None:
         """Raise the shared stop flag with a nonzero reason code."""
@@ -795,9 +954,9 @@ class ControlBlock:
             raise ValueError("stop code must be nonzero")
         value = np.asarray([code], dtype=np.int64)
         self._array._client.write(
-            self._array.access_key, value, offset=self.num_workers * 8
+            self._array.access_key, value, offset=2 * self.capacity * 8
         )
 
     def stop_code(self) -> int:
         """Current stop flag (0 means keep training)."""
-        return int(self._array.read()[self.num_workers])
+        return int(self._array.read()[2 * self.capacity])

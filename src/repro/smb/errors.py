@@ -150,6 +150,45 @@ class ServerClosingError(SMBError):
     """The server is shutting down and will not serve this request."""
 
 
+class MembershipError(SMBError):
+    """The elastic-membership protocol was violated (registry or slots)."""
+
+
+class SlotsExhaustedError(MembershipError):
+    """Every control-block slot is held by a live worker; nobody can join.
+
+    Fatal by construction: the fleet is at capacity and retrying the claim
+    returns the same answer until some member leaves or dies.  Callers
+    (the autoscale controller, ``spawn_worker``) treat this as "wait for a
+    leave", not as a transient fault.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        super().__init__(
+            f"all {capacity} membership slot(s) are claimed by live workers"
+        )
+        self.capacity = capacity
+
+
+class StaleGenerationError(MembershipError):
+    """A worker used a slot generation that a later claim superseded.
+
+    Slots are generation-stamped: every claim bumps the slot's generation
+    counter, so a worker that was retired (or presumed dead) and whose
+    slot was reclaimed by a later joiner fails loudly here instead of
+    silently corrupting the new owner's progress counter.
+    """
+
+    def __init__(self, slot: int, held: int, current: int) -> None:
+        super().__init__(
+            f"slot {slot} generation moved on: held {held}, current "
+            f"{current} — the slot was reclaimed by a later joiner"
+        )
+        self.slot = slot
+        self.held = held
+        self.current = current
+
+
 # -- fault classification ---------------------------------------------------
 
 def is_retryable(exc: BaseException) -> bool:
@@ -179,6 +218,8 @@ _WIRE_ARGS: Dict[str, Tuple[str, ...]] = {
     "SegmentExistsError": ("name",),
     "NotificationTimeout": ("key", "version", "timeout"),
     "RetryExhaustedError": ("op", "attempts", "last_error"),
+    "SlotsExhaustedError": ("capacity",),
+    "StaleGenerationError": ("slot", "held", "current"),
 }
 
 _WIRE_TYPES: Dict[str, Type[SMBError]] = {}

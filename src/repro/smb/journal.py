@@ -64,23 +64,28 @@ class JournalError(SMBError):
     """A journal directory held no usable state or corrupt metadata."""
 
 
-# -- rendezvous --------------------------------------------------------------
+# -- atomic JSON publication -------------------------------------------------
+#
+# Shared by the rendezvous file and the elastic-membership registry
+# (:mod:`repro.smb.membership`): both are small JSON documents that other
+# processes poll while a writer republishes them, so every publication
+# must go write-temp + ``os.replace`` — a reader either sees the previous
+# complete document or the new complete document, never a partial write.
 
-def write_rendezvous(
-    path: PathLike, address: Tuple[str, int], epoch: int = 0
-) -> None:
-    """Atomically publish a server's current address (and epoch)."""
+def publish_json(path: PathLike, document: Dict[str, object]) -> None:
+    """Atomically replace ``path`` with ``document`` serialised as JSON.
+
+    The temp file lands in the destination directory (``os.replace``
+    requires same-filesystem) and is unlinked on failure, so a crashed
+    writer leaves the previous published document untouched.
+    """
     path = Path(path)
-    payload = json.dumps(
-        {"host": address[0], "port": address[1], "epoch": epoch,
-         "pid": os.getpid()}
-    )
     fd, tmp = tempfile.mkstemp(
         dir=str(path.parent), prefix=path.name, suffix=".tmp"
     )
     try:
         with os.fdopen(fd, "w") as handle:
-            handle.write(payload)
+            handle.write(json.dumps(document))
         os.replace(tmp, path)
     except OSError:
         try:
@@ -90,6 +95,33 @@ def write_rendezvous(
         raise
 
 
+def read_json(path: PathLike) -> Optional[Dict[str, object]]:
+    """Load a published JSON document; ``None`` when unusable.
+
+    Missing or unreadable files (and non-object payloads) return ``None``
+    so pollers fall back and try again on their next attempt; with
+    :func:`publish_json` on the write side a *partial* document is never
+    observable.
+    """
+    try:
+        body = json.loads(Path(path).read_text())
+    except (OSError, ValueError):
+        return None
+    return body if isinstance(body, dict) else None
+
+
+# -- rendezvous --------------------------------------------------------------
+
+def write_rendezvous(
+    path: PathLike, address: Tuple[str, int], epoch: int = 0
+) -> None:
+    """Atomically publish a server's current address (and epoch)."""
+    publish_json(path, {
+        "host": address[0], "port": address[1], "epoch": epoch,
+        "pid": os.getpid(),
+    })
+
+
 def read_rendezvous(path: PathLike) -> Optional[Tuple[str, int]]:
     """Resolve ``(host, port)`` from a rendezvous file; None if unusable.
 
@@ -97,10 +129,12 @@ def read_rendezvous(path: PathLike) -> Optional[Tuple[str, int]]:
     (the transport's reconnect loop) fall back to their static address
     and try again on the next attempt.
     """
+    body = read_json(path)
+    if body is None:
+        return None
     try:
-        body = json.loads(Path(path).read_text())
         return str(body["host"]), int(body["port"])
-    except (OSError, ValueError, KeyError, TypeError):
+    except (KeyError, ValueError, TypeError):
         return None
 
 

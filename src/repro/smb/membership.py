@@ -1,0 +1,478 @@
+"""Elastic membership: a versioned job registry for a live training run.
+
+The ``endpoint.json`` rendezvous (:mod:`repro.smb.journal`) answers one
+question — *where is the server right now* — for clients that were already
+part of the job.  Elastic membership generalises it into a small registry
+a worker that was **not** part of the launch can join through:
+
+* the **job document** carries the server endpoint, the job spec (segment
+  namespace, model element count, the ``W_g`` and control-block SHM keys,
+  the slot capacity, hyper-parameters), published once by the master;
+* the **member table** holds one record per live worker — its slot, the
+  slot generation its claim returned, a ``status`` (``active`` or
+  ``retiring``), and a heartbeat-renewed lease.  A member whose lease
+  expires is presumed dead and evicted, freeing its slot for reclaim;
+* a monotonic **membership epoch** bumps on every join/leave/eviction, so
+  any observer can cheaply detect "the fleet changed" without diffing the
+  table; a **version** bumps on *every* mutation (heartbeats included).
+
+The whole registry is one JSON document in a directory, published with
+the same write-temp + ``os.replace`` discipline as the rendezvous file
+(:func:`repro.smb.journal.publish_json`) so concurrent readers never see
+a partial document.  Cross-process mutual exclusion uses an
+``O_CREAT | O_EXCL`` lock file next to it; claims of control-block slots
+are serialised through this lock, which is what makes the (non-atomic)
+:meth:`~repro.smb.client.ControlBlock.claim` race-free in practice.
+
+A late joiner's protocol (`docs/membership.md`):
+
+1. :meth:`MembershipRegistry.read` until a job document appears;
+2. :meth:`MembershipRegistry.join` — allocates the lowest free slot (and
+   the member record with a fresh lease);
+3. attach ``W_g`` and the control block by the SHM keys in the job
+   document, :meth:`~repro.smb.client.ControlBlock.claim` the allocated
+   slot, seed the replica from ``W_g``, mint a private ``dW`` segment;
+4. train; heartbeat on iteration boundaries; on retire/finish,
+   release the slot and :meth:`MembershipRegistry.leave`.
+
+Telemetry: mutations feed ``smb/membership/*`` counters (joins, leaves,
+retires, lease expiries) and gauges (epoch, live member count), which the
+``repro telemetry report`` membership section and the autoscale
+controller read.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Union
+
+from ..telemetry import TelemetrySession
+from ..telemetry import current as _telemetry_current
+from .errors import MembershipError, SlotsExhaustedError
+from .journal import publish_json, read_json
+
+PathLike = Union[str, os.PathLike]
+
+#: Registry document schema version; bumped on incompatible changes.
+REGISTRY_FORMAT = 1
+
+#: File names inside a registry directory.
+REGISTRY_NAME = "registry.json"
+REGISTRY_LOCK_NAME = "registry.lock"
+
+#: Default lease duration; generous against this emulation's iteration
+#: times so only a genuinely wedged worker expires.
+DEFAULT_LEASE = 30.0
+
+MEMBER_ACTIVE = "active"
+MEMBER_RETIRING = "retiring"
+
+
+@dataclass
+class MemberRecord:
+    """One live worker as the registry sees it."""
+
+    member_id: str
+    slot: int
+    generation: int
+    status: str = MEMBER_ACTIVE
+    joined_at: float = 0.0
+    lease_expires: float = 0.0
+    heartbeats: int = 0
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "member_id": self.member_id,
+            "slot": self.slot,
+            "generation": self.generation,
+            "status": self.status,
+            "joined_at": self.joined_at,
+            "lease_expires": self.lease_expires,
+            "heartbeats": self.heartbeats,
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, object]) -> "MemberRecord":
+        return cls(
+            member_id=str(doc["member_id"]),
+            slot=int(doc["slot"]),  # type: ignore[arg-type]
+            generation=int(doc.get("generation", 0)),  # type: ignore[arg-type]
+            status=str(doc.get("status", MEMBER_ACTIVE)),
+            joined_at=float(doc.get("joined_at", 0.0)),  # type: ignore[arg-type]
+            lease_expires=float(doc.get("lease_expires", 0.0)),  # type: ignore[arg-type]
+            heartbeats=int(doc.get("heartbeats", 0)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class RegistryView:
+    """A decoded snapshot of the registry document."""
+
+    version: int = 0
+    epoch: int = 0
+    capacity: int = 0
+    server: Dict[str, object] = field(default_factory=dict)
+    job: Dict[str, object] = field(default_factory=dict)
+    members: Dict[str, MemberRecord] = field(default_factory=dict)
+
+    @property
+    def has_job(self) -> bool:
+        """Whether the master has published the job document yet."""
+        return bool(self.job)
+
+    def live_members(self) -> List[MemberRecord]:
+        """Members holding an unexpired record, join order."""
+        return sorted(self.members.values(), key=lambda m: m.joined_at)
+
+    def member_for_slot(self, slot: int) -> Optional[MemberRecord]:
+        for member in self.members.values():
+            if member.slot == slot:
+                return member
+        return None
+
+    def to_doc(self) -> Dict[str, object]:
+        return {
+            "format": REGISTRY_FORMAT,
+            "version": self.version,
+            "epoch": self.epoch,
+            "capacity": self.capacity,
+            "server": self.server,
+            "job": self.job,
+            "members": {
+                member_id: record.to_doc()
+                for member_id, record in self.members.items()
+            },
+        }
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, object]) -> "RegistryView":
+        if doc.get("format") != REGISTRY_FORMAT:
+            raise MembershipError(
+                f"unsupported registry format {doc.get('format')!r}"
+            )
+        members_doc = doc.get("members", {})
+        members = {}
+        if isinstance(members_doc, dict):
+            for member_id, entry in members_doc.items():
+                members[str(member_id)] = MemberRecord.from_doc(entry)
+        return cls(
+            version=int(doc.get("version", 0)),  # type: ignore[arg-type]
+            epoch=int(doc.get("epoch", 0)),  # type: ignore[arg-type]
+            capacity=int(doc.get("capacity", 0)),  # type: ignore[arg-type]
+            server=dict(doc.get("server", {})),  # type: ignore[arg-type]
+            job=dict(doc.get("job", {})),  # type: ignore[arg-type]
+            members=members,
+        )
+
+
+class MembershipRegistry:
+    """The registry service: one JSON document, atomically republished.
+
+    Args:
+        directory: Registry directory (created if missing); holds
+            ``registry.json`` plus its lock file.
+        lease: Seconds a member record stays valid without a heartbeat.
+        telemetry: Session receiving the ``smb/membership/*`` counters;
+            defaults to the process-wide session (no-ops when disabled).
+        clock: Injectable time source (tests freeze it to drive lease
+            expiry deterministically).
+        lock_timeout: Seconds to wait for the cross-process lock before
+            declaring the registry wedged; a lock file older than this is
+            treated as leaked by a dead process and broken.
+    """
+
+    def __init__(
+        self,
+        directory: PathLike,
+        lease: float = DEFAULT_LEASE,
+        telemetry: Optional[TelemetrySession] = None,
+        clock: Callable[[], float] = time.time,
+        lock_timeout: float = 10.0,
+    ) -> None:
+        if lease <= 0:
+            raise ValueError(f"lease must be > 0, got {lease}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / REGISTRY_NAME
+        self._lock_path = self.directory / REGISTRY_LOCK_NAME
+        self.lease = lease
+        self.lock_timeout = lock_timeout
+        self._clock = clock
+        self._telemetry = (
+            telemetry if telemetry is not None else _telemetry_current()
+        )
+
+    # -- telemetry ---------------------------------------------------------
+
+    def _count(self, event: str, amount: int = 1) -> None:
+        if self._telemetry.enabled:
+            self._telemetry.registry.inc(f"smb/membership/{event}", amount)
+
+    def _publish(self, view: RegistryView) -> None:
+        view.version += 1
+        publish_json(self.path, view.to_doc())
+        if self._telemetry.enabled:
+            registry = self._telemetry.registry
+            registry.set("smb/membership/epoch", view.epoch)
+            registry.set("smb/membership/live", len(view.members))
+
+    # -- locking -----------------------------------------------------------
+
+    def _acquire_lock(self) -> None:
+        deadline = time.monotonic() + self.lock_timeout
+        while True:
+            try:
+                fd = os.open(
+                    self._lock_path, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+                os.write(fd, str(os.getpid()).encode())
+                os.close(fd)
+                return
+            except FileExistsError:
+                if time.monotonic() >= deadline:
+                    # A holder that outlives the whole timeout is treated
+                    # as a leaked lock from a dead process: break it once
+                    # and retry (the next contender starts a fresh wait).
+                    try:
+                        age = time.time() - self._lock_path.stat().st_mtime
+                    except OSError:
+                        continue  # holder just released; retry
+                    if age >= self.lock_timeout:
+                        try:
+                            os.unlink(self._lock_path)
+                        except OSError:
+                            pass
+                        deadline = time.monotonic() + self.lock_timeout
+                        continue
+                    raise MembershipError(
+                        f"registry lock {self._lock_path} held for "
+                        f">{self.lock_timeout:.1f}s"
+                    )
+                time.sleep(0.002)
+
+    def _release_lock(self) -> None:
+        try:
+            os.unlink(self._lock_path)
+        except OSError:
+            pass
+
+    # -- read path ---------------------------------------------------------
+
+    def read(self) -> RegistryView:
+        """Current registry snapshot (empty view before first publish)."""
+        doc = read_json(self.path)
+        if doc is None:
+            return RegistryView()
+        return RegistryView.from_doc(doc)
+
+    def wait_for_job(
+        self, timeout: float = 30.0, poll: float = 0.01
+    ) -> RegistryView:
+        """Block until the master has published the job document."""
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.read()
+            if view.has_job:
+                return view
+            if time.monotonic() >= deadline:
+                raise MembershipError(
+                    f"no job published in {self.path} within {timeout:.1f}s"
+                )
+            time.sleep(poll)
+
+    def live_count(self) -> int:
+        """How many unexpired members the registry holds right now."""
+        view = self.read()
+        now = self._clock()
+        return sum(
+            1 for m in view.members.values() if m.lease_expires > now
+        )
+
+    # -- mutations ---------------------------------------------------------
+
+    def _mutate(
+        self, fn: Callable[[RegistryView], None]
+    ) -> RegistryView:
+        """Read-modify-publish under the cross-process lock."""
+        self._acquire_lock()
+        try:
+            view = self.read()
+            self._expire_locked(view)
+            fn(view)
+            self._publish(view)
+            return view
+        finally:
+            self._release_lock()
+
+    def _expire_locked(self, view: RegistryView) -> int:
+        """Evict members whose lease lapsed; returns how many."""
+        now = self._clock()
+        expired = [
+            member_id for member_id, record in view.members.items()
+            if record.lease_expires <= now
+        ]
+        for member_id in expired:
+            del view.members[member_id]
+        if expired:
+            view.epoch += 1
+            self._count("lease_expiries", len(expired))
+        return len(expired)
+
+    def publish_job(
+        self,
+        server: Dict[str, object],
+        job: Dict[str, object],
+        capacity: int,
+    ) -> RegistryView:
+        """Master-side: announce the job (endpoint, spec, slot capacity).
+
+        Members of any previous job in this directory are dropped — a new
+        job announcement definitionally supersedes the old fleet.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+
+        def apply(view: RegistryView) -> None:
+            view.server = dict(server)
+            view.job = dict(job)
+            view.capacity = capacity
+            view.members = {}
+            view.epoch += 1
+
+        return self._mutate(apply)
+
+    def join(
+        self,
+        member_id: str,
+        slot: Optional[int] = None,
+        generation: int = 0,
+    ) -> MemberRecord:
+        """Admit a worker: allocate a slot, mint a leased member record.
+
+        Launch workers request their deterministic ``slot`` (== rank);
+        late joiners omit it and get the lowest slot not held by a live
+        member.  Raises :class:`~repro.smb.errors.SlotsExhaustedError`
+        at capacity and :class:`~repro.smb.errors.MembershipError` on a
+        duplicate id or an occupied requested slot.
+        """
+        record = MemberRecord(member_id=member_id, slot=-1,
+                              generation=generation)
+
+        def apply(view: RegistryView) -> None:
+            if not view.has_job:
+                raise MembershipError(
+                    "cannot join before the master publishes the job"
+                )
+            if member_id in view.members:
+                raise MembershipError(
+                    f"member id {member_id!r} already registered"
+                )
+            taken = {m.slot for m in view.members.values()}
+            if slot is None:
+                open_slots = [
+                    s for s in range(view.capacity) if s not in taken
+                ]
+                if not open_slots:
+                    raise SlotsExhaustedError(view.capacity)
+                record.slot = open_slots[0]
+            else:
+                if not 0 <= slot < view.capacity:
+                    raise MembershipError(
+                        f"slot {slot} out of range [0, {view.capacity})"
+                    )
+                if slot in taken:
+                    raise MembershipError(
+                        f"slot {slot} is held by a live member"
+                    )
+                record.slot = slot
+            now = self._clock()
+            record.joined_at = now
+            record.lease_expires = now + self.lease
+            view.members[member_id] = record
+            view.epoch += 1
+
+        self._mutate(apply)
+        self._count("joins")
+        return record
+
+    def heartbeat(self, member_id: str) -> None:
+        """Renew a member's lease (bumps version, not epoch)."""
+
+        def apply(view: RegistryView) -> None:
+            record = view.members.get(member_id)
+            if record is None:
+                raise MembershipError(
+                    f"heartbeat from unknown member {member_id!r} "
+                    "(lease expired?)"
+                )
+            record.lease_expires = self._clock() + self.lease
+            record.heartbeats += 1
+
+        self._mutate(apply)
+
+    def update_member(self, member_id: str, **fields: object) -> None:
+        """Patch a member record (e.g. the control-block generation the
+        worker's claim actually returned)."""
+
+        def apply(view: RegistryView) -> None:
+            record = view.members.get(member_id)
+            if record is None:
+                raise MembershipError(f"unknown member {member_id!r}")
+            for key, value in fields.items():
+                if not hasattr(record, key):
+                    raise MembershipError(
+                        f"member record has no field {key!r}"
+                    )
+                setattr(record, key, value)
+
+        self._mutate(apply)
+
+    def request_retire(self, member_id: str) -> bool:
+        """Flag a member ``retiring``; it drains and leaves on its own.
+
+        Returns False when the member is already gone (raced a leave or
+        an expiry) — retiring an absent worker is not an error.
+        """
+        found = []
+
+        def apply(view: RegistryView) -> None:
+            record = view.members.get(member_id)
+            if record is not None:
+                record.status = MEMBER_RETIRING
+                found.append(member_id)
+
+        self._mutate(apply)
+        if found:
+            self._count("retires")
+        return bool(found)
+
+    def retiring(self, member_id: str) -> bool:
+        """Whether a retire was requested for this member (poll point)."""
+        record = self.read().members.get(member_id)
+        return record is not None and record.status == MEMBER_RETIRING
+
+    def leave(self, member_id: str) -> bool:
+        """Remove a member; its slot becomes allocatable again.
+
+        Returns False when the record was already gone (expired).
+        """
+        removed = []
+
+        def apply(view: RegistryView) -> None:
+            if view.members.pop(member_id, None) is not None:
+                view.epoch += 1
+                removed.append(member_id)
+
+        self._mutate(apply)
+        if removed:
+            self._count("leaves")
+        return bool(removed)
+
+    def expire_stale(self) -> int:
+        """Evict every member whose lease lapsed; returns the count."""
+        before = len(self.read().members)
+        view = self._mutate(lambda _view: None)
+        return max(before - len(view.members), 0)

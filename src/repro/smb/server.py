@@ -22,7 +22,6 @@ import logging
 import os
 import socket
 import threading
-import warnings
 from time import perf_counter as _perf_counter
 from typing import Dict, Optional, Tuple, Union
 
@@ -122,21 +121,6 @@ class ServerStats:
             data[key] = count
         return data
 
-    def snapshot(self) -> Dict[str, int]:
-        """Deprecated alias for :meth:`counters`.
-
-        "Snapshot" now unambiguously means *durable state* in the SMB
-        layer (see :mod:`repro.smb.journal`); the stats copy was renamed
-        to avoid the overload.
-        """
-        warnings.warn(
-            "ServerStats.snapshot() is deprecated; use "
-            "ServerStats.counters()",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return self.counters()
-
 
 class SMBServer:
     """Transport-agnostic SMB request processor.
@@ -163,6 +147,11 @@ class SMBServer:
         # the Fig. 7 benchmark reads them regardless of telemetry mode).
         self.stats = ServerStats(tel.registry if tel.enabled else None)
         self._accumulate_lock = threading.Lock()
+        # Requests waiting on (or holding) the accumulate lock; exported
+        # as the ``smb/server/queue/accumulate`` gauge — the autoscale
+        # controller's direct read on the serialised-T.A3 bottleneck.
+        self._accumulate_pending = 0
+        self._accumulate_pending_lock = threading.Lock()
         self._closing = threading.Event()
         # -- durability (off unless a journal directory is given) --------
         #: Restart counter: 0 for a fresh pool, +1 per recovery.  Carried
@@ -344,6 +333,13 @@ class SMBServer:
             return Message(op=request.op, status=Status.ERROR,
                            payload=to_wire(exc))
 
+    def _track_accumulate_queue(self, delta: int) -> None:
+        """Maintain the ``smb/server/queue/accumulate`` depth gauge."""
+        with self._accumulate_pending_lock:
+            self._accumulate_pending += delta
+            depth = self._accumulate_pending
+        self.stats.registry.set("smb/server/queue/accumulate", depth)
+
     def _dispatch(
         self, req: Message, out: Optional[memoryview] = None
     ) -> Message:
@@ -402,16 +398,20 @@ class SMBServer:
             # requests of global weights from each worker" (paper T.A3):
             # serialise all accumulates through one lock, on top of the
             # per-segment locks taken inside accumulate_from.
-            with self._mutation_guard(), self._accumulate_lock:
-                version = dst.accumulate_from(
-                    src,
-                    scale=req.scale,
-                    offset=req.offset,
-                    count=req.count or None,
-                )
-                self._journal(Message(op=Op.ACCUMULATE, key=dst.shm_key,
-                                      key2=src.shm_key, offset=req.offset,
-                                      count=req.count, scale=req.scale))
+            self._track_accumulate_queue(+1)
+            try:
+                with self._mutation_guard(), self._accumulate_lock:
+                    version = dst.accumulate_from(
+                        src,
+                        scale=req.scale,
+                        offset=req.offset,
+                        count=req.count or None,
+                    )
+                    self._journal(Message(op=Op.ACCUMULATE, key=dst.shm_key,
+                                          key2=src.shm_key, offset=req.offset,
+                                          count=req.count, scale=req.scale))
+            finally:
+                self._track_accumulate_queue(-1)
             self.stats.record(req.op, (req.count or src.size // 4) * 4)
             return Message(op=req.op, key=req.key, count=version)
 

@@ -120,6 +120,29 @@ def _counter_section(metrics: MetricSnapshot) -> List[str]:
     return _table(["counter", "value"], body)
 
 
+def _membership_section(metrics: MetricSnapshot) -> List[str]:
+    """Elastic-membership churn: registry events + autoscale decisions.
+
+    Only rendered when the run actually used the membership layer (some
+    ``smb/membership/*`` or ``autoscale/decisions/*`` metric exists).
+    """
+    body = []
+    for name, snap in sorted(metrics.items()):
+        if not (
+            name.startswith("smb/membership/")
+            or name.startswith("autoscale/decisions/")
+        ):
+            continue
+        value = snap.get("value")
+        if value is None:
+            continue
+        kind = str(snap.get("type", ""))
+        body.append([name, kind, str(int(float(value)))])  # type: ignore[arg-type]
+    if not body:
+        return []
+    return _table(["metric", "type", "value"], body)
+
+
 def _pooled_phase_means(metrics: MetricSnapshot) -> Dict[str, float]:
     """Per-phase mean seconds pooled across workers (weighted by count)."""
     total: Dict[str, float] = {}
@@ -228,6 +251,12 @@ def format_report(payload: Dict[str, object]) -> str:
     counters = _counter_section(metrics)
     if counters:
         sections.append("== counters ==\n" + "\n".join(counters))
+
+    membership = _membership_section(metrics)
+    if membership:
+        sections.append(
+            "== elastic membership ==\n" + "\n".join(membership)
+        )
 
     model = meta.get("model")
     workers = meta.get("workers")

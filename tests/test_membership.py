@@ -1,0 +1,528 @@
+"""Tests for elastic membership: registry, elastic control block, autoscale.
+
+Covers the registry service (`repro.smb.membership`), the dynamic slot
+allocation the control block grew for it, the atomic-publication
+discipline both rely on (`repro.smb.journal.publish_json`), the
+autoscale decision logic, and the seeded join/retire/reclaim drill.
+"""
+
+import threading
+from time import monotonic, sleep
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AutoscaleController,
+    AutoscalePolicy,
+    AutoscaleSupervisor,
+)
+from repro.core.autoscale import GROW, HOLD, SHRINK
+from repro.experiments.elastic import run_elastic_drill
+from repro.smb import (
+    ControlBlock,
+    MembershipError,
+    MembershipRegistry,
+    SlotsExhaustedError,
+    SMBClient,
+    SMBServer,
+    StaleGenerationError,
+    publish_json,
+    read_json,
+)
+from repro.telemetry import TelemetrySession
+
+
+@pytest.fixture()
+def server():
+    return SMBServer(capacity=1 << 22)
+
+
+@pytest.fixture()
+def client(server):
+    return SMBClient.in_process(server)
+
+
+SERVER_DOC = {"mode": "inproc"}
+JOB_DOC = {"namespace": "", "count": 8, "w_g_key": 1, "control_key": 2}
+
+
+class FakeClock:
+    """Injectable time source so lease expiry is deterministic."""
+
+    def __init__(self, now=1000.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+def make_registry(tmp_path, **kwargs):
+    kwargs.setdefault("telemetry", TelemetrySession("off"))
+    return MembershipRegistry(tmp_path / "registry", **kwargs)
+
+
+class TestAtomicPublication:
+    """Satellite: registry/rendezvous files are torn-read-proof."""
+
+    def test_reader_racing_writer_never_sees_a_partial_document(
+        self, tmp_path
+    ):
+        """Hammer read_json while publish_json republishes.
+
+        Every observed document must be internally consistent (the
+        padding makes a torn write span many filesystem blocks, so a
+        non-atomic writer *would* be caught).
+        """
+        path = tmp_path / "doc.json"
+        stop = threading.Event()
+        bad = []
+        reads = [0]
+
+        def reader():
+            while not stop.is_set():
+                doc = read_json(path)
+                if doc is None:
+                    continue  # nothing published yet — fine
+                reads[0] += 1
+                if doc["payload"] != "x" * int(doc["length"]):
+                    bad.append(doc)
+                    return
+
+        thread = threading.Thread(target=reader, daemon=True)
+        thread.start()
+        try:
+            for i in range(200):
+                length = 1 + (i * 397) % 65536
+                publish_json(
+                    path, {"length": length, "payload": "x" * length}
+                )
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        assert not bad, f"torn read observed: {bad[0]}"
+        assert reads[0] > 0, "reader never observed a document"
+
+    def test_read_json_missing_and_invalid(self, tmp_path):
+        assert read_json(tmp_path / "absent.json") is None
+        junk = tmp_path / "junk.json"
+        junk.write_text("{not json")
+        assert read_json(junk) is None
+
+    def test_publish_leaves_no_temp_files(self, tmp_path):
+        path = tmp_path / "doc.json"
+        for i in range(5):
+            publish_json(path, {"i": i})
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+        assert read_json(path) == {"i": 4}
+
+
+class TestMembershipRegistry:
+    def test_empty_view_before_first_publish(self, tmp_path):
+        registry = make_registry(tmp_path)
+        view = registry.read()
+        assert not view.has_job
+        assert view.version == 0
+        assert view.members == {}
+
+    def test_join_before_job_publication_rejected(self, tmp_path):
+        registry = make_registry(tmp_path)
+        with pytest.raises(MembershipError):
+            registry.join("early-bird")
+
+    def test_publish_job_then_join_allocates_lowest_slot(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=3)
+        a = registry.join("a")
+        b = registry.join("b")
+        assert (a.slot, b.slot) == (0, 1)
+        view = registry.read()
+        assert view.capacity == 3
+        assert view.job["count"] == 8
+        assert set(view.members) == {"a", "b"}
+
+    def test_launch_worker_requests_its_rank_slot(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=4)
+        record = registry.join("rank2", slot=2)
+        assert record.slot == 2
+        # next anonymous joiner gets the lowest *free* slot, not 3
+        assert registry.join("late").slot == 0
+
+    def test_duplicate_member_id_rejected(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        registry.join("a")
+        with pytest.raises(MembershipError, match="already registered"):
+            registry.join("a")
+
+    def test_occupied_and_out_of_range_slots_rejected(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        registry.join("a", slot=0)
+        with pytest.raises(MembershipError, match="held by a live member"):
+            registry.join("b", slot=0)
+        with pytest.raises(MembershipError, match="out of range"):
+            registry.join("b", slot=2)
+
+    def test_capacity_exhausted_raises_typed_error(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        registry.join("a")
+        registry.join("b")
+        with pytest.raises(SlotsExhaustedError):
+            registry.join("c")
+
+    def test_leave_frees_the_slot_and_bumps_epoch(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        registry.join("a")
+        registry.join("b")
+        epoch = registry.read().epoch
+        assert registry.leave("a") is True
+        view = registry.read()
+        assert view.epoch == epoch + 1
+        assert registry.join("c").slot == 0  # reclaimed
+        assert registry.leave("a") is False  # already gone
+
+    def test_heartbeat_bumps_version_not_epoch(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        registry.join("a")
+        before = registry.read()
+        registry.heartbeat("a")
+        after = registry.read()
+        assert after.version == before.version + 1
+        assert after.epoch == before.epoch
+        assert after.members["a"].heartbeats == 1
+
+    def test_heartbeat_from_unknown_member_raises(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        with pytest.raises(MembershipError, match="unknown member"):
+            registry.heartbeat("ghost")
+
+    def test_lease_expiry_evicts_and_frees_the_slot(self, tmp_path):
+        clock = FakeClock()
+        registry = make_registry(tmp_path, lease=10.0, clock=clock)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        registry.join("wedged")
+        registry.join("healthy")
+        assert registry.live_count() == 2
+        clock.advance(6.0)
+        registry.heartbeat("healthy")  # renews; "wedged" does not
+        clock.advance(6.0)  # wedged's lease (t0+10) has now lapsed
+        assert registry.live_count() == 1
+        epoch = registry.read().epoch
+        assert registry.expire_stale() == 1
+        view = registry.read()
+        assert set(view.members) == {"healthy"}
+        assert view.epoch == epoch + 1
+        # the evicted member's slot is allocatable again
+        assert registry.join("replacement").slot == 0
+
+    def test_publish_job_supersedes_previous_fleet(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        registry.join("old")
+        registry.publish_job(SERVER_DOC, dict(JOB_DOC, count=16), 2)
+        view = registry.read()
+        assert view.members == {}
+        assert view.job["count"] == 16
+
+    def test_retire_request_flags_the_member(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        registry.join("a")
+        assert registry.retiring("a") is False
+        assert registry.request_retire("a") is True
+        assert registry.retiring("a") is True
+        assert registry.request_retire("ghost") is False
+
+    def test_update_member_patches_fields(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        registry.join("a")
+        registry.update_member("a", generation=7)
+        assert registry.read().members["a"].generation == 7
+        with pytest.raises(MembershipError, match="no field"):
+            registry.update_member("a", bogus=1)
+        with pytest.raises(MembershipError, match="unknown member"):
+            registry.update_member("ghost", generation=1)
+
+    def test_wait_for_job_times_out(self, tmp_path):
+        registry = make_registry(tmp_path)
+        with pytest.raises(MembershipError, match="no job published"):
+            registry.wait_for_job(timeout=0.05, poll=0.01)
+
+    def test_churn_counters_reach_telemetry(self, tmp_path):
+        clock = FakeClock()
+        session = TelemetrySession("metrics")
+        registry = make_registry(
+            tmp_path, lease=10.0, telemetry=session, clock=clock
+        )
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=3)
+        registry.join("a")
+        registry.join("b")
+        registry.request_retire("b")
+        registry.leave("b")
+        clock.advance(11.0)
+        registry.expire_stale()  # evicts "a"
+        reg = session.registry
+        assert reg.counter("smb/membership/joins").value == 2
+        assert reg.counter("smb/membership/retires").value == 1
+        assert reg.counter("smb/membership/leaves").value == 1
+        assert reg.counter("smb/membership/lease_expiries").value == 1
+        assert reg.gauge("smb/membership/live").value == 0
+
+
+class TestElasticControlBlock:
+    """Satellite: dynamic slot allocation edge cases."""
+
+    def test_decode_zero_progress_vs_dead_vs_free(self):
+        """0 is a live worker at iteration 0; -1 is a *dead* worker at 0;
+        FREE is nobody at all — three states, one int64."""
+        values = np.asarray([0, -1, ControlBlock.FREE], dtype=np.int64)
+        progress, alive = ControlBlock.decode_progress(values)
+        np.testing.assert_array_equal(progress, [0, 0, 0])
+        np.testing.assert_array_equal(alive, [True, False, False])
+
+    def test_default_create_preclaims_every_slot(self, client):
+        control = ControlBlock.create(client, "ctl", capacity=3)
+        np.testing.assert_array_equal(control.read_progress(), [0, 0, 0])
+        np.testing.assert_array_equal(control.read_generations(), [1, 1, 1])
+        assert control.live_count() == 3
+
+    def test_elastic_create_starts_all_free(self, client):
+        control = ControlBlock.create(client, "ctl", 4, preclaimed=0)
+        assert control.live_count() == 0
+        np.testing.assert_array_equal(
+            control.read_progress(), [ControlBlock.FREE] * 4
+        )
+
+    def test_claim_takes_lowest_free_slot_and_bumps_generation(
+        self, client
+    ):
+        control = ControlBlock.create(client, "ctl", 3, preclaimed=0)
+        first = control.claim()
+        second = control.claim()
+        assert (first.slot, first.generation) == (0, 1)
+        assert (second.slot, second.generation) == (1, 1)
+        assert control.live_count() == 2
+
+    def test_rejoiner_reclaims_released_slot_at_higher_generation(
+        self, client
+    ):
+        control = ControlBlock.create(client, "ctl", 2, preclaimed=0)
+        claim = control.claim(slot=1)
+        control.publish_progress(1, 9, generation=claim.generation)
+        control.release(1, generation=claim.generation)
+        assert int(control.read_progress()[1]) == ControlBlock.FREE
+        reclaim = control.claim(slot=1)
+        assert reclaim.generation == claim.generation + 1
+        assert int(control.read_progress()[1]) == 0  # progress reset
+
+    def test_dead_slot_is_claimable_and_encoding_survives_until_then(
+        self, client
+    ):
+        control = ControlBlock.create(client, "ctl", 2, preclaimed=0)
+        claim = control.claim()
+        control.mark_dead(claim.slot, 5, generation=claim.generation)
+        progress, alive = control.live_progress()
+        assert int(progress[claim.slot]) == 5 and not bool(
+            alive[claim.slot]
+        )
+        reclaim = control.claim()  # takes the dead slot over
+        assert reclaim.slot == claim.slot
+        assert reclaim.generation == claim.generation + 1
+        assert control.live_count() == 1
+
+    def test_claim_with_every_slot_live_raises_typed_error(self, client):
+        control = ControlBlock.create(client, "ctl", capacity=2)
+        with pytest.raises(SlotsExhaustedError):
+            control.claim()
+        with pytest.raises(SlotsExhaustedError):
+            control.claim(slot=1)
+
+    def test_stale_generation_fails_loudly_after_reclaim(self, client):
+        control = ControlBlock.create(client, "ctl", 2, preclaimed=0)
+        old = control.claim(slot=0)
+        control.release(0, generation=old.generation)
+        control.claim(slot=0)  # successor bumps the generation
+        with pytest.raises(StaleGenerationError):
+            control.publish_progress(0, 3, generation=old.generation)
+        with pytest.raises(StaleGenerationError):
+            control.mark_dead(0, 3, generation=old.generation)
+        with pytest.raises(StaleGenerationError):
+            control.release(0, generation=old.generation)
+
+    def test_wait_update_wakes_on_membership_churn(self, client):
+        """A worker blocked in WAIT_UPDATE on the control segment must
+        wake when the fleet changes shape (claim or release), not only
+        on progress writes — churn can never deadlock a waiter."""
+        control = ControlBlock.create(client, "ctl", 2, preclaimed=0)
+        woke = []
+
+        def wait(version):
+            woke.append(control._array.wait_update(version, timeout=10.0))
+
+        for mutate in (
+            lambda: control.claim(),
+            lambda: control.release(0),
+        ):
+            version = control._array.version()
+            waiter = threading.Thread(target=wait, args=(version,),
+                                      daemon=True)
+            waiter.start()
+            sleep(0.02)  # let the waiter block server-side
+            mutate()
+            waiter.join(timeout=10.0)
+            assert not waiter.is_alive(), "waiter missed the churn wakeup"
+        assert len(woke) == 2 and all(isinstance(v, int) for v in woke)
+
+
+def observe_phases(session, comp, comm, worker=0):
+    """Record one window's worth of phase samples into the registry."""
+    session.registry.observe(f"worker{worker}/phase/comp", comp)
+    for phase in ("wwi", "ugw", "rgw", "block"):
+        session.registry.observe(f"worker{worker}/phase/{phase}", comm / 4)
+
+
+class TestAutoscaleController:
+    def make(self, **policy):
+        policy.setdefault("min_workers", 1)
+        policy.setdefault("max_workers", 4)
+        policy.setdefault("cooldown_steps", 0)
+        session = TelemetrySession("metrics")
+        live = {"value": 2}
+        controller = AutoscaleController(
+            AutoscalePolicy(**policy),
+            telemetry=session,
+            live_source=lambda: live["value"],
+        )
+        return controller, session, live
+
+    def test_holds_without_phase_samples(self):
+        controller, _session, _live = self.make()
+        decision = controller.step()
+        assert decision.action == HOLD
+        assert decision.signals.comm_ratio is None
+
+    def test_grows_on_low_comm_ratio(self):
+        controller, session, _live = self.make()
+        observe_phases(session, comp=0.9, comm=0.1)
+        decision = controller.step()
+        assert decision.action == GROW
+        assert decision.signals.comm_ratio == pytest.approx(0.1)
+
+    def test_shrinks_on_high_comm_ratio(self):
+        controller, session, _live = self.make()
+        observe_phases(session, comp=0.2, comm=0.8)
+        assert controller.step().action == SHRINK
+
+    def test_deep_accumulate_queue_forces_shrink(self):
+        controller, session, _live = self.make()
+        observe_phases(session, comp=0.5, comm=0.5)  # in-band ratio
+        session.registry.set("smb/server/queue/accumulate", 9)
+        decision = controller.step()
+        assert decision.action == SHRINK
+        assert "queue depth" in decision.reason
+
+    def test_ratio_is_windowed_not_run_to_date(self):
+        controller, session, _live = self.make()
+        observe_phases(session, comp=0.9, comm=0.1)
+        assert controller.step().action == GROW
+        # New window: communication-bound, even though the run-to-date
+        # totals still look compute-heavy.
+        observe_phases(session, comp=0.1, comm=0.9)
+        assert controller.step().action == SHRINK
+
+    def test_bounds_cap_the_fleet(self):
+        controller, session, live = self.make(
+            min_workers=2, max_workers=2
+        )
+        observe_phases(session, comp=0.9, comm=0.1)
+        assert controller.step().action == HOLD  # at max: cannot grow
+        observe_phases(session, comp=0.1, comm=0.9)
+        assert controller.step().action == HOLD  # at min: cannot shrink
+        live["value"] = 3
+        observe_phases(session, comp=0.1, comm=0.9)
+        assert controller.step().action == SHRINK
+
+    def test_cooldown_after_an_action(self):
+        controller, session, _live = self.make(cooldown_steps=2)
+        observe_phases(session, comp=0.9, comm=0.1)
+        assert controller.step().action == GROW
+        observe_phases(session, comp=0.9, comm=0.1)
+        assert controller.step().action == HOLD  # cooling down
+        observe_phases(session, comp=0.9, comm=0.1)
+        assert controller.step().action == HOLD
+        observe_phases(session, comp=0.9, comm=0.1)
+        assert controller.step().action == GROW
+
+    def test_decisions_counted_in_telemetry(self):
+        controller, session, _live = self.make()
+        observe_phases(session, comp=0.9, comm=0.1)
+        controller.step()
+        controller.step()  # no new samples: hold
+        reg = session.registry
+        assert reg.counter("autoscale/decisions/grow").value == 1
+        assert reg.counter("autoscale/decisions/hold").value == 1
+
+    def test_supervisor_applies_decisions(self):
+        controller, session, _live = self.make()
+
+        class Manager:
+            spawned = 0
+            retired = 0
+
+            def spawn_worker(self):
+                Manager.spawned += 1
+
+            def retire_worker(self, member_id=None):
+                Manager.retired += 1
+                return True
+
+        supervisor = AutoscaleSupervisor(
+            Manager(), controller, interval=0.01
+        )
+        observe_phases(session, comp=0.9, comm=0.1)
+        supervisor.start()
+        deadline = monotonic() + 10.0
+        while not Manager.spawned and monotonic() < deadline:
+            sleep(0.01)
+        supervisor.stop()
+        assert Manager.spawned >= 1
+        assert any(d.action == GROW for d in supervisor.decisions)
+
+
+@pytest.mark.chaos
+class TestElasticDrill:
+    """The seeded join / retire / reclaim integration drill."""
+
+    def test_join_retire_and_reclaim_complete_the_run(self, tmp_path):
+        report = run_elastic_drill(
+            tmp_path, num_workers=2, max_workers=4, iterations=60,
+            join_at=3, retire_after=2, seed=0, timeout=180.0,
+        )
+        assert report.completed, report.events
+        # The launch fleet finished cleanly with the joiners folded in.
+        assert not report.result.failed_ranks
+        assert report.joiner is not None and report.joiner_retired
+        assert report.joiner.history.retired
+        # The replacement reclaimed the retired slot at a newer
+        # generation — the churn signature the generations exist for.
+        assert report.replacement is not None
+        assert report.replacement.slot == report.joiner.slot
+        assert report.replacement.generation > report.joiner.generation
+        # join(x2 launch + 2 elastic) / leave events all hit the epoch.
+        assert report.final_epoch >= 5
+        assert report.membership_counters.get(
+            "smb/membership/joins", 0
+        ) >= 4
+        assert report.membership_counters.get(
+            "smb/membership/retires", 0
+        ) >= 1

@@ -128,7 +128,7 @@ class TestRemoteArray:
 
 class TestControlBlock:
     def test_publish_and_read_progress(self, client):
-        control = ControlBlock.create(client, "ctl", num_workers=4)
+        control = ControlBlock.create(client, "ctl", capacity=4)
         control.publish_progress(0, 10)
         control.publish_progress(3, 7)
         np.testing.assert_array_equal(
@@ -136,25 +136,25 @@ class TestControlBlock:
         )
 
     def test_stop_flag(self, client):
-        control = ControlBlock.create(client, "ctl", num_workers=2)
+        control = ControlBlock.create(client, "ctl", capacity=2)
         assert control.stop_code() == ControlBlock.STOP_CLEAR
         control.signal_stop(2)
         assert control.stop_code() == 2
 
     def test_zero_stop_code_rejected(self, client):
-        control = ControlBlock.create(client, "ctl", num_workers=2)
+        control = ControlBlock.create(client, "ctl", capacity=2)
         with pytest.raises(ValueError):
             control.signal_stop(0)
 
     def test_rank_bounds(self, client):
-        control = ControlBlock.create(client, "ctl", num_workers=2)
+        control = ControlBlock.create(client, "ctl", capacity=2)
         with pytest.raises(ValueError):
             control.publish_progress(2, 1)
 
     def test_attach_shares_progress(self, server):
         master = SMBClient.in_process(server)
         slave = SMBClient.in_process(server)
-        control = ControlBlock.create(master, "ctl", num_workers=2)
+        control = ControlBlock.create(master, "ctl", capacity=2)
         view = ControlBlock.attach(slave, "ctl", control.shm_key, 2)
         view.publish_progress(1, 42)
         np.testing.assert_array_equal(control.read_progress(), [0, 42])

@@ -236,13 +236,12 @@ class TestServerStatsMigration:
         assert counters["WRITE"] == 1
         assert counters["READ"] == 2
 
-    def test_snapshot_alias_deprecated_but_equivalent(self):
+    def test_snapshot_alias_removed(self):
         # "snapshot" now belongs to the durability layer (a durable pool
-        # image on disk); the stats accessor was renamed to counters().
+        # image on disk); the deprecated stats alias is gone for good —
+        # callers use counters().
         stats = ServerStats()
-        stats.record(Op.WRITE, 8)
-        with pytest.deprecated_call():
-            assert stats.snapshot() == stats.counters()
+        assert not hasattr(stats, "snapshot")
 
     def test_byte_counters_and_op_counts_are_separate_namespaces(self):
         stats = ServerStats()
