@@ -346,6 +346,10 @@ def _cmd_smb_bench(args: argparse.Namespace) -> int:
             ),
             iterations=args.iterations,
             sharded=args.sharded,
+            clients=(
+                tuple(int(n) for n in args.clients.split(","))
+                if args.clients else ()
+            ),
             quick=args.quick,
         )
     except ValueError as exc:
@@ -693,6 +697,10 @@ def build_parser() -> argparse.ArgumentParser:
     smb_bench.add_argument("--iterations", type=int, default=None,
                            help="iterations per cell (default: "
                                 "auto-scaled by size)")
+    smb_bench.add_argument("--clients", default="",
+                           help="comma-separated client counts for the "
+                                "N-client contention sweep (e.g. 1,8,32); "
+                                "empty skips it")
     smb_bench.add_argument("--sharded", type=int, default=0,
                            help="also measure K-server ShardedArray "
                                 "overlap with this many shards")

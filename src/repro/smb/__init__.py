@@ -56,6 +56,7 @@ from .memory import DEFAULT_POOL_CAPACITY, MemoryPool, Segment
 from .protocol import Message, Op, Status
 from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy
 from .server import ServerStats, SMBServer, TcpSMBServer
+from .shm_transport import ShmSMBServer, ShmTransport
 from .sharding import (
     ShardedArray,
     attach_sharded_array,
@@ -105,6 +106,8 @@ __all__ = [
     "SMBProtocolError",
     "SMBServer",
     "ShardedArray",
+    "ShmSMBServer",
+    "ShmTransport",
     "StaleGenerationError",
     "Status",
     "TcpSMBServer",

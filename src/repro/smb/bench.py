@@ -3,8 +3,8 @@
 The paper's Fig. 7 speedups live or die on the per-operation cost of the
 SMB primitives, so this module measures exactly that: READ / WRITE /
 ACCUMULATE latency and throughput, per transport (``inproc`` — the RDMA
-stand-in — and ``tcp`` loopback), across a payload sweep from 1 KiB to
-64 MiB.  The timings come from the client's own telemetry histograms
+stand-in —, ``tcp`` loopback, and ``shm`` — the co-located
+shared-memory doorway), across a payload sweep from 1 KiB to 64 MiB.  The timings come from the client's own telemetry histograms
 (``smb/client/time/<OP>``), so the benchmark measures the same code path
 training measures, including retry/validation overhead.
 
@@ -15,14 +15,25 @@ times a K-server :class:`~repro.smb.sharding.ShardedArray` gather/scatter
 against the sum of its per-shard sequential costs, quantifying the
 fan-out overlap.
 
+A second section measures **contention**: N concurrent clients hammering
+the same server (the event-loop front-end's raison d'être), reporting
+per-request p50/p95 at each client count.  :func:`compare` gates those
+cells on *p95* — tail latency under load is exactly what a concurrency
+regression ruins first.
+
 CLI: ``repro smb bench [--quick] [--out BENCH_smb.json]
-[--compare baseline.json --max-regression 2.0] [--sharded K]``.
+[--compare baseline.json --max-regression 2.0] [--sharded K]
+[--clients 1,8,32]``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
+import shutil
+import tempfile
+import threading
 import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -33,6 +44,7 @@ from ..telemetry import TelemetrySession
 from .client import RemoteArray, SMBClient
 from .server import SMBServer, TcpSMBServer
 from .sharding import ShardedArray, create_sharded_array
+from .shm_transport import ShmSMBServer
 
 #: Default payload sweep (bytes): 1 KiB -> 64 MiB in 16x steps, i.e. the
 #: span from a tiny control block to an AlexNet-scale weight vector.
@@ -42,7 +54,7 @@ DEFAULT_SIZES = (1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26)
 QUICK_SIZES = (1 << 10, 1 << 20)
 
 OPS = ("READ", "WRITE", "ACCUMULATE")
-TRANSPORTS = ("inproc", "tcp")
+TRANSPORTS = ("inproc", "tcp", "shm")
 
 #: Aim each cell's timed section at roughly this many bytes moved, so
 #: small payloads get many iterations (stable quantiles) and huge ones
@@ -83,6 +95,32 @@ class ShardedResult:
         return self.read_shard_sum_s / max(self.read_wall_s, 1e-12)
 
 
+#: Default client counts for the contention sweep.  128 is the "hundreds
+#: of clients" regime the selector front-end exists for; the CLI's
+#: ``--quick`` drops it to keep CI in seconds.
+DEFAULT_CLIENT_COUNTS = (1, 8, 32, 128)
+QUICK_CLIENT_COUNTS = (1, 8)
+
+#: Payload the contention sweep exercises: a 1 MiB ACCUMULATE is the
+#: paper's eq.-(7) push at AlexNet-fc scale — big enough to hit the
+#: chunked-accumulate path, small enough that 128 clients stay fast.
+CONTENTION_SIZE = 1 << 20
+CONTENTION_OPS = ("ACCUMULATE", "READ")
+
+
+@dataclass
+class ContentionResult:
+    """p50/p95 per-request latency with ``num_clients`` concurrent clients."""
+
+    op: str
+    num_clients: int
+    size_bytes: int
+    iterations_per_client: int
+    p50_s: float
+    p95_s: float
+    aggregate_gb_per_s: float
+
+
 @dataclass
 class BenchConfig:
     """What to measure; defaults give the full sweep."""
@@ -93,11 +131,19 @@ class BenchConfig:
     iterations: Optional[int] = None  # None = auto-scale per size
     warmup: int = 2
     sharded: int = 0  # shard count for the overlap section; 0 = skip
+    clients: Sequence[int] = ()  # contention sweep client counts; () = skip
     quick: bool = False
 
     def __post_init__(self) -> None:
         if self.quick:
             self.sizes = QUICK_SIZES
+            if self.clients:
+                self.clients = tuple(
+                    n for n in self.clients if n <= max(QUICK_CLIENT_COUNTS)
+                ) or QUICK_CLIENT_COUNTS
+        for n in self.clients:
+            if n < 1:
+                raise ValueError(f"client counts must be >= 1, got {n}")
         for op in self.ops:
             if op not in OPS:
                 raise ValueError(f"unknown op {op!r}; choose from {OPS}")
@@ -139,6 +185,17 @@ def _make_rig(transport: str, sizes: Sequence[int]) -> _Rig:
         server = SMBServer(capacity=capacity)
         client = SMBClient.in_process(server)
         teardown: Callable[[], None] = client.close
+    elif transport == "shm":
+        sock_dir = tempfile.mkdtemp(prefix="smb-bench-")
+        shm_server = ShmSMBServer(
+            os.path.join(sock_dir, "smb.sock"), capacity=capacity
+        ).start()
+        client = SMBClient.connect_local(shm_server.path)
+
+        def teardown() -> None:
+            client.close()
+            shm_server.stop()
+            shutil.rmtree(sock_dir, ignore_errors=True)
     else:
         tcp_server = TcpSMBServer(capacity=capacity).start()
         client = SMBClient.connect(tcp_server.address)
@@ -264,6 +321,118 @@ def _measure_sharded(num_shards: int, size_bytes: int) -> ShardedResult:
     )
 
 
+def _contention_iterations(num_clients: int, size_bytes: int) -> int:
+    """Per-client iteration count: enough samples for a stable p95 at
+    small fleets, bounded total work at large ones."""
+    total_target = TARGET_CELL_BYTES // max(size_bytes, 1)
+    per_client = total_target // max(num_clients, 1)
+    return max(5, min(50, per_client))
+
+
+def _measure_contention(
+    op: str,
+    num_clients: int,
+    size_bytes: int = CONTENTION_SIZE,
+) -> ContentionResult:
+    """N clients hammer one TCP server; per-request latency quantiles.
+
+    Every client is a real socket connection with its own private delta
+    segment (ACCUMULATE) or scratch buffer (READ), all targeting the one
+    shared ``W_g`` — the paper's many-workers-one-box topology.  Clients
+    start behind a barrier so the measured window is fully contended.
+    """
+    count = max(size_bytes // 4, 1)
+    capacity = (num_clients + 2) * size_bytes + (1 << 22)
+    server = TcpSMBServer(capacity=capacity).start()
+    boot = SMBClient.connect(server.address)
+    latencies: List[List[float]] = [[] for _ in range(num_clients)]
+    failures: List[BaseException] = []
+    iterations = _contention_iterations(num_clients, size_bytes)
+    try:
+        target = boot.create_array("contention.W_g", count)
+        target.write(np.zeros(count, dtype=np.float32))
+        start_barrier = threading.Barrier(num_clients + 1)
+
+        def worker(index: int) -> None:
+            client = SMBClient.connect(server.address)
+            try:
+                view = client.attach_array(
+                    "contention.W_g", target.shm_key, count
+                )
+                if op == "ACCUMULATE":
+                    delta = client.create_array(
+                        f"contention.dW_{index}", count
+                    )
+                    delta.write(np.ones(count, dtype=np.float32))
+                    once = lambda: delta.accumulate_into(view)  # noqa: E731
+                else:
+                    scratch = np.empty(count, dtype=np.float32)
+                    once = lambda: view.read(out=scratch)  # noqa: E731
+                once()  # warmup (and per-client setup validation)
+                start_barrier.wait(timeout=60)
+                samples = latencies[index]
+                for _ in range(iterations):
+                    begin = time.perf_counter()
+                    once()
+                    samples.append(time.perf_counter() - begin)
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+                try:
+                    start_barrier.abort()
+                except Exception:  # pragma: no cover - barrier races
+                    pass
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(
+                target=worker, args=(i,), name=f"bench-client-{i}"
+            )
+            for i in range(num_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        start_barrier.wait(timeout=60)
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.join(timeout=600)
+        wall = time.perf_counter() - wall_start
+        if failures:
+            raise failures[0]
+    finally:
+        boot.close()
+        server.stop()
+    flat = np.asarray([s for per in latencies for s in per], dtype=np.float64)
+    p50, p95 = np.percentile(flat, [50, 95])
+    total_bytes = flat.size * size_bytes
+    return ContentionResult(
+        op=op,
+        num_clients=num_clients,
+        size_bytes=size_bytes,
+        iterations_per_client=iterations,
+        p50_s=float(p50),
+        p95_s=float(p95),
+        aggregate_gb_per_s=total_bytes / max(wall, 1e-12) / 1e9,
+    )
+
+
+def run_contention(
+    client_counts: Sequence[int],
+    size_bytes: int = CONTENTION_SIZE,
+    ops: Sequence[str] = CONTENTION_OPS,
+) -> List[ContentionResult]:
+    """The N-client sweep: one fresh server per (op, N) cell."""
+    results = []
+    for op in ops:
+        if op not in CONTENTION_OPS:
+            raise ValueError(
+                f"unknown contention op {op!r}; choose from {CONTENTION_OPS}"
+            )
+        for num_clients in client_counts:
+            results.append(_measure_contention(op, num_clients, size_bytes))
+    return results
+
+
 def run_bench(config: Optional[BenchConfig] = None) -> dict:
     """Run the configured sweep; returns the ``BENCH_smb.json`` payload."""
     config = config or BenchConfig()
@@ -304,6 +473,10 @@ def run_bench(config: Optional[BenchConfig] = None) -> dict:
         payload["sharded"] = dict(
             asdict(result), read_overlap=result.read_overlap
         )
+    if config.clients:
+        payload["contention"] = [
+            asdict(cell) for cell in run_contention(config.clients)
+        ]
     return payload
 
 
@@ -312,13 +485,19 @@ def run_bench(config: Optional[BenchConfig] = None) -> dict:
 
 @dataclass
 class Regression:
-    """One cell whose p50 latency exceeded the allowed factor."""
+    """One cell whose gated latency quantile exceeded the allowed factor.
+
+    Single-client cells gate on p50; contention cells gate on p95 (the
+    quantile recorded in ``quantile``) — tail latency under load is what
+    a concurrency regression ruins first.
+    """
 
     transport: str
     op: str
     size_bytes: int
     baseline_p50_s: float
     current_p50_s: float
+    quantile: str = "p50"
 
     @property
     def factor(self) -> float:
@@ -327,7 +506,7 @@ class Regression:
     def describe(self) -> str:
         return (
             f"{self.transport}/{self.op}/{self.size_bytes}B: "
-            f"p50 {self.current_p50_s * 1e3:.3f} ms vs baseline "
+            f"{self.quantile} {self.current_p50_s * 1e3:.3f} ms vs baseline "
             f"{self.baseline_p50_s * 1e3:.3f} ms ({self.factor:.2f}x)"
         )
 
@@ -339,6 +518,13 @@ def _index(payload: dict) -> Dict[Tuple[str, str, int], dict]:
     }
 
 
+def _contention_index(payload: dict) -> Dict[Tuple[str, int], dict]:
+    return {
+        (cell["op"], int(cell["num_clients"])): cell
+        for cell in payload.get("contention", [])
+    }
+
+
 def compare(
     current: dict, baseline: dict, max_regression: float = 2.0
 ) -> List[Regression]:
@@ -346,7 +532,8 @@ def compare(
 
     Cells present in only one payload are skipped (sweeps may differ —
     e.g. a quick CI run against a full committed baseline); the gate
-    judges only directly comparable measurements.
+    judges only directly comparable measurements.  Single-client cells
+    gate on p50; contention cells gate on p95-under-load.
     """
     if max_regression <= 0:
         raise ValueError("max_regression must be positive")
@@ -364,6 +551,22 @@ def compare(
                     size_bytes=key[2],
                     baseline_p50_s=float(base["p50_s"]),
                     current_p50_s=float(cell["p50_s"]),
+                )
+            )
+    baseline_contention = _contention_index(baseline)
+    for ckey, cell in _contention_index(current).items():
+        base = baseline_contention.get(ckey)
+        if base is None:
+            continue
+        if cell["p95_s"] > base["p95_s"] * max_regression:
+            regressions.append(
+                Regression(
+                    transport=f"tcp[{ckey[1]}c]",
+                    op=ckey[0],
+                    size_bytes=int(cell["size_bytes"]),
+                    baseline_p50_s=float(base["p95_s"]),
+                    current_p50_s=float(cell["p95_s"]),
+                    quantile="p95",
                 )
             )
     regressions.sort(key=lambda r: r.factor, reverse=True)
@@ -387,6 +590,20 @@ def format_table(payload: dict) -> str:
             f"{cell['iterations']:>5} {cell['p50_s'] * 1e3:>10.3f} "
             f"{cell['p95_s'] * 1e3:>10.3f} {cell['gb_per_s']:>8.2f}"
         )
+    contention = payload.get("contention")
+    if contention:
+        lines.append(
+            f"{'contention':<9} {'op':<10} {'clients':>9} {'iters':>5} "
+            f"{'p50 ms':>10} {'p95 ms':>10} {'GB/s':>8}"
+        )
+        for cell in contention:
+            lines.append(
+                f"{'tcp':<9} {cell['op']:<10} {cell['num_clients']:>9} "
+                f"{cell['iterations_per_client']:>5} "
+                f"{cell['p50_s'] * 1e3:>10.3f} "
+                f"{cell['p95_s'] * 1e3:>10.3f} "
+                f"{cell['aggregate_gb_per_s']:>8.2f}"
+            )
     sharded = payload.get("sharded")
     if sharded:
         lines.append(

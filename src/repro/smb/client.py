@@ -179,6 +179,26 @@ class SMBClient:
         )
         return cls(transport, telemetry, retry_policy)
 
+    @classmethod
+    def connect_local(
+        cls,
+        path: Union[str, os.PathLike],
+        telemetry: Optional[TelemetrySession] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> "SMBClient":
+        """Connect to a co-located server over its shared-memory doorway.
+
+        ``path`` is the UNIX socket published by a
+        :class:`~repro.smb.shm_transport.ShmSMBServer`.  Data moves
+        through a per-connection shared-memory block instead of the TCP
+        stack, so large co-located READ/WRITE is a single memcpy.
+        """
+        from .shm_transport import ShmTransport
+
+        policy = retry_policy if retry_policy is not None else NO_RETRY
+        transport = ShmTransport(path, timeout=policy.request_timeout)
+        return cls(transport, telemetry, retry_policy)
+
     def close(self) -> None:
         """Release the underlying transport."""
         self._transport.close()
@@ -492,12 +512,18 @@ class SMBClient:
         count: int = 0,
         scale: float = 1.0,
         offset: int = 0,
+        dtype: str = "float32",
     ) -> int:
-        """Server-side ``dst += scale * src`` over ``count`` float32 elements.
+        """Server-side ``dst += scale * src`` over ``count`` elements.
 
         ``count == 0`` means "the whole source segment".  This implements the
         paper's eq. (7): the worker first writes ``ΔW_x`` to its private
         segment, then asks the server to fold it into ``W_g``.
+
+        ``dtype`` names the element type both regions are interpreted as;
+        it rides in the (otherwise unused) request payload, and an empty
+        payload means float32 — so old clients keep working against new
+        servers and vice versa.
         """
         response = self._call(
             Message(
@@ -507,6 +533,7 @@ class SMBClient:
                 offset=offset,
                 count=count,
                 scale=scale,
+                payload=b"" if dtype == "float32" else dtype.encode(),
             )
         )
         return response.count
@@ -676,8 +703,16 @@ class RemoteArray:
             raise ValueError(
                 f"element count mismatch: {self.count} vs {dst.count}"
             )
+        if dst.dtype != self.dtype:
+            raise ValueError(
+                f"dtype mismatch: {self.dtype.name} vs {dst.dtype.name}"
+            )
         return self._client.accumulate(
-            dst.access_key, self.access_key, count=self.count, scale=scale
+            dst.access_key,
+            self.access_key,
+            count=self.count,
+            scale=scale,
+            dtype=self.dtype.name,
         )
 
     def version(self) -> int:

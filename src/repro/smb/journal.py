@@ -409,13 +409,14 @@ def _apply_record(
                 record.key2,
             )
             return
-        itemsize = np.dtype("float32").itemsize
+        # The record payload carries the element dtype name; empty means
+        # float32 (pre-dtype journals replay unchanged).
+        dtype = bytes(record.payload).decode() if record.payload_nbytes else "float32"
+        itemsize = np.dtype(dtype).itemsize
         count = record.count or (src.data.nbytes // itemsize)
         nbytes = count * itemsize
-        dst_view = seg.data[record.offset:record.offset + nbytes].view(
-            "float32"
-        )
-        src_view = src.data[:nbytes].view("float32")
+        dst_view = seg.data[record.offset:record.offset + nbytes].view(dtype)
+        src_view = src.data[:nbytes].view(dtype)
         if record.scale == 1.0:
             dst_view += src_view
         else:

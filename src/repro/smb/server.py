@@ -6,10 +6,18 @@ Two layers live here:
   :class:`~repro.smb.memory.MemoryPool` and maps each protocol
   :class:`~repro.smb.protocol.Op` onto pool/segment operations.  Cumulative
   global-weight updates are processed **exclusively** per destination
-  segment, exactly as the paper requires for eq. (7).
-* :class:`TcpSMBServer` — a threaded TCP front-end.  Each connected worker
-  gets a handler thread; this mirrors the paper's single memory server
-  multiplexing many Infiniband queue pairs.
+  segment, exactly as the paper requires for eq. (7): the per-segment lock
+  taken inside :meth:`~repro.smb.memory.Segment.accumulate_from` is the
+  unit of exclusivity, so accumulates into *different* destinations run
+  concurrently (the paper's T.A3 only requires exclusivity per
+  global-weight segment).
+* :class:`TcpSMBServer` — a selector-based event-loop TCP front-end.  One
+  loop thread owns every socket (non-blocking, per-connection state
+  machines reusing pooled receive/read buffers); operations that may block
+  — notification waits, snapshots, bulk data ops — are handed to a small
+  worker pool instead of costing a thread per connection.  This mirrors
+  the paper's single memory server multiplexing many Infiniband queue
+  pairs: hundreds of clients, a handful of threads.
 
 The server also keeps :class:`ServerStats` (bytes moved, op counts) which the
 Fig. 7 bandwidth benchmark reads.
@@ -20,19 +28,24 @@ from __future__ import annotations
 import contextlib
 import logging
 import os
+import selectors
 import socket
+import struct
 import threading
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter as _perf_counter
-from typing import Dict, Optional, Tuple, Union
+from typing import Deque, Dict, List, Optional, Tuple, Union
 
 from time import monotonic as _monotonic
+
+import numpy as np
 
 from ..telemetry import MetricsRegistry, TelemetrySession
 from ..telemetry import current as _telemetry_current
 from .errors import (
     NotificationTimeout,
     ServerClosingError,
-    SMBConnectionError,
     SMBError,
     to_wire,
 )
@@ -45,13 +58,12 @@ from .journal import (
 )
 from .memory import DEFAULT_POOL_CAPACITY, MemoryPool
 from .protocol import (
+    HEADER_FORMAT,
+    HEADER_SIZE,
     HELLO,
     Message,
     Op,
     Status,
-    recv_exact,
-    recv_message,
-    send_message,
 )
 
 logger = logging.getLogger(__name__)
@@ -146,9 +158,9 @@ class SMBServer:
         # stats keep their own private registry (always-on counting —
         # the Fig. 7 benchmark reads them regardless of telemetry mode).
         self.stats = ServerStats(tel.registry if tel.enabled else None)
-        self._accumulate_lock = threading.Lock()
-        # Requests waiting on (or holding) the accumulate lock; exported
-        # as the ``smb/server/queue/accumulate`` gauge — the autoscale
+        # Requests waiting on (or holding) a destination segment's
+        # accumulate exclusivity; exported as the
+        # ``smb/server/queue/accumulate`` gauge — the autoscale
         # controller's direct read on the serialised-T.A3 bottleneck.
         self._accumulate_pending = 0
         self._accumulate_pending_lock = threading.Lock()
@@ -394,25 +406,46 @@ class SMBServer:
         if req.op is Op.ACCUMULATE:
             dst = self.pool.by_access_key(req.key)
             src = self.pool.by_access_key(req.key2)
+            # Optional payload: the element dtype name.  Absent (the
+            # historical wire format) means float32.
+            dtype = "float32"
+            if req.payload_nbytes:
+                dtype = bytes(req.payload).decode()
+            try:
+                itemsize = int(np.dtype(dtype).itemsize)
+            except TypeError as exc:
+                raise SMBError(
+                    f"bad accumulate dtype {dtype!r}: {exc}"
+                ) from exc
             # The SMB server "exclusively processes the cumulative update
-            # requests of global weights from each worker" (paper T.A3):
-            # serialise all accumulates through one lock, on top of the
-            # per-segment locks taken inside accumulate_from.
+            # requests of global weights from each worker" (paper T.A3).
+            # Exclusivity is *per destination segment* — the lock taken
+            # inside accumulate_from — so pushes into different segments
+            # (per-worker deltas, striped W_g shards, other tenants) run
+            # concurrently instead of queueing behind one global lock.
             self._track_accumulate_queue(+1)
             try:
-                with self._mutation_guard(), self._accumulate_lock:
+                with self._mutation_guard():
                     version = dst.accumulate_from(
                         src,
+                        dtype=dtype,
                         scale=req.scale,
                         offset=req.offset,
                         count=req.count or None,
                     )
                     self._journal(Message(op=Op.ACCUMULATE, key=dst.shm_key,
                                           key2=src.shm_key, offset=req.offset,
-                                          count=req.count, scale=req.scale))
+                                          count=req.count, scale=req.scale,
+                                          payload=bytes(req.payload)))
             finally:
                 self._track_accumulate_queue(-1)
-            self.stats.record(req.op, (req.count or src.size // 4) * 4)
+            # Byte accounting is dtype-aware: ``count`` is in elements of
+            # ``dtype`` (and ``src.size`` is already nbytes), so a float64
+            # accumulate no longer under-counts by 2x in the Fig. 7
+            # bandwidth numbers.
+            nbytes = (req.count * itemsize) if req.count \
+                else (src.size // itemsize) * itemsize
+            self.stats.record(req.op, nbytes)
             return Message(op=req.op, key=req.key, count=version)
 
         if req.op is Op.FREE:
@@ -451,6 +484,10 @@ class SMBServer:
         if req.op is Op.STATS:
             import json
 
+            # Record *before* serialising so the returned counters see
+            # this very request — keeps op_counts consistent with every
+            # other opcode (they were silently uncounted before).
+            self.stats.record(req.op)
             payload = json.dumps(self.stats.counters()).encode()
             return Message(op=req.op, payload=payload)
 
@@ -462,6 +499,7 @@ class SMBServer:
         if req.op is Op.LIST:
             import json
 
+            self.stats.record(req.op)
             inventory = [
                 {
                     "name": segment.name,
@@ -488,8 +526,58 @@ class SMBServer:
         raise SMBError(f"unhandled opcode: {req.op!r}")
 
 
+#: Ops the event loop always hands to the blocking pool: notification
+#: waits park for up to a slice, snapshots hit disk.
+_ALWAYS_OFFLOAD = frozenset({Op.WAIT_UPDATE, Op.SNAPSHOT})
+
+#: Transfer size (bytes) above which a data op leaves the loop thread.
+#: Below it, the segment copy is cheaper than a pool handoff; above it,
+#: running inline would stall every other connection for the copy's
+#: duration.  ACCUMULATE always offloads regardless of size — it can
+#: block on the destination segment's exclusivity.
+OFFLOAD_BYTES = 64 * 1024
+
+
+class _Connection:
+    """Per-connection protocol state machine driven by the event loop.
+
+    The machine cycles ``HELLO -> (HEADER -> [PAYLOAD] -> BUSY/WRITE)*``;
+    while BUSY (request being processed, possibly on the worker pool) the
+    socket is unregistered from the selector, which both enforces the
+    protocol's strict request/response alternation and makes the pooled
+    buffers safe to reuse: no new bytes can land in ``recv_buf`` until
+    the response built from it (and from ``read_buf``) is fully flushed.
+    """
+
+    HELLO, HEADER, PAYLOAD, BUSY, WRITE = range(5)
+
+    __slots__ = (
+        "sock", "peer", "state", "have", "need", "hbuf",
+        "recv_buf", "read_buf", "request", "out_views",
+        "close_after_write", "dead",
+    )
+
+    def __init__(self, sock: socket.socket, peer: object) -> None:
+        self.sock = sock
+        self.peer = peer
+        self.state = _Connection.HELLO
+        self.have = 0
+        self.need = len(HELLO)
+        self.hbuf = bytearray(max(HEADER_SIZE, len(HELLO)))
+        # Pooled per-connection buffers: request payloads (WRITE data)
+        # land in recv_buf, READ responses are built in read_buf.  Grown
+        # on demand to the largest payload seen, so steady-state training
+        # traffic allocates nothing payload-sized.
+        self.recv_buf = bytearray(1 << 16)
+        self.read_buf = bytearray(0)
+        self.request: Optional[Message] = None
+        self.out_views: List[memoryview] = []
+        self.close_after_write = False
+        self.dead = False
+
+
 class TcpSMBServer:
-    """Threaded TCP front-end for an :class:`SMBServer`.
+    """Selector-based event-loop TCP front-end for an :class:`SMBServer`.
 
     Usage::
 
@@ -497,9 +585,29 @@ class TcpSMBServer:
             client = SMBClient.connect(server.address)
             ...
 
-    Each accepted connection is validated with the protocol ``HELLO`` magic
-    and then served request-by-request on its own thread until the peer
-    disconnects or sends ``SHUTDOWN``.
+    One loop thread owns every socket: connections are non-blocking and
+    advance a :class:`_Connection` state machine as bytes arrive, so a
+    connected-but-idle client costs a few kilobytes of buffer instead of
+    a parked thread — hundreds of clients, a handful of threads.
+
+    Two kinds of work leave the loop thread:
+
+    * ops that can block (``WAIT_UPDATE`` parks on a segment condition,
+      ``SNAPSHOT`` hits disk, ``ACCUMULATE`` may queue on the destination
+      segment's exclusivity), and
+    * bulk data ops moving more than :data:`OFFLOAD_BYTES`
+
+    are executed on a small shared worker pool; the completion is posted
+    back to the loop through a wakeup pipe and the response written
+    non-blockingly.  Small control ops (attach, version, a control-block
+    read) are served inline — no handoff latency on the fast path.
+
+    Lifecycle: :meth:`stop` severs *every* connection (idle ones
+    included), wakes parked waits, drains the worker pool and joins the
+    loop thread — it returns with zero live handler threads.  A client
+    ``SHUTDOWN`` behaves the same after its response is flushed, so one
+    client stopping the server never leaves its peers blocked in
+    ``recv``.  :meth:`kill` is the abrupt variant for chaos drills.
     """
 
     def __init__(
@@ -512,6 +620,7 @@ class TcpSMBServer:
         journal_dir: Optional[Union[str, os.PathLike]] = None,
         snapshot_interval: float = 30.0,
         journal_ops: bool = True,
+        workers: Optional[int] = None,
     ) -> None:
         self.core = core if core is not None else SMBServer(
             capacity,
@@ -524,18 +633,36 @@ class TcpSMBServer:
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._listener.bind((host, port))
-        self._listener.listen(128)
+        self._listener.listen(512)
+        self._listener.setblocking(False)
         self.address: Tuple[str, int] = self._listener.getsockname()
         self._stop = threading.Event()
-        self._accept_thread: Optional[threading.Thread] = None
-        self._handlers: list[threading.Thread] = []
-        self._conns: list[socket.socket] = []
-        self._conns_lock = threading.Lock()
+        self._clean_stop = True
+        self._loop_thread: Optional[threading.Thread] = None
+        self._selector: Optional[selectors.BaseSelector] = None
+        self._conns: Dict[socket.socket, _Connection] = {}
+        # Blocking-op pool.  Waits are cheap (they sleep), data ops are
+        # few; size generously enough that a fleet of waiters does not
+        # starve a bulk accumulate behind them.
+        if workers is None:
+            workers = max(8, min(32, (os.cpu_count() or 4) * 2))
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="smb-worker"
+        )
+        # Completions posted by pool tasks; the loop drains after a
+        # wakeup byte.  (conn, request, response) — response None means
+        # the handler crashed and the connection must be closed.
+        self._completions: Deque[
+            Tuple[_Connection, Message, Optional[Message]]
+        ] = deque()
+        self._wake_r, self._wake_w = socket.socketpair()
+        self._wake_r.setblocking(False)
+        self._wake_w.setblocking(False)
 
     # -- lifecycle -------------------------------------------------------
 
     def start(self) -> "TcpSMBServer":
-        """Begin accepting connections on a background thread.
+        """Begin serving on the event-loop thread.
 
         With a journal directory configured, the rendezvous file is
         (re)published first: a restarted server usually lands on a new
@@ -548,27 +675,36 @@ class TcpSMBServer:
                 self.address,
                 epoch=self.core.epoch,
             )
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, name="smb-accept", daemon=True
+        self._loop_thread = threading.Thread(
+            target=self._loop_main, name="smb-loop", daemon=True
         )
-        self._accept_thread.start()
+        self._loop_thread.start()
         return self
 
-    def stop(self) -> None:
-        """Stop accepting and close the listener; handler threads drain.
-
-        Handler threads parked in a WAIT_UPDATE are woken through
-        :meth:`SMBServer.close` so shutdown never leaves pinned threads
-        behind.
-        """
-        self._stop.set()
-        self.core.close()
+    def _wake_loop(self) -> None:
         try:
-            self._listener.close()
-        except OSError:  # already closed
-            pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
+            self._wake_w.send(b"\x00")
+        except (OSError, ValueError):
+            pass  # loop already tearing down; it will notice the flag
+
+    def stop(self) -> None:
+        """Stop serving; returns with **zero** live handler threads.
+
+        Every connection — including idle ones whose peers are parked in
+        ``recv`` — is severed, waits are woken through
+        :meth:`SMBServer.close`, the worker pool is drained and the loop
+        thread joined.  (The threaded predecessor closed only the
+        listener, leaving handler threads pinned until process exit.)
+        """
+        self._clean_stop = True
+        self._stop.set()
+        self._wake_loop()
+        if self._loop_thread is not None and self._loop_thread.is_alive():
+            self._loop_thread.join(timeout=10.0)
+        else:
+            # Never started (or already gone): release resources inline.
+            self._teardown(clean=True)
+        self._pool.shutdown(wait=True)
 
     def kill(self) -> None:
         """Die abruptly: sever every connection, skip the clean-shutdown
@@ -576,32 +712,14 @@ class TcpSMBServer:
         in-process server — recovery must come from the journal
         directory, exactly as it would after a real process death.
         """
+        self._clean_stop = False
         self._stop.set()
-        try:
-            self._listener.close()
-        except OSError:
-            pass
-        with self._conns_lock:
-            conns, self._conns = self._conns, []
-        for conn in conns:
-            try:
-                conn.close()
-            except OSError:
-                pass
-        # Wake WAIT_UPDATE handler threads and release the journal file
-        # handle (mimicking the OS reclaiming it on death) WITHOUT the
-        # final snapshot that core.close() would write.
-        self.core._closing.set()
-        if self.core._store is not None:
-            self.core._store.close()
-
-        def _wake(segment) -> None:
-            with segment.lock:
-                segment.updated.notify_all()
-
-        self.core.pool.for_each(_wake)
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
+        self._wake_loop()
+        if self._loop_thread is not None and self._loop_thread.is_alive():
+            self._loop_thread.join(timeout=10.0)
+        else:
+            self._teardown(clean=False)
+        self._pool.shutdown(wait=True)
 
     def __enter__(self) -> "TcpSMBServer":
         return self.start()
@@ -609,62 +727,267 @@ class TcpSMBServer:
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
-    # -- internals -------------------------------------------------------
+    # -- event loop ------------------------------------------------------
 
-    def _accept_loop(self) -> None:
-        while not self._stop.is_set():
-            try:
-                conn, peer = self._listener.accept()
-            except OSError:
-                break  # listener closed during stop()
-            handler = threading.Thread(
-                target=self._serve_connection,
-                args=(conn, peer),
-                name=f"smb-conn-{peer[1]}",
-                daemon=True,
-            )
-            handler.start()
-            self._handlers.append(handler)
-
-    def _serve_connection(self, conn: socket.socket, peer: object) -> None:
-        with self._conns_lock:
-            self._conns.append(conn)
+    def _loop_main(self) -> None:
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(self._listener, selectors.EVENT_READ, None)
+        self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
         try:
-            conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            hello = recv_exact(conn, len(HELLO))
-            if hello != HELLO:
-                logger.warning("rejecting non-SMB client from %s", peer)
-                return
-            # Per-connection pooled buffers: request payloads (WRITE data)
-            # and READ responses land in these instead of a fresh
-            # payload-sized allocation per message.  Grown on demand to
-            # the largest payload seen, so steady-state training traffic
-            # allocates nothing.  Safe to reuse each iteration because a
-            # request is fully handled (segment copy + journal append are
-            # synchronous) before the next recv touches the buffer.
-            recv_buf = bytearray(1 << 16)
-            read_buf = bytearray(0)
             while not self._stop.is_set():
-                request = recv_message(conn, memoryview(recv_buf))
-                if request.payload_nbytes > len(recv_buf):
-                    recv_buf = bytearray(request.payload_nbytes)
-                out: Optional[memoryview] = None
-                if request.op is Op.READ and request.count > 0:
-                    if request.count > len(read_buf):
-                        read_buf = bytearray(request.count)
-                    out = memoryview(read_buf)
-                response = self.core.handle(request, out)
-                send_message(conn, response)
-                if request.op is Op.SHUTDOWN:
-                    self._stop.set()
-                    self._listener.close()
-                    break
-        except SMBConnectionError:
-            pass  # peer went away; normal teardown
-        except Exception:  # noqa: BLE001 - keep the server alive
-            logger.exception("SMB handler crashed for peer %s", peer)
+                events = self._selector.select()
+                for key, _mask in events:
+                    if key.data is None:
+                        self._accept_ready()
+                    elif key.data == "wake":
+                        self._drain_wakeups()
+                    else:
+                        self._service(key.data, _mask)
+                    if self._stop.is_set():
+                        break
+        except Exception:  # noqa: BLE001 - the loop must not die silently
+            logger.exception("SMB event loop crashed")
         finally:
-            with self._conns_lock:
-                if conn in self._conns:
-                    self._conns.remove(conn)
-            conn.close()
+            self._teardown(clean=self._clean_stop)
+
+    def _accept_ready(self) -> None:
+        while True:
+            try:
+                sock, peer = self._listener.accept()
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                return  # listener closed mid-stop
+            try:
+                sock.setblocking(False)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except OSError:
+                sock.close()
+                continue
+            conn = _Connection(sock, peer)
+            self._conns[sock] = conn
+            self._selector.register(sock, selectors.EVENT_READ, conn)
+
+    def _drain_wakeups(self) -> None:
+        try:
+            while self._wake_r.recv(4096):
+                pass
+        except (BlockingIOError, InterruptedError):
+            pass
+        except OSError:
+            return
+        while self._completions:
+            conn, request, response = self._completions.popleft()
+            if conn.dead:
+                continue
+            if response is None:
+                self._close_conn(conn)
+                continue
+            self._start_write(conn, request, response)
+
+    def _service(self, conn: _Connection, mask: int) -> None:
+        if conn.dead:
+            return
+        if mask & selectors.EVENT_WRITE:
+            self._flush(conn)
+        if conn.dead or conn.state == _Connection.WRITE:
+            return
+        if mask & selectors.EVENT_READ:
+            self._readable(conn)
+
+    def _readable(self, conn: _Connection) -> None:
+        """Advance the read side of the state machine as far as the
+        kernel allows without blocking."""
+        while not conn.dead:
+            if conn.state == _Connection.HELLO:
+                target = memoryview(conn.hbuf)[conn.have:conn.need]
+            elif conn.state == _Connection.HEADER:
+                target = memoryview(conn.hbuf)[conn.have:conn.need]
+            elif conn.state == _Connection.PAYLOAD:
+                target = memoryview(conn.recv_buf)[conn.have:conn.need]
+            else:  # BUSY/WRITE: spurious readiness, e.g. pipelined bytes
+                return
+            try:
+                received = conn.sock.recv_into(target)
+            except (BlockingIOError, InterruptedError):
+                return
+            except OSError:
+                self._close_conn(conn)
+                return
+            if received == 0:
+                self._close_conn(conn)  # peer went away; normal teardown
+                return
+            conn.have += received
+            if conn.have < conn.need:
+                continue
+            if conn.state == _Connection.HELLO:
+                if bytes(conn.hbuf[:len(HELLO)]) != HELLO:
+                    logger.warning(
+                        "rejecting non-SMB client from %s", conn.peer
+                    )
+                    self._close_conn(conn)
+                    return
+                conn.state = _Connection.HEADER
+                conn.have, conn.need = 0, HEADER_SIZE
+            elif conn.state == _Connection.HEADER:
+                paylen = struct.unpack(
+                    HEADER_FORMAT, conn.hbuf[:HEADER_SIZE]
+                )[-1]
+                if paylen == 0:
+                    self._begin_request(conn, b"")
+                    return
+                if paylen > len(conn.recv_buf):
+                    conn.recv_buf = bytearray(paylen)
+                conn.state = _Connection.PAYLOAD
+                conn.have, conn.need = 0, paylen
+            else:  # PAYLOAD complete
+                payload = memoryview(conn.recv_buf)[:conn.need]
+                self._begin_request(conn, payload)
+                return
+
+    def _begin_request(self, conn: _Connection, payload: "bytes | memoryview") -> None:
+        try:
+            request = Message.decode(bytes(conn.hbuf[:HEADER_SIZE]), payload)
+        except SMBError:
+            logger.warning(
+                "malformed frame from %s; dropping connection", conn.peer
+            )
+            self._close_conn(conn)
+            return
+        out: Optional[memoryview] = None
+        if request.op is Op.READ and request.count > 0:
+            if request.count > len(conn.read_buf):
+                conn.read_buf = bytearray(request.count)
+            out = memoryview(conn.read_buf)
+        conn.request = request
+        # While the request is in flight the socket leaves the selector:
+        # strict request/response means the peer has nothing to send, and
+        # the pooled buffers must not be overwritten mid-dispatch.
+        conn.state = _Connection.BUSY
+        self._selector.unregister(conn.sock)
+        if self._needs_offload(request):
+            self._pool.submit(self._process, conn, request, out)
+        else:
+            response = self.core.handle(request, out)
+            self._start_write(conn, request, response)
+
+    @staticmethod
+    def _needs_offload(request: Message) -> bool:
+        op = request.op
+        if op in _ALWAYS_OFFLOAD or op is Op.ACCUMULATE:
+            return True
+        if op is Op.READ:
+            return request.count >= OFFLOAD_BYTES
+        if op is Op.WRITE:
+            return request.payload_nbytes >= OFFLOAD_BYTES
+        if op is Op.CREATE:
+            return request.count >= OFFLOAD_BYTES  # zeroing a big segment
+        return False
+
+    def _process(
+        self, conn: _Connection, request: Message, out: Optional[memoryview]
+    ) -> None:
+        """Worker-pool body: run one request, post the completion."""
+        try:
+            response: Optional[Message] = self.core.handle(request, out)
+        except Exception:  # noqa: BLE001 - keep the server alive
+            logger.exception("SMB handler crashed for peer %s", conn.peer)
+            response = None
+        self._completions.append((conn, request, response))
+        self._wake_loop()
+
+    def _start_write(
+        self, conn: _Connection, request: Message, response: Message
+    ) -> None:
+        header = response.encode_header()
+        view = response.payload_view()
+        conn.out_views = [memoryview(header)]
+        if view.nbytes:
+            conn.out_views.append(view)
+        conn.close_after_write = request.op is Op.SHUTDOWN
+        conn.state = _Connection.WRITE
+        self._selector.register(conn.sock, selectors.EVENT_WRITE, conn)
+        self._flush(conn)
+
+    def _flush(self, conn: _Connection) -> None:
+        while conn.out_views:
+            try:
+                sent = conn.sock.sendmsg(conn.out_views)
+            except (BlockingIOError, InterruptedError):
+                return  # selector will call back when writable
+            except OSError:
+                self._close_conn(conn)
+                return
+            while sent:
+                first = conn.out_views[0]
+                if sent >= first.nbytes:
+                    sent -= first.nbytes
+                    conn.out_views.pop(0)
+                else:
+                    conn.out_views[0] = first[sent:]
+                    sent = 0
+        # Response fully flushed.
+        if conn.close_after_write:
+            self._close_conn(conn)
+            # A client-initiated SHUTDOWN stops the whole server — and
+            # unlike the threaded predecessor it also severs every *other*
+            # connection, so no peer stays parked in recv until process
+            # exit.  Teardown happens in _loop_main's finally.
+            self._stop.set()
+            return
+        conn.request = None
+        conn.state = _Connection.HEADER
+        conn.have, conn.need = 0, HEADER_SIZE
+        self._selector.modify(conn.sock, selectors.EVENT_READ, conn)
+
+    def _close_conn(self, conn: _Connection) -> None:
+        if conn.dead:
+            return
+        conn.dead = True
+        try:
+            self._selector.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        self._conns.pop(conn.sock, None)
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _teardown(self, clean: bool) -> None:
+        """Release every socket and wake every parked wait (loop thread,
+        or the caller's thread if the loop never ran)."""
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if clean:
+            # Final snapshot + refuse/wake waits.
+            self.core.close()
+        else:
+            # kill(): wake waits and release the journal file handle
+            # (mimicking the OS reclaiming it on death) WITHOUT the final
+            # snapshot that core.close() would write.
+            self.core._closing.set()
+            if self.core._store is not None:
+                self.core._store.close()
+
+            def _wake(segment) -> None:
+                with segment.lock:
+                    segment.updated.notify_all()
+
+            self.core.pool.for_each(_wake)
+        for conn in list(self._conns.values()):
+            self._close_conn(conn)
+        self._conns.clear()
+        if self._selector is not None:
+            try:
+                self._selector.close()
+            except OSError:
+                pass
+            self._selector = None
+        for sock in (self._wake_r, self._wake_w):
+            try:
+                sock.close()
+            except OSError:
+                pass

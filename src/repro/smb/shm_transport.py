@@ -1,0 +1,505 @@
+"""Local shared-memory transport: co-located READ/WRITE as a memcpy.
+
+The paper's Soft Memory Box keeps the parameter segments in host shared
+memory; a worker on the *same* node as the memory server should not pay
+the TCP stack to reach memory it could simply map.  This transport gives
+co-located clients that path:
+
+* the server creates one :class:`multiprocessing.shared_memory.SharedMemory`
+  block per connection and hands its name to the client over a UNIX
+  domain socket;
+* a request is the normal wire :class:`~repro.smb.protocol.Message` frame
+  written *into* the block (header at offset 0, payload at
+  :data:`DATA_OFFSET`) followed by an 8-byte **doorbell** over the UNIX
+  socket — the doorbell is the only thing the kernel ever moves;
+* the server parses the frame in place, serves READs straight into the
+  block (segment → shm, one copy, via the ``handle(request, out=...)``
+  zero-copy seam) and rings the doorbell back.
+
+So a 64 MiB READ costs one ``memcpy`` plus two 8-byte socket round-trips,
+instead of 64 MiB through loopback TCP in both kernels.
+
+**Doorbell protocol** (8-byte signed big-endian int):
+
+* client → server, positive ``n``: a request frame of ``n`` bytes is in
+  the block.
+* client → server, negative ``-n``: grow the block to at least ``n``
+  bytes before the next request.
+* server → client, negative ``-n``: *switch blocks* — a name record
+  (u16 length + UTF-8 name) follows on the socket; the new block is
+  ``n`` bytes.  Sent at handshake, as the grow acknowledgement, and
+  spontaneously before a response too large for the current block.
+* server → client, positive ``n``: a response frame of ``n`` bytes is in
+  the (possibly just-switched) block.
+
+Strict request/response means the block is always quiescent when it is
+replaced, so growth never migrates in-flight data.
+
+``WAIT_UPDATE`` runs on a lazily opened second connection (its own small
+block), mirroring :class:`~repro.smb.transport.TcpTransport`'s
+notification channel: a parked wait must never serialise the worker's
+other thread, and waits are sliced so ``close()`` interrupts them.
+
+The server end, :class:`ShmSMBServer`, serves each connection on its own
+thread — co-located workers are bounded by the node's core count, so the
+event-loop machinery of the TCP front-end would buy nothing here.  It
+can share an :class:`~repro.smb.server.SMBServer` core with a
+:class:`~repro.smb.server.TcpSMBServer`, giving one memory pool both a
+remote and a local doorway.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import socket
+import struct
+import threading
+from multiprocessing import shared_memory
+from typing import List, Optional, Tuple, Union
+
+from .errors import SMBConnectionError, TransportClosedError
+from .protocol import HEADER_FORMAT, HEADER_SIZE, HELLO, Message, Op, Status
+from .server import DEFAULT_POOL_CAPACITY, SMBServer
+
+logger = logging.getLogger(__name__)
+
+#: Payload region offset inside the block (past the 42-byte header,
+#: rounded up for alignment).
+DATA_OFFSET = 64
+
+#: Initial per-connection block size; grown geometrically on demand.
+DEFAULT_BLOCK_SIZE = 1 << 20  # 1 MiB
+
+#: Notification-channel block size: WAIT_UPDATE frames are header-only.
+NOTIFY_BLOCK_SIZE = 4096
+
+_DOORBELL = struct.Struct("!q")
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = bytearray()
+    while len(chunks) < n:
+        try:
+            chunk = sock.recv(n - len(chunks))
+        except OSError as exc:
+            raise SMBConnectionError(f"doorbell socket failed: {exc}") from exc
+        if not chunk:
+            raise SMBConnectionError("peer closed the doorbell socket")
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+def _send_all(sock: socket.socket, data: bytes) -> None:
+    try:
+        sock.sendall(data)
+    except OSError as exc:
+        raise SMBConnectionError(f"doorbell socket failed: {exc}") from exc
+
+
+def _send_doorbell(sock: socket.socket, value: int) -> None:
+    _send_all(sock, _DOORBELL.pack(value))
+
+
+def _recv_doorbell(sock: socket.socket) -> int:
+    return _DOORBELL.unpack(_recv_exact(sock, _DOORBELL.size))[0]
+
+
+def _send_name_record(sock: socket.socket, name: str) -> None:
+    encoded = name.encode()
+    _send_all(sock, struct.pack("!H", len(encoded)) + encoded)
+
+
+def _recv_name_record(sock: socket.socket) -> str:
+    (length,) = struct.unpack("!H", _recv_exact(sock, 2))
+    return _recv_exact(sock, length).decode()
+
+
+def _attach_block(name: str) -> shared_memory.SharedMemory:
+    """Attach to a server-created block without resource tracking.
+
+    The *server* owns the block's lifetime (it unlinks on connection
+    teardown); the attaching side must not also claim it.  Python 3.13
+    has ``track=False`` for exactly this.  On earlier versions a plain
+    attach is the least-bad option: registration is set-based, so in the
+    common same-process case (tests, benchmarks, in-process co-location)
+    the server's ``unlink`` still balances the books; a separate client
+    process may log a spurious leaked-object note from its resource
+    tracker at exit.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+def _close_block(
+    block: Optional[shared_memory.SharedMemory], unlink: bool = False
+) -> None:
+    if block is None:
+        return
+    try:
+        block.close()
+    except BufferError:
+        # A view into the mapping is still alive somewhere; the mapping
+        # stays until process exit, which is harmless — but the name must
+        # still be released below.
+        logger.warning("shm block %s closed with live views", block.name)
+    except OSError:
+        pass
+    if unlink:
+        try:
+            block.unlink()
+        except (FileNotFoundError, OSError):
+            pass
+
+
+# ---------------------------------------------------------------------------
+# client side
+# ---------------------------------------------------------------------------
+
+
+class _ShmChannel:
+    """One doorbell socket plus its shared-memory block (client end)."""
+
+    def __init__(self, path: Union[str, os.PathLike], timeout: float) -> None:
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self.sock.settimeout(timeout)
+        self.shm: Optional[shared_memory.SharedMemory] = None
+        try:
+            self.sock.connect(os.fspath(path))
+            self.sock.sendall(HELLO)
+            # Handshake is a switch record like any other.
+            value = _recv_doorbell(self.sock)
+            if value >= 0:
+                raise SMBConnectionError(
+                    f"bad shm handshake doorbell {value}"
+                )
+            self._attach_switch(-value)
+        except (OSError, SMBConnectionError) as exc:
+            self.close()
+            if isinstance(exc, SMBConnectionError):
+                raise
+            raise SMBConnectionError(
+                f"cannot connect to SMB shm server at {path}: {exc}"
+            ) from exc
+
+    def _attach_switch(self, size: int) -> None:
+        name = _recv_name_record(self.sock)
+        new = _attach_block(name)
+        _close_block(self.shm)
+        self.shm = new
+        self.size = size
+
+    def ensure(self, nbytes: int) -> None:
+        """Make the block at least ``nbytes`` (geometric growth)."""
+        if self.shm is not None and nbytes <= self.shm.size:
+            return
+        target = max(nbytes, (self.shm.size if self.shm else 0) * 2)
+        _send_doorbell(self.sock, -target)
+        value = _recv_doorbell(self.sock)
+        if value >= 0:
+            raise SMBConnectionError(f"bad grow acknowledgement {value}")
+        self._attach_switch(-value)
+
+    def exchange(
+        self, message: Message, out: Optional[memoryview] = None
+    ) -> Message:
+        payload = message.payload_view()
+        expect = message.count if message.op is Op.READ else 0
+        self.ensure(DATA_OFFSET + max(payload.nbytes, expect))
+        assert self.shm is not None
+        request_nbytes = DATA_OFFSET + payload.nbytes
+        buf = self.shm.buf
+        buf[:HEADER_SIZE] = message.encode_header()
+        if payload.nbytes:
+            buf[DATA_OFFSET:DATA_OFFSET + payload.nbytes] = payload
+        # Drop our view before ringing: the server may switch blocks for
+        # a large response, and a block with exported views cannot close.
+        buf = None
+        _send_doorbell(self.sock, request_nbytes)
+        value = _recv_doorbell(self.sock)
+        while value < 0:  # server grew the block for a large response
+            self._attach_switch(-value)
+            value = _recv_doorbell(self.sock)
+        buf = self.shm.buf
+        header = bytes(buf[:HEADER_SIZE])
+        paylen = struct.unpack(HEADER_FORMAT, header)[-1]
+        if out is not None and paylen <= len(out):
+            out[:paylen] = buf[DATA_OFFSET:DATA_OFFSET + paylen]
+            return Message.decode(header, out[:paylen])
+        return Message.decode(header, bytes(buf[DATA_OFFSET:DATA_OFFSET + paylen]))
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+        _close_block(self.shm)
+        self.shm = None
+
+
+class ShmTransport:
+    """Client transport over a local :class:`ShmSMBServer`.
+
+    Satisfies the :class:`~repro.smb.transport.Transport` protocol.  One
+    command channel carries every ordinary request under a lock;
+    ``WAIT_UPDATE`` runs sliced on a lazily opened notification channel
+    so a parked wait never blocks the worker's data-path thread.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        timeout: float = 30.0,
+    ) -> None:
+        self._path = path
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._notify_lock = threading.Lock()
+        self._closed = threading.Event()
+        self._cmd = _ShmChannel(path, timeout)
+        self._notify: Optional[_ShmChannel] = None
+
+    def request(
+        self, message: Message, out: Optional[memoryview] = None
+    ) -> Message:
+        if self._closed.is_set():
+            raise TransportClosedError("transport is closed")
+        if message.op is Op.WAIT_UPDATE:
+            from .transport import _sliced_wait
+
+            return _sliced_wait(self._notify_exchange, message, self._closed)
+        with self._lock:
+            return self._cmd.exchange(message, out)
+
+    def _notify_exchange(self, message: Message) -> Message:
+        with self._notify_lock:
+            if self._closed.is_set():
+                raise TransportClosedError("transport is closed")
+            if self._notify is None:
+                self._notify = _ShmChannel(self._path, self._timeout)
+            return self._notify.exchange(message)
+
+    def close(self) -> None:
+        self._closed.set()
+        self._cmd.close()
+        if self._notify is not None:
+            self._notify.close()
+            self._notify = None
+
+
+# ---------------------------------------------------------------------------
+# server side
+# ---------------------------------------------------------------------------
+
+
+class ShmSMBServer:
+    """UNIX-socket + shared-memory front-end for an :class:`SMBServer`.
+
+    Usage::
+
+        with ShmSMBServer(path="/tmp/smb.sock", capacity=1 << 28) as server:
+            client = SMBClient.connect_local(server.path)
+            ...
+
+    Pass ``core=`` to share one memory pool with a
+    :class:`~repro.smb.server.TcpSMBServer`: remote workers come in over
+    TCP, co-located workers take the shm path, both see the same
+    segments.
+
+    Each connection gets a dedicated thread and a dedicated block —
+    co-located clients are bounded by the node's cores, so threads are
+    the simple and adequate dispatch model here.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        capacity: int = DEFAULT_POOL_CAPACITY,
+        core: Optional[SMBServer] = None,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> None:
+        self.core = core if core is not None else SMBServer(capacity)
+        self.path = os.fspath(path)
+        self._block_size = block_size
+        if os.path.exists(self.path):
+            os.unlink(self.path)
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(self.path)
+        self._listener.listen(64)
+        self._stop = threading.Event()
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conns: List[socket.socket] = []
+        self._conns_lock = threading.Lock()
+        self._handlers: List[threading.Thread] = []
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> "ShmSMBServer":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="smb-shm-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Sever every connection and join every handler thread."""
+        self._stop.set()
+        try:
+            # Closing alone does not wake a thread blocked in accept() on
+            # an AF_UNIX socket; shutdown() does (with EINVAL).
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self.core.close()
+        with self._conns_lock:
+            conns, self._conns = self._conns, []
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for handler in self._handlers:
+            handler.join(timeout=5.0)
+        self._handlers.clear()
+        if os.path.exists(self.path):
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShmSMBServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- internals -------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                break  # listener closed during stop()
+            handler = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="smb-shm-conn",
+                daemon=True,
+            )
+            handler.start()
+            # Prune the dead before tracking the new: the list stays
+            # bounded by *live* connections instead of growing forever.
+            self._handlers = [t for t in self._handlers if t.is_alive()]
+            self._handlers.append(handler)
+
+    def _switch_block(
+        self,
+        conn: socket.socket,
+        old: Optional[shared_memory.SharedMemory],
+        size: int,
+    ) -> shared_memory.SharedMemory:
+        """Allocate a fresh block, announce it, retire the old one.
+
+        Only called between frames (strict request/response), so no views
+        into ``old`` exist and it closes cleanly.
+        """
+        block = shared_memory.SharedMemory(create=True, size=size)
+        _send_doorbell(conn, -block.size)
+        _send_name_record(conn, block.name)
+        _close_block(old, unlink=True)
+        return block
+
+    def _serve_frame(
+        self, conn: socket.socket, block: shared_memory.SharedMemory
+    ) -> Tuple[shared_memory.SharedMemory, Op]:
+        """Parse, dispatch and answer one request frame.
+
+        All views into the block live and die inside this frame's scope,
+        so the caller's loop can always switch or retire the block
+        between frames without tripping over exported buffers.
+        """
+        buf = block.buf
+        header = bytes(buf[:HEADER_SIZE])
+        paylen = struct.unpack(HEADER_FORMAT, header)[-1]
+        request = Message.decode(
+            header, buf[DATA_OFFSET:DATA_OFFSET + paylen]
+        )
+        op, count = request.op, request.count
+        out: Optional[memoryview] = None
+        if op is Op.READ and count > 0:
+            out = buf[DATA_OFFSET:]
+        response = self.core.handle(request, out)
+        view = response.payload_view()
+        nbytes = view.nbytes
+        resp_header = response.encode_header()
+        if DATA_OFFSET + nbytes > block.size:
+            # Response (a STATS/LIST/SNAPSHOT body, typically) outgrew
+            # the block: materialise it, drop every view into the old
+            # block, switch, then land it in the new one.
+            data = bytes(view)
+            del view, request, response, out, buf
+            block = self._switch_block(conn, block, DATA_OFFSET + len(data))
+            buf = block.buf
+            buf[DATA_OFFSET:DATA_OFFSET + len(data)] = data
+        else:
+            # A successful READ served through ``out`` is already in the
+            # block (that is the one-copy path); anything else still
+            # needs the payload landed.
+            in_place = (
+                op is Op.READ
+                and out is not None
+                and count <= len(out)
+                and response.status is Status.OK
+            )
+            if nbytes and not in_place:
+                buf[DATA_OFFSET:DATA_OFFSET + nbytes] = view
+        buf[:HEADER_SIZE] = resp_header
+        _send_doorbell(conn, DATA_OFFSET + nbytes)
+        return block, op
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with self._conns_lock:
+            self._conns.append(conn)
+        block: Optional[shared_memory.SharedMemory] = None
+        try:
+            if _recv_exact(conn, len(HELLO)) != HELLO:
+                logger.warning("rejecting non-SMB client on shm socket")
+                return
+            block = self._switch_block(conn, None, self._block_size)
+            while not self._stop.is_set():
+                value = _recv_doorbell(conn)
+                if value < 0:
+                    block = self._switch_block(
+                        conn, block, max(-value, block.size)
+                    )
+                    continue
+                block, op = self._serve_frame(conn, block)
+                if op is Op.SHUTDOWN:
+                    # Stop the whole server — from a helper thread, since
+                    # stop() joins this handler.
+                    threading.Thread(
+                        target=self.stop, name="smb-shm-stop", daemon=True
+                    ).start()
+                    break
+        except SMBConnectionError:
+            pass  # peer went away; normal teardown
+        except Exception:  # noqa: BLE001 - keep the server alive
+            logger.exception("SMB shm handler crashed")
+        finally:
+            with self._conns_lock:
+                if conn in self._conns:
+                    self._conns.remove(conn)
+            try:
+                conn.close()
+            except OSError:
+                pass
+            _close_block(block, unlink=True)

@@ -1,0 +1,206 @@
+"""Event-loop front-end: lifecycle, dispatch and accounting regressions.
+
+The selector rewrite of :class:`TcpSMBServer` changed how connections are
+owned (one loop thread + a bounded worker pool instead of a thread per
+client).  These tests pin the behaviours the rewrite fixed:
+
+* ``stop()`` returns with **zero** live handler threads, idle
+  connections included (the threaded server closed only the listener and
+  left handlers parked in ``recv`` forever);
+* a ``SHUTDOWN`` from one client unblocks every *other* connected
+  client promptly;
+* ``STATS`` and ``LIST`` are themselves counted in the server stats;
+* ACCUMULATE byte accounting and arithmetic honour the element dtype
+  (the old path hardcoded 4-byte float32 everywhere, so a float64
+  accumulate was both miscounted and numerically wrong);
+* journal replay of a dtype-carrying ACCUMULATE restores bit-exact
+  state.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.smb import SMBClient, TcpSMBServer
+from repro.smb.errors import SMBError
+
+
+def _smb_threads():
+    return [
+        t for t in threading.enumerate()
+        if t.is_alive() and t.name.startswith(("smb-loop", "smb-worker"))
+    ]
+
+
+class TestServerLifecycle:
+    def test_stop_leaves_zero_handler_threads(self):
+        before = set(map(id, _smb_threads()))
+        server = TcpSMBServer(capacity=1 << 22).start()
+        clients = [SMBClient.connect(server.address) for _ in range(4)]
+        arr = clients[0].create_array("w", 256)
+        arr.write(np.arange(256, dtype=np.float32))
+        # Three clients stay connected but idle — the regression case.
+        server.stop()
+        leftover = [t for t in _smb_threads() if id(t) not in before]
+        assert leftover == [], f"threads survived stop(): {leftover}"
+        for client in clients:
+            client.close()
+
+    def test_stop_severs_idle_connections(self):
+        server = TcpSMBServer(capacity=1 << 22).start()
+        active = SMBClient.connect(server.address)
+        idle = SMBClient.connect(server.address)
+        arr = active.create_array("w", 64)
+        start = time.monotonic()
+        server.stop()
+        assert time.monotonic() - start < 5.0
+        with pytest.raises(SMBError):
+            idle.attach_array("w", arr.shm_key, 64)
+        active.close()
+        idle.close()
+
+    def test_shutdown_unblocks_peer_connections(self):
+        server = TcpSMBServer(capacity=1 << 22).start()
+        first = SMBClient.connect(server.address)
+        second = SMBClient.connect(server.address)
+        arr = first.create_array("w", 64)
+        view = second.attach_array("w", arr.shm_key, 64)
+        unblocked = threading.Event()
+
+        def parked_wait():
+            try:
+                view.wait_update(view.version(), timeout=30.0)
+            except Exception:
+                pass
+            finally:
+                unblocked.set()
+
+        waiter = threading.Thread(target=parked_wait)
+        waiter.start()
+        time.sleep(0.2)  # let the wait park server-side
+        first.shutdown_server()
+        assert unblocked.wait(timeout=5.0), (
+            "peer stayed blocked after another client's SHUTDOWN"
+        )
+        waiter.join(timeout=5.0)
+        server.stop()  # idempotent after client-driven shutdown
+        first.close()
+        second.close()
+
+    def test_stop_is_idempotent(self):
+        server = TcpSMBServer(capacity=1 << 22).start()
+        server.stop()
+        server.stop()
+
+    def test_many_concurrent_clients(self):
+        """A small fleet through the one loop thread, all correct."""
+        fleet = 16
+        with TcpSMBServer(capacity=1 << 24) as server:
+            boot = SMBClient.connect(server.address)
+            target = boot.create_array("w", 1024)
+            target.write(np.zeros(1024, dtype=np.float32))
+            errors = []
+
+            def worker(index):
+                try:
+                    client = SMBClient.connect(server.address)
+                    view = client.attach_array("w", target.shm_key, 1024)
+                    delta = client.create_array(f"d{index}", 1024)
+                    delta.write(np.ones(1024, dtype=np.float32))
+                    for _ in range(5):
+                        delta.accumulate_into(view)
+                    client.close()
+                except Exception as exc:  # pragma: no cover - diagnostic
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(fleet)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert not errors
+            result = target.read()
+            assert np.array_equal(
+                result, np.full(1024, fleet * 5, dtype=np.float32)
+            )
+            boot.close()
+
+
+class TestStatsAccounting:
+    def test_stats_and_list_are_counted(self):
+        with TcpSMBServer(capacity=1 << 22) as server:
+            client = SMBClient.connect(server.address)
+            client.create_array("w", 64)
+            client.list_segments()
+            client.list_segments()
+            counters = client.stats()
+            assert counters.get("LIST") == 2
+            # The STATS op records itself before serialising, so the very
+            # first snapshot already counts 1.
+            assert counters.get("STATS") == 1
+            assert client.stats().get("STATS") == 2
+            client.close()
+
+    def test_accumulate_float64_bytes_and_values(self):
+        count = 1024
+        with TcpSMBServer(capacity=1 << 22) as server:
+            client = SMBClient.connect(server.address)
+            target = client.create_array("w64", count, dtype="float64")
+            delta = client.create_array("d64", count, dtype="float64")
+            base = np.linspace(0.0, 1.0, count, dtype=np.float64)
+            step = np.linspace(1.0, 2.0, count, dtype=np.float64)
+            target.write(base)
+            delta.write(step)
+            written_before = client.stats()["bytes_written"]
+            delta.accumulate_into(target, scale=0.5)
+            written_after = client.stats()["bytes_written"]
+            # 8-byte elements: the old hardcoded "* 4" undercounted by 2x.
+            assert written_after - written_before == count * 8
+            assert np.allclose(target.read(), base + 0.5 * step)
+            client.close()
+
+    def test_accumulate_dtype_mismatch_rejected(self):
+        with TcpSMBServer(capacity=1 << 22) as server:
+            client = SMBClient.connect(server.address)
+            target = client.create_array("w", 64, dtype="float64")
+            delta = client.create_array("d", 64, dtype="float32")
+            with pytest.raises(ValueError, match="dtype mismatch"):
+                delta.accumulate_into(target)
+            client.close()
+
+
+class TestJournalDtypeReplay:
+    def test_float64_accumulate_survives_kill_and_recovery(self, tmp_path):
+        count = 512
+        journal_dir = tmp_path / "journal"
+        server = TcpSMBServer(
+            capacity=1 << 22, journal_dir=journal_dir
+        ).start()
+        client = SMBClient.connect(server.address)
+        target = client.create_array("w", count, dtype="float64")
+        delta = client.create_array("d", count, dtype="float64")
+        base = np.linspace(-1.0, 1.0, count, dtype=np.float64)
+        step = np.linspace(3.0, 4.0, count, dtype=np.float64)
+        target.write(base)
+        delta.write(step)
+        delta.accumulate_into(target, scale=2.0)
+        expected = base + 2.0 * step
+        shm_key = target.shm_key
+        client.close()
+        server.kill()  # no final snapshot: recovery must replay the journal
+
+        revived = TcpSMBServer(
+            capacity=1 << 22, journal_dir=journal_dir
+        ).start()
+        try:
+            client = SMBClient.connect(revived.address)
+            view = client.attach_array("w", shm_key, count, dtype="float64")
+            assert np.array_equal(view.read(), expected)
+            client.close()
+        finally:
+            revived.stop()
