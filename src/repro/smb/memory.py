@@ -23,7 +23,7 @@ import os
 import threading
 from concurrent.futures import ThreadPoolExecutor, wait as _futures_wait
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 import numpy as np
 
@@ -95,6 +95,37 @@ def _parallel_add(dst: np.ndarray, src: np.ndarray, scale: float) -> None:
         future.result()  # propagate the first chunk failure, if any
 
 
+class SegmentWaiter:
+    """One registered update-notification callback (:meth:`Segment.add_waiter`).
+
+    Three things race to finish a waiter — the version bump that
+    satisfies it, a timeout, and connection teardown — so completion is
+    claim-based: :meth:`claim` returns ``True`` exactly once, and only
+    the winner acts.
+    """
+
+    __slots__ = ("threshold", "_callback", "_lock", "_claimed")
+
+    def __init__(self, threshold: int, callback: Callable[[int], None]) -> None:
+        self.threshold = threshold
+        self._callback = callback
+        self._lock = threading.Lock()
+        self._claimed = False
+
+    def claim(self) -> bool:
+        """Take ownership of completing this waiter; ``True`` exactly once."""
+        with self._lock:
+            if self._claimed:
+                return False
+            self._claimed = True
+            return True
+
+    def fire(self, version: int) -> None:
+        """Invoke the callback if nothing else completed the waiter first."""
+        if self.claim():
+            self._callback(version)
+
+
 def _key_sequence(start: int) -> Iterator[int]:
     """Yield an endless stream of distinct integer keys.
 
@@ -124,6 +155,9 @@ class Segment:
     version: int = 0
     lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
     updated: threading.Condition = field(init=False, repr=False)
+    _waiters: List[SegmentWaiter] = field(
+        init=False, default_factory=list, repr=False
+    )
 
     def __post_init__(self) -> None:
         self.updated = threading.Condition(self.lock)
@@ -167,7 +201,11 @@ class Segment:
             )
             self.version += 1
             self.updated.notify_all()
-            return self.version
+            version = self.version
+            ready = self._take_ready_waiters()
+        for waiter in ready:
+            waiter.fire(version)
+        return version
 
     def accumulate_from(
         self,
@@ -207,7 +245,15 @@ class Segment:
         with first.lock, second.lock:
             dst_view = self.buffer[offset:offset + nbytes].view(dtype)
             src_view = src.buffer[src_offset:src_offset + nbytes].view(dtype)
-            if nbytes >= PARALLEL_ACCUMULATE_BYTES:
+            # Aliased operands (self-accumulate, or overlapping ranges of
+            # one segment) must take the serial path: numpy's ufunc
+            # overlap detection buffers the source there, while disjoint
+            # chunk threads would read ranges another chunk is writing.
+            # Both views are contiguous 1-D slices, so may_share_memory's
+            # bounds check is an exact interval-overlap test.
+            if nbytes >= PARALLEL_ACCUMULATE_BYTES and not np.may_share_memory(
+                dst_view, src_view
+            ):
                 _parallel_add(dst_view, src_view, scale)
             elif scale == 1.0:
                 dst_view += src_view
@@ -215,7 +261,11 @@ class Segment:
                 dst_view += scale * src_view
             self.version += 1
             self.updated.notify_all()
-            return self.version
+            version = self.version
+            ready = self._take_ready_waiters()
+        for waiter in ready:
+            waiter.fire(version)
+        return version
 
     def wait_for_update(
         self, version: int, timeout: Optional[float] = None
@@ -230,6 +280,46 @@ class Segment:
                 lambda: self.version > version, timeout=timeout
             )
             return self.version
+
+    def add_waiter(
+        self, version: int, callback: Callable[[int], None]
+    ) -> Optional[SegmentWaiter]:
+        """Register ``callback(new_version)`` to fire once the segment
+        version exceeds ``version``.
+
+        This is the non-blocking counterpart of :meth:`wait_for_update`:
+        an event-loop server registers a waiter instead of parking a
+        thread on the condition.  Returns the waiter handle, or ``None``
+        if the version has already advanced (the caller should answer
+        immediately).  The callback runs on the mutating thread with
+        **no segment locks held**; timeouts and cancellation are the
+        caller's job (:meth:`SegmentWaiter.claim` arbitrates the race).
+        """
+        with self.lock:
+            if self.version > version:
+                return None
+            waiter = SegmentWaiter(version, callback)
+            self._waiters.append(waiter)
+            return waiter
+
+    def remove_waiter(self, waiter: SegmentWaiter) -> None:
+        """Deregister a waiter (timeout or connection teardown)."""
+        with self.lock:
+            try:
+                self._waiters.remove(waiter)
+            except ValueError:
+                pass  # already fired and pruned
+
+    def _take_ready_waiters(self) -> List[SegmentWaiter]:
+        """Pop every waiter the current version satisfies (lock held)."""
+        if not self._waiters:
+            return []
+        ready = [w for w in self._waiters if self.version > w.threshold]
+        if ready:
+            self._waiters = [
+                w for w in self._waiters if self.version <= w.threshold
+            ]
+        return ready
 
 
 class MemoryPool:

@@ -14,8 +14,10 @@ Two layers live here:
 * :class:`TcpSMBServer` — a selector-based event-loop TCP front-end.  One
   loop thread owns every socket (non-blocking, per-connection state
   machines reusing pooled receive/read buffers); operations that may block
-  — notification waits, snapshots, bulk data ops — are handed to a small
-  worker pool instead of costing a thread per connection.  This mirrors
+  — snapshots, accumulates, bulk data ops — are handed to a small worker
+  pool instead of costing a thread per connection, and notification waits
+  park as event-style segment waiters that occupy no thread at all.  This
+  mirrors
   the paper's single memory server multiplexing many Infiniband queue
   pairs: hundreds of clients, a handful of threads.
 
@@ -56,7 +58,12 @@ from .journal import (
     SegmentImage,
     write_rendezvous,
 )
-from .memory import DEFAULT_POOL_CAPACITY, MemoryPool
+from .memory import (
+    DEFAULT_POOL_CAPACITY,
+    MemoryPool,
+    Segment,
+    SegmentWaiter,
+)
 from .protocol import (
     HEADER_FORMAT,
     HEADER_SIZE,
@@ -248,6 +255,12 @@ class SMBServer:
             raise SMBError("server has no journal directory configured")
         with self._journal_lock:
             return self._write_snapshot_locked()
+
+    @property
+    def journaled(self) -> bool:
+        """True when a durability store is configured — i.e. every
+        mutation serialises on the journal lock."""
+        return self._store is not None
 
     def _mutation_guard(self) -> contextlib.AbstractContextManager:
         """Lock held across {mutate + journal-append} so the journal's
@@ -526,9 +539,13 @@ class SMBServer:
         raise SMBError(f"unhandled opcode: {req.op!r}")
 
 
-#: Ops the event loop always hands to the blocking pool: notification
-#: waits park for up to a slice, snapshots hit disk.
-_ALWAYS_OFFLOAD = frozenset({Op.WAIT_UPDATE, Op.SNAPSHOT})
+#: Ops the event loop always hands to the blocking pool (snapshots hit
+#: disk).  ``WAIT_UPDATE`` is deliberately *not* here: waits are served
+#: event-style through :meth:`~repro.smb.memory.Segment.add_waiter`, so
+#: a parked wait costs a dict entry, never a pool thread — a fleet of
+#: waiters can therefore never exhaust the pool and starve the very
+#: ACCUMULATE/WRITE that would wake them.
+_ALWAYS_OFFLOAD = frozenset({Op.SNAPSHOT})
 
 #: Transfer size (bytes) above which a data op leaves the loop thread.
 #: Below it, the segment copy is cheaper than a pool handoff; above it,
@@ -576,6 +593,26 @@ class _Connection:
         self.dead = False
 
 
+class _PendingWait:
+    """Bookkeeping for one parked WAIT_UPDATE (see ``_begin_wait``)."""
+
+    __slots__ = ("request", "segment", "waiter", "deadline", "timeout")
+
+    def __init__(
+        self,
+        request: Message,
+        segment: Segment,
+        waiter: SegmentWaiter,
+        deadline: Optional[float],
+        timeout: Optional[float],
+    ) -> None:
+        self.request = request
+        self.segment = segment
+        self.waiter = waiter
+        self.deadline = deadline
+        self.timeout = timeout
+
+
 class TcpSMBServer:
     """Selector-based event-loop TCP front-end for an :class:`SMBServer`.
 
@@ -592,15 +629,23 @@ class TcpSMBServer:
 
     Two kinds of work leave the loop thread:
 
-    * ops that can block (``WAIT_UPDATE`` parks on a segment condition,
-      ``SNAPSHOT`` hits disk, ``ACCUMULATE`` may queue on the destination
-      segment's exclusivity), and
+    * ops that can block (``SNAPSHOT`` hits disk, ``ACCUMULATE`` may
+      queue on the destination segment's exclusivity, and — with a
+      journal configured — every mutation, since the journal lock can be
+      held across a whole accumulate plus snapshot), and
     * bulk data ops moving more than :data:`OFFLOAD_BYTES`
 
     are executed on a small shared worker pool; the completion is posted
     back to the loop through a wakeup pipe and the response written
     non-blockingly.  Small control ops (attach, version, a control-block
     read) are served inline — no handoff latency on the fast path.
+
+    ``WAIT_UPDATE`` takes neither path: a wait registers an event-style
+    waiter on the segment (:meth:`~repro.smb.memory.Segment.add_waiter`)
+    and the loop moves on — a parked wait costs a dict entry, not a pool
+    thread, so any number of waiters leaves the pool free for the
+    mutation that will wake them.  Timeouts are expired by the loop
+    (the ``select`` timeout tracks the nearest wait deadline).
 
     Lifecycle: :meth:`stop` severs *every* connection (idle ones
     included), wakes parked waits, drains the worker pool and joins the
@@ -655,6 +700,11 @@ class TcpSMBServer:
         self._completions: Deque[
             Tuple[_Connection, Message, Optional[Message]]
         ] = deque()
+        # Parked WAIT_UPDATEs, keyed by connection.  Registered and
+        # expired on the loop thread; completed (claim-arbitrated) from
+        # whichever mutator thread bumps the segment version.
+        self._waiters: Dict[_Connection, _PendingWait] = {}
+        self._waiters_lock = threading.Lock()
         self._wake_r, self._wake_w = socket.socketpair()
         self._wake_r.setblocking(False)
         self._wake_w.setblocking(False)
@@ -735,7 +785,12 @@ class TcpSMBServer:
         self._selector.register(self._wake_r, selectors.EVENT_READ, "wake")
         try:
             while not self._stop.is_set():
-                events = self._selector.select()
+                timeout = None
+                deadline = self._next_wait_deadline()
+                if deadline is not None:
+                    timeout = max(0.0, deadline - _monotonic())
+                events = self._selector.select(timeout)
+                self._expire_waits()
                 for key, _mask in events:
                     if key.data is None:
                         self._accept_ready()
@@ -865,16 +920,23 @@ class TcpSMBServer:
         # the pooled buffers must not be overwritten mid-dispatch.
         conn.state = _Connection.BUSY
         self._selector.unregister(conn.sock)
-        if self._needs_offload(request):
+        if request.op is Op.WAIT_UPDATE:
+            self._begin_wait(conn, request)
+        elif self._needs_offload(request):
             self._pool.submit(self._process, conn, request, out)
         else:
-            response = self.core.handle(request, out)
-            self._start_write(conn, request, response)
+            self._handle_inline(conn, request, out)
 
-    @staticmethod
-    def _needs_offload(request: Message) -> bool:
+    def _needs_offload(self, request: Message) -> bool:
         op = request.op
         if op in _ALWAYS_OFFLOAD or op is Op.ACCUMULATE:
+            return True
+        if self.core.journaled and op in (Op.WRITE, Op.CREATE, Op.FREE):
+            # Every mutation serialises on the journal lock, which an
+            # offloaded ACCUMULATE may hold across a full accumulate plus
+            # a snapshot write; queueing on it would stall the loop (and
+            # with it every connection), so mutations never run inline
+            # when durability is on.
             return True
         if op is Op.READ:
             return request.count >= OFFLOAD_BYTES
@@ -883,6 +945,21 @@ class TcpSMBServer:
         if op is Op.CREATE:
             return request.count >= OFFLOAD_BYTES  # zeroing a big segment
         return False
+
+    def _handle_inline(
+        self, conn: _Connection, request: Message, out: Optional[memoryview]
+    ) -> None:
+        """Serve a request on the loop thread, with the same crash guard
+        as the pool path: an unexpected exception from one frame — a
+        non-UTF-8 name payload, a bad dtype string — costs that one
+        connection, never the event loop."""
+        try:
+            response = self.core.handle(request, out)
+        except Exception:  # noqa: BLE001 - keep the server alive
+            logger.exception("SMB handler crashed for peer %s", conn.peer)
+            self._close_conn(conn)
+            return
+        self._start_write(conn, request, response)
 
     def _process(
         self, conn: _Connection, request: Message, out: Optional[memoryview]
@@ -895,6 +972,103 @@ class TcpSMBServer:
             response = None
         self._completions.append((conn, request, response))
         self._wake_loop()
+
+    # -- WAIT_UPDATE, event-style ---------------------------------------
+
+    def _begin_wait(self, conn: _Connection, request: Message) -> None:
+        """Park a WAIT_UPDATE without occupying any thread.
+
+        A waiter callback is registered on the segment; when a mutation
+        advances the version past the threshold, the callback re-submits
+        the request to the pool, where ``handle`` now returns without
+        blocking (the version check is first).  Until then the wait is
+        one ``_waiters`` entry — hundreds of parked waiters leave the
+        worker pool entirely free for the ops that wake them.
+        """
+        try:
+            if self.core._closing.is_set():
+                raise ServerClosingError("server is shutting down")
+            segment = self.core.pool.by_access_key(request.key)
+        except SMBError as exc:
+            self._start_write(conn, request, Message(
+                op=request.op, status=Status.ERROR, payload=to_wire(exc)
+            ))
+            return
+        timeout = request.scale if request.scale > 0 else None
+        deadline = _monotonic() + timeout if timeout is not None else None
+
+        def _on_update(_version: int) -> None:
+            # Runs on whichever thread bumped the version; the pool hop
+            # keeps response encoding/stats off the mutator's hot path.
+            with self._waiters_lock:
+                self._waiters.pop(conn, None)
+            try:
+                self._pool.submit(self._process, conn, request, None)
+            except RuntimeError:
+                pass  # pool shut down mid-stop; teardown severs the conn
+
+        waiter = segment.add_waiter(request.count, _on_update)
+        if waiter is None:  # already satisfied — answer inline, no block
+            self._handle_inline(conn, request, None)
+            return
+        pending = _PendingWait(request, segment, waiter, deadline, timeout)
+        with self._waiters_lock:
+            self._waiters[conn] = pending
+        # close() may have raced the registration: its condition broadcast
+        # fires no callbacks, so finish the wait here or it parks forever.
+        if self.core._closing.is_set() and waiter.claim():
+            with self._waiters_lock:
+                self._waiters.pop(conn, None)
+            segment.remove_waiter(waiter)
+            self._start_write(conn, request, Message(
+                op=request.op, status=Status.ERROR,
+                payload=to_wire(ServerClosingError("server is shutting down")),
+            ))
+
+    def _next_wait_deadline(self) -> Optional[float]:
+        with self._waiters_lock:
+            deadlines = [
+                p.deadline for p in self._waiters.values()
+                if p.deadline is not None
+            ]
+        return min(deadlines) if deadlines else None
+
+    def _expire_waits(self) -> None:
+        """Time out parked waits whose deadline has passed (loop thread)."""
+        if not self._waiters:
+            return
+        now = _monotonic()
+        expired: List[Tuple[_Connection, _PendingWait]] = []
+        with self._waiters_lock:
+            for conn, pending in list(self._waiters.items()):
+                if pending.deadline is None or now < pending.deadline:
+                    continue
+                if pending.waiter.claim():
+                    del self._waiters[conn]
+                    expired.append((conn, pending))
+                # claim lost: a mutator is finishing this wait right now
+                # and pops the entry itself.
+        for conn, pending in expired:
+            pending.segment.remove_waiter(pending.waiter)
+            exc = NotificationTimeout(
+                pending.request.key, pending.request.count,
+                pending.timeout or 0.0,
+            )
+            tel = self.core._telemetry
+            if tel is None:
+                tel = _telemetry_current()
+            if tel.enabled:
+                tel.registry.inc("smb/server/errors/TIMEOUT")
+            self._start_write(conn, pending.request, Message(
+                op=pending.request.op, status=Status.TIMEOUT,
+                payload=str(exc).encode(),
+            ))
+
+    def _cancel_wait(self, conn: _Connection) -> None:
+        with self._waiters_lock:
+            pending = self._waiters.pop(conn, None)
+        if pending is not None and pending.waiter.claim():
+            pending.segment.remove_waiter(pending.waiter)
 
     def _start_write(
         self, conn: _Connection, request: Message, response: Message
@@ -944,6 +1118,7 @@ class TcpSMBServer:
         if conn.dead:
             return
         conn.dead = True
+        self._cancel_wait(conn)
         try:
             self._selector.unregister(conn.sock)
         except (KeyError, ValueError):

@@ -74,6 +74,11 @@ DEFAULT_BLOCK_SIZE = 1 << 20  # 1 MiB
 #: Notification-channel block size: WAIT_UPDATE frames are header-only.
 NOTIFY_BLOCK_SIZE = 4096
 
+#: Seconds a freshly accepted connection gets to complete the HELLO
+#: handshake before its handler thread gives up — a client that connects
+#: and never speaks must not pin a thread until stop().
+HANDSHAKE_TIMEOUT = 10.0
+
 _DOORBELL = struct.Struct("!q")
 
 
@@ -366,9 +371,12 @@ class ShmSMBServer:
                 pass
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
-        for handler in self._handlers:
+        # Snapshot only after the accept thread is gone, so no handler
+        # can be registered concurrently and slip past the join.
+        with self._conns_lock:
+            handlers, self._handlers = self._handlers, []
+        for handler in handlers:
             handler.join(timeout=5.0)
-        self._handlers.clear()
         if os.path.exists(self.path):
             try:
                 os.unlink(self.path)
@@ -398,8 +406,11 @@ class ShmSMBServer:
             handler.start()
             # Prune the dead before tracking the new: the list stays
             # bounded by *live* connections instead of growing forever.
-            self._handlers = [t for t in self._handlers if t.is_alive()]
-            self._handlers.append(handler)
+            # Under the lock, because stop() swaps the list out to join
+            # it and must not race a rebuild.
+            with self._conns_lock:
+                self._handlers = [t for t in self._handlers if t.is_alive()]
+                self._handlers.append(handler)
 
     def _switch_block(
         self,
@@ -468,12 +479,24 @@ class ShmSMBServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         with self._conns_lock:
+            if self._stop.is_set():
+                # stop() already severed its snapshot of connections; a
+                # late-accepted one must not survive it.
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                return
             self._conns.append(conn)
         block: Optional[shared_memory.SharedMemory] = None
         try:
+            # Bound the handshake, then block freely between frames (an
+            # idle-but-handshaken client is a legitimate parked worker).
+            conn.settimeout(HANDSHAKE_TIMEOUT)
             if _recv_exact(conn, len(HELLO)) != HELLO:
                 logger.warning("rejecting non-SMB client on shm socket")
                 return
+            conn.settimeout(None)
             block = self._switch_block(conn, None, self._block_size)
             while not self._stop.is_set():
                 value = _recv_doorbell(conn)

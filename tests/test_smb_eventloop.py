@@ -17,6 +17,8 @@ client).  These tests pin the behaviours the rewrite fixed:
   state.
 """
 
+import socket
+import struct
 import threading
 import time
 
@@ -24,7 +26,40 @@ import numpy as np
 import pytest
 
 from repro.smb import SMBClient, TcpSMBServer
-from repro.smb.errors import SMBError
+from repro.smb.errors import NotificationTimeout, SMBError
+from repro.smb.protocol import (
+    HEADER_FORMAT,
+    HEADER_SIZE,
+    HELLO,
+    Message,
+    Op,
+    Status,
+)
+
+
+def _raw_connect(address):
+    """A bare protocol connection, bypassing SMBClient (and its
+    client-side wait slicing / retry machinery)."""
+    sock = socket.create_connection(address, timeout=10.0)
+    sock.sendall(HELLO)
+    return sock
+
+
+def _raw_recv_exact(sock, n):
+    data = bytearray()
+    while len(data) < n:
+        chunk = sock.recv(n - len(data))
+        if not chunk:
+            raise ConnectionError("server closed the connection")
+        data.extend(chunk)
+    return bytes(data)
+
+
+def _raw_response(sock):
+    header = _raw_recv_exact(sock, HEADER_SIZE)
+    paylen = struct.unpack(HEADER_FORMAT, header)[-1]
+    payload = _raw_recv_exact(sock, paylen) if paylen else b""
+    return Message.decode(header, payload)
 
 
 def _smb_threads():
@@ -129,6 +164,130 @@ class TestServerLifecycle:
                 result, np.full(1024, fleet * 5, dtype=np.float32)
             )
             boot.close()
+
+
+class TestEventStyleWaits:
+    """WAIT_UPDATE must never occupy a worker-pool thread while parked.
+
+    The regression: offloaded waits pinned their pool thread for the
+    whole wait, so enough concurrent untimed waits exhausted the pool
+    and the ACCUMULATE that would have woken them queued behind them
+    forever — a server-wide deadlock.
+    """
+
+    def test_parked_waits_do_not_exhaust_worker_pool(self):
+        server = TcpSMBServer(capacity=1 << 22, workers=2).start()
+        socks = []
+        try:
+            boot = SMBClient.connect(server.address)
+            target = boot.create_array("w", 256)
+            delta = boot.create_array("d", 256)
+            target.write(np.zeros(256, dtype=np.float32))
+            delta.write(np.ones(256, dtype=np.float32))
+            version = target.version()
+            # Six *untimed* raw waits against a two-thread pool: under
+            # the old design the first two pin both pool threads forever
+            # and the accumulate below can never run.
+            for _ in range(6):
+                sock = _raw_connect(server.address)
+                sock.sendall(Message(
+                    op=Op.WAIT_UPDATE, key=target.access_key,
+                    count=version, scale=0.0,
+                ).encode())
+                socks.append(sock)
+            time.sleep(0.3)  # let every wait park server-side
+            done = threading.Event()
+
+            def push():
+                delta.accumulate_into(target)
+                done.set()
+
+            threading.Thread(target=push, daemon=True).start()
+            assert done.wait(timeout=10.0), (
+                "ACCUMULATE starved behind parked waits (pool exhausted)"
+            )
+            for sock in socks:
+                response = _raw_response(sock)
+                assert response.status is Status.OK
+                assert response.count > version
+            boot.close()
+        finally:
+            for sock in socks:
+                sock.close()
+            server.stop()
+
+    def test_raw_timed_wait_expires_server_side(self):
+        with TcpSMBServer(capacity=1 << 22) as server:
+            client = SMBClient.connect(server.address)
+            arr = client.create_array("w", 64)
+            sock = _raw_connect(server.address)
+            start = time.monotonic()
+            sock.sendall(Message(
+                op=Op.WAIT_UPDATE, key=arr.access_key,
+                count=arr.version(), scale=0.3,
+            ).encode())
+            response = _raw_response(sock)
+            elapsed = time.monotonic() - start
+            assert response.status is Status.TIMEOUT
+            assert 0.2 <= elapsed < 5.0
+            sock.close()
+            client.close()
+
+    def test_client_wait_timeout_still_raises(self):
+        with TcpSMBServer(capacity=1 << 22) as server:
+            client = SMBClient.connect(server.address)
+            arr = client.create_array("w", 64)
+            start = time.monotonic()
+            with pytest.raises(NotificationTimeout):
+                arr.wait_update(arr.version(), timeout=0.4)
+            assert time.monotonic() - start < 5.0
+            client.close()
+
+
+class TestDispatchRobustness:
+    def test_malformed_inline_frame_costs_one_connection(self):
+        """A CREATE whose name payload is not UTF-8 raises past the
+        SMBError net inside dispatch.  That must close the offending
+        connection only — never crash the event loop (which used to take
+        the whole server down for every client)."""
+        with TcpSMBServer(capacity=1 << 22) as server:
+            bad = _raw_connect(server.address)
+            bad.sendall(Message(
+                op=Op.CREATE, count=64, payload=b"\xff\xfe\xfd",
+            ).encode())
+            bad.settimeout(5.0)
+            assert bad.recv(1) == b"", "expected the connection severed"
+            bad.close()
+            # The loop survived: a fresh client is served normally.
+            client = SMBClient.connect(server.address)
+            arr = client.create_array("ok", 64)
+            arr.write(np.arange(64, dtype=np.float32))
+            assert np.array_equal(
+                arr.read(), np.arange(64, dtype=np.float32)
+            )
+            client.close()
+
+    def test_mutations_offload_when_journaled(self, tmp_path):
+        """With a journal configured every mutation takes the journal
+        lock — which an offloaded ACCUMULATE can hold across a whole
+        accumulate plus snapshot — so no mutation may run inline on the
+        loop thread."""
+        journaled = TcpSMBServer(
+            capacity=1 << 22, journal_dir=tmp_path / "j"
+        )
+        plain = TcpSMBServer(capacity=1 << 22)
+        try:
+            mutations = [
+                Message(op=Op.WRITE, key=1, payload=b"xy"),
+                Message(op=Op.CREATE, count=64, payload=b"n"),
+                Message(op=Op.FREE, key=1),
+            ]
+            for message in mutations:
+                assert journaled._needs_offload(message)
+                assert not plain._needs_offload(message)
+        finally:
+            journaled.stop()
+            plain.stop()
 
 
 class TestStatsAccounting:

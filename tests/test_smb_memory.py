@@ -11,7 +11,7 @@ from repro.smb.errors import (
     SegmentRangeError,
     UnknownKeyError,
 )
-from repro.smb.memory import MemoryPool, Segment
+from repro.smb.memory import PARALLEL_ACCUMULATE_BYTES, MemoryPool, Segment
 
 
 def make_segment(nbytes=64, name="seg", key=1):
@@ -107,6 +107,52 @@ class TestSegment:
         out = np.frombuffer(dst.read(0, 4000), dtype=np.float32)
         np.testing.assert_allclose(out, 8 * 25)
 
+    def test_self_accumulate_full_overlap_is_exact(self):
+        """dst and src are the *same* segment above the parallel
+        threshold: the chunked path would race reads against writes, so
+        aliasing must fall back to the serial (overlap-safe) path."""
+        nbytes = PARALLEL_ACCUMULATE_BYTES
+        seg = make_segment(nbytes, "big", 1)
+        rng = np.random.default_rng(7)
+        data = rng.standard_normal(nbytes // 4).astype(np.float32)
+        seg.write(0, data.tobytes())
+        seg.accumulate_from(seg)
+        out = np.frombuffer(seg.read(0, nbytes), dtype=np.float32)
+        np.testing.assert_array_equal(out, data + data)
+
+    def test_overlapping_ranges_in_one_segment_are_exact(self):
+        """Shifted overlap within one segment: every element must see the
+        *original* source values, as numpy's serial overlap buffering
+        guarantees — not values another chunk thread already rewrote."""
+        shift = 256  # elements
+        count = PARALLEL_ACCUMULATE_BYTES // 4
+        nbytes = PARALLEL_ACCUMULATE_BYTES + shift * 4
+        seg = make_segment(nbytes, "big", 1)
+        rng = np.random.default_rng(11)
+        data = rng.standard_normal(nbytes // 4).astype(np.float32)
+        seg.write(0, data.tobytes())
+        seg.accumulate_from(seg, src_offset=shift * 4, count=count)
+        out = np.frombuffer(seg.read(0, nbytes), dtype=np.float32)
+        np.testing.assert_array_equal(
+            out[:count], data[:count] + data[shift:shift + count]
+        )
+        np.testing.assert_array_equal(out[count:], data[count:])
+
+    def test_disjoint_parallel_accumulate_still_exact(self):
+        """Non-aliased segments above the threshold keep the chunked
+        path and stay bit-exact with the serial result."""
+        nbytes = PARALLEL_ACCUMULATE_BYTES
+        dst = make_segment(nbytes, "dst", 1)
+        src = make_segment(nbytes, "src", 2)
+        rng = np.random.default_rng(13)
+        base = rng.standard_normal(nbytes // 4).astype(np.float32)
+        step = rng.standard_normal(nbytes // 4).astype(np.float32)
+        dst.write(0, base.tobytes())
+        src.write(0, step.tobytes())
+        dst.accumulate_from(src)
+        out = np.frombuffer(dst.read(0, nbytes), dtype=np.float32)
+        np.testing.assert_array_equal(out, base + step)
+
     def test_wait_for_update_times_out(self):
         segment = make_segment()
         assert segment.wait_for_update(0, timeout=0.01) == 0
@@ -123,6 +169,65 @@ class TestSegment:
         segment.write(0, b"x")
         thread.join(timeout=5.0)
         assert seen == [1]
+
+
+class TestSegmentWaiters:
+    """Event-style waiters: the non-blocking counterpart of
+    wait_for_update that the TCP event loop parks WAIT_UPDATEs on."""
+
+    def test_waiter_fires_on_write(self):
+        segment = make_segment()
+        fired = []
+        waiter = segment.add_waiter(0, fired.append)
+        assert waiter is not None
+        assert fired == []
+        segment.write(0, b"x")
+        assert fired == [1]
+
+    def test_waiter_fires_on_accumulate(self):
+        dst = make_segment(8, "dst", 1)
+        src = make_segment(8, "src", 2)
+        src.write(0, np.ones(2, dtype=np.float32).tobytes())
+        fired = []
+        dst.add_waiter(0, fired.append)
+        dst.accumulate_from(src)
+        assert fired == [1]
+
+    def test_already_satisfied_registration_returns_none(self):
+        segment = make_segment()
+        segment.write(0, b"x")
+        assert segment.add_waiter(0, lambda _v: None) is None
+
+    def test_threshold_respected(self):
+        segment = make_segment()
+        fired = []
+        segment.add_waiter(2, fired.append)
+        segment.write(0, b"a")
+        segment.write(0, b"b")
+        assert fired == []  # version 2 is not > 2
+        segment.write(0, b"c")
+        assert fired == [3]
+
+    def test_claimed_waiter_never_fires(self):
+        """claim() arbitrates the notify/timeout/teardown race: once a
+        competitor claimed the waiter, the version bump must not produce
+        a second completion."""
+        segment = make_segment()
+        fired = []
+        waiter = segment.add_waiter(0, fired.append)
+        assert waiter.claim()
+        assert not waiter.claim()
+        segment.remove_waiter(waiter)
+        segment.write(0, b"x")
+        assert fired == []
+
+    def test_waiter_fires_exactly_once(self):
+        segment = make_segment()
+        fired = []
+        segment.add_waiter(0, fired.append)
+        segment.write(0, b"x")
+        segment.write(0, b"y")
+        assert fired == [1]
 
 
 class TestMemoryPool:
