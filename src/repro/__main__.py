@@ -116,31 +116,71 @@ def _cmd_smb_members(args: argparse.Namespace) -> int:
     registry = MembershipRegistry(args.registry)
     view = registry.read()
     if args.json:
+        # The full multi-job document: every namespace's entry, not just
+        # the legacy default mirror.
         print(json_mod.dumps(view.to_doc(), indent=2, sort_keys=True))
         return 0
-    if not view.has_job and not view.members:
+    namespaces = view.namespaces()
+    if not namespaces:
         print(f"no job published in {args.registry}")
         return 1
     print(f"registry:  {args.registry}")
     print(f"version:   {view.version}   epoch: {view.epoch}   "
-          f"capacity: {view.capacity}")
-    if view.server:
-        mode = view.server.get("mode", "?")
-        if mode == "tcp":
-            print(f"server:    tcp {view.server.get('host')}:"
-                  f"{view.server.get('port')}")
-        else:
-            print(f"server:    {mode}")
-    if view.job:
-        print(f"job:       namespace={view.job.get('namespace', '')!r} "
-              f"count={view.job.get('count')} "
-              f"algorithm={view.job.get('algorithm')}")
-    members = view.live_members()
-    print(f"members:   {len(members)} live")
-    for member in members:
-        print(f"  {member.member_id:>12s}  slot {member.slot}  "
-              f"gen {member.generation}  {member.status:>8s}  "
-              f"{member.heartbeats} heartbeat(s)")
+          f"namespaces: {len(namespaces)}")
+    for namespace in namespaces:
+        entry = view.entry(namespace)
+        print(f"namespace: {namespace!r}   capacity: {entry.capacity}")
+        if entry.server:
+            mode = entry.server.get("mode", "?")
+            if mode == "tcp":
+                print(f"  server:    tcp {entry.server.get('host')}:"
+                      f"{entry.server.get('port')}")
+            else:
+                print(f"  server:    {mode}")
+        if entry.servers:
+            fleet = ", ".join(
+                str(s.get("id", "?")) for s in entry.servers
+            )
+            print(f"  fleet:     {len(entry.servers)} server(s): {fleet}")
+        if entry.job:
+            print(f"  job:       namespace={entry.job.get('namespace', '')!r} "
+                  f"count={entry.job.get('count')} "
+                  f"algorithm={entry.job.get('algorithm')}")
+        members = view.live_members(namespace)
+        print(f"  members:   {len(members)} live")
+        for member in members:
+            print(f"    {member.member_id:>12s}  slot {member.slot}  "
+                  f"gen {member.generation}  {member.status:>8s}  "
+                  f"{member.heartbeats} heartbeat(s)")
+    return 0
+
+
+def _cmd_smb_tenants(args: argparse.Namespace) -> int:
+    """Per-namespace usage, quotas and op counters of a live server."""
+    import json as json_mod
+
+    from .smb import SMBClient
+
+    client = SMBClient.connect(_parse_address(args.address))
+    try:
+        stats = client.tenant_stats()
+    finally:
+        client.close()
+    if args.json:
+        print(json_mod.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"{'tenant':<16s} {'quota':>14s} {'used':>14s} "
+          f"{'segments':>8s} {'ops':>10s} {'denied':>7s}")
+    for name in sorted(stats):
+        entry = stats[name]
+        counters = entry.get("counters", {})
+        quota = entry.get("quota")
+        print(f"{name:<16s} "
+              f"{'unlimited' if quota is None else str(quota):>14s} "
+              f"{entry.get('used', 0):>14d} "
+              f"{entry.get('segments', 0):>8d} "
+              f"{counters.get('ops', 0):>10d} "
+              f"{counters.get('quota_denials', 0):>7d}")
     return 0
 
 
@@ -350,6 +390,7 @@ def _cmd_smb_bench(args: argparse.Namespace) -> int:
                 tuple(int(n) for n in args.clients.split(","))
                 if args.clients else ()
             ),
+            tenancy=args.tenancy,
             quick=args.quick,
         )
     except ValueError as exc:
@@ -679,6 +720,17 @@ def build_parser() -> argparse.ArgumentParser:
                          help="dump the raw registry document")
     members.set_defaults(entry=_cmd_smb_members)
 
+    tenants = smb_sub.add_parser(
+        "tenants",
+        help="per-namespace usage, quotas and op counters of a live "
+             "TCP server",
+    )
+    tenants.add_argument("--address", required=True,
+                         help="server endpoint as host:port")
+    tenants.add_argument("--json", action="store_true",
+                         help="dump the raw tenant-stats document")
+    tenants.set_defaults(entry=_cmd_smb_tenants)
+
     smb_bench = smb_sub.add_parser(
         "bench",
         help="benchmark SMB READ/WRITE/ACCUMULATE across payload sizes "
@@ -704,6 +756,11 @@ def build_parser() -> argparse.ArgumentParser:
     smb_bench.add_argument("--sharded", type=int, default=0,
                            help="also measure K-server ShardedArray "
                                 "overlap with this many shards")
+    smb_bench.add_argument("--tenancy", action="store_true",
+                           help="also run the two-tenant fairness cell "
+                                "(1 KiB READs vs a bulk ACCUMULATE "
+                                "stream); gated on the small tenant's "
+                                "contended p95")
     smb_bench.add_argument("--out", default="",
                            help="write BENCH_smb.json here")
     smb_bench.add_argument("--compare", default="",

@@ -27,6 +27,7 @@ from .errors import (
     MembershipError,
     NotificationTimeout,
     PayloadSizeError,
+    QuotaExceededError,
     RetryExhaustedError,
     SegmentExistsError,
     SegmentRangeError,
@@ -51,8 +52,26 @@ from .journal import (
     read_rendezvous,
     write_rendezvous,
 )
-from .membership import MemberRecord, MembershipRegistry, RegistryView
-from .memory import DEFAULT_POOL_CAPACITY, MemoryPool, Segment
+from .membership import JobEntry, MemberRecord, MembershipRegistry, RegistryView
+from .memory import (
+    DEFAULT_POOL_CAPACITY,
+    DEFAULT_TENANT,
+    MemoryPool,
+    Segment,
+    TenantGrant,
+)
+from .placement import (
+    HashRingPlacement,
+    Move,
+    Placement,
+    PlacementError,
+    StripedPlacement,
+    attach_placed_array,
+    create_placed_array,
+    discover_locations,
+    plan_moves,
+    rebalance,
+)
 from .protocol import Message, Op, Status
 from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy
 from .server import ServerStats, SMBServer, TcpSMBServer
@@ -62,6 +81,7 @@ from .sharding import (
     attach_sharded_array,
     create_sharded_array,
     shard_counts,
+    shutdown_fanout_executor,
 )
 from .transport import InProcTransport, TcpTransport
 
@@ -71,11 +91,14 @@ __all__ = [
     "ControlBlock",
     "DEFAULT_POOL_CAPACITY",
     "DEFAULT_RETRY_POLICY",
+    "DEFAULT_TENANT",
     "DurabilityStore",
     "FaultInjectedError",
     "FaultInjectingTransport",
     "FaultPlan",
+    "HashRingPlacement",
     "InProcTransport",
+    "JobEntry",
     "JournalError",
     "MemberRecord",
     "MembershipError",
@@ -84,10 +107,14 @@ __all__ = [
     "Message",
     "NO_RETRY",
     "NotificationTimeout",
+    "Move",
     "Op",
     "ParameterBuffer",
     "PayloadSizeError",
+    "Placement",
+    "PlacementError",
     "PoolImage",
+    "QuotaExceededError",
     "RegistryView",
     "RemoteArray",
     "RetryExhaustedError",
@@ -110,16 +137,24 @@ __all__ = [
     "ShmTransport",
     "StaleGenerationError",
     "Status",
+    "StripedPlacement",
     "TcpSMBServer",
     "TcpTransport",
+    "TenantGrant",
     "TransportClosedError",
     "UnknownKeyError",
+    "attach_placed_array",
     "attach_sharded_array",
+    "create_placed_array",
     "create_sharded_array",
+    "discover_locations",
     "is_retryable",
+    "plan_moves",
     "publish_json",
     "read_json",
     "read_rendezvous",
+    "rebalance",
     "shard_counts",
+    "shutdown_fanout_executor",
     "write_rendezvous",
 ]

@@ -42,6 +42,7 @@ import numpy as np
 
 from ..telemetry import TelemetrySession
 from .client import RemoteArray, SMBClient
+from .memory import enter_bulk_priority
 from .server import SMBServer, TcpSMBServer
 from .sharding import ShardedArray, create_sharded_array
 from .shm_transport import ShmSMBServer
@@ -121,6 +122,41 @@ class ContentionResult:
     aggregate_gb_per_s: float
 
 
+#: Tenancy fairness cell: the bulk tenant streams ACCUMULATEs of this
+#: size while the small tenant issues 1 KiB READs.  Quick mode shrinks
+#: the stream so CI stays in seconds — but not below a size whose
+#: server-side accumulate dominates each round trip, otherwise the cell
+#: measures loopback client churn instead of server dispatch.
+TENANCY_BULK_SIZE = 1 << 26
+TENANCY_BULK_SIZE_QUICK = 1 << 24
+TENANCY_SMALL_SIZE = 1 << 10
+TENANCY_BULK_STREAMS = 4
+
+
+@dataclass
+class TenancyResult:
+    """Small-op latency with and without a bulk tenant streaming.
+
+    The two-lane dispatch exists so one tenant's 64 MiB ACCUMULATE
+    stream cannot starve another tenant's 1 KiB control-plane READs;
+    ``fairness_ratio`` (contended p95 / uncontended p95) is the number
+    that property lives or dies on.
+    """
+
+    bulk_size_bytes: int
+    small_size_bytes: int
+    iterations: int
+    bulk_ops: int
+    uncontended_p50_s: float
+    uncontended_p95_s: float
+    contended_p50_s: float
+    contended_p95_s: float
+
+    @property
+    def fairness_ratio(self) -> float:
+        return self.contended_p95_s / max(self.uncontended_p95_s, 1e-12)
+
+
 @dataclass
 class BenchConfig:
     """What to measure; defaults give the full sweep."""
@@ -132,6 +168,7 @@ class BenchConfig:
     warmup: int = 2
     sharded: int = 0  # shard count for the overlap section; 0 = skip
     clients: Sequence[int] = ()  # contention sweep client counts; () = skip
+    tenancy: bool = False  # mixed-workload two-tenant fairness cell
     quick: bool = False
 
     def __post_init__(self) -> None:
@@ -416,6 +453,117 @@ def _measure_contention(
     )
 
 
+def _measure_tenancy(
+    bulk_size: int = TENANCY_BULK_SIZE,
+    small_size: int = TENANCY_SMALL_SIZE,
+    iterations: int = 300,
+    streams: int = TENANCY_BULK_STREAMS,
+) -> TenancyResult:
+    """The mixed-workload fairness cell, on one TCP server.
+
+    Tenant ``small`` measures its 1 KiB READ latency twice: first on an
+    otherwise idle server (the uncontended floor), then while tenant
+    ``bulk`` keeps ``streams`` connections saturated with full-segment
+    ACCUMULATEs.  Both tenants get explicit grants, so the cell also
+    exercises the quota admission path end to end.
+    """
+    count = max(bulk_size // 4, 1)
+    capacity = (streams + 3) * bulk_size + (1 << 22)
+    server = TcpSMBServer(capacity=capacity).start()
+    admin = SMBClient.connect(server.address)
+    stop = threading.Event()
+    bulk_ops = [0] * streams
+    failures: List[BaseException] = []
+    try:
+        admin.create_tenant("bulk", quota=(streams + 2) * bulk_size)
+        admin.create_tenant("small", quota=4 * small_size)
+        small_client = SMBClient.connect(server.address, tenant="small")
+        small = small_client.create_array(
+            "tenancy.ctl", max(small_size // 4, 1)
+        )
+        small.write(np.zeros(small.count, dtype=np.float32))
+        scratch = np.empty(small.count, dtype=np.float32)
+
+        def sample(n: int) -> np.ndarray:
+            out = np.empty(n, dtype=np.float64)
+            for i in range(n):
+                begin = time.perf_counter()
+                small.read(out=scratch)
+                out[i] = time.perf_counter() - begin
+            return out
+
+        sample(10)  # warmup
+        idle = sample(iterations)
+
+        boot = SMBClient.connect(server.address, tenant="bulk")
+        target = boot.create_array("tenancy.W_g", count)
+        target.write(np.zeros(count, dtype=np.float32))
+        ready = threading.Barrier(streams + 1)
+
+        def stream(index: int) -> None:
+            # In production the two tenants run on different machines; on
+            # this one-box cell the bulk tenant's *client* threads would
+            # otherwise compete with the small tenant's client for the
+            # same cores, measuring loopback co-scheduling rather than
+            # server dispatch.  Demote them like the server demotes its
+            # own bulk lane.
+            enter_bulk_priority()
+            client = SMBClient.connect(server.address, tenant="bulk")
+            try:
+                view = client.attach_array(
+                    "tenancy.W_g", target.shm_key, count
+                )
+                delta = client.create_array(f"tenancy.dW_{index}", count)
+                delta.write(np.ones(count, dtype=np.float32))
+                delta.accumulate_into(view)  # warmup
+                ready.wait(timeout=120)
+                while not stop.is_set():
+                    delta.accumulate_into(view)
+                    bulk_ops[index] += 1
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                failures.append(exc)
+                try:
+                    ready.abort()
+                except Exception:  # pragma: no cover - barrier races
+                    pass
+            finally:
+                client.close()
+
+        threads = [
+            threading.Thread(
+                target=stream, args=(i,), name=f"bench-bulk-{i}"
+            )
+            for i in range(streams)
+        ]
+        for thread in threads:
+            thread.start()
+        ready.wait(timeout=120)
+        contended = sample(iterations)
+        stop.set()
+        for thread in threads:
+            thread.join(timeout=600)
+        if failures:
+            raise failures[0]
+        boot.close()
+        small_client.close()
+    finally:
+        stop.set()
+        admin.close()
+        server.stop()
+    idle_p50, idle_p95 = np.percentile(idle, [50, 95])
+    busy_p50, busy_p95 = np.percentile(contended, [50, 95])
+    return TenancyResult(
+        bulk_size_bytes=bulk_size,
+        small_size_bytes=small_size,
+        iterations=iterations,
+        bulk_ops=sum(bulk_ops),
+        uncontended_p50_s=float(idle_p50),
+        uncontended_p95_s=float(idle_p95),
+        contended_p50_s=float(busy_p50),
+        contended_p95_s=float(busy_p95),
+    )
+
+
 def run_contention(
     client_counts: Sequence[int],
     size_bytes: int = CONTENTION_SIZE,
@@ -477,6 +625,17 @@ def run_bench(config: Optional[BenchConfig] = None) -> dict:
         payload["contention"] = [
             asdict(cell) for cell in run_contention(config.clients)
         ]
+    if config.tenancy:
+        tenancy = _measure_tenancy(
+            bulk_size=(
+                TENANCY_BULK_SIZE_QUICK if config.quick
+                else TENANCY_BULK_SIZE
+            ),
+            iterations=200 if config.quick else 300,
+        )
+        payload["tenancy"] = dict(
+            asdict(tenancy), fairness_ratio=tenancy.fairness_ratio
+        )
     return payload
 
 
@@ -569,6 +728,25 @@ def compare(
                     quantile="p95",
                 )
             )
+    base_tenancy = baseline.get("tenancy")
+    cur_tenancy = current.get("tenancy")
+    if base_tenancy and cur_tenancy:
+        # The fairness gate: the small tenant's contended READ p95 must
+        # not regress past the factor against the committed baseline.
+        if (
+            cur_tenancy["contended_p95_s"]
+            > base_tenancy["contended_p95_s"] * max_regression
+        ):
+            regressions.append(
+                Regression(
+                    transport="tcp[tenancy]",
+                    op="READ-small",
+                    size_bytes=int(cur_tenancy["small_size_bytes"]),
+                    baseline_p50_s=float(base_tenancy["contended_p95_s"]),
+                    current_p50_s=float(cur_tenancy["contended_p95_s"]),
+                    quantile="p95",
+                )
+            )
     regressions.sort(key=lambda r: r.factor, reverse=True)
     return regressions
 
@@ -604,6 +782,16 @@ def format_table(payload: dict) -> str:
                 f"{cell['p95_s'] * 1e3:>10.3f} "
                 f"{cell['aggregate_gb_per_s']:>8.2f}"
             )
+    tenancy = payload.get("tenancy")
+    if tenancy:
+        lines.append(
+            f"tenancy: {int(tenancy['small_size_bytes']) // (1 << 10)} KiB "
+            f"READ p95 {tenancy['uncontended_p95_s'] * 1e3:.3f} ms idle -> "
+            f"{tenancy['contended_p95_s'] * 1e3:.3f} ms under "
+            f"{int(tenancy['bulk_size_bytes']) // (1 << 20)} MiB "
+            f"ACCUMULATE stream ({tenancy['fairness_ratio']:.2f}x, "
+            f"{tenancy['bulk_ops']} bulk ops)"
+        )
     sharded = payload.get("sharded")
     if sharded:
         lines.append(
@@ -625,6 +813,9 @@ def save(payload: dict, path: str) -> None:
 def load(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
         loaded = json.load(handle)
-    if not isinstance(loaded, dict) or "cells" not in loaded:
+    sections = ("cells", "contention", "tenancy", "sharded")
+    if not isinstance(loaded, dict) or not any(
+        key in loaded for key in sections
+    ):
         raise ValueError(f"{path} is not a BENCH_smb payload")
     return loaded

@@ -31,6 +31,7 @@ import numpy as np
 from ..telemetry import TelemetrySession
 from ..telemetry import current as _telemetry_current
 from . import errors
+from .memory import DEFAULT_TENANT
 from .protocol import Buffer, Message, Op, Status
 from .retry import NO_RETRY, RetryPolicy
 from .server import SMBServer
@@ -121,8 +122,13 @@ class SMBClient:
         transport: Transport,
         telemetry: Optional[TelemetrySession] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         self._transport = transport
+        #: Namespace this client's name-based ops resolve in.  The
+        #: transport carries it on the wire (``SMB2`` hello); this copy
+        #: is informational — shown in telemetry and admin tooling.
+        self.tenant = tenant
         self._telemetry = telemetry
         self._retry = retry_policy if retry_policy is not None else NO_RETRY
         self._retry_rng = self._retry.make_rng()
@@ -143,9 +149,13 @@ class SMBClient:
         server: SMBServer,
         telemetry: Optional[TelemetrySession] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> "SMBClient":
         """Attach directly to an in-process server core."""
-        return cls(InProcTransport(server), telemetry, retry_policy)
+        return cls(
+            InProcTransport(server, tenant=tenant),
+            telemetry, retry_policy, tenant=tenant,
+        )
 
     @classmethod
     def connect(
@@ -155,6 +165,7 @@ class SMBClient:
         retry_policy: Optional[RetryPolicy] = None,
         rendezvous: Optional[Union[str, os.PathLike]] = None,
         server_down_grace: float = 0.0,
+        tenant: str = DEFAULT_TENANT,
     ) -> "SMBClient":
         """Connect to a :class:`~repro.smb.server.TcpSMBServer`.
 
@@ -168,6 +179,8 @@ class SMBClient:
             server_down_grace: Seconds each (re)connect keeps retrying a
                 dead endpoint before giving up — the bounded window that
                 turns a server restart into a recoverable outage.
+            tenant: Namespace every name-based op (CREATE/LOOKUP/LIST/
+                FREE) resolves in; carried in the connection handshake.
         """
         policy = retry_policy if retry_policy is not None else NO_RETRY
         transport = TcpTransport(
@@ -176,8 +189,9 @@ class SMBClient:
             request_timeout=policy.request_timeout,
             rendezvous=rendezvous,
             server_down_grace=server_down_grace,
+            tenant=tenant,
         )
-        return cls(transport, telemetry, retry_policy)
+        return cls(transport, telemetry, retry_policy, tenant=tenant)
 
     @classmethod
     def connect_local(
@@ -185,6 +199,7 @@ class SMBClient:
         path: Union[str, os.PathLike],
         telemetry: Optional[TelemetrySession] = None,
         retry_policy: Optional[RetryPolicy] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> "SMBClient":
         """Connect to a co-located server over its shared-memory doorway.
 
@@ -196,8 +211,10 @@ class SMBClient:
         from .shm_transport import ShmTransport
 
         policy = retry_policy if retry_policy is not None else NO_RETRY
-        transport = ShmTransport(path, timeout=policy.request_timeout)
-        return cls(transport, telemetry, retry_policy)
+        transport = ShmTransport(
+            path, timeout=policy.request_timeout, tenant=tenant
+        )
+        return cls(transport, telemetry, retry_policy, tenant=tenant)
 
     def close(self) -> None:
         """Release the underlying transport."""
@@ -576,6 +593,27 @@ class SMBClient:
     def list_segments(self) -> dict:
         """Segment inventory plus capacity accounting (administration)."""
         response = self._call(Message(op=Op.LIST))
+        return json.loads(response.payload.decode())
+
+    def create_tenant(self, name: str, quota: Optional[int] = None) -> int:
+        """Provision (or re-provision) a namespace with a byte quota.
+
+        Administrative: any connection may issue it, matching the trust
+        model of ``FREE``/``SHUTDOWN``.  ``quota=None`` means unlimited.
+        Returns the effective quota (0 encodes unlimited on the wire).
+        """
+        response = self._call(
+            Message(
+                op=Op.TENANT_CREATE,
+                count=quota if quota is not None else 0,
+                payload=name.encode(),
+            )
+        )
+        return response.count
+
+    def tenant_stats(self) -> dict:
+        """Per-namespace usage, quotas and op counters (administration)."""
+        response = self._call(Message(op=Op.TENANT_STATS))
         return json.loads(response.payload.decode())
 
     def shutdown_server(self) -> None:

@@ -109,6 +109,31 @@ class CapacityError(SMBError):
         self.available = available
 
 
+class QuotaExceededError(CapacityError):
+    """A tenant's CREATE was denied by its namespace byte quota.
+
+    The pool itself may have room — admission is checked against the
+    *tenant's grant* first (see :meth:`MemoryPool.create_tenant`), so one
+    namespace filling up never consumes another namespace's headroom.
+    Fatal like :class:`CapacityError`: retrying returns the same answer
+    until the tenant frees segments or an admin raises the grant.
+    """
+
+    def __init__(
+        self, tenant: str, requested: int, quota: int, used: int
+    ) -> None:
+        SMBError.__init__(
+            self,
+            f"tenant {tenant!r} over quota: requested {requested} bytes "
+            f"with {used}/{quota} already used"
+        )
+        self.tenant = tenant
+        self.requested = requested
+        self.quota = quota
+        self.used = used
+        self.available = max(0, quota - used)
+
+
 class SegmentRangeError(SMBError):
     """A read/write/accumulate touched bytes outside a segment."""
 
@@ -214,6 +239,7 @@ _WIRE_ARGS: Dict[str, Tuple[str, ...]] = {
     "PayloadSizeError": ("op", "expected", "got"),
     "UnknownKeyError": ("key",),
     "CapacityError": ("requested", "available"),
+    "QuotaExceededError": ("tenant", "requested", "quota", "used"),
     "SegmentRangeError": ("offset", "nbytes", "size"),
     "SegmentExistsError": ("name",),
     "NotificationTimeout": ("key", "version", "timeout"),

@@ -45,6 +45,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from .errors import SMBError
+from .memory import DEFAULT_TENANT
 from .protocol import HEADER_FORMAT, HEADER_SIZE, Message, Op
 
 logger = logging.getLogger(__name__)
@@ -149,6 +150,10 @@ class SegmentImage:
     data: np.ndarray  # uint8 bytes
     version: int
     owner: str = ""
+    #: Owning namespace, carried explicitly because the qualified name
+    #: alone is ambiguous: a legacy default-tenant name like
+    #: ``"job1/W_g"`` is indistinguishable from tenant ``job1``'s ``W_g``.
+    tenant: str = DEFAULT_TENANT
 
 
 @dataclass
@@ -161,6 +166,10 @@ class PoolImage:
     shm_minted: int
     access_minted: int
     segments: List[SegmentImage] = field(default_factory=list)
+    #: Tenant grants as ``{"name": str, "quota": Optional[int]}`` —
+    #: usage is not stored; it is re-derived from the restored segments'
+    #: tenant fields, which keeps the snapshot non-redundant.
+    tenants: List[Dict[str, object]] = field(default_factory=list)
 
 
 def _atomic_savez(path: Path, payload: Dict[str, np.ndarray]) -> None:
@@ -221,6 +230,7 @@ class DurabilityStore:
             "capacity": image.capacity,
             "shm_minted": image.shm_minted,
             "access_minted": image.access_minted,
+            "tenants": image.tenants,
             "segments": [
                 {
                     "name": seg.name,
@@ -228,6 +238,7 @@ class DurabilityStore:
                     "version": seg.version,
                     "owner": seg.owner,
                     "nbytes": int(seg.data.nbytes),
+                    "tenant": seg.tenant,
                 }
                 for seg in image.segments
             ],
@@ -332,6 +343,9 @@ def _load_snapshot(path: Path) -> PoolImage:
                 data=data,
                 version=int(entry["version"]),
                 owner=str(entry.get("owner", "")),
+                # Pre-tenancy snapshots carry no tenant key; everything
+                # they hold lived in the implicit default namespace.
+                tenant=str(entry.get("tenant", DEFAULT_TENANT)),
             ))
     return PoolImage(
         capacity=int(meta["capacity"]),
@@ -340,6 +354,9 @@ def _load_snapshot(path: Path) -> PoolImage:
         shm_minted=int(meta["shm_minted"]),
         access_minted=int(meta["access_minted"]),
         segments=segments,
+        # Pre-tenancy snapshots carry no grants; they restore as a pool
+        # holding only the implicit default namespace.
+        tenants=[dict(entry) for entry in meta.get("tenants", [])],
     )
 
 
@@ -375,11 +392,23 @@ def _apply_record(
     by_key: Dict[int, SegmentImage],
 ) -> None:
     if record.op is Op.CREATE:
+        payload = bytes(record.payload)
+        # ``offset`` carries the byte length of the ``"<tenant>/"``
+        # prefix in the qualified name (0 = default namespace).  Replay
+        # must not *parse* the name: a legacy default-tenant name may
+        # itself contain ``/`` (the old client-side job-prefix
+        # convention).  Pre-tenancy records have offset 0 and land in
+        # the default namespace unchanged.
+        tenant = (
+            payload[:record.offset - 1].decode()
+            if record.offset else DEFAULT_TENANT
+        )
         seg = SegmentImage(
-            name=record.payload.decode(),
+            name=payload.decode(),
             shm_key=record.key,
             data=np.zeros(record.count, dtype=np.uint8),
             version=0,
+            tenant=tenant,
         )
         image.segments.append(seg)
         by_key[seg.shm_key] = seg
@@ -389,6 +418,15 @@ def _apply_record(
         seg = by_key.pop(record.key, None)
         if seg is not None:
             image.segments.remove(seg)
+        return
+    if record.op is Op.TENANT_CREATE:
+        name = record.payload.decode()
+        quota: Optional[int] = record.count if record.count > 0 else None
+        for entry in image.tenants:
+            if entry.get("name") == name:
+                entry["quota"] = quota
+                return
+        image.tenants.append({"name": name, "quota": quota})
         return
     seg = by_key.get(record.key)
     if seg is None:

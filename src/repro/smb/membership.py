@@ -43,21 +43,26 @@ controller read.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Union
+from typing import Callable, Dict, Iterator, List, Optional, Union
 
 from ..telemetry import TelemetrySession
 from ..telemetry import current as _telemetry_current
 from .errors import MembershipError, SlotsExhaustedError
 from .journal import publish_json, read_json
+from .memory import DEFAULT_TENANT
 
 PathLike = Union[str, os.PathLike]
 
 #: Registry document schema version; bumped on incompatible changes.
-REGISTRY_FORMAT = 1
+#: Format 2 keys job documents by *namespace* (multi-tenant fleets);
+#: format-1 documents are still read (their single job becomes the
+#: default namespace's entry).
+REGISTRY_FORMAT = 2
 
 #: File names inside a registry directory.
 REGISTRY_NAME = "registry.json"
@@ -108,39 +113,24 @@ class MemberRecord:
 
 
 @dataclass
-class RegistryView:
-    """A decoded snapshot of the registry document."""
+class JobEntry:
+    """One namespace's job: endpoint, spec, fleet and member table."""
 
-    version: int = 0
-    epoch: int = 0
-    capacity: int = 0
     server: Dict[str, object] = field(default_factory=dict)
     job: Dict[str, object] = field(default_factory=dict)
+    capacity: int = 0
     members: Dict[str, MemberRecord] = field(default_factory=dict)
-
-    @property
-    def has_job(self) -> bool:
-        """Whether the master has published the job document yet."""
-        return bool(self.job)
-
-    def live_members(self) -> List[MemberRecord]:
-        """Members holding an unexpired record, join order."""
-        return sorted(self.members.values(), key=lambda m: m.joined_at)
-
-    def member_for_slot(self, slot: int) -> Optional[MemberRecord]:
-        for member in self.members.values():
-            if member.slot == slot:
-                return member
-        return None
+    #: SMB server fleet for this namespace, in placement order — what a
+    #: rebalancer (:func:`repro.smb.placement.rebalance`) walks.  Each
+    #: entry is ``{"id": ..., "host": ..., "port": ...}``-shaped.
+    servers: List[Dict[str, object]] = field(default_factory=list)
 
     def to_doc(self) -> Dict[str, object]:
         return {
-            "format": REGISTRY_FORMAT,
-            "version": self.version,
-            "epoch": self.epoch,
-            "capacity": self.capacity,
             "server": self.server,
             "job": self.job,
+            "capacity": self.capacity,
+            "servers": self.servers,
             "members": {
                 member_id: record.to_doc()
                 for member_id, record in self.members.items()
@@ -148,23 +138,151 @@ class RegistryView:
         }
 
     @classmethod
-    def from_doc(cls, doc: Dict[str, object]) -> "RegistryView":
-        if doc.get("format") != REGISTRY_FORMAT:
-            raise MembershipError(
-                f"unsupported registry format {doc.get('format')!r}"
-            )
+    def from_doc(cls, doc: Dict[str, object]) -> "JobEntry":
         members_doc = doc.get("members", {})
         members = {}
         if isinstance(members_doc, dict):
             for member_id, entry in members_doc.items():
                 members[str(member_id)] = MemberRecord.from_doc(entry)
+        servers_doc = doc.get("servers", [])
+        return cls(
+            server=dict(doc.get("server", {})),  # type: ignore[arg-type]
+            job=dict(doc.get("job", {})),  # type: ignore[arg-type]
+            capacity=int(doc.get("capacity", 0)),  # type: ignore[arg-type]
+            members=members,
+            servers=[dict(s) for s in servers_doc]  # type: ignore[union-attr]
+            if isinstance(servers_doc, list) else [],
+        )
+
+
+@dataclass
+class RegistryView:
+    """A decoded snapshot of the registry document.
+
+    One registry now hosts any number of concurrent jobs, keyed by
+    namespace (the SMB tenant).  The pre-tenancy single-job accessors
+    (``server``/``job``/``capacity``/``members``) remain as aliases of
+    the **default** namespace's entry, so every legacy caller reads and
+    mutates exactly what it did before.
+    """
+
+    version: int = 0
+    epoch: int = 0
+    jobs: Dict[str, JobEntry] = field(default_factory=dict)
+
+    def entry(
+        self, namespace: str = DEFAULT_TENANT, create: bool = False
+    ) -> JobEntry:
+        """The namespace's job entry; ``create`` vivifies a blank one."""
+        found = self.jobs.get(namespace)
+        if found is None:
+            found = JobEntry()
+            if create:
+                self.jobs[namespace] = found
+        return found
+
+    def namespaces(self) -> List[str]:
+        """Every namespace with a registered job, sorted."""
+        return sorted(self.jobs)
+
+    # -- legacy single-job aliases (the default namespace) ---------------
+
+    @property
+    def server(self) -> Dict[str, object]:
+        return self.entry(create=True).server
+
+    @server.setter
+    def server(self, value: Dict[str, object]) -> None:
+        self.entry(create=True).server = value
+
+    @property
+    def job(self) -> Dict[str, object]:
+        return self.entry(create=True).job
+
+    @job.setter
+    def job(self, value: Dict[str, object]) -> None:
+        self.entry(create=True).job = value
+
+    @property
+    def capacity(self) -> int:
+        return self.entry().capacity
+
+    @capacity.setter
+    def capacity(self, value: int) -> None:
+        self.entry(create=True).capacity = value
+
+    @property
+    def members(self) -> Dict[str, MemberRecord]:
+        return self.entry(create=True).members
+
+    @members.setter
+    def members(self, value: Dict[str, MemberRecord]) -> None:
+        self.entry(create=True).members = value
+
+    @property
+    def has_job(self) -> bool:
+        """Whether the default namespace's job has been published."""
+        return bool(self.entry().job)
+
+    def total_members(self) -> int:
+        """Live member count across every namespace."""
+        return sum(len(entry.members) for entry in self.jobs.values())
+
+    def live_members(
+        self, namespace: str = DEFAULT_TENANT
+    ) -> List[MemberRecord]:
+        """Members holding an unexpired record, join order."""
+        return sorted(
+            self.entry(namespace).members.values(),
+            key=lambda m: m.joined_at,
+        )
+
+    def member_for_slot(
+        self, slot: int, namespace: str = DEFAULT_TENANT
+    ) -> Optional[MemberRecord]:
+        for member in self.entry(namespace).members.values():
+            if member.slot == slot:
+                return member
+        return None
+
+    def to_doc(self) -> Dict[str, object]:
+        doc: Dict[str, object] = {
+            "format": REGISTRY_FORMAT,
+            "version": self.version,
+            "epoch": self.epoch,
+            "jobs": {
+                namespace: entry.to_doc()
+                for namespace, entry in sorted(self.jobs.items())
+                # Vivified-but-never-published entries stay out of the
+                # document (alias reads create blank default entries).
+                if entry.job or entry.server or entry.members
+                or entry.servers
+            },
+        }
+        # Legacy mirror of the default namespace, for format-1 pollers.
+        doc.update(self.entry().to_doc())
+        return doc
+
+    @classmethod
+    def from_doc(cls, doc: Dict[str, object]) -> "RegistryView":
+        fmt = doc.get("format")
+        if fmt not in (1, REGISTRY_FORMAT):
+            raise MembershipError(
+                f"unsupported registry format {fmt!r}"
+            )
+        jobs: Dict[str, JobEntry] = {}
+        jobs_doc = doc.get("jobs")
+        if fmt == REGISTRY_FORMAT and isinstance(jobs_doc, dict):
+            for namespace, entry in jobs_doc.items():
+                jobs[str(namespace)] = JobEntry.from_doc(entry)
+        else:
+            legacy = JobEntry.from_doc(doc)
+            if legacy.job or legacy.server or legacy.members:
+                jobs[DEFAULT_TENANT] = legacy
         return cls(
             version=int(doc.get("version", 0)),  # type: ignore[arg-type]
             epoch=int(doc.get("epoch", 0)),  # type: ignore[arg-type]
-            capacity=int(doc.get("capacity", 0)),  # type: ignore[arg-type]
-            server=dict(doc.get("server", {})),  # type: ignore[arg-type]
-            job=dict(doc.get("job", {})),  # type: ignore[arg-type]
-            members=members,
+            jobs=jobs,
         )
 
 
@@ -217,7 +335,7 @@ class MembershipRegistry:
         if self._telemetry.enabled:
             registry = self._telemetry.registry
             registry.set("smb/membership/epoch", view.epoch)
-            registry.set("smb/membership/live", len(view.members))
+            registry.set("smb/membership/live", view.total_members())
 
     # -- locking -----------------------------------------------------------
 
@@ -259,6 +377,20 @@ class MembershipRegistry:
         except OSError:
             pass
 
+    @contextlib.contextmanager
+    def lock(self) -> Iterator[None]:
+        """Hold the registry's cross-process lock around external work.
+
+        The rebalancer (:func:`repro.smb.placement.rebalance`) passes
+        this around each segment migration so directory readers never
+        resolve a name while its copy is mid-flight.
+        """
+        self._acquire_lock()
+        try:
+            yield
+        finally:
+            self._release_lock()
+
     # -- read path ---------------------------------------------------------
 
     def read(self) -> RegistryView:
@@ -269,26 +401,39 @@ class MembershipRegistry:
         return RegistryView.from_doc(doc)
 
     def wait_for_job(
-        self, timeout: float = 30.0, poll: float = 0.01
+        self,
+        timeout: float = 30.0,
+        poll: float = 0.01,
+        namespace: str = DEFAULT_TENANT,
     ) -> RegistryView:
-        """Block until the master has published the job document."""
+        """Block until the master has published the namespace's job."""
         deadline = time.monotonic() + timeout
         while True:
             view = self.read()
-            if view.has_job:
+            if view.entry(namespace).job:
                 return view
             if time.monotonic() >= deadline:
+                scope = (
+                    "" if namespace == DEFAULT_TENANT
+                    else f" for namespace {namespace!r}"
+                )
                 raise MembershipError(
-                    f"no job published in {self.path} within {timeout:.1f}s"
+                    f"no job published{scope} in {self.path} "
+                    f"within {timeout:.1f}s"
                 )
             time.sleep(poll)
 
-    def live_count(self) -> int:
-        """How many unexpired members the registry holds right now."""
+    def live_count(self, namespace: Optional[str] = DEFAULT_TENANT) -> int:
+        """Unexpired members right now; ``None`` counts every namespace."""
         view = self.read()
         now = self._clock()
+        entries = (
+            view.jobs.values() if namespace is None
+            else [view.entry(namespace)]
+        )
         return sum(
-            1 for m in view.members.values() if m.lease_expires > now
+            1 for entry in entries
+            for m in entry.members.values() if m.lease_expires > now
         )
 
     # -- mutations ---------------------------------------------------------
@@ -308,38 +453,64 @@ class MembershipRegistry:
             self._release_lock()
 
     def _expire_locked(self, view: RegistryView) -> int:
-        """Evict members whose lease lapsed; returns how many."""
+        """Evict members whose lease lapsed (any namespace)."""
         now = self._clock()
-        expired = [
-            member_id for member_id, record in view.members.items()
-            if record.lease_expires <= now
-        ]
-        for member_id in expired:
-            del view.members[member_id]
-        if expired:
+        expired_total = 0
+        for entry in view.jobs.values():
+            expired = [
+                member_id for member_id, record in entry.members.items()
+                if record.lease_expires <= now
+            ]
+            for member_id in expired:
+                del entry.members[member_id]
+            expired_total += len(expired)
+        if expired_total:
             view.epoch += 1
-            self._count("lease_expiries", len(expired))
-        return len(expired)
+            self._count("lease_expiries", expired_total)
+        return expired_total
 
     def publish_job(
         self,
         server: Dict[str, object],
         job: Dict[str, object],
         capacity: int,
+        namespace: str = DEFAULT_TENANT,
     ) -> RegistryView:
-        """Master-side: announce the job (endpoint, spec, slot capacity).
+        """Master-side: announce a job (endpoint, spec, slot capacity).
 
-        Members of any previous job in this directory are dropped — a new
-        job announcement definitionally supersedes the old fleet.
+        Members of any previous job *in this namespace* are dropped — a
+        new announcement definitionally supersedes the old fleet.  Other
+        namespaces' jobs are untouched: one registry directory now hosts
+        any number of concurrent tenants.
         """
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
 
         def apply(view: RegistryView) -> None:
-            view.server = dict(server)
-            view.job = dict(job)
-            view.capacity = capacity
-            view.members = {}
+            entry = view.entry(namespace, create=True)
+            entry.server = dict(server)
+            entry.job = dict(job)
+            entry.capacity = capacity
+            entry.members = {}
+            view.epoch += 1
+
+        return self._mutate(apply)
+
+    def publish_servers(
+        self,
+        servers: List[Dict[str, object]],
+        namespace: str = DEFAULT_TENANT,
+    ) -> RegistryView:
+        """Record a namespace's SMB server fleet (placement order).
+
+        The rebalancer reads this list to build its placement and the
+        per-server clients; republishing it is how fleet growth/shrink
+        becomes visible to every worker.
+        """
+
+        def apply(view: RegistryView) -> None:
+            entry = view.entry(namespace, create=True)
+            entry.servers = [dict(s) for s in servers]
             view.epoch += 1
 
         return self._mutate(apply)
@@ -349,6 +520,7 @@ class MembershipRegistry:
         member_id: str,
         slot: Optional[int] = None,
         generation: int = 0,
+        namespace: str = DEFAULT_TENANT,
     ) -> MemberRecord:
         """Admit a worker: allocate a slot, mint a leased member record.
 
@@ -362,26 +534,29 @@ class MembershipRegistry:
                               generation=generation)
 
         def apply(view: RegistryView) -> None:
-            if not view.has_job:
+            entry = view.entry(namespace)
+            if not entry.job:
                 raise MembershipError(
                     "cannot join before the master publishes the job"
+                    + (f" for namespace {namespace!r}"
+                       if namespace != DEFAULT_TENANT else "")
                 )
-            if member_id in view.members:
+            if member_id in entry.members:
                 raise MembershipError(
                     f"member id {member_id!r} already registered"
                 )
-            taken = {m.slot for m in view.members.values()}
+            taken = {m.slot for m in entry.members.values()}
             if slot is None:
                 open_slots = [
-                    s for s in range(view.capacity) if s not in taken
+                    s for s in range(entry.capacity) if s not in taken
                 ]
                 if not open_slots:
-                    raise SlotsExhaustedError(view.capacity)
+                    raise SlotsExhaustedError(entry.capacity)
                 record.slot = open_slots[0]
             else:
-                if not 0 <= slot < view.capacity:
+                if not 0 <= slot < entry.capacity:
                     raise MembershipError(
-                        f"slot {slot} out of range [0, {view.capacity})"
+                        f"slot {slot} out of range [0, {entry.capacity})"
                     )
                 if slot in taken:
                     raise MembershipError(
@@ -391,18 +566,20 @@ class MembershipRegistry:
             now = self._clock()
             record.joined_at = now
             record.lease_expires = now + self.lease
-            view.members[member_id] = record
+            entry.members[member_id] = record
             view.epoch += 1
 
         self._mutate(apply)
         self._count("joins")
         return record
 
-    def heartbeat(self, member_id: str) -> None:
+    def heartbeat(
+        self, member_id: str, namespace: str = DEFAULT_TENANT
+    ) -> None:
         """Renew a member's lease (bumps version, not epoch)."""
 
         def apply(view: RegistryView) -> None:
-            record = view.members.get(member_id)
+            record = view.entry(namespace).members.get(member_id)
             if record is None:
                 raise MembershipError(
                     f"heartbeat from unknown member {member_id!r} "
@@ -413,12 +590,17 @@ class MembershipRegistry:
 
         self._mutate(apply)
 
-    def update_member(self, member_id: str, **fields: object) -> None:
+    def update_member(
+        self,
+        member_id: str,
+        namespace: str = DEFAULT_TENANT,
+        **fields: object,
+    ) -> None:
         """Patch a member record (e.g. the control-block generation the
         worker's claim actually returned)."""
 
         def apply(view: RegistryView) -> None:
-            record = view.members.get(member_id)
+            record = view.entry(namespace).members.get(member_id)
             if record is None:
                 raise MembershipError(f"unknown member {member_id!r}")
             for key, value in fields.items():
@@ -430,7 +612,9 @@ class MembershipRegistry:
 
         self._mutate(apply)
 
-    def request_retire(self, member_id: str) -> bool:
+    def request_retire(
+        self, member_id: str, namespace: str = DEFAULT_TENANT
+    ) -> bool:
         """Flag a member ``retiring``; it drains and leaves on its own.
 
         Returns False when the member is already gone (raced a leave or
@@ -439,7 +623,7 @@ class MembershipRegistry:
         found = []
 
         def apply(view: RegistryView) -> None:
-            record = view.members.get(member_id)
+            record = view.entry(namespace).members.get(member_id)
             if record is not None:
                 record.status = MEMBER_RETIRING
                 found.append(member_id)
@@ -449,12 +633,16 @@ class MembershipRegistry:
             self._count("retires")
         return bool(found)
 
-    def retiring(self, member_id: str) -> bool:
+    def retiring(
+        self, member_id: str, namespace: str = DEFAULT_TENANT
+    ) -> bool:
         """Whether a retire was requested for this member (poll point)."""
-        record = self.read().members.get(member_id)
+        record = self.read().entry(namespace).members.get(member_id)
         return record is not None and record.status == MEMBER_RETIRING
 
-    def leave(self, member_id: str) -> bool:
+    def leave(
+        self, member_id: str, namespace: str = DEFAULT_TENANT
+    ) -> bool:
         """Remove a member; its slot becomes allocatable again.
 
         Returns False when the record was already gone (expired).
@@ -462,7 +650,8 @@ class MembershipRegistry:
         removed = []
 
         def apply(view: RegistryView) -> None:
-            if view.members.pop(member_id, None) is not None:
+            entry = view.entry(namespace)
+            if entry.members.pop(member_id, None) is not None:
                 view.epoch += 1
                 removed.append(member_id)
 
@@ -473,6 +662,6 @@ class MembershipRegistry:
 
     def expire_stale(self) -> int:
         """Evict every member whose lease lapsed; returns the count."""
-        before = len(self.read().members)
+        before = self.read().total_members()
         view = self._mutate(lambda _view: None)
-        return max(before - len(view.members), 0)
+        return max(before - view.total_members(), 0)

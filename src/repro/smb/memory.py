@@ -28,7 +28,9 @@ from typing import Callable, Dict, Iterator, List, Optional
 import numpy as np
 
 from .errors import (
+    AccessDeniedError,
     CapacityError,
+    QuotaExceededError,
     SegmentExistsError,
     SegmentRangeError,
     UnknownKeyError,
@@ -38,6 +40,16 @@ from .errors import (
 #: server scaled down to something a laptop test suite can allocate.
 DEFAULT_POOL_CAPACITY = 1 << 30  # 1 GiB
 
+#: The legacy namespace every pre-tenancy caller lands in.  Its segments
+#: keep their bare names on the wire and in snapshots, so single-job
+#: deployments (and their journals) are bit-compatible with PR 7.
+DEFAULT_TENANT = "default"
+
+
+def _validate_tenant(tenant: str) -> None:
+    if not tenant or "/" in tenant:
+        raise ValueError(f"invalid tenant name: {tenant!r}")
+
 #: Accumulates moving at least this many bytes are split into chunks and
 #: applied on the shared worker pool below.  Numpy releases the GIL for
 #: the element-wise add, so disjoint chunks genuinely run in parallel;
@@ -46,9 +58,36 @@ DEFAULT_POOL_CAPACITY = 1 << 30  # 1 GiB
 #: the copy saves.
 PARALLEL_ACCUMULATE_BYTES = 4 << 20  # 4 MiB
 
+#: CPU niceness of bulk-lane threads (accumulate chunk workers here, and
+#: the server's request worker pool).  Bulk transfers are
+#: throughput-bound and tolerate scheduling delay; small control ops are
+#: latency-bound and do not.  Demoting only the bulk threads lets the OS
+#: scheduler enforce that split whenever the machine is CPU-saturated: a
+#: tenant streaming whole-model accumulates cannot starve another
+#: tenant's 1 KiB reads off the run queue.  On an idle machine niceness
+#: has no effect, so bulk throughput is unchanged when there is no one
+#: to be fair to.
+BULK_LANE_NICE = 10
+
 _ACCUMULATE_WORKERS = max(2, min(8, (os.cpu_count() or 2)))
 _accumulate_pool: Optional[ThreadPoolExecutor] = None
 _accumulate_pool_lock = threading.Lock()
+
+
+def enter_bulk_priority(nice: int = BULK_LANE_NICE) -> None:
+    """Demote the calling thread to background (bulk-lane) CPU priority.
+
+    Linux exposes per-thread niceness through ``setpriority`` on the
+    thread id; lowering priority never needs privileges.  Platforms (or
+    sandboxes) without the call simply keep default priority — fairness
+    then degrades gracefully to the deficit-round-robin queueing alone.
+    """
+    try:
+        os.setpriority(  # type: ignore[attr-defined]
+            os.PRIO_PROCESS, threading.get_native_id(), nice
+        )
+    except (AttributeError, OSError):  # non-Linux, or denied by sandbox
+        pass
 
 
 def _accumulate_executor() -> ThreadPoolExecutor:
@@ -59,6 +98,7 @@ def _accumulate_executor() -> ThreadPoolExecutor:
                 _accumulate_pool = ThreadPoolExecutor(
                     max_workers=_ACCUMULATE_WORKERS,
                     thread_name_prefix="smb-accum",
+                    initializer=enter_bulk_priority,
                 )
     return _accumulate_pool
 
@@ -152,6 +192,7 @@ class Segment:
     shm_key: int
     buffer: np.ndarray
     owner: str = ""
+    tenant: str = DEFAULT_TENANT
     version: int = 0
     lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
     updated: threading.Condition = field(init=False, repr=False)
@@ -322,12 +363,42 @@ class Segment:
         return ready
 
 
+@dataclass
+class TenantGrant:
+    """Per-namespace admission state: the byte quota and what it holds.
+
+    ``quota is None`` means the namespace is bounded only by the pool's
+    granted capacity — the legacy single-job behaviour, and what an
+    unknown namespace auto-vivifies to on first contact.
+    """
+
+    name: str
+    quota: Optional[int] = None
+    used: int = 0
+    segments: int = 0
+
+    def stats(self) -> Dict[str, object]:
+        return {
+            "quota": self.quota,
+            "used": self.used,
+            "segments": self.segments,
+        }
+
+
 class MemoryPool:
     """Accounting and lookup for every segment in one SMB server.
 
     The pool enforces the granted-capacity limit, mints SHM keys and access
     keys, and maps both key kinds back to segments.  All public methods are
     thread-safe; the server calls them from many client-handler threads.
+
+    Segments live in per-tenant *namespaces*: a segment created by tenant
+    ``t`` is stored under the qualified name ``t/name`` (the ``default``
+    tenant keeps bare names for wire- and journal-compatibility with
+    single-job deployments).  Name-based operations (create / by_name /
+    free / segments) are namespace-scoped; key-based operations are not —
+    SHM and access keys act as capabilities, exactly like the Infiniband
+    rkeys they stand in for.
     """
 
     def __init__(self, capacity: int = DEFAULT_POOL_CAPACITY) -> None:
@@ -341,11 +412,79 @@ class MemoryPool:
         self._shm_keys = _key_sequence(start=0x5348_0001)
         self._access_keys = _key_sequence(start=0x4143_0001)
         self._used = 0
+        self._tenants: Dict[str, TenantGrant] = {
+            DEFAULT_TENANT: TenantGrant(DEFAULT_TENANT)
+        }
         # Counters of how many keys of each kind were ever minted, so a
         # restored pool can advance its generators past every key a
         # previous server life handed out (see advance_keys).
         self._shm_minted = 0
         self._access_minted = 0
+
+    # -- tenancy ------------------------------------------------------------
+
+    @staticmethod
+    def qualify(tenant: str, name: str) -> str:
+        """Map a tenant-local segment name to its pool-wide name."""
+        if tenant == DEFAULT_TENANT:
+            return name
+        return f"{tenant}/{name}"
+
+    @staticmethod
+    def split_name(qualified: str) -> tuple:
+        """Invert :meth:`qualify`: ``(tenant, bare_name)``.
+
+        Exact for names :meth:`qualify` produced for *named* tenants,
+        because :meth:`create` rejects ``/`` inside their bare names.
+        Default-tenant names may legitimately contain ``/`` (the legacy
+        elastic-job convention prefixes segment names with
+        ``"<job>/"``), so callers that know the owning tenant — restore
+        paths, scoped listings — must pass it explicitly instead of
+        parsing.
+        """
+        if "/" in qualified:
+            tenant, _, bare = qualified.partition("/")
+            return tenant, bare
+        return DEFAULT_TENANT, qualified
+
+    def _grant(self, tenant: str) -> TenantGrant:
+        """Fetch (auto-vivifying) a tenant's grant; ``_lock`` held."""
+        grant = self._tenants.get(tenant)
+        if grant is None:
+            grant = TenantGrant(tenant)
+            self._tenants[tenant] = grant
+        return grant
+
+    def create_tenant(
+        self, tenant: str, quota: Optional[int] = None
+    ) -> TenantGrant:
+        """Create (or re-grant) a namespace with a byte quota.
+
+        Idempotent on purpose — journal replay re-applies TENANT_CREATE
+        records, and re-granting is how an admin resizes a quota.  A
+        quota below the namespace's current usage is allowed: existing
+        segments stay, further CREATEs are denied until usage drops.
+        """
+        _validate_tenant(tenant)
+        if quota is not None and quota <= 0:
+            raise ValueError(f"quota must be positive, got {quota}")
+        with self._lock:
+            grant = self._grant(tenant)
+            grant.quota = quota
+            return grant
+
+    def tenants(self) -> Dict[str, TenantGrant]:
+        """Snapshot of every namespace grant, keyed by tenant name."""
+        with self._lock:
+            return dict(self._tenants)
+
+    def tenant_stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-namespace admission stats (quota / used / segment count)."""
+        with self._lock:
+            return {
+                name: grant.stats()
+                for name, grant in sorted(self._tenants.items())
+            }
 
     @property
     def capacity(self) -> int:
@@ -364,31 +503,62 @@ class MemoryPool:
         with self._lock:
             return self._capacity - self._used
 
-    def create(self, name: str, nbytes: int, owner: str = "") -> Segment:
+    def create(
+        self,
+        name: str,
+        nbytes: int,
+        owner: str = "",
+        tenant: str = DEFAULT_TENANT,
+    ) -> Segment:
         """Create a named segment and return it (master-worker operation).
 
+        Admission is checked against the *tenant's* quota grant before the
+        pool capacity, so one namespace cannot starve another of its
+        granted headroom.
+
         Raises:
-            SegmentExistsError: If ``name`` is already live.
+            SegmentExistsError: If ``name`` is already live in this tenant.
+            QuotaExceededError: If the tenant's quota cannot fit ``nbytes``.
             CapacityError: If the pool cannot fit ``nbytes`` more.
-            ValueError: If ``nbytes`` is not positive.
+            ValueError: If ``nbytes`` is not positive, or a *named*
+                tenant's ``name`` contains the namespace separator ``/``.
+
+        The default tenant may use ``/`` in names — the legacy
+        elastic-job convention namespaces segments client-side with a
+        ``"<job>/"`` prefix, and those deployments must keep working
+        unchanged.  A legacy name that happens to spell an existing
+        named tenant's qualified name collides in the shared directory
+        and raises :class:`SegmentExistsError`, never silently aliases.
         """
         if nbytes <= 0:
             raise ValueError(f"segment size must be positive, got {nbytes}")
+        _validate_tenant(tenant)
+        if tenant != DEFAULT_TENANT and "/" in name:
+            raise ValueError(f"segment name must not contain '/': {name!r}")
+        qualified = self.qualify(tenant, name)
         with self._lock:
-            if name in self._by_name:
-                raise SegmentExistsError(name)
+            if qualified in self._by_name:
+                raise SegmentExistsError(qualified)
+            grant = self._grant(tenant)
+            if grant.quota is not None and grant.used + nbytes > grant.quota:
+                raise QuotaExceededError(
+                    tenant, nbytes, grant.quota, grant.used
+                )
             if self._used + nbytes > self._capacity:
                 raise CapacityError(nbytes, self._capacity - self._used)
             segment = Segment(
-                name=name,
+                name=qualified,
                 shm_key=next(self._shm_keys),
                 buffer=np.zeros(nbytes, dtype=np.uint8),
                 owner=owner,
+                tenant=tenant,
             )
             self._shm_minted += 1
             self._by_shm_key[segment.shm_key] = segment
-            self._by_name[name] = segment
+            self._by_name[qualified] = segment
             self._used += nbytes
+            grant.used += nbytes
+            grant.segments += 1
             return segment
 
     def attach(self, shm_key: int, expected_nbytes: Optional[int] = None) -> int:
@@ -423,20 +593,39 @@ class MemoryPool:
             except KeyError:
                 raise UnknownKeyError(access_key) from None
 
-    def by_name(self, name: str) -> Segment:
-        """Look a segment up by name (diagnostics and tests)."""
+    def by_name(
+        self, name: str, tenant: Optional[str] = DEFAULT_TENANT
+    ) -> Segment:
+        """Look a segment up by its tenant-local name.
+
+        ``tenant=None`` treats ``name`` as already qualified (server
+        internals, diagnostics); any other value scopes the lookup to
+        that namespace.
+        """
+        qualified = name if tenant is None else self.qualify(tenant, name)
         with self._lock:
             try:
-                return self._by_name[name]
+                return self._by_name[qualified]
             except KeyError:
                 raise UnknownKeyError(0) from None
 
-    def free(self, shm_key: int) -> None:
-        """Release a segment and every access key pointing at it."""
+    def free(self, shm_key: int, tenant: Optional[str] = None) -> None:
+        """Release a segment and every access key pointing at it.
+
+        ``tenant`` scopes the release: a namespace may only free its own
+        segments (``None`` skips the check — server internals and the
+        legacy single-job path).
+        """
         with self._lock:
-            segment = self._by_shm_key.pop(shm_key, None)
+            segment = self._by_shm_key.get(shm_key)
             if segment is None:
                 raise UnknownKeyError(shm_key)
+            if tenant is not None and segment.tenant != tenant:
+                raise AccessDeniedError(
+                    f"segment {segment.name!r} belongs to tenant "
+                    f"{segment.tenant!r}, not {tenant!r}"
+                )
+            del self._by_shm_key[shm_key]
             del self._by_name[segment.name]
             stale = [
                 key for key, seg in self._by_access_key.items()
@@ -445,6 +634,10 @@ class MemoryPool:
             for key in stale:
                 del self._by_access_key[key]
             self._used -= segment.size
+            grant = self._tenants.get(segment.tenant)
+            if grant is not None:
+                grant.used = max(0, grant.used - segment.size)
+                grant.segments = max(0, grant.segments - 1)
 
     @property
     def shm_minted(self) -> int:
@@ -465,6 +658,7 @@ class MemoryPool:
         data: np.ndarray,
         version: int = 0,
         owner: str = "",
+        tenant: Optional[str] = None,
     ) -> Segment:
         """Rebuild a segment from durable state, keeping its SHM key.
 
@@ -473,8 +667,15 @@ class MemoryPool:
         the key is segment identity, not a per-life handle.  Call
         :meth:`advance_keys` afterwards so freshly minted keys never
         collide with restored ones.
+
+        ``tenant`` is the namespace to account the segment to.  Pass it
+        whenever the durable record carries it; the ``None`` fallback
+        parses the qualified name, which misreads a legacy default-tenant
+        name like ``"job1/W_g"`` as belonging to tenant ``job1``.
         """
         nbytes = int(data.nbytes)
+        if tenant is None:
+            tenant, _ = self.split_name(name)
         with self._lock:
             if name in self._by_name:
                 raise SegmentExistsError(name)
@@ -487,11 +688,15 @@ class MemoryPool:
                 shm_key=shm_key,
                 buffer=np.ascontiguousarray(data, dtype=np.uint8).reshape(-1),
                 owner=owner,
+                tenant=tenant,
             )
             segment.version = version
             self._by_shm_key[shm_key] = segment
             self._by_name[name] = segment
             self._used += nbytes
+            grant = self._grant(tenant)
+            grant.used += nbytes
+            grant.segments += 1
             return segment
 
     def reseed_access_keys(self, salt: int) -> None:
@@ -531,10 +736,19 @@ class MemoryPool:
                 next(self._access_keys)
                 self._access_minted += 1
 
-    def segments(self) -> Dict[str, Segment]:
-        """Snapshot of live segments keyed by name."""
+    def segments(self, tenant: Optional[str] = None) -> Dict[str, Segment]:
+        """Snapshot of live segments keyed by (qualified) name.
+
+        ``tenant`` restricts the view to one namespace; ``None`` returns
+        every segment in the pool (durability, shutdown, diagnostics).
+        """
         with self._lock:
-            return dict(self._by_name)
+            if tenant is None:
+                return dict(self._by_name)
+            return {
+                name: seg for name, seg in self._by_name.items()
+                if seg.tenant == tenant
+            }
 
     def for_each(self, fn: Callable[[Segment], None]) -> None:
         """Apply ``fn`` to every live segment (used by server shutdown)."""

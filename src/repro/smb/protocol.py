@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from .errors import SMBConnectionError, SMBProtocolError
+from .memory import DEFAULT_TENANT
 
 #: opcode(B) status(B) key(q) key2(q) offset(q) count(q) scale(d) paylen(I)
 HEADER_FORMAT = "!BBqqqqdI"
@@ -47,7 +48,63 @@ HEADER_SIZE = struct.calcsize(HEADER_FORMAT)
 
 #: Magic bytes every connection opens with, so a stray client that connects
 #: to the wrong port fails immediately instead of hanging mid-protocol.
+#: A bare ``SMB1`` hello lands the connection in the legacy ``default``
+#: tenant; ``SMB2`` is followed by a tenant-name record (u16 length +
+#: UTF-8 bytes) that scopes every name-based op on the connection.
 HELLO = b"SMB1"
+HELLO_TENANT = b"SMB2"
+
+#: Length prefix of the tenant-name record that follows ``SMB2``.
+TENANT_LEN_STRUCT = struct.Struct("!H")
+
+#: Upper bound on the tenant-name record, so a corrupt length prefix
+#: cannot make the server wait on a multi-kilobyte "name".
+MAX_TENANT_NAME = 255
+
+
+def encode_hello(tenant: str = DEFAULT_TENANT) -> bytes:
+    """The handshake bytes a client opens a connection with.
+
+    The default tenant sends the bare 4-byte ``SMB1`` magic — exactly
+    what every pre-tenancy client sends — so old clients and new servers
+    (and vice versa) interoperate without a flag day.
+    """
+    if tenant == DEFAULT_TENANT:
+        return HELLO
+    encoded = tenant.encode("utf-8")
+    if not encoded or len(encoded) > MAX_TENANT_NAME or "/" in tenant:
+        raise SMBProtocolError(f"invalid tenant name: {tenant!r}")
+    return HELLO_TENANT + TENANT_LEN_STRUCT.pack(len(encoded)) + encoded
+
+
+def decode_tenant_record(raw: bytes) -> str:
+    """Validate + decode the name bytes of an ``SMB2`` tenant record."""
+    try:
+        tenant = raw.decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise SMBProtocolError(f"undecodable tenant name: {exc}") from exc
+    if not tenant or "/" in tenant:
+        raise SMBProtocolError(f"invalid tenant name: {tenant!r}")
+    return tenant
+
+
+def read_hello(sock: socket.socket) -> str:
+    """Consume a connection's handshake and return its tenant.
+
+    The blocking-socket counterpart of the event-loop server's
+    incremental hello parser, used by the shared-memory doorbell server.
+    """
+    magic = recv_exact(sock, len(HELLO))
+    if magic == HELLO:
+        return DEFAULT_TENANT
+    if magic != HELLO_TENANT:
+        raise SMBProtocolError(f"bad protocol hello: {magic!r}")
+    (length,) = TENANT_LEN_STRUCT.unpack(
+        recv_exact(sock, TENANT_LEN_STRUCT.size)
+    )
+    if length == 0 or length > MAX_TENANT_NAME:
+        raise SMBProtocolError(f"bad tenant record length: {length}")
+    return decode_tenant_record(recv_exact(sock, length))
 
 #: Payload types a message may carry.  ``memoryview`` payloads enable the
 #: zero-copy send/receive paths; they must be 1-D, C-contiguous views of
@@ -92,6 +149,8 @@ class Op(enum.IntEnum):
     LOOKUP = 11         # name -> shm_key (late joiners)
     LIST = 12           # segment inventory (administration)
     SNAPSHOT = 13       # force a durable snapshot -> snapshot seq
+    TENANT_CREATE = 14  # create / re-grant a namespace quota (admin)
+    TENANT_STATS = 15   # per-namespace quota/usage/dispatch stats
 
 
 class Status(enum.IntEnum):

@@ -37,7 +37,7 @@ import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from time import perf_counter as _perf_counter
-from typing import Deque, Dict, List, Optional, Tuple, Union
+from typing import Callable, Deque, Dict, List, Optional, Tuple, Union
 
 from time import monotonic as _monotonic
 
@@ -47,8 +47,10 @@ from ..telemetry import MetricsRegistry, TelemetrySession
 from ..telemetry import current as _telemetry_current
 from .errors import (
     NotificationTimeout,
+    QuotaExceededError,
     ServerClosingError,
     SMBError,
+    SMBProtocolError,
     to_wire,
 )
 from .journal import (
@@ -60,17 +62,23 @@ from .journal import (
 )
 from .memory import (
     DEFAULT_POOL_CAPACITY,
+    DEFAULT_TENANT,
     MemoryPool,
     Segment,
     SegmentWaiter,
+    enter_bulk_priority,
 )
 from .protocol import (
     HEADER_FORMAT,
     HEADER_SIZE,
     HELLO,
+    HELLO_TENANT,
+    MAX_TENANT_NAME,
+    TENANT_LEN_STRUCT,
     Message,
     Op,
     Status,
+    decode_tenant_record,
 )
 
 logger = logging.getLogger(__name__)
@@ -96,13 +104,41 @@ class ServerStats:
     def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
 
-    def record(self, op: Op, nbytes: int = 0) -> None:
-        """Account one operation of ``op`` moving ``nbytes`` payload bytes."""
+    def record(
+        self, op: Op, nbytes: int = 0, tenant: Optional[str] = None
+    ) -> None:
+        """Account one operation of ``op`` moving ``nbytes`` payload bytes.
+
+        With ``tenant`` given, the same accounting is mirrored into the
+        per-namespace counters (``smb/tenant/<ns>/*``) that back
+        TENANT_STATS and the multi-tenant billing view.
+        """
         self.registry.inc(f"smb/server/ops/{op.name}")
         if op is Op.READ:
             self.registry.inc("smb/server/bytes_read", nbytes)
         elif op in (Op.WRITE, Op.ACCUMULATE):
             self.registry.inc("smb/server/bytes_written", nbytes)
+        if tenant is not None:
+            self.registry.inc(f"smb/tenant/{tenant}/ops")
+            if op is Op.READ:
+                self.registry.inc(f"smb/tenant/{tenant}/bytes_read", nbytes)
+            elif op in (Op.WRITE, Op.ACCUMULATE):
+                self.registry.inc(
+                    f"smb/tenant/{tenant}/bytes_written", nbytes
+                )
+
+    def tenant_counters(self, tenant: str) -> Dict[str, float]:
+        """Per-namespace telemetry: ops, bytes, denials, queue depth."""
+        prefix = f"smb/tenant/{tenant}/"
+        data: Dict[str, float] = {}
+        for name in self.registry.names():
+            if not name.startswith(prefix):
+                continue
+            metric = self.registry.get(name)
+            value = getattr(metric, "value", None)
+            if value is not None:
+                data[name[len(prefix):]] = value
+        return data
 
     @property
     def bytes_read(self) -> int:
@@ -193,6 +229,11 @@ class SMBServer:
         """Rehydrate pool, key table, versions and epoch from disk."""
         assert self._store is not None
         image = self._store.recover()
+        for entry in image.tenants:
+            self.pool.create_tenant(
+                str(entry["name"]),
+                int(entry["quota"]) if entry.get("quota") else None,
+            )
         for seg in image.segments:
             self.pool.restore_segment(
                 name=seg.name,
@@ -200,6 +241,7 @@ class SMBServer:
                 data=seg.data,
                 version=seg.version,
                 owner=seg.owner,
+                tenant=seg.tenant,
             )
         self.pool.advance_keys(image.shm_minted, image.access_minted)
         self.epoch = image.epoch + 1
@@ -228,8 +270,14 @@ class SMBServer:
                 data=segment.buffer.copy(),
                 version=segment.version,
                 owner=segment.owner,
+                tenant=segment.tenant,
             )
             for segment in self.pool.segments().values()
+        ]
+        tenants = [
+            {"name": name, "quota": grant.quota}
+            for name, grant in sorted(self.pool.tenants().items())
+            if name != DEFAULT_TENANT or grant.quota is not None
         ]
         return PoolImage(
             capacity=self.pool.capacity,
@@ -238,6 +286,7 @@ class SMBServer:
             shm_minted=self.pool.shm_minted,
             access_minted=self.pool.access_minted,
             segments=segments,
+            tenants=tenants,
         )
 
     def _write_snapshot_locked(self) -> int:
@@ -302,7 +351,10 @@ class SMBServer:
         self.pool.for_each(_wake)
 
     def handle(
-        self, request: Message, out: Optional[memoryview] = None
+        self,
+        request: Message,
+        out: Optional[memoryview] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> Message:
         """Process one request and return the response message.
 
@@ -311,6 +363,11 @@ class SMBServer:
         clients can re-raise a faithful exception.  With telemetry
         recording, every request is timed into a per-opcode histogram
         and (in trace mode) emitted on the server's trace lane.
+
+        ``tenant`` is the caller's namespace (established by the
+        connection handshake, or pinned on an in-process transport);
+        name-based ops are scoped to it and CREATE admission is checked
+        against its quota grant.
 
         ``out`` is the in-process zero-copy seam: a READ whose result fits
         is copied *once*, segment to caller buffer, under the segment
@@ -321,13 +378,13 @@ class SMBServer:
         if tel is None:
             tel = _telemetry_current()
         if not tel.enabled:
-            return self._handle(request, out)
+            return self._handle(request, out, tenant)
         trace = tel.trace
         if trace is not None:
             trace.name_process(SMB_SERVER_TRACE_PID, "smb-server")
         ts_us = trace.now_us() if trace is not None else 0.0
         start = _perf_counter()
-        response = self._handle(request, out)
+        response = self._handle(request, out, tenant)
         elapsed = _perf_counter() - start
         tel.registry.observe(
             f"smb/server/time/{request.op.name}", elapsed
@@ -347,14 +404,21 @@ class SMBServer:
         return response
 
     def _handle(
-        self, request: Message, out: Optional[memoryview] = None
+        self,
+        request: Message,
+        out: Optional[memoryview] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> Message:
         try:
-            return self._dispatch(request, out)
+            return self._dispatch(request, out, tenant)
         except NotificationTimeout as exc:
             return Message(op=request.op, status=Status.TIMEOUT,
                            payload=str(exc).encode())
         except SMBError as exc:
+            if isinstance(exc, QuotaExceededError):
+                self.stats.registry.inc(
+                    f"smb/tenant/{exc.tenant}/quota_denials"
+                )
             return Message(op=request.op, status=Status.ERROR,
                            payload=to_wire(exc))
 
@@ -366,22 +430,38 @@ class SMBServer:
         self.stats.registry.set("smb/server/queue/accumulate", depth)
 
     def _dispatch(
-        self, req: Message, out: Optional[memoryview] = None
+        self,
+        req: Message,
+        out: Optional[memoryview] = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> Message:
         if req.op is Op.CREATE:
             name = bytes(req.payload).decode()
             with self._mutation_guard():
-                segment = self.pool.create(name, req.count)
+                segment = self.pool.create(name, req.count, tenant=tenant)
+                # Journal the *qualified* name: replay must land the
+                # segment back in its namespace, not in ``default``.
+                # The otherwise-unused ``offset`` slot carries the byte
+                # length of the ``"<tenant>/"`` prefix (0 = default), so
+                # replay never parses a name — a legacy default-tenant
+                # name like ``"job1/W_g"`` must not be misread as tenant
+                # ``job1``'s ``W_g``.  Pre-tenancy records replay with
+                # offset 0, i.e. into the default namespace, unchanged.
+                prefix = (
+                    0 if tenant == DEFAULT_TENANT
+                    else len(tenant.encode()) + 1
+                )
                 self._journal(Message(op=Op.CREATE, key=segment.shm_key,
-                                      count=req.count, payload=req.payload))
-            self.stats.record(req.op)
+                                      count=req.count, offset=prefix,
+                                      payload=segment.name.encode()))
+            self.stats.record(req.op, tenant=tenant)
             return Message(op=req.op, key=segment.shm_key)
 
         if req.op is Op.ATTACH:
             expected = req.count if req.count else None
             segment = self.pool.by_shm_key(req.key)
             access_key = self.pool.attach(req.key, expected)
-            self.stats.record(req.op)
+            self.stats.record(req.op, tenant=tenant)
             # key2/count were unused in ATTACH responses; they now carry
             # the server epoch and segment version so re-attaching
             # clients can verify what survived a restart.
@@ -389,8 +469,8 @@ class SMBServer:
                            count=segment.version)
 
         if req.op is Op.LOOKUP:
-            segment = self.pool.by_name(bytes(req.payload).decode())
-            self.stats.record(req.op)
+            segment = self.pool.by_name(bytes(req.payload).decode(), tenant)
+            self.stats.record(req.op, tenant=tenant)
             return Message(op=req.op, key=segment.shm_key,
                            count=segment.size)
 
@@ -402,7 +482,7 @@ class SMBServer:
                 data = out[:nbytes]
             else:
                 data = segment.read(req.offset, req.count)
-            self.stats.record(req.op, len(data))
+            self.stats.record(req.op, len(data), tenant=tenant)
             return Message(op=req.op, key=req.key, count=segment.version,
                            payload=data)
 
@@ -413,7 +493,7 @@ class SMBServer:
                 self._journal(Message(op=Op.WRITE, key=segment.shm_key,
                                       offset=req.offset,
                                       payload=req.payload))
-            self.stats.record(req.op, len(req.payload))
+            self.stats.record(req.op, len(req.payload), tenant=tenant)
             return Message(op=req.op, key=req.key, count=version)
 
         if req.op is Op.ACCUMULATE:
@@ -458,14 +538,14 @@ class SMBServer:
             # bandwidth numbers.
             nbytes = (req.count * itemsize) if req.count \
                 else (src.size // itemsize) * itemsize
-            self.stats.record(req.op, nbytes)
+            self.stats.record(req.op, nbytes, tenant=tenant)
             return Message(op=req.op, key=req.key, count=version)
 
         if req.op is Op.FREE:
             with self._mutation_guard():
-                self.pool.free(req.key)
+                self.pool.free(req.key, tenant)
                 self._journal(Message(op=Op.FREE, key=req.key))
-            self.stats.record(req.op)
+            self.stats.record(req.op, tenant=tenant)
             return Message(op=req.op)
 
         if req.op is Op.WAIT_UPDATE:
@@ -486,12 +566,12 @@ class SMBServer:
                             req.key, req.count, timeout or 0.0
                         )
                 version = segment.wait_for_update(req.count, wait)
-            self.stats.record(req.op)
+            self.stats.record(req.op, tenant=tenant)
             return Message(op=req.op, key=req.key, count=version)
 
         if req.op is Op.VERSION:
             segment = self.pool.by_access_key(req.key)
-            self.stats.record(req.op)
+            self.stats.record(req.op, tenant=tenant)
             return Message(op=req.op, key=req.key, count=segment.version)
 
         if req.op is Op.STATS:
@@ -512,16 +592,24 @@ class SMBServer:
         if req.op is Op.LIST:
             import json
 
-            self.stats.record(req.op)
+            self.stats.record(req.op, tenant=tenant)
+            # Scoped to the caller's namespace; names are reported
+            # tenant-local (the names the tenant created them under).
+            # Strip this tenant's own prefix rather than parsing — a
+            # legacy default-tenant name may itself contain ``/``.
+            prefix_len = (
+                0 if tenant == DEFAULT_TENANT else len(tenant) + 1
+            )
             inventory = [
                 {
-                    "name": segment.name,
+                    "name": segment.name[prefix_len:],
                     "nbytes": segment.size,
                     "version": segment.version,
                     "owner": segment.owner,
                 }
-                for segment in self.pool.segments().values()
+                for segment in self.pool.segments(tenant).values()
             ]
+            grant = self.pool.tenants().get(tenant)
             payload = json.dumps(
                 {
                     "segments": sorted(
@@ -529,8 +617,35 @@ class SMBServer:
                     ),
                     "capacity": self.pool.capacity,
                     "used": self.pool.used,
+                    "tenant": tenant,
+                    "quota": grant.quota if grant is not None else None,
+                    "tenant_used": grant.used if grant is not None else 0,
                 }
             ).encode()
+            return Message(op=req.op, payload=payload)
+
+        if req.op is Op.TENANT_CREATE:
+            name = bytes(req.payload).decode()
+            quota = req.count if req.count > 0 else None
+            try:
+                with self._mutation_guard():
+                    grant = self.pool.create_tenant(name, quota)
+                    self._journal(Message(op=Op.TENANT_CREATE,
+                                          count=req.count,
+                                          payload=req.payload))
+            except ValueError as exc:
+                raise SMBProtocolError(str(exc)) from exc
+            self.stats.record(req.op, tenant=tenant)
+            return Message(op=req.op, count=grant.quota or 0)
+
+        if req.op is Op.TENANT_STATS:
+            import json
+
+            self.stats.record(req.op, tenant=tenant)
+            stats = self.pool.tenant_stats()
+            for ns, entry in stats.items():
+                entry["counters"] = self.stats.tenant_counters(ns)
+            payload = json.dumps(stats).encode()
             return Message(op=req.op, payload=payload)
 
         if req.op is Op.SHUTDOWN:
@@ -571,7 +686,7 @@ class _Connection:
     __slots__ = (
         "sock", "peer", "state", "have", "need", "hbuf",
         "recv_buf", "read_buf", "request", "out_views",
-        "close_after_write", "dead",
+        "close_after_write", "dead", "tenant",
     )
 
     def __init__(self, sock: socket.socket, peer: object) -> None:
@@ -580,7 +695,11 @@ class _Connection:
         self.state = _Connection.HELLO
         self.have = 0
         self.need = len(HELLO)
-        self.hbuf = bytearray(max(HEADER_SIZE, len(HELLO)))
+        self.hbuf = bytearray(
+            max(HEADER_SIZE,
+                len(HELLO) + TENANT_LEN_STRUCT.size + MAX_TENANT_NAME)
+        )
+        self.tenant = DEFAULT_TENANT
         # Pooled per-connection buffers: request payloads (WRITE data)
         # land in recv_buf, READ responses are built in read_buf.  Grown
         # on demand to the largest payload seen, so steady-state training
@@ -611,6 +730,152 @@ class _PendingWait:
         self.waiter = waiter
         self.deadline = deadline
         self.timeout = timeout
+
+
+class _TenantLanes:
+    """Per-tenant deficit-round-robin queue in front of the worker pool.
+
+    The *slow lane*: every offloaded request is enqueued under its
+    connection's tenant, and lanes drain into the pool in DRR order.
+    Each tenant earns :data:`QUANTUM` bytes of service credit per round
+    and pays a request's transfer size per dispatch, so a tenant
+    streaming 64 MiB ACCUMULATEs collects credit across ~64 rounds per
+    dispatch while a tenant issuing 64 KiB reads dispatches every round:
+    byte-fair, not op-fair ("RPC Considered Harmful" — bulk transfers
+    must not queue ahead of another tenant's control traffic).
+
+    A monopoly guard additionally holds any one tenant at
+    ``max_inflight - 2`` pool threads *while another tenant has work
+    queued*; a solo tenant still gets the whole pool, so single-job
+    deployments behave exactly as before.
+
+    Small control ops never come here — they run inline on the loop
+    thread (the *fast lane*).  Queue depths are exported as
+    ``smb/tenant/<ns>/queue_depth`` gauges.
+    """
+
+    QUANTUM = 1 << 20   # bytes of service credit per tenant per round
+    MIN_COST = 1 << 10  # floor, so header-only ops still pay something
+
+    def __init__(
+        self,
+        pool: ThreadPoolExecutor,
+        max_inflight: int,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self._pool = pool
+        self._max_inflight = max(1, max_inflight)
+        self._tenant_cap = max(1, self._max_inflight - 2)
+        self._registry = registry
+        self._lock = threading.Lock()
+        self._queues: Dict[str, Deque[Tuple[int, Callable[[], None]]]] = {}
+        self._deficits: Dict[str, int] = {}
+        self._active: Deque[str] = deque()
+        self._inflight = 0
+        self._inflight_by: Dict[str, int] = {}
+        self._closed = False
+
+    def submit(
+        self, tenant: str, cost: int, task: Callable[[], None]
+    ) -> None:
+        """Enqueue one offloaded request for ``tenant`` (any thread)."""
+        cost = max(int(cost), self.MIN_COST)
+        with self._lock:
+            if self._closed:
+                return
+            queue = self._queues.get(tenant)
+            if queue is None:
+                queue = self._queues[tenant] = deque()
+            if not queue and tenant not in self._active:
+                self._active.append(tenant)
+                self._deficits.setdefault(tenant, 0)
+            queue.append((cost, task))
+            self._note_depth(tenant)
+            self._pump_locked()
+
+    def queue_depth(self, tenant: str) -> int:
+        with self._lock:
+            queue = self._queues.get(tenant)
+            return len(queue) if queue else 0
+
+    def _note_depth(self, tenant: str) -> None:
+        if self._registry is not None:
+            queue = self._queues.get(tenant)
+            self._registry.set(
+                f"smb/tenant/{tenant}/queue_depth",
+                len(queue) if queue else 0,
+            )
+
+    def _capped_locked(self, tenant: str) -> bool:
+        """Monopoly guard: at the cap *and* someone else is waiting."""
+        if self._inflight_by.get(tenant, 0) < self._tenant_cap:
+            return False
+        return any(
+            other != tenant and self._queues.get(other)
+            for other in self._active
+        )
+
+    def _pick_locked(
+        self,
+    ) -> Optional[Tuple[str, Callable[[], None]]]:
+        while self._active:
+            tenant = self._active[0]
+            queue = self._queues.get(tenant)
+            if not queue:
+                # Burst over: leave the round and surrender leftover
+                # credit, so an idle tenant cannot hoard deficit.
+                self._active.popleft()
+                self._deficits[tenant] = 0
+                continue
+            if self._capped_locked(tenant):
+                if not any(
+                    self._queues.get(other)
+                    and not self._capped_locked(other)
+                    for other in self._active
+                ):
+                    return None  # everyone runnable is capped; wait
+                self._active.rotate(-1)
+                continue
+            cost, task = queue[0]
+            if self._deficits[tenant] >= cost:
+                queue.popleft()
+                self._deficits[tenant] -= cost
+                self._note_depth(tenant)
+                return tenant, task
+            self._deficits[tenant] += self.QUANTUM
+            self._active.rotate(-1)
+        return None
+
+    def _pump_locked(self) -> None:
+        while self._inflight < self._max_inflight:
+            picked = self._pick_locked()
+            if picked is None:
+                return
+            tenant, task = picked
+            self._inflight += 1
+            self._inflight_by[tenant] = self._inflight_by.get(tenant, 0) + 1
+            try:
+                self._pool.submit(self._run, tenant, task)
+            except RuntimeError:
+                # Pool shut down mid-stop: drop the queues; teardown
+                # severs every connection they would have answered.
+                self._closed = True
+                self._inflight -= 1
+                self._inflight_by[tenant] -= 1
+                self._queues.clear()
+                self._active.clear()
+                return
+
+    def _run(self, tenant: str, task: Callable[[], None]) -> None:
+        try:
+            task()
+        finally:
+            with self._lock:
+                self._inflight -= 1
+                self._inflight_by[tenant] = max(
+                    0, self._inflight_by.get(tenant, 1) - 1
+                )
+                self._pump_locked()
 
 
 class TcpSMBServer:
@@ -691,8 +956,20 @@ class TcpSMBServer:
         # starve a bulk accumulate behind them.
         if workers is None:
             workers = max(8, min(32, (os.cpu_count() or 4) * 2))
+        # Pool threads run at background CPU priority: they carry only
+        # bulk transfers and parked waits, while the loop thread serves
+        # every latency-bound control op inline — so on a saturated host
+        # the scheduler keeps small ops fast instead of queueing them
+        # behind whole-model accumulates.
         self._pool = ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="smb-worker"
+            max_workers=workers, thread_name_prefix="smb-worker",
+            initializer=enter_bulk_priority,
+        )
+        # Slow lane: offloaded (bulk / blocking) work drains through a
+        # per-tenant deficit-round-robin queue, so no tenant's burst can
+        # monopolize the pool threads while others have work queued.
+        self._lanes = _TenantLanes(
+            self._pool, workers, self.core.stats.registry
         )
         # Completions posted by pool tasks; the loop drains after a
         # wakeup byte.  (conn, request, response) — response None means
@@ -876,14 +1153,8 @@ class TcpSMBServer:
             if conn.have < conn.need:
                 continue
             if conn.state == _Connection.HELLO:
-                if bytes(conn.hbuf[:len(HELLO)]) != HELLO:
-                    logger.warning(
-                        "rejecting non-SMB client from %s", conn.peer
-                    )
-                    self._close_conn(conn)
+                if not self._advance_hello(conn):
                     return
-                conn.state = _Connection.HEADER
-                conn.have, conn.need = 0, HEADER_SIZE
             elif conn.state == _Connection.HEADER:
                 paylen = struct.unpack(
                     HEADER_FORMAT, conn.hbuf[:HEADER_SIZE]
@@ -899,6 +1170,47 @@ class TcpSMBServer:
                 payload = memoryview(conn.recv_buf)[:conn.need]
                 self._begin_request(conn, payload)
                 return
+
+    def _advance_hello(self, conn: _Connection) -> bool:
+        """Advance the handshake state machine one completed read.
+
+        A bare ``SMB1`` magic lands the connection in the ``default``
+        tenant (every pre-tenancy client); ``SMB2`` extends the
+        handshake by a u16 length and that many UTF-8 tenant-name bytes,
+        parsed incrementally by growing ``conn.need``.  Returns ``False``
+        once the connection was rejected (and closed).
+        """
+        prefix = len(HELLO) + TENANT_LEN_STRUCT.size
+        if conn.need == len(HELLO):
+            magic = bytes(conn.hbuf[:len(HELLO)])
+            if magic == HELLO:
+                conn.state = _Connection.HEADER
+                conn.have, conn.need = 0, HEADER_SIZE
+                return True
+            if magic == HELLO_TENANT:
+                conn.need = prefix
+                return True
+        elif conn.need == prefix:
+            (length,) = TENANT_LEN_STRUCT.unpack(
+                conn.hbuf[len(HELLO):prefix]
+            )
+            if 0 < length <= MAX_TENANT_NAME:
+                conn.need = prefix + length
+                return True
+        else:
+            try:
+                conn.tenant = decode_tenant_record(
+                    bytes(conn.hbuf[prefix:conn.need])
+                )
+            except SMBProtocolError:
+                pass  # falls through to the rejection below
+            else:
+                conn.state = _Connection.HEADER
+                conn.have, conn.need = 0, HEADER_SIZE
+                return True
+        logger.warning("rejecting non-SMB client from %s", conn.peer)
+        self._close_conn(conn)
+        return False
 
     def _begin_request(self, conn: _Connection, payload: "bytes | memoryview") -> None:
         try:
@@ -923,9 +1235,31 @@ class TcpSMBServer:
         if request.op is Op.WAIT_UPDATE:
             self._begin_wait(conn, request)
         elif self._needs_offload(request):
-            self._pool.submit(self._process, conn, request, out)
+            self._lanes.submit(
+                conn.tenant,
+                self._request_cost(request),
+                lambda: self._process(conn, request, out),
+            )
         else:
             self._handle_inline(conn, request, out)
+
+    @staticmethod
+    def _request_cost(request: Message) -> int:
+        """Approximate transfer bytes a request moves (DRR accounting)."""
+        op = request.op
+        if op in (Op.READ, Op.CREATE):
+            return request.count
+        if op is Op.WRITE:
+            return request.payload_nbytes
+        if op is Op.ACCUMULATE:
+            # ``count`` is in elements; float32 is the wire default and
+            # close enough for fairness accounting.  count == 0 means
+            # "whole source segment" — charge a full quantum.
+            return request.count * 4 if request.count \
+                else _TenantLanes.QUANTUM
+        if op is Op.SNAPSHOT:
+            return _TenantLanes.QUANTUM
+        return _TenantLanes.MIN_COST
 
     def _needs_offload(self, request: Message) -> bool:
         op = request.op
@@ -954,7 +1288,7 @@ class TcpSMBServer:
         non-UTF-8 name payload, a bad dtype string — costs that one
         connection, never the event loop."""
         try:
-            response = self.core.handle(request, out)
+            response = self.core.handle(request, out, tenant=conn.tenant)
         except Exception:  # noqa: BLE001 - keep the server alive
             logger.exception("SMB handler crashed for peer %s", conn.peer)
             self._close_conn(conn)
@@ -966,7 +1300,9 @@ class TcpSMBServer:
     ) -> None:
         """Worker-pool body: run one request, post the completion."""
         try:
-            response: Optional[Message] = self.core.handle(request, out)
+            response: Optional[Message] = self.core.handle(
+                request, out, tenant=conn.tenant
+            )
         except Exception:  # noqa: BLE001 - keep the server alive
             logger.exception("SMB handler crashed for peer %s", conn.peer)
             response = None
@@ -998,14 +1334,16 @@ class TcpSMBServer:
         deadline = _monotonic() + timeout if timeout is not None else None
 
         def _on_update(_version: int) -> None:
-            # Runs on whichever thread bumped the version; the pool hop
-            # keeps response encoding/stats off the mutator's hot path.
+            # Runs on whichever thread bumped the version; the lane hop
+            # keeps response encoding/stats off the mutator's hot path
+            # (and a woken wait queues fairly behind its tenant's bulk).
             with self._waiters_lock:
                 self._waiters.pop(conn, None)
-            try:
-                self._pool.submit(self._process, conn, request, None)
-            except RuntimeError:
-                pass  # pool shut down mid-stop; teardown severs the conn
+            self._lanes.submit(
+                conn.tenant,
+                _TenantLanes.MIN_COST,
+                lambda: self._process(conn, request, None),
+            )
 
         waiter = segment.add_waiter(request.count, _on_update)
         if waiter is None:  # already satisfied — answer inline, no block

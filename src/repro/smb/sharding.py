@@ -38,6 +38,7 @@ Per-stripe detail is available from :meth:`ShardedArray.shard_versions`.
 
 from __future__ import annotations
 
+import atexit
 import os
 import threading
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -60,7 +61,14 @@ _executor_lock = threading.Lock()
 
 
 def _fanout_executor() -> ThreadPoolExecutor:
-    """The process-wide shard fan-out pool (created on first use)."""
+    """The process-wide shard fan-out pool (created on first use).
+
+    The pool used to live for the whole process with no way to release
+    its threads; :func:`shutdown_fanout_executor` now tears it down
+    (and is registered via ``atexit`` so interpreter shutdown never
+    races pool threads against module teardown).  A later shard op
+    after a shutdown simply re-creates the pool.
+    """
     global _executor
     with _executor_lock:
         if _executor is None:
@@ -69,6 +77,22 @@ def _fanout_executor() -> ThreadPoolExecutor:
                 max_workers=workers, thread_name_prefix="smb-shard"
             )
         return _executor
+
+
+def shutdown_fanout_executor(wait: bool = True) -> None:
+    """Stop the shared fan-out pool; the next shard op recreates it.
+
+    Safe to call any number of times, from tests tearing down a fleet or
+    from embedders that want zero background threads between runs.
+    """
+    global _executor
+    with _executor_lock:
+        executor, _executor = _executor, None
+    if executor is not None:
+        executor.shutdown(wait=wait)
+
+
+atexit.register(shutdown_fanout_executor, wait=False)
 
 
 def _fan_out(tasks: Sequence[Callable[[], T]]) -> List[T]:

@@ -58,8 +58,17 @@ import threading
 from multiprocessing import shared_memory
 from typing import List, Optional, Tuple, Union
 
-from .errors import SMBConnectionError, TransportClosedError
-from .protocol import HEADER_FORMAT, HEADER_SIZE, HELLO, Message, Op, Status
+from .errors import SMBConnectionError, SMBProtocolError, TransportClosedError
+from .memory import DEFAULT_TENANT
+from .protocol import (
+    HEADER_FORMAT,
+    HEADER_SIZE,
+    Message,
+    Op,
+    Status,
+    encode_hello,
+    read_hello,
+)
 from .server import DEFAULT_POOL_CAPACITY, SMBServer
 
 logger = logging.getLogger(__name__)
@@ -167,13 +176,18 @@ def _close_block(
 class _ShmChannel:
     """One doorbell socket plus its shared-memory block (client end)."""
 
-    def __init__(self, path: Union[str, os.PathLike], timeout: float) -> None:
+    def __init__(
+        self,
+        path: Union[str, os.PathLike],
+        timeout: float,
+        tenant: str = DEFAULT_TENANT,
+    ) -> None:
         self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
         self.sock.settimeout(timeout)
         self.shm: Optional[shared_memory.SharedMemory] = None
         try:
             self.sock.connect(os.fspath(path))
-            self.sock.sendall(HELLO)
+            self.sock.sendall(encode_hello(tenant))
             # Handshake is a switch record like any other.
             value = _recv_doorbell(self.sock)
             if value >= 0:
@@ -257,13 +271,15 @@ class ShmTransport:
         self,
         path: Union[str, os.PathLike],
         timeout: float = 30.0,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         self._path = path
         self._timeout = timeout
+        self._tenant = tenant
         self._lock = threading.Lock()
         self._notify_lock = threading.Lock()
         self._closed = threading.Event()
-        self._cmd = _ShmChannel(path, timeout)
+        self._cmd = _ShmChannel(path, timeout, tenant)
         self._notify: Optional[_ShmChannel] = None
 
     def request(
@@ -283,7 +299,9 @@ class ShmTransport:
             if self._closed.is_set():
                 raise TransportClosedError("transport is closed")
             if self._notify is None:
-                self._notify = _ShmChannel(self._path, self._timeout)
+                self._notify = _ShmChannel(
+                    self._path, self._timeout, self._tenant
+                )
             return self._notify.exchange(message)
 
     def close(self) -> None:
@@ -430,7 +448,10 @@ class ShmSMBServer:
         return block
 
     def _serve_frame(
-        self, conn: socket.socket, block: shared_memory.SharedMemory
+        self,
+        conn: socket.socket,
+        block: shared_memory.SharedMemory,
+        tenant: str = DEFAULT_TENANT,
     ) -> Tuple[shared_memory.SharedMemory, Op]:
         """Parse, dispatch and answer one request frame.
 
@@ -448,7 +469,7 @@ class ShmSMBServer:
         out: Optional[memoryview] = None
         if op is Op.READ and count > 0:
             out = buf[DATA_OFFSET:]
-        response = self.core.handle(request, out)
+        response = self.core.handle(request, out, tenant=tenant)
         view = response.payload_view()
         nbytes = view.nbytes
         resp_header = response.encode_header()
@@ -493,8 +514,12 @@ class ShmSMBServer:
             # Bound the handshake, then block freely between frames (an
             # idle-but-handshaken client is a legitimate parked worker).
             conn.settimeout(HANDSHAKE_TIMEOUT)
-            if _recv_exact(conn, len(HELLO)) != HELLO:
-                logger.warning("rejecting non-SMB client on shm socket")
+            try:
+                tenant = read_hello(conn)
+            except SMBProtocolError as exc:
+                logger.warning(
+                    "rejecting non-SMB client on shm socket: %s", exc
+                )
                 return
             conn.settimeout(None)
             block = self._switch_block(conn, None, self._block_size)
@@ -505,7 +530,7 @@ class ShmSMBServer:
                         conn, block, max(-value, block.size)
                     )
                     continue
-                block, op = self._serve_frame(conn, block)
+                block, op = self._serve_frame(conn, block, tenant)
                 if op is Op.SHUTDOWN:
                     # Stop the whole server — from a helper thread, since
                     # stop() joins this handler.

@@ -39,7 +39,8 @@ from typing import Callable, Optional, Protocol, Tuple, Union
 
 from .errors import SMBConnectionError, TransportClosedError
 from .journal import read_rendezvous
-from .protocol import HELLO, Message, Op, Status, recv_message, send_message
+from .memory import DEFAULT_TENANT
+from .protocol import Message, Op, Status, encode_hello, recv_message, send_message
 from .server import SMBServer
 
 #: Upper bound on one server-side blocking slice of a WAIT_UPDATE.  Small
@@ -105,10 +106,18 @@ def _sliced_wait(
 
 
 class InProcTransport:
-    """Direct function-call transport into an in-process server core."""
+    """Direct function-call transport into an in-process server core.
 
-    def __init__(self, server: SMBServer) -> None:
+    There is no wire handshake to carry the tenant, so the namespace is
+    pinned at construction and passed with every call — the in-process
+    analogue of the ``SMB2`` hello.
+    """
+
+    def __init__(
+        self, server: SMBServer, tenant: str = DEFAULT_TENANT
+    ) -> None:
         self._server = server
+        self._tenant = tenant
         self._lock = threading.Lock()
         self._closed = threading.Event()
 
@@ -120,9 +129,13 @@ class InProcTransport:
         # WAIT_UPDATE may block for a long time; never hold the exchange
         # lock across it or the worker's other thread would stall too.
         if message.op is Op.WAIT_UPDATE:
-            return _sliced_wait(self._server.handle, message, self._closed)
+            return _sliced_wait(
+                lambda msg: self._server.handle(msg, tenant=self._tenant),
+                message,
+                self._closed,
+            )
         with self._lock:
-            return self._server.handle(message, out)
+            return self._server.handle(message, out, tenant=self._tenant)
 
     def close(self) -> None:
         self._closed.set()
@@ -153,8 +166,11 @@ class TcpTransport:
         request_timeout: float = 30.0,
         rendezvous: Optional[Union[str, os.PathLike]] = None,
         server_down_grace: float = 0.0,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         self._address = address
+        self._tenant = tenant
+        self._hello = encode_hello(tenant)
         self._connect_timeout = timeout
         self._request_timeout = request_timeout
         self._rendezvous = rendezvous
@@ -208,7 +224,7 @@ class TcpTransport:
                 )
                 sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
                 sock.settimeout(self._request_timeout)
-                sock.sendall(HELLO)
+                sock.sendall(self._hello)
                 self._address = address
                 return sock
             except OSError as exc:

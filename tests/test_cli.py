@@ -149,12 +149,76 @@ class TestExecution:
     def test_smb_bench_flag_parsing(self):
         args = build_parser().parse_args(
             ["smb", "bench", "--quick", "--sharded", "4",
-             "--max-regression", "3.5"]
+             "--max-regression", "3.5", "--tenancy"]
         )
         assert args.quick is True
         assert args.sharded == 4
         assert args.max_regression == pytest.approx(3.5)
+        assert args.tenancy is True
         assert args.entry.__name__ == "_cmd_smb_bench"
+
+    def test_smb_tenants_lists_quotas_and_usage(self, capsys):
+        import json
+
+        from repro.smb import SMBClient, TcpSMBServer
+
+        server = TcpSMBServer(capacity=1 << 20).start()
+        try:
+            admin = SMBClient.connect(server.address)
+            admin.create_tenant("alice", quota=4096)
+            alice = SMBClient.connect(server.address, tenant="alice")
+            alice.create_buffer("w", 1024)
+            host, port = server.address
+            code = main(
+                ["smb", "tenants", "--address", f"{host}:{port}"]
+            )
+            assert code == 0
+            out = capsys.readouterr().out
+            assert "alice" in out
+            assert "4096" in out
+            code = main(
+                ["smb", "tenants", "--address", f"{host}:{port}", "--json"]
+            )
+            assert code == 0
+            doc = json.loads(capsys.readouterr().out)
+            assert doc["alice"]["used"] == 1024
+            alice.close()
+            admin.close()
+        finally:
+            server.stop()
+
+    def test_smb_members_renders_every_namespace(self, capsys, tmp_path):
+        import json
+
+        from repro.smb import MembershipRegistry
+        from repro.telemetry import TelemetrySession
+
+        registry = MembershipRegistry(
+            tmp_path / "registry", telemetry=TelemetrySession("off")
+        )
+        registry.publish_job(
+            {"mode": "inproc"}, {"count": 4}, capacity=2
+        )
+        registry.publish_job(
+            {"mode": "inproc"}, {"count": 8}, capacity=3,
+            namespace="alice",
+        )
+        registry.join("w0")
+        registry.join("w1", namespace="alice")
+        code = main(
+            ["smb", "members", "--registry", str(tmp_path / "registry")]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alice" in out and "default" in out
+        assert "w0" in out and "w1" in out
+        code = main(
+            ["smb", "members", "--registry", str(tmp_path / "registry"),
+             "--json"]
+        )
+        assert code == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert set(doc["jobs"]) == {"alice", "default"}
 
     def test_telemetry_report_bad_input_is_clean_error(self, capsys, tmp_path):
         code = main(["telemetry", "report", str(tmp_path / "missing.json")])

@@ -279,6 +279,119 @@ class TestMembershipRegistry:
         assert reg.gauge("smb/membership/live").value == 0
 
 
+class TestMultiNamespaceRegistry:
+    """One registry document, several concurrent job namespaces."""
+
+    def test_namespaces_do_not_share_slots(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        registry.publish_job(
+            SERVER_DOC, dict(JOB_DOC), capacity=2, namespace="alice"
+        )
+        default_a = registry.join("a")
+        alice_a = registry.join("a", namespace="alice")
+        # Same member id, same slot index — different namespaces.
+        assert default_a.slot == alice_a.slot == 0
+        view = registry.read()
+        assert view.namespaces() == ["alice", "default"]
+        assert view.total_members() == 2
+        assert set(view.entry().members) == {"a"}
+        assert set(view.entry("alice").members) == {"a"}
+
+    def test_publishing_one_namespace_keeps_the_others(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        registry.join("worker0")
+        registry.publish_job(
+            SERVER_DOC, dict(JOB_DOC), capacity=4, namespace="alice"
+        )
+        view = registry.read()
+        assert set(view.entry().members) == {"worker0"}
+        assert view.entry("alice").capacity == 4
+
+    def test_leave_and_expiry_are_per_namespace(self, tmp_path):
+        clock = FakeClock()
+        registry = make_registry(tmp_path, lease=10.0, clock=clock)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        registry.publish_job(
+            SERVER_DOC, dict(JOB_DOC), capacity=2, namespace="alice"
+        )
+        registry.join("w", namespace="alice")
+        registry.join("w")
+        clock.advance(8.0)
+        registry.heartbeat("w", namespace="alice")  # only alice renews
+        clock.advance(3.0)  # default's lease (10s) has now lapsed
+        registry.expire_stale()
+        view = registry.read()
+        assert view.live_members("alice")
+        assert not view.live_members()
+        registry.leave("w", namespace="alice")
+        assert registry.read().total_members() == 0
+
+    def test_format_1_documents_still_read(self, tmp_path):
+        # A registry written before multi-namespace support: flat doc,
+        # implicit single job.  It must parse into the default namespace.
+        legacy = {
+            "format": 1,
+            "version": 7,
+            "epoch": 3,
+            "server": {"mode": "inproc"},
+            "job": {"count": 8},
+            "capacity": 4,
+            "members": {},
+        }
+        from repro.smb import RegistryView
+
+        view = RegistryView.from_doc(legacy)
+        assert view.namespaces() == ["default"]
+        assert view.capacity == 4
+        assert view.job["count"] == 8
+
+    def test_format_2_keeps_a_legacy_mirror_of_default(self, tmp_path):
+        # Old readers look at the top-level server/job/capacity keys;
+        # to_doc mirrors the default namespace there.
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=3)
+        doc = read_json(registry.path)
+        assert doc["format"] == 2
+        assert doc["capacity"] == 3
+        assert doc["job"]["count"] == 8
+        assert "default" in doc["jobs"]
+
+    def test_publish_servers_records_the_fleet(self, tmp_path):
+        registry = make_registry(tmp_path)
+        registry.publish_job(SERVER_DOC, JOB_DOC, capacity=2)
+        fleet = [
+            {"id": "s0", "host": "10.0.0.1", "port": 7000},
+            {"id": "s1", "host": "10.0.0.2", "port": 7000},
+        ]
+        registry.publish_servers(fleet)
+        view = registry.read()
+        assert view.entry().servers == fleet
+
+    def test_wait_for_job_names_the_namespace(self, tmp_path):
+        registry = make_registry(tmp_path)
+        with pytest.raises(MembershipError, match="namespace 'alice'"):
+            registry.wait_for_job(timeout=0.05, namespace="alice")
+
+    def test_registry_lock_serialises_critical_sections(self, tmp_path):
+        registry = make_registry(tmp_path)
+        order = []
+
+        def hold():
+            with registry.lock():
+                order.append("enter")
+                sleep(0.05)
+                order.append("exit")
+
+        threads = [threading.Thread(target=hold) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert order == ["enter", "exit", "enter", "exit"]
+
+
 class TestElasticControlBlock:
     """Satellite: dynamic slot allocation edge cases."""
 

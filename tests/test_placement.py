@@ -1,0 +1,249 @@
+"""Consistent-hash placement and live rebalancing across an SMB fleet.
+
+:mod:`repro.smb.placement` decides which server of a fleet hosts each
+segment.  The properties that matter:
+
+* determinism — every process derives the same home from the same fleet
+  (no directory service);
+* balance — virtual nodes spread load within a reasonable factor;
+* minimal movement — adding one server to a K-ring moves ~1/K of the
+  names, the property that makes elastic membership affordable;
+* live migration — ``rebalance`` converges with create→copy→swap→free
+  ordering, so an interruption leaves a duplicate, never a hole, and a
+  later pass sweeps it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.smb import SMBClient, SMBServer
+from repro.smb.placement import (
+    HashRingPlacement,
+    PlacementError,
+    StripedPlacement,
+    attach_placed_array,
+    create_placed_array,
+    discover_locations,
+    plan_moves,
+    rebalance,
+)
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        servers = ["s0", "s1", "s2"]
+        a = HashRingPlacement(servers)
+        b = HashRingPlacement(list(servers))
+        names = [f"seg{i}" for i in range(200)]
+        assert a.locate(names) == b.locate(names)
+
+    def test_server_order_does_not_matter(self):
+        # The ring is built from hashed (server, replica) points, so the
+        # registration order of the fleet is irrelevant.
+        names = [f"seg{i}" for i in range(200)]
+        forward = HashRingPlacement(["s0", "s1", "s2"]).locate(names)
+        shuffled = HashRingPlacement(["s2", "s0", "s1"]).locate(names)
+        assert forward == shuffled
+
+    def test_load_spread_within_bounds(self):
+        placement = HashRingPlacement(["s0", "s1", "s2"])
+        names = [f"layer{i}.shard{j}" for i in range(500) for j in range(6)]
+        counts = {server: 0 for server in placement.servers}
+        for name in names:
+            counts[placement.server_for(name)] += 1
+        expected = len(names) / 3
+        for server, count in counts.items():
+            assert 0.5 * expected < count < 1.5 * expected, (
+                f"{server} holds {count} of {len(names)}"
+            )
+
+    def test_adding_a_server_moves_about_one_kth(self):
+        names = [f"seg{i}" for i in range(3000)]
+        before = HashRingPlacement(["s0", "s1", "s2"]).locate(names)
+        grown = HashRingPlacement(["s0", "s1", "s2"])
+        grown.add_server("s3")
+        after = grown.locate(names)
+        moved = sum(1 for n in names if before[n] != after[n])
+        # Ideal is 1/4; allow slack for ring variance.
+        assert 0.10 * len(names) < moved < 0.45 * len(names)
+        # Every move lands on the new server — nothing shuffles between
+        # the old ones.
+        assert all(
+            after[n] == "s3" for n in names if before[n] != after[n]
+        )
+
+    def test_removing_a_server_moves_only_its_names(self):
+        names = [f"seg{i}" for i in range(1000)]
+        ring = HashRingPlacement(["s0", "s1", "s2"])
+        before = ring.locate(names)
+        ring.remove_server("s1")
+        after = ring.locate(names)
+        for name in names:
+            if before[name] != "s1":
+                assert after[name] == before[name]
+            else:
+                assert after[name] in ("s0", "s2")
+
+    def test_validation(self):
+        with pytest.raises(PlacementError):
+            HashRingPlacement([])
+        with pytest.raises(PlacementError):
+            HashRingPlacement(["s0", "s0"])
+        with pytest.raises(PlacementError):
+            HashRingPlacement(["s0"], replicas=0)
+        ring = HashRingPlacement(["s0", "s1"])
+        with pytest.raises(PlacementError):
+            ring.add_server("s0")
+        with pytest.raises(PlacementError):
+            ring.remove_server("nope")
+        ring.remove_server("s1")
+        with pytest.raises(PlacementError):
+            ring.remove_server("s0")  # never empty the fleet
+
+
+class TestStripedPlacement:
+    def test_shard_suffix_picks_server(self):
+        placement = StripedPlacement(["s0", "s1", "s2"])
+        assert placement.server_for("w.shard0") == "s0"
+        assert placement.server_for("w.shard4") == "s1"
+
+    def test_unsuffixed_names_hash(self):
+        placement = StripedPlacement(["s0", "s1"])
+        assert placement.server_for("ctl") in ("s0", "s1")
+
+
+def _fleet(n):
+    """n in-process servers with one client each, as a placement fleet."""
+    servers = {f"s{i}": SMBServer(capacity=1 << 22) for i in range(n)}
+    clients = {
+        sid: SMBClient.in_process(server)
+        for sid, server in servers.items()
+    }
+    return servers, clients
+
+
+class TestPlacedArrays:
+    def test_create_read_write_round_trip(self):
+        _, clients = _fleet(3)
+        placement = HashRingPlacement(sorted(clients))
+        array = create_placed_array(clients, placement, "W_g", 1000)
+        values = np.arange(1000, dtype=np.float32)
+        array.write(values)
+        np.testing.assert_array_equal(array.read(), values)
+        # Each stripe really lives where the policy says.
+        locations = discover_locations(clients)
+        for index in range(array.num_shards):
+            name = f"W_g.shard{index}"
+            assert list(locations[name]) == [placement.server_for(name)]
+
+    def test_attach_resolves_homes_via_policy(self):
+        _, clients = _fleet(2)
+        placement = HashRingPlacement(sorted(clients))
+        created = create_placed_array(clients, placement, "W_g", 64)
+        created.write(np.ones(64, dtype=np.float32))
+        view = attach_placed_array(
+            clients, placement, "W_g", created.shm_keys, 64
+        )
+        np.testing.assert_array_equal(
+            view.read(), np.ones(64, dtype=np.float32)
+        )
+
+    def test_missing_client_is_an_error(self):
+        _, clients = _fleet(2)
+        placement = HashRingPlacement(["s0", "s1", "ghost"])
+        with pytest.raises(PlacementError):
+            create_placed_array(clients, placement, "W_g", 64)
+
+
+class TestRebalance:
+    def test_plan_moves_only_misplaced(self):
+        placement = HashRingPlacement(["s0", "s1"])
+        names = [f"seg{i}" for i in range(20)]
+        correct = placement.locate(names)
+        locations = dict(correct)
+        displaced = names[:4]
+        for name in displaced:  # scatter a few to the wrong server
+            locations[name] = "s1" if correct[name] == "s0" else "s0"
+        moves = plan_moves(locations, placement)
+        assert sorted(m.name for m in moves) == sorted(displaced)
+        for move in moves:
+            assert move.target == correct[move.name]
+
+    def test_rebalance_converges_after_fleet_growth(self):
+        _, clients = _fleet(3)
+        two = HashRingPlacement(["s0", "s1"])
+        seeds = {}
+        for i in range(12):
+            name = f"seg{i}"
+            data = np.full(16, float(i), dtype=np.float32)
+            clients[two.server_for(name)].create_array(name, 16).write(data)
+            seeds[name] = data
+        three = HashRingPlacement(["s0", "s1"])
+        three.add_server("s2")
+        moves = rebalance(clients, three)
+        assert all(m.target == "s2" for m in moves)
+        # Converged: every segment on its placement home, bytes intact.
+        locations = discover_locations(clients)
+        for name, data in seeds.items():
+            home = three.server_for(name)
+            assert list(locations[name]) == [home]
+            shm_key, nbytes = clients[home].lookup(name)
+            view = clients[home].attach_array(name, shm_key, 16)
+            np.testing.assert_array_equal(view.read(), data)
+        # Idempotent: a second pass finds nothing to do.
+        assert rebalance(clients, three) == []
+
+    def test_rebalance_sweeps_duplicates_from_interrupted_migration(self):
+        _, clients = _fleet(2)
+        placement = HashRingPlacement(["s0", "s1"])
+        name = "seg0"
+        home = placement.server_for(name)
+        other = "s1" if home == "s0" else "s0"
+        # Simulate a crash after copy but before the source free: the
+        # same name exists on both servers, target copy authoritative.
+        good = np.arange(16, dtype=np.float32)
+        clients[home].create_array(name, 16).write(good)
+        clients[other].create_array(name, 16).write(np.zeros(16, np.float32))
+        moves = rebalance(clients, placement)
+        assert moves == []  # a sweep, not a transfer
+        locations = discover_locations(clients)
+        assert list(locations[name]) == [home]
+        shm_key, _ = clients[home].lookup(name)
+        np.testing.assert_array_equal(
+            clients[home].attach_array(name, shm_key, 16).read(), good
+        )
+
+    def test_rebalance_requires_clients_for_the_whole_fleet(self):
+        _, clients = _fleet(1)
+        placement = HashRingPlacement(["s0", "ghost"])
+        with pytest.raises(PlacementError):
+            rebalance(clients, placement)
+
+    def test_lock_factory_is_entered_per_segment(self):
+        _, clients = _fleet(2)
+        placement = HashRingPlacement(["s0", "s1"])
+        # Force two migrations.
+        wrong = {"s0": "s1", "s1": "s0"}
+        created = 0
+        for i in range(40):
+            name = f"seg{i}"
+            clients[wrong[placement.server_for(name)]].create_array(
+                name, 8
+            ).write(np.zeros(8, np.float32))
+            created += 1
+            if created == 2:
+                break
+        entries = []
+
+        class Guard:
+            def __enter__(self):
+                entries.append("in")
+                return self
+
+            def __exit__(self, *exc):
+                entries.append("out")
+                return False
+
+        moves = rebalance(clients, placement, lock=Guard)
+        assert len(moves) == 2
+        assert entries == ["in", "out"] * 2
