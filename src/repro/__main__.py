@@ -391,6 +391,10 @@ def _cmd_smb_bench(args: argparse.Namespace) -> int:
                 if args.clients else ()
             ),
             tenancy=args.tenancy,
+            serving=(
+                tuple(int(n) for n in args.serving.split(","))
+                if args.serving else ()
+            ),
             quick=args.quick,
         )
     except ValueError as exc:
@@ -477,6 +481,124 @@ def _cmd_smb_drill(args: argparse.Namespace) -> int:
 def _parse_address(value: str):
     host, _, port = value.partition(":")
     return host, int(port)
+
+
+def _resolve_primary(args: argparse.Namespace):
+    """Primary endpoint from --connect or --rendezvous (serve commands)."""
+    from .smb import read_rendezvous
+
+    if args.rendezvous:
+        address = read_rendezvous(args.rendezvous)
+        if address is None:
+            print(f"error: no readable rendezvous at {args.rendezvous}",
+                  file=sys.stderr)
+            return None
+        return address
+    if args.connect:
+        return _parse_address(args.connect)
+    print("error: one of --connect or --rendezvous is required",
+          file=sys.stderr)
+    return None
+
+
+def _serve_loop(stop) -> int:
+    try:
+        import time
+
+        while True:
+            time.sleep(1.0)
+    except KeyboardInterrupt:
+        stop()
+        print("stopped")
+    return 0
+
+
+def _cmd_serve_replica(args: argparse.Namespace) -> int:
+    from .smb import ReplicaServer, SMBClient, TcpSMBServer
+
+    address = _resolve_primary(args)
+    if address is None:
+        return 1
+    segments = [name for name in args.segments.split(",") if name]
+    if not segments:
+        print("error: --segments needs at least one name", file=sys.stderr)
+        return 1
+
+    def connect() -> "SMBClient":
+        return SMBClient.connect(address, tenant=args.tenant)
+
+    replica = ReplicaServer(
+        connect, segments, tenant=args.tenant,
+        ring_depth=args.ring_depth,
+        capacity=int(args.capacity_mb * 1e6),
+        name=args.name,
+    ).start()
+    if not replica.wait_ready(timeout=args.sync_timeout):
+        print(f"error: initial sync did not finish within "
+              f"{args.sync_timeout:.0f}s", file=sys.stderr)
+        replica.stop()
+        return 1
+    front = TcpSMBServer(
+        host=args.host, port=args.port, core=replica.core
+    ).start()
+    print(f"read replica {args.name!r} mirroring {len(segments)} segment(s) "
+          f"from {address[0]}:{address[1]}")
+    print(f"serving SMB reads on {front.address[0]}:{front.address[1]} "
+          f"(ring depth {args.ring_depth}); Ctrl-C to stop")
+
+    def stop() -> None:
+        front.stop()
+        replica.stop()
+
+    return _serve_loop(stop)
+
+
+def _cmd_serve_gateway(args: argparse.Namespace) -> int:
+    from .serve import ModelGateway
+    from .smb import ReplicaServer, SMBClient
+
+    address = _resolve_primary(args)
+    if address is None:
+        return 1
+    segments = [name for name in args.segments.split(",") if name]
+    if not segments:
+        print("error: --segments needs at least one name", file=sys.stderr)
+        return 1
+
+    def connect() -> "SMBClient":
+        return SMBClient.connect(address, tenant=args.tenant)
+
+    replicas = [
+        ReplicaServer(
+            connect, segments, tenant=args.tenant,
+            ring_depth=args.ring_depth,
+            capacity=int(args.capacity_mb * 1e6),
+            name=f"replica-{rank}",
+        ).start()
+        for rank in range(args.replicas)
+    ]
+    for replica in replicas:
+        if not replica.wait_ready(timeout=args.sync_timeout):
+            print(f"error: {replica.name} did not sync within "
+                  f"{args.sync_timeout:.0f}s", file=sys.stderr)
+            for other in replicas:
+                other.stop()
+            return 1
+    gateway = ModelGateway(
+        replicas, host=args.host, port=args.port
+    ).start()
+    print(f"model gateway over {len(replicas)} replica(s) of "
+          f"{address[0]}:{address[1]}")
+    print(f"serving HTTP on {gateway.url} "
+          f"(GET /v1/models/{args.tenant}/<name>[?version=N]); "
+          f"Ctrl-C to stop")
+
+    def stop() -> None:
+        gateway.stop()
+        for replica in replicas:
+            replica.stop()
+
+    return _serve_loop(stop)
 
 
 def _cmd_checkpoint_inspect(args: argparse.Namespace) -> int:
@@ -761,6 +883,10 @@ def build_parser() -> argparse.ArgumentParser:
                                 "(1 KiB READs vs a bulk ACCUMULATE "
                                 "stream); gated on the small tenant's "
                                 "contended p95")
+    smb_bench.add_argument("--serving", default="",
+                           help="comma-separated client counts for the "
+                                "read-fanout sweep against a replica "
+                                "mirror (e.g. 1,4,16); empty skips it")
     smb_bench.add_argument("--out", default="",
                            help="write BENCH_smb.json here")
     smb_bench.add_argument("--compare", default="",
@@ -794,6 +920,53 @@ def build_parser() -> argparse.ArgumentParser:
                             "fresh temp dir)")
     drill.add_argument("--timeout", type=float, default=300.0)
     drill.set_defaults(entry=_cmd_smb_drill)
+
+    serving = commands.add_parser(
+        "serve",
+        help="parameter-serving read tier: SMB read replicas and the "
+             "HTTP model gateway",
+    )
+    serving_sub = serving.add_subparsers(dest="serve_command", required=True)
+
+    def _add_replica_args(target: argparse.ArgumentParser) -> None:
+        target.add_argument("--connect", default="",
+                            help="host:port of the primary SMB server")
+        target.add_argument("--rendezvous", default="",
+                            help="primary's endpoint.json (alternative "
+                                 "to --connect)")
+        target.add_argument("--segments", required=True,
+                            help="comma-separated segment names to mirror "
+                                 "(e.g. W_g)")
+        target.add_argument("--tenant", default="default",
+                            help="namespace the segments live in")
+        target.add_argument("--ring-depth", type=int, default=8,
+                            help="snapshot versions retained per segment "
+                                 "for pinned reads")
+        target.add_argument("--capacity-mb", type=float, default=1024.0)
+        target.add_argument("--sync-timeout", type=float, default=30.0,
+                            help="seconds to wait for the initial mirror")
+        target.add_argument("--host", default="127.0.0.1")
+        target.add_argument("--port", type=int, default=0)
+
+    replica = serving_sub.add_parser(
+        "replica",
+        help="mirror segments from a primary and serve SMB reads "
+             "(versioned, with a pinned-read snapshot ring)",
+    )
+    _add_replica_args(replica)
+    replica.add_argument("--name", default="replica",
+                         help="replica id (placement key in a fleet)")
+    replica.set_defaults(entry=_cmd_serve_replica)
+
+    gateway = serving_sub.add_parser(
+        "gateway",
+        help="HTTP/REST front end over an in-process replica fleet "
+             "(GET /v1/models/<tenant>/<name>?version=N)",
+    )
+    _add_replica_args(gateway)
+    gateway.add_argument("--replicas", type=int, default=2,
+                         help="replica fleet size behind the gateway")
+    gateway.set_defaults(entry=_cmd_serve_gateway)
 
     checkpoint = commands.add_parser(
         "checkpoint",

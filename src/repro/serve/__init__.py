@@ -1,0 +1,10 @@
+"""Model-serving front ends over the SMB read tier.
+
+:mod:`repro.smb.serving` provides the data plane (replicas, snapshot
+rings, read caches); this package puts network front ends on it —
+currently the HTTP/REST :class:`~repro.serve.gateway.ModelGateway`.
+"""
+
+from .gateway import ModelGateway
+
+__all__ = ["ModelGateway"]

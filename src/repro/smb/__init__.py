@@ -39,6 +39,7 @@ from .errors import (
     StaleGenerationError,
     TransportClosedError,
     UnknownKeyError,
+    VersionRegressionError,
     is_retryable,
 )
 from .faults import FaultInjectingTransport, FaultPlan
@@ -75,6 +76,11 @@ from .placement import (
 from .protocol import Message, Op, Status
 from .retry import DEFAULT_RETRY_POLICY, NO_RETRY, RetryPolicy
 from .server import ServerStats, SMBServer, TcpSMBServer
+from .serving import (
+    ReadCache,
+    ReplicaServer,
+    VersionNotAvailableError,
+)
 from .shm_transport import ShmSMBServer, ShmTransport
 from .sharding import (
     ShardedArray,
@@ -115,8 +121,10 @@ __all__ = [
     "PlacementError",
     "PoolImage",
     "QuotaExceededError",
+    "ReadCache",
     "RegistryView",
     "RemoteArray",
+    "ReplicaServer",
     "RetryExhaustedError",
     "RetryPolicy",
     "Segment",
@@ -143,6 +151,8 @@ __all__ = [
     "TenantGrant",
     "TransportClosedError",
     "UnknownKeyError",
+    "VersionNotAvailableError",
+    "VersionRegressionError",
     "attach_placed_array",
     "attach_sharded_array",
     "create_placed_array",

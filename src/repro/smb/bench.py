@@ -133,6 +133,33 @@ TENANCY_SMALL_SIZE = 1 << 10
 TENANCY_BULK_STREAMS = 4
 
 
+#: Read-fanout cell: model size the replica serves and the client counts
+#: fanning out against it.  16 MiB is the acceptance target (a W_g at
+#: paper scale); quick mode shrinks it so CI stays in seconds.
+SERVING_SIZE = 1 << 24
+SERVING_SIZE_QUICK = 1 << 20
+DEFAULT_SERVING_CLIENTS = (1, 4, 16)
+
+
+@dataclass
+class ServingResult:
+    """Read-fanout throughput against one replica mirror.
+
+    ``primary_reads`` counts primary-server READ ops issued *during the
+    fan-out* (after replica warm-up) — the read tier exists so this is
+    zero; the bench records it so a regression (readers leaking through
+    to the primary) is visible in the payload.
+    """
+
+    num_clients: int
+    size_bytes: int
+    iterations_per_client: int
+    p50_s: float
+    p95_s: float
+    aggregate_gb_per_s: float
+    primary_reads: int
+
+
 @dataclass
 class TenancyResult:
     """Small-op latency with and without a bulk tenant streaming.
@@ -169,6 +196,7 @@ class BenchConfig:
     sharded: int = 0  # shard count for the overlap section; 0 = skip
     clients: Sequence[int] = ()  # contention sweep client counts; () = skip
     tenancy: bool = False  # mixed-workload two-tenant fairness cell
+    serving: Sequence[int] = ()  # read-fanout client counts; () = skip
     quick: bool = False
 
     def __post_init__(self) -> None:
@@ -181,6 +209,11 @@ class BenchConfig:
         for n in self.clients:
             if n < 1:
                 raise ValueError(f"client counts must be >= 1, got {n}")
+        for n in self.serving:
+            if n < 1:
+                raise ValueError(
+                    f"serving client counts must be >= 1, got {n}"
+                )
         for op in self.ops:
             if op not in OPS:
                 raise ValueError(f"unknown op {op!r}; choose from {OPS}")
@@ -564,6 +597,80 @@ def _measure_tenancy(
     )
 
 
+def _measure_serving(
+    num_clients: int, size_bytes: int, iterations: int
+) -> ServingResult:
+    """N readers fanning out against one replica mirror of one segment.
+
+    The primary takes exactly the replica's warm-up reads; the timed
+    fan-out must not touch it at all (``primary_reads`` asserts that in
+    the serving tests and records it in the payload here).
+    """
+    from .serving import ReplicaServer
+
+    name = f"serving.{size_bytes}"
+    primary = SMBServer(capacity=size_bytes + (1 << 22))
+    master = SMBClient.in_process(primary)
+    array = master.create_array(name, max(size_bytes // 4, 1))
+    array.write(np.ones(max(size_bytes // 4, 1), dtype=np.float32))
+    replica = ReplicaServer(
+        lambda: SMBClient.in_process(primary), [name], name="bench-replica"
+    ).start()
+    try:
+        if not replica.wait_ready(timeout=30.0):
+            raise RuntimeError("bench replica failed to sync")
+        reads_before = primary.stats.op_counts.get("READ", 0)
+        latencies: List[List[float]] = [[] for _ in range(num_clients)]
+        start_barrier = threading.Barrier(num_clients + 1)
+
+        def reader(index: int) -> None:
+            mine = latencies[index]
+            start_barrier.wait()
+            for _ in range(iterations):
+                begin = time.perf_counter()
+                replica.read(name)
+                mine.append(time.perf_counter() - begin)
+
+        threads = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(num_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        start_barrier.wait()
+        wall_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        wall = time.perf_counter() - wall_start
+        primary_reads = primary.stats.op_counts.get("READ", 0) - reads_before
+    finally:
+        replica.stop()
+        master.close()
+    samples = np.array([t for per in latencies for t in per])
+    total_bytes = float(size_bytes) * num_clients * iterations
+    return ServingResult(
+        num_clients=num_clients,
+        size_bytes=size_bytes,
+        iterations_per_client=iterations,
+        p50_s=float(np.percentile(samples, 50)),
+        p95_s=float(np.percentile(samples, 95)),
+        aggregate_gb_per_s=total_bytes / max(wall, 1e-9) / 1e9,
+        primary_reads=int(primary_reads),
+    )
+
+
+def run_serving(
+    client_counts: Sequence[int],
+    size_bytes: int = SERVING_SIZE,
+    iterations: int = 20,
+) -> List[ServingResult]:
+    """The read-fanout sweep: one fresh primary + replica per cell."""
+    return [
+        _measure_serving(num_clients, size_bytes, iterations)
+        for num_clients in client_counts
+    ]
+
+
 def run_contention(
     client_counts: Sequence[int],
     size_bytes: int = CONTENTION_SIZE,
@@ -625,6 +732,17 @@ def run_bench(config: Optional[BenchConfig] = None) -> dict:
         payload["contention"] = [
             asdict(cell) for cell in run_contention(config.clients)
         ]
+    if config.serving:
+        payload["serving"] = [
+            asdict(cell)
+            for cell in run_serving(
+                config.serving,
+                size_bytes=(
+                    SERVING_SIZE_QUICK if config.quick else SERVING_SIZE
+                ),
+                iterations=10 if config.quick else 20,
+            )
+        ]
     if config.tenancy:
         tenancy = _measure_tenancy(
             bulk_size=(
@@ -684,6 +802,13 @@ def _contention_index(payload: dict) -> Dict[Tuple[str, int], dict]:
     }
 
 
+def _serving_index(payload: dict) -> Dict[Tuple[int, int], dict]:
+    return {
+        (int(cell["num_clients"]), int(cell["size_bytes"])): cell
+        for cell in payload.get("serving", [])
+    }
+
+
 def compare(
     current: dict, baseline: dict, max_regression: float = 2.0
 ) -> List[Regression]:
@@ -723,6 +848,24 @@ def compare(
                     transport=f"tcp[{ckey[1]}c]",
                     op=ckey[0],
                     size_bytes=int(cell["size_bytes"]),
+                    baseline_p50_s=float(base["p95_s"]),
+                    current_p50_s=float(cell["p95_s"]),
+                    quantile="p95",
+                )
+            )
+    baseline_serving = _serving_index(baseline)
+    for skey, cell in _serving_index(current).items():
+        base = baseline_serving.get(skey)
+        if base is None:
+            continue
+        # Fan-out cells gate on p95 like the contention sweep: it is the
+        # tail a replica-side locking regression ruins first.
+        if cell["p95_s"] > base["p95_s"] * max_regression:
+            regressions.append(
+                Regression(
+                    transport=f"serving[{skey[0]}c]",
+                    op="READ",
+                    size_bytes=skey[1],
                     baseline_p50_s=float(base["p95_s"]),
                     current_p50_s=float(cell["p95_s"]),
                     quantile="p95",
@@ -782,6 +925,20 @@ def format_table(payload: dict) -> str:
                 f"{cell['p95_s'] * 1e3:>10.3f} "
                 f"{cell['aggregate_gb_per_s']:>8.2f}"
             )
+    serving = payload.get("serving")
+    if serving:
+        lines.append(
+            f"{'serving':<9} {'op':<10} {'clients':>9} {'iters':>5} "
+            f"{'p50 ms':>10} {'p95 ms':>10} {'GB/s':>8}"
+        )
+        for cell in serving:
+            lines.append(
+                f"{'replica':<9} {'READ':<10} {cell['num_clients']:>9} "
+                f"{cell['iterations_per_client']:>5} "
+                f"{cell['p50_s'] * 1e3:>10.3f} "
+                f"{cell['p95_s'] * 1e3:>10.3f} "
+                f"{cell['aggregate_gb_per_s']:>8.2f}"
+            )
     tenancy = payload.get("tenancy")
     if tenancy:
         lines.append(
@@ -813,7 +970,7 @@ def save(payload: dict, path: str) -> None:
 def load(path: str) -> dict:
     with open(path, "r", encoding="utf-8") as handle:
         loaded = json.load(handle)
-    sections = ("cells", "contention", "tenancy", "sharded")
+    sections = ("cells", "contention", "tenancy", "sharded", "serving")
     if not isinstance(loaded, dict) or not any(
         key in loaded for key in sections
     ):

@@ -24,7 +24,7 @@ import os
 import threading
 import time
 from time import perf_counter as _perf_counter
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, Optional, Protocol, Tuple, Union
 
 import numpy as np
 
@@ -32,7 +32,7 @@ from ..telemetry import TelemetrySession
 from ..telemetry import current as _telemetry_current
 from . import errors
 from .memory import DEFAULT_TENANT
-from .protocol import Buffer, Message, Op, Status
+from .protocol import Buffer, Message, Op, Status, encode_wait_timeout
 from .retry import NO_RETRY, RetryPolicy
 from .server import SMBServer
 from .transport import InProcTransport, TcpTransport, Transport
@@ -65,6 +65,22 @@ def _aliases(payload: Buffer, view: memoryview) -> bool:
     """Whether ``payload`` is already a view of ``view``'s backing buffer."""
     return isinstance(payload, memoryview) and payload.obj is view.obj
 
+class ReadCacheLike(Protocol):
+    """What :class:`SMBClient` needs from a read cache.
+
+    The reference implementation is
+    :class:`~repro.smb.serving.ReadCache`; anything matching this
+    protocol plugs in (keys are ``(shm_key, version, nbytes)`` tuples,
+    values are the immutable payload bytes of that exact version).
+    """
+
+    def get(self, key: Tuple[int, int, int]) -> Optional[bytes]: ...
+
+    def put(self, key: Tuple[int, int, int], data: bytes) -> None: ...
+
+    def invalidate(self, shm_key: Optional[int] = None) -> None: ...
+
+
 #: Ops whose ``key`` slot carries an access key (``key2`` too for
 #: ACCUMULATE) and therefore must be re-mapped after a server restart.
 _ACCESS_KEY_OPS = frozenset(
@@ -88,6 +104,12 @@ class _Attachment:
     current_key: int
     epoch: int
     version: int
+    #: A server recovery rolled this segment back below a version the
+    #: caller had already seen.  ``wait_update`` surfaces it as a typed
+    #: :class:`~repro.smb.errors.VersionRegressionError` (instead of
+    #: parking forever against the recovered epoch); the flag clears
+    #: once the caller waits from a version the recovered epoch covers.
+    regressed: bool = False
 
 
 def _raise_remote(payload: bytes) -> None:
@@ -115,6 +137,17 @@ class SMBClient:
             fast (no retries), preserving pre-fault-tolerance semantics;
             pass :data:`~repro.smb.retry.DEFAULT_RETRY_POLICY` or your
             own for resilient operation.
+        cache: Opt-in read cache.  An ``int`` is a byte capacity for a
+            fresh :class:`~repro.smb.serving.ReadCache`; any object with
+            ``get``/``put``/``invalidate`` works.  Full-segment
+            :meth:`read` results are cached under ``(shm_key, version)``
+            — entries are immutable snapshots, so a hit is served with
+            no server op.  Invalidation rides the existing notify
+            channel: a ``wait_update`` (or any op) observing a newer
+            version advances the attachment's tracked version, after
+            which the stale entry can no longer be served; a server
+            recovery drops the segment's entries outright (recovered
+            version numbers may be re-minted with different bytes).
     """
 
     def __init__(
@@ -123,6 +156,7 @@ class SMBClient:
         telemetry: Optional[TelemetrySession] = None,
         retry_policy: Optional[RetryPolicy] = None,
         tenant: str = DEFAULT_TENANT,
+        cache: "Optional[Union[int, ReadCacheLike]]" = None,
     ) -> None:
         self._transport = transport
         #: Namespace this client's name-based ops resolve in.  The
@@ -138,6 +172,11 @@ class SMBClient:
         self._attach_lock = threading.Lock()
         self._attachments: Dict[int, _Attachment] = {}
         self._key_map: Dict[int, int] = {}
+        if isinstance(cache, int):
+            from .serving import ReadCache
+
+            cache = ReadCache(cache, telemetry=telemetry)
+        self._cache: Optional[ReadCacheLike] = cache
         #: Last server epoch observed via ATTACH (None before the first).
         self.server_epoch: Optional[int] = None
         #: How many transparent re-attachments this client performed.
@@ -150,11 +189,12 @@ class SMBClient:
         telemetry: Optional[TelemetrySession] = None,
         retry_policy: Optional[RetryPolicy] = None,
         tenant: str = DEFAULT_TENANT,
+        cache: "Optional[Union[int, ReadCacheLike]]" = None,
     ) -> "SMBClient":
         """Attach directly to an in-process server core."""
         return cls(
             InProcTransport(server, tenant=tenant),
-            telemetry, retry_policy, tenant=tenant,
+            telemetry, retry_policy, tenant=tenant, cache=cache,
         )
 
     @classmethod
@@ -166,6 +206,7 @@ class SMBClient:
         rendezvous: Optional[Union[str, os.PathLike]] = None,
         server_down_grace: float = 0.0,
         tenant: str = DEFAULT_TENANT,
+        cache: "Optional[Union[int, ReadCacheLike]]" = None,
     ) -> "SMBClient":
         """Connect to a :class:`~repro.smb.server.TcpSMBServer`.
 
@@ -191,7 +232,9 @@ class SMBClient:
             server_down_grace=server_down_grace,
             tenant=tenant,
         )
-        return cls(transport, telemetry, retry_policy, tenant=tenant)
+        return cls(
+            transport, telemetry, retry_policy, tenant=tenant, cache=cache
+        )
 
     @classmethod
     def connect_local(
@@ -200,6 +243,7 @@ class SMBClient:
         telemetry: Optional[TelemetrySession] = None,
         retry_policy: Optional[RetryPolicy] = None,
         tenant: str = DEFAULT_TENANT,
+        cache: "Optional[Union[int, ReadCacheLike]]" = None,
     ) -> "SMBClient":
         """Connect to a co-located server over its shared-memory doorway.
 
@@ -214,7 +258,9 @@ class SMBClient:
         transport = ShmTransport(
             path, timeout=policy.request_timeout, tenant=tenant
         )
-        return cls(transport, telemetry, retry_policy, tenant=tenant)
+        return cls(
+            transport, telemetry, retry_policy, tenant=tenant, cache=cache
+        )
 
     def close(self) -> None:
         """Release the underlying transport."""
@@ -283,8 +329,9 @@ class SMBClient:
                 time.sleep(policy.backoff(attempt, self._retry_rng))
                 continue
             if response.status is Status.TIMEOUT:
+                # scale < 0 is the poll encoding, not a real duration.
                 raise errors.NotificationTimeout(
-                    request.key, request.count, request.scale
+                    request.key, request.count, max(request.scale, 0.0)
                 )
             if response.status is Status.ERROR:
                 exc = errors.from_wire(response.payload)
@@ -298,6 +345,11 @@ class SMBClient:
                     and request.op in _ACCESS_KEY_OPS
                     and self._try_reattach(exc.key, reattached)
                 ):
+                    if request.op is Op.WAIT_UPDATE:
+                        # Re-issuing a wait past the recovered version
+                        # would park forever; surface the regression
+                        # instead of silently re-arming.
+                        self._check_regression(request.key, request.count)
                     continue
                 raise exc
             if self._attachments and request.op in _ACCESS_KEY_OPS:
@@ -382,6 +434,11 @@ class SMBClient:
                     "were lost",
                     record.shm_key, response.count, record.version,
                 )
+                record.regressed = True
+            if record.epoch != new_epoch and self._cache is not None:
+                # A recovered server re-mints version numbers; cached
+                # (shm_key, version) entries may alias different bytes.
+                self._cache.invalidate(record.shm_key)
             record.current_key = response.key
             record.epoch = new_epoch
             record.version = response.count
@@ -450,16 +507,38 @@ class SMBClient:
     def read(self, access_key: int, nbytes: int, offset: int = 0) -> bytes:
         """RDMA-Read ``nbytes`` from the segment.
 
+        With a read cache configured, a whole-segment read (``offset ==
+        0``) of an attached segment is served locally when a cached
+        entry matches the attachment's last-seen version; the version
+        advances through the ordinary ops and ``wait_update``, which is
+        what invalidates stale entries.
+
         Raises:
             errors.PayloadSizeError: If the response payload length does
                 not match ``nbytes``.
         """
+        cache = self._cache
+        record: Optional[_Attachment] = None
+        if cache is not None and offset == 0:
+            with self._attach_lock:
+                record = self._attachments.get(access_key)
+            if record is not None and not record.regressed:
+                cached = cache.get((record.shm_key, record.version, nbytes))
+                if cached is not None:
+                    return cached
         response = self._call(
             Message(op=Op.READ, key=access_key, offset=offset, count=nbytes)
         )
         self._check_payload(Op.READ, nbytes, response.payload)
         payload = response.payload
-        return payload if isinstance(payload, bytes) else bytes(payload)
+        data = payload if isinstance(payload, bytes) else bytes(payload)
+        if cache is not None and offset == 0 and record is not None:
+            # Insert strictly under the version the wire reported for
+            # *these* bytes — never the attachment's "latest seen",
+            # which a concurrent notify may already have advanced past
+            # this payload.
+            cache.put((record.shm_key, response.count, nbytes), data)
+        return data
 
     def read_into(
         self,
@@ -564,26 +643,56 @@ class SMBClient:
         return self._call(Message(op=Op.VERSION, key=access_key)).count
 
     def wait_update(
-        self, access_key: int, version: int, timeout: float = 0.0
+        self,
+        access_key: int,
+        version: int,
+        timeout: Optional[float] = None,
     ) -> int:
         """Block until the segment advances past ``version``.
 
         Args:
             access_key: Segment to watch.
             version: Last version the caller has seen.
-            timeout: Seconds to wait; 0 waits forever.
+            timeout: Seconds to wait.  ``None`` (the default) waits
+                forever; ``0.0`` polls — one immediate version check
+                that raises :class:`~repro.smb.errors.NotificationTimeout`
+                if the segment has not advanced, instead of parking.
 
         Returns:
             The new version.
 
         Raises:
-            errors.NotificationTimeout: If the timeout expired first.
+            errors.NotificationTimeout: If the timeout expired first (or
+                a ``0.0`` poll found no update).
+            errors.VersionRegressionError: If the server recovered to a
+                state whose segment version is *below* ``version`` —
+                this wait could never complete; re-read the segment and
+                wait from the recovered version instead.
         """
+        self._check_regression(access_key, version)
         response = self._call(
             Message(op=Op.WAIT_UPDATE, key=access_key, count=version,
-                    scale=timeout)
+                    scale=encode_wait_timeout(timeout))
         )
         return response.count
+
+    def _check_regression(self, access_key: int, version: int) -> None:
+        """Refuse a wait that a recovery-induced regression made futile.
+
+        A segment that came back below the caller's ``version`` may
+        never re-reach it; waiting would park forever.  Waiting from a
+        version the recovered segment already covers proves the caller
+        resynced, so the flag clears.
+        """
+        with self._attach_lock:
+            record = self._attachments.get(access_key)
+            if record is None or not record.regressed:
+                return
+            if version > record.version:
+                raise errors.VersionRegressionError(
+                    record.shm_key, version, record.version, record.epoch
+                )
+            record.regressed = False
 
     def stats(self) -> dict:
         """Server statistics (bytes moved, op counts)."""
@@ -757,8 +866,14 @@ class RemoteArray:
         """Current mutation counter."""
         return self._client.version(self.access_key)
 
-    def wait_update(self, version: int, timeout: float = 0.0) -> int:
-        """Block until someone mutates the segment."""
+    def wait_update(
+        self, version: int, timeout: Optional[float] = None
+    ) -> int:
+        """Block until someone mutates the segment.
+
+        ``timeout=None`` waits forever; ``0.0`` polls (see
+        :meth:`SMBClient.wait_update`).
+        """
         return self._client.wait_update(self.access_key, version, timeout)
 
     def free(self) -> None:

@@ -171,6 +171,31 @@ class NotificationTimeout(SMBError):
         self.timeout = timeout
 
 
+class VersionRegressionError(SMBError):
+    """A segment came back at a *lower* version after server recovery.
+
+    Snapshot-only durability can restore an older buffer; a subscription
+    loop built on ``wait_update(last_seen)`` would then park forever —
+    the recovered segment may never re-reach ``last_seen``.  The client
+    raises this instead so the caller (a replica, a read cache) resyncs
+    from the recovered version rather than hanging.  Fatal on purpose:
+    retrying the same wait returns the same answer.
+    """
+
+    def __init__(
+        self, shm_key: int, last_seen: int, current: int, epoch: int
+    ) -> None:
+        super().__init__(
+            f"segment shm_key={shm_key:#x} regressed to version {current} "
+            f"(last seen {last_seen}) after recovery to epoch {epoch}; "
+            "re-read the segment and wait from the recovered version"
+        )
+        self.shm_key = shm_key
+        self.last_seen = last_seen
+        self.current = current
+        self.epoch = epoch
+
+
 class ServerClosingError(SMBError):
     """The server is shutting down and will not serve this request."""
 
@@ -243,6 +268,7 @@ _WIRE_ARGS: Dict[str, Tuple[str, ...]] = {
     "SegmentRangeError": ("offset", "nbytes", "size"),
     "SegmentExistsError": ("name",),
     "NotificationTimeout": ("key", "version", "timeout"),
+    "VersionRegressionError": ("shm_key", "last_seen", "current", "epoch"),
     "RetryExhaustedError": ("op", "attempts", "last_error"),
     "SlotsExhaustedError": ("capacity",),
     "StaleGenerationError": ("slot", "held", "current"),

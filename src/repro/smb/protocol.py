@@ -57,6 +57,29 @@ HELLO_TENANT = b"SMB2"
 #: Length prefix of the tenant-name record that follows ``SMB2``.
 TENANT_LEN_STRUCT = struct.Struct("!H")
 
+#: ``WAIT_UPDATE`` timeout wire encoding, carried in the ``scale`` slot.
+#: ``scale > 0`` is a bounded wait in seconds; ``scale == 0`` waits
+#: forever (the historical encoding, kept so old clients and new servers
+#: interoperate); ``scale < 0`` is a **poll** — one immediate version
+#: check that returns ``TIMEOUT`` instead of parking anything.  Clients
+#: map the API contract (``timeout=None`` forever, ``0.0`` poll) onto
+#: these with :func:`encode_wait_timeout`.
+WAIT_SCALE_FOREVER = 0.0
+WAIT_SCALE_POLL = -1.0
+
+
+def encode_wait_timeout(timeout: Optional[float]) -> float:
+    """Map an API-level wait timeout onto the ``scale`` wire encoding."""
+    if timeout is None:
+        return WAIT_SCALE_FOREVER
+    if timeout < 0:
+        raise ValueError(
+            f"timeout must be >= 0 (or None for forever), got {timeout}"
+        )
+    if timeout == 0.0:
+        return WAIT_SCALE_POLL
+    return timeout
+
 #: Upper bound on the tenant-name record, so a corrupt length prefix
 #: cannot make the server wait on a multi-kilobyte "name".
 MAX_TENANT_NAME = 255

@@ -550,6 +550,15 @@ class SMBServer:
 
         if req.op is Op.WAIT_UPDATE:
             segment = self.pool.by_access_key(req.key)
+            # scale > 0: bounded wait; scale == 0: wait forever (the
+            # historical encoding); scale < 0: poll — one immediate
+            # version check that never parks a handler thread.
+            if req.scale < 0:
+                version = segment.version
+                if version <= req.count:
+                    raise NotificationTimeout(req.key, req.count, 0.0)
+                self.stats.record(req.op, tenant=tenant)
+                return Message(op=req.op, key=req.key, count=version)
             timeout = req.scale if req.scale > 0 else None
             # Wait in bounded slices so close() can interrupt a handler
             # parked on a notification that will never come.
@@ -1320,7 +1329,15 @@ class TcpSMBServer:
         blocking (the version check is first).  Until then the wait is
         one ``_waiters`` entry — hundreds of parked waiters leave the
         worker pool entirely free for the ops that wake them.
+
+        A poll (``scale < 0``) never parks: the core answers it inline
+        (version check first, ``TIMEOUT`` otherwise), so a ``0.0`` poll
+        returns promptly instead of becoming an immortal waiter whose
+        ``deadline=None`` expiry would never fire.
         """
+        if request.scale < 0:
+            self._handle_inline(conn, request, None)
+            return
         try:
             if self.core._closing.is_set():
                 raise ServerClosingError("server is shutting down")

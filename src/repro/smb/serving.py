@@ -1,0 +1,558 @@
+"""Parameter-serving read tier: replicas, snapshot rings, read caches.
+
+Training hammers the primary SMB pool with writes and accumulates; the
+*serving* side of the house — evaluation jobs, checkpoint shippers, the
+HTTP model gateway — only ever reads, and mostly reads the same few
+segments (``W_g``) over and over.  Pointing that read fan-out at the
+primary steals bandwidth from the training loop.  This module adds the
+read tier the ShmCaffe deployment story implies:
+
+* :class:`ReadCache` — a byte-bounded LRU keyed by
+  ``(shm_key, version, nbytes)``.  Because a key names one immutable
+  version of a segment, entries never go stale: a new version is a new
+  key, and the old entry simply ages out.  Plugs into
+  :class:`~repro.smb.client.SMBClient` (``cache=``) and the gateway.
+* :class:`ReplicaServer` — subscribes to a configurable set of primary
+  segments with ``wait_update`` long-polls, mirrors each update into its
+  own read-only :class:`~repro.smb.server.SMBServer` core (stamping the
+  *primary's* version numbers via :meth:`Segment.install`), and retains
+  the last ``ring_depth`` versions per segment in a snapshot ring so
+  version-pinned reads keep working after the primary has moved on.
+  Front it with :class:`~repro.smb.server.TcpSMBServer` (``core=``) to
+  serve remote readers, or read in-process via :meth:`ReplicaServer.read`.
+
+The replica is where the wait/version bugfix sweep pays off: its
+subscription loops run ``wait_update(last_seen, timeout=None)`` forever,
+so a primary that recovers *below* ``last_seen`` must surface
+:class:`~repro.smb.errors.VersionRegressionError` (rather than park the
+loop) for the replica to resync.  The snapshot ring is deliberately kept
+across a resync: pinned reads of pre-crash versions still serve.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import OrderedDict
+from time import monotonic
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..telemetry import TelemetrySession
+from ..telemetry import current as _telemetry_current
+from .client import SMBClient
+from .errors import (
+    NotificationTimeout,
+    SMBError,
+    TransportClosedError,
+    UnknownKeyError,
+    VersionRegressionError,
+    is_retryable,
+)
+from .memory import DEFAULT_POOL_CAPACITY, DEFAULT_TENANT
+from .server import SMBServer
+
+logger = logging.getLogger(__name__)
+
+#: Snapshot versions retained per mirrored segment.
+DEFAULT_RING_DEPTH = 8
+
+#: Default byte budget for a :class:`ReadCache` built from an ``int``.
+DEFAULT_CACHE_BYTES = 256 * 1024 * 1024
+
+
+class VersionNotAvailableError(SMBError):
+    """A pinned read asked for a version nobody retains any more.
+
+    Raised by :meth:`ReplicaServer.read` when the requested version is
+    not the replica's current one, has aged out of the snapshot ring,
+    and the primary has moved past it too.  Fatal: the bytes are gone.
+    """
+
+    def __init__(self, name: str, requested: int, current: int) -> None:
+        super().__init__(
+            f"version {requested} of segment {name!r} is not available "
+            f"(current is {current}; older snapshots aged out of the ring)"
+        )
+        self.name = name
+        self.requested = requested
+        self.current = current
+
+
+class ReadCache:
+    """Thread-safe byte-bounded LRU of immutable segment snapshots.
+
+    Keys are ``(shm_key, version, nbytes)`` tuples; a hit returns the
+    exact bytes that segment held at that version.  Entries are immutable
+    by construction — a mutation on the server mints a new version and
+    therefore a new key — so the only invalidation that ever matters is
+    a server *recovery*, which may re-mint version numbers over different
+    bytes; :meth:`invalidate` handles that per segment.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_CACHE_BYTES,
+        telemetry: Optional[TelemetrySession] = None,
+    ) -> None:
+        if capacity_bytes <= 0:
+            raise ValueError(
+                f"cache capacity must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self._telemetry = telemetry
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Tuple[int, int, int], bytes]" = (
+            OrderedDict()
+        )
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    def _registry(self):
+        tel = self._telemetry
+        if tel is None:
+            tel = _telemetry_current()
+        return tel.registry if tel.enabled else None
+
+    def get(self, key: Tuple[int, int, int]) -> Optional[bytes]:
+        """Return the cached bytes for ``key``, or None on a miss."""
+        with self._lock:
+            data = self._entries.get(key)
+            if data is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+            else:
+                self.misses += 1
+        registry = self._registry()
+        if registry is not None:
+            registry.inc(
+                "serve/cache/hit" if data is not None else "serve/cache/miss"
+            )
+        return data
+
+    def put(self, key: Tuple[int, int, int], data: bytes) -> None:
+        """Insert one immutable snapshot; evicts LRU entries to fit.
+
+        An entry bigger than the whole cache is silently not cached —
+        thrashing the entire cache for one oversized read helps nobody.
+        """
+        nbytes = len(data)
+        if nbytes > self.capacity_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._used -= len(old)
+            self._entries[key] = data
+            self._used += nbytes
+            while self._used > self.capacity_bytes:
+                _, evicted = self._entries.popitem(last=False)
+                self._used -= len(evicted)
+
+    def invalidate(self, shm_key: Optional[int] = None) -> None:
+        """Drop entries for one segment, or everything (``None``).
+
+        Called on server recovery: a recovered epoch re-mints version
+        numbers, so ``(shm_key, version)`` may now alias different bytes.
+        """
+        with self._lock:
+            if shm_key is None:
+                self._entries.clear()
+                self._used = 0
+                return
+            stale = [k for k in self._entries if k[0] == shm_key]
+            for key in stale:
+                self._used -= len(self._entries.pop(key))
+
+    @property
+    def used_bytes(self) -> int:
+        with self._lock:
+            return self._used
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _SnapshotRing:
+    """Last-``depth`` versions of one segment, oldest evicted first."""
+
+    def __init__(self, depth: int) -> None:
+        self.depth = depth
+        self._lock = threading.Lock()
+        self._snapshots: "OrderedDict[int, bytes]" = OrderedDict()
+
+    def push(self, version: int, data: bytes) -> None:
+        with self._lock:
+            self._snapshots[version] = data
+            self._snapshots.move_to_end(version)
+            while len(self._snapshots) > self.depth:
+                self._snapshots.popitem(last=False)
+
+    def get(self, version: int) -> Optional[bytes]:
+        with self._lock:
+            return self._snapshots.get(version)
+
+    def versions(self) -> List[int]:
+        with self._lock:
+            return list(self._snapshots)
+
+
+class _Subscription:
+    """Book-keeping for one mirrored segment."""
+
+    def __init__(self, name: str, ring_depth: int) -> None:
+        self.name = name
+        self.ring = _SnapshotRing(ring_depth)
+        self.ready = threading.Event()
+        self.version = 0
+        self.resyncs = 0
+        self.last_update_at: Optional[float] = None
+
+
+class ReplicaServer:
+    """Read-only mirror of a chosen set of primary segments.
+
+    The replica owns an in-process :class:`SMBServer` core whose pool
+    holds the mirrored bytes at the *primary's* version numbers; expose
+    it over any transport (``TcpSMBServer(core=replica.core)``) or read
+    in-process through :meth:`read`.  One daemon thread per segment runs
+    the subscription loop: ``wait_update`` long-poll, ``read_into``,
+    :meth:`Segment.install`.
+
+    ``connect`` is a zero-argument factory returning a *fresh*
+    :class:`SMBClient` bound to the primary — transport-agnostic and
+    tenant-aware (pin the tenant in the factory).  Each subscription
+    thread gets its own client so long-polls never serialise behind one
+    notify channel; one more client serves pinned-read fallbacks.
+
+    Staleness bound: a replica read lags the primary by at most one
+    notification round-trip plus one segment read (milliseconds on
+    loopback); :data:`serve/replica/lag` records how many primary
+    versions each apply coalesced.
+    """
+
+    def __init__(
+        self,
+        connect: Callable[[], SMBClient],
+        segments: Sequence[str],
+        tenant: str = DEFAULT_TENANT,
+        ring_depth: int = DEFAULT_RING_DEPTH,
+        capacity: int = DEFAULT_POOL_CAPACITY,
+        telemetry: Optional[TelemetrySession] = None,
+        name: str = "replica",
+    ) -> None:
+        if not segments:
+            raise ValueError("a replica needs at least one segment to mirror")
+        if ring_depth < 1:
+            raise ValueError(f"ring_depth must be >= 1, got {ring_depth}")
+        self.name = name
+        self.tenant = tenant
+        self._connect = connect
+        self._telemetry = telemetry
+        self.core = SMBServer(capacity=capacity, telemetry=telemetry)
+        self._subs: Dict[str, _Subscription] = {
+            seg: _Subscription(seg, ring_depth) for seg in segments
+        }
+        self._threads: List[threading.Thread] = []
+        self._clients: List[SMBClient] = []
+        self._clients_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._started = False
+        self._fallback: Optional[SMBClient] = None
+        self._fallback_lock = threading.Lock()
+
+    # -- lifecycle --------------------------------------------------------
+
+    def start(self) -> "ReplicaServer":
+        if self._started:
+            raise RuntimeError("replica already started")
+        self._started = True
+        for sub in self._subs.values():
+            thread = threading.Thread(
+                target=self._run_subscription,
+                args=(sub,),
+                name=f"{self.name}-sub-{sub.name}",
+                daemon=True,
+            )
+            self._threads.append(thread)
+            thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop subscriptions; closing the clients wakes parked waits."""
+        self._stopping.set()
+        with self._clients_lock:
+            clients = list(self._clients)
+            self._clients.clear()
+        for client in clients:
+            client.close()
+        with self._fallback_lock:
+            if self._fallback is not None:
+                self._fallback.close()
+                self._fallback = None
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        self._threads.clear()
+
+    def __enter__(self) -> "ReplicaServer":
+        return self if self._started else self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def wait_ready(self, timeout: Optional[float] = None) -> bool:
+        """Block until every subscription finished its initial sync."""
+        deadline = monotonic() + timeout if timeout is not None else None
+        for sub in self._subs.values():
+            remaining: Optional[float] = None
+            if deadline is not None:
+                remaining = max(deadline - monotonic(), 0.0)
+            if not sub.ready.wait(remaining):
+                return False
+        return True
+
+    # -- the read API the gateway programs against ------------------------
+
+    def serves(self, name: str, tenant: Optional[str] = None) -> bool:
+        """Whether this replica mirrors ``name`` (in ``tenant``)."""
+        if tenant is not None and tenant != self.tenant:
+            return False
+        return name in self._subs
+
+    def segment_names(self) -> List[str]:
+        return list(self._subs)
+
+    def read(
+        self,
+        name: str,
+        version: Optional[int] = None,
+        tenant: Optional[str] = None,
+    ) -> Tuple[int, bytes]:
+        """Serve one versioned read; returns ``(version, bytes)``.
+
+        ``version=None`` serves the replica's current snapshot.  A
+        pinned read of version ``v`` is served from the local pool (if
+        current) or the snapshot ring; only on a ring miss does the
+        replica fall back to one primary read — and only a primary
+        still *at* ``v`` can satisfy it.
+
+        Raises:
+            UnknownKeyError: ``name`` is not a segment this replica
+                mirrors (or it has not finished its initial sync).
+            VersionNotAvailableError: The pinned version is gone
+                everywhere.
+        """
+        sub = self._subs.get(name)
+        if sub is None or not sub.ready.is_set():
+            raise UnknownKeyError(0)
+        segment = self.core.pool.by_name(name, tenant=self.tenant)
+        with segment.lock:
+            current = segment.version
+            if version is None or version == current:
+                data = segment.buffer.tobytes()
+                self._count_read(len(data))
+                return current, data
+        snapshot = sub.ring.get(version)
+        if snapshot is not None:
+            self._record("serve/replica/ring_hit")
+            self._count_read(len(snapshot))
+            return version, snapshot
+        return self._primary_fallback(sub, version, current)
+
+    def _primary_fallback(
+        self, sub: _Subscription, version: int, current: int
+    ) -> Tuple[int, bytes]:
+        """Last resort for a pinned miss: ask the primary directly.
+
+        Useful when the replica lags (the reader pinned a version the
+        primary just minted): the primary is still at that version, so
+        the read both serves the request and warms the mirror.
+        """
+        self._record("serve/replica/fallback")
+        try:
+            client = self._fallback_client()
+            shm_key, nbytes = client.lookup(sub.name)
+            access_key = client.attach(shm_key, nbytes)
+            buf = bytearray(nbytes)
+            got = client.read_into(access_key, buf)
+        except SMBError as exc:
+            raise VersionNotAvailableError(
+                sub.name, version, current
+            ) from exc
+        if got != version:
+            raise VersionNotAvailableError(sub.name, version, current)
+        data = bytes(buf)
+        sub.ring.push(got, data)
+        self._count_read(len(data))
+        return got, data
+
+    def _fallback_client(self) -> SMBClient:
+        with self._fallback_lock:
+            if self._fallback is None:
+                self._fallback = self._connect()
+            return self._fallback
+
+    def version(self, name: str) -> int:
+        """The replica's current version of ``name`` (0 before sync)."""
+        sub = self._subs.get(name)
+        if sub is None:
+            raise UnknownKeyError(0)
+        return sub.version
+
+    def lag_info(self) -> Dict[str, Dict[str, object]]:
+        """Per-segment mirror state (diagnostics, CLI)."""
+        return {
+            name: {
+                "version": sub.version,
+                "ready": sub.ready.is_set(),
+                "resyncs": sub.resyncs,
+                "ring": sub.ring.versions(),
+            }
+            for name, sub in self._subs.items()
+        }
+
+    # -- subscription machinery -------------------------------------------
+
+    def _registry(self):
+        tel = self._telemetry
+        if tel is None:
+            tel = _telemetry_current()
+        return tel.registry if tel.enabled else None
+
+    def _record(self, counter: str, value: int = 1) -> None:
+        registry = self._registry()
+        if registry is not None:
+            registry.inc(counter, value)
+
+    def _count_read(self, nbytes: int) -> None:
+        registry = self._registry()
+        if registry is not None:
+            registry.inc("serve/replica/reads")
+            registry.inc(f"serve/replica/tenant/{self.tenant}/reads")
+            registry.inc("serve/replica/bytes_read", nbytes)
+
+    def _make_client(self) -> Optional[SMBClient]:
+        """One subscription client, tracked so stop() can wake its wait."""
+        if self._stopping.is_set():
+            return None
+        client = self._connect()
+        with self._clients_lock:
+            if self._stopping.is_set():
+                client.close()
+                return None
+            self._clients.append(client)
+        return client
+
+    def _run_subscription(self, sub: _Subscription) -> None:
+        """Mirror one segment until stop(): sync, long-poll, apply."""
+        while not self._stopping.is_set():
+            try:
+                client = self._make_client()
+            except SMBError:
+                # Primary down and the factory has no grace window of
+                # its own; keep knocking until stop() or it comes back.
+                self._stopping.wait(0.2)
+                continue
+            if client is None:
+                return
+            try:
+                self._subscribe_once(client, sub)
+                return  # clean exit (stop() closed the client)
+            except (TransportClosedError, SMBError) as exc:
+                if self._stopping.is_set():
+                    return
+                if isinstance(exc, SMBError) and not is_retryable(exc):
+                    logger.error(
+                        "replica %s: subscription for %r failed: %s",
+                        self.name, sub.name, exc,
+                    )
+                    return
+                logger.warning(
+                    "replica %s: connection to primary lost for %r (%s); "
+                    "reconnecting", self.name, sub.name, exc,
+                )
+                self._stopping.wait(0.2)
+            finally:
+                with self._clients_lock:
+                    if client in self._clients:
+                        self._clients.remove(client)
+                client.close()
+
+    def _subscribe_once(self, client: SMBClient, sub: _Subscription) -> None:
+        """One subscription session over one client connection."""
+        shm_key, nbytes = client.lookup(sub.name)
+        access_key = client.attach(shm_key, nbytes)
+        local = self._local_segment(sub.name, nbytes)
+        buf = bytearray(nbytes)
+        version = client.read_into(access_key, buf)
+        self._apply(sub, local, bytes(buf), version, force=False)
+        while not self._stopping.is_set():
+            try:
+                new = client.wait_update(access_key, sub.version, timeout=None)
+            except NotificationTimeout:
+                continue
+            except VersionRegressionError as regress:
+                # The primary recovered below our mirror.  Resync from
+                # the recovered state — forcing the install so the local
+                # version matches the primary again — but KEEP the ring:
+                # pinned reads of pre-crash versions must still serve.
+                sub.resyncs += 1
+                self._record("serve/replica/resyncs")
+                logger.warning(
+                    "replica %s: primary regressed for %r (%s); resyncing",
+                    self.name, sub.name, regress,
+                )
+                version = client.read_into(access_key, buf)
+                self._apply(sub, local, bytes(buf), version, force=True)
+                continue
+            version = client.read_into(access_key, buf)
+            if version < new:
+                # A racing writer cannot roll READ below the version the
+                # wait reported; a *recovery* between the two calls can.
+                # Treat it as a regression: force-resync to what we read.
+                sub.resyncs += 1
+                self._record("serve/replica/resyncs")
+                self._apply(sub, local, bytes(buf), version, force=True)
+                continue
+            self._apply(sub, local, bytes(buf), version, force=False)
+
+    def _local_segment(self, name: str, nbytes: int):
+        pool = self.core.pool
+        try:
+            return pool.by_name(name, tenant=self.tenant)
+        except UnknownKeyError:
+            try:
+                return pool.create(
+                    name, nbytes, owner=self.name, tenant=self.tenant
+                )
+            except SMBError:
+                # Raced another (re)subscription; the segment exists now.
+                return pool.by_name(name, tenant=self.tenant)
+
+    def _apply(
+        self,
+        sub: _Subscription,
+        local,
+        data: bytes,
+        version: int,
+        force: bool,
+    ) -> None:
+        """Install one mirrored snapshot locally and retain it in the ring."""
+        previous = sub.version
+        local.install(data, version, force=force)
+        sub.ring.push(version, data)
+        sub.version = version
+        sub.last_update_at = monotonic()
+        registry = self._registry()
+        if registry is not None:
+            registry.inc("serve/replica/updates")
+            if version > previous:
+                # How many primary versions this apply coalesced: 0 means
+                # the mirror saw every update, N means N were skipped
+                # while we were reading/applying the previous one.
+                registry.observe(
+                    "serve/replica/lag", float(version - previous - 1)
+                )
+        if not sub.ready.is_set():
+            sub.ready.set()

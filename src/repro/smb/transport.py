@@ -81,12 +81,19 @@ def _sliced_wait(
 ) -> Message:
     """Run one WAIT_UPDATE as a sequence of bounded server-side waits.
 
-    The caller's timeout semantics are preserved (``scale <= 0`` waits
-    forever, otherwise the deadline is honoured to within one slice), but
-    no single exchange blocks longer than ``slice_seconds`` — so a
-    concurrent :meth:`Transport.close` is observed promptly and shutdown
-    cannot hang on a notification that will never come.
+    The caller's timeout semantics are preserved (``scale == 0`` waits
+    forever, ``scale < 0`` polls, otherwise the deadline is honoured to
+    within one slice), but no single exchange blocks longer than
+    ``slice_seconds`` — so a concurrent :meth:`Transport.close` is
+    observed promptly and shutdown cannot hang on a notification that
+    will never come.
     """
+    if message.scale < 0:
+        # Poll: a single non-blocking exchange; a TIMEOUT response (the
+        # segment has not advanced) propagates for the client to raise.
+        if closed.is_set():
+            raise TransportClosedError("transport closed while waiting")
+        return exchange(message)
     deadline = monotonic() + message.scale if message.scale > 0 else None
     while True:
         if closed.is_set():

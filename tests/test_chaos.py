@@ -214,7 +214,7 @@ class TestWaitUpdateLifecycle:
 
         def waiter():
             try:
-                array.wait_update(version=array.version(), timeout=0.0)
+                array.wait_update(version=array.version(), timeout=None)
                 outcome["result"] = "returned"
             except BaseException as exc:  # noqa: BLE001 - recorded for assert
                 outcome["error"] = exc

@@ -1,0 +1,843 @@
+"""Parameter-serving read tier: replicas, pinned reads, cache, gateway.
+
+Covers the serving data path end to end plus the wait/version contract
+fixes it leans on:
+
+* ``wait_update`` timeout semantics — ``None`` waits forever, ``0.0``
+  polls (one immediate version check, never parking a server thread);
+* :class:`VersionRegressionError` — a recovery that rolls a segment
+  below a client's last-seen version surfaces a typed error instead of
+  parking its subscription loop forever;
+* the client read cache — inserts keyed strictly by the wire-returned
+  version, hammered by concurrent writers;
+* :class:`ReplicaServer` — mirroring, the snapshot ring, resync across
+  primary recovery (ring retained);
+* :class:`ModelGateway` — HTTP routes, ETag/304, placement fan-out, and
+  the acceptance demo: 16 concurrent HTTP readers of a 16 MiB ``W_g``
+  with **zero** primary READ ops after warm-up.
+"""
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.smb import (
+    NotificationTimeout,
+    ReadCache,
+    ReplicaServer,
+    RetryPolicy,
+    SMBClient,
+    SMBServer,
+    TcpSMBServer,
+    UnknownKeyError,
+    VersionNotAvailableError,
+    VersionRegressionError,
+)
+from repro.smb.journal import RENDEZVOUS_NAME
+from repro.serve import ModelGateway
+
+RECOVERY_RETRY = RetryPolicy(
+    max_attempts=8, base_backoff=0.02, max_backoff=0.2, seed=7
+)
+
+
+def _wait_for(predicate, timeout=5.0, interval=0.005):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def _http_get(url, headers=None):
+    request = urllib.request.Request(url, headers=headers or {})
+    try:
+        with urllib.request.urlopen(request, timeout=10.0) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as exc:
+        return exc.code, dict(exc.headers), exc.read()
+
+
+# ---------------------------------------------------------------------------
+# Satellite 1: the wait_update timeout contract
+# ---------------------------------------------------------------------------
+
+
+class TestWaitTimeoutContract:
+    @pytest.mark.parametrize("transport_kind", ["inproc", "tcp"])
+    def test_zero_timeout_polls_promptly(self, transport_kind):
+        """``timeout=0.0`` is a poll: it returns (with a timeout error)
+        immediately instead of parking a waiter forever."""
+        if transport_kind == "tcp":
+            server = TcpSMBServer(capacity=1 << 20).start()
+            client = SMBClient.connect(server.address)
+        else:
+            server = None
+            client = SMBClient.in_process(SMBServer(capacity=1 << 20))
+        try:
+            array = client.create_array("seg", 16)
+            begin = time.monotonic()
+            with pytest.raises(NotificationTimeout):
+                array.wait_update(version=array.version(), timeout=0.0)
+            assert time.monotonic() - begin < 1.0
+        finally:
+            client.close()
+            if server is not None:
+                server.stop()
+
+    def test_zero_timeout_poll_sees_an_existing_update(self):
+        client = SMBClient.in_process(SMBServer(capacity=1 << 20))
+        with client:
+            array = client.create_array("seg", 16)
+            array.write(np.ones(16, dtype=np.float32))
+            assert array.wait_update(version=0, timeout=0.0) >= 1
+
+    def test_poll_does_not_park_a_loop_thread_waiter(self):
+        """Regression: a 0.0 poll against a TCP server must answer from
+        the event loop inline — never park a ``_PendingWait`` that only a
+        future write would release."""
+        server = TcpSMBServer(capacity=1 << 20).start()
+        client = SMBClient.connect(server.address)
+        try:
+            array = client.create_array("seg", 16)
+            outcome = {}
+
+            def poller():
+                begin = time.monotonic()
+                try:
+                    array.wait_update(version=array.version(), timeout=0.0)
+                    outcome["result"] = "returned"
+                except NotificationTimeout:
+                    outcome["result"] = "timeout"
+                outcome["elapsed"] = time.monotonic() - begin
+
+            thread = threading.Thread(target=poller, daemon=True)
+            thread.start()
+            thread.join(timeout=5.0)
+            assert not thread.is_alive(), "0.0 poll parked a waiter"
+            assert outcome["result"] == "timeout"
+            assert outcome["elapsed"] < 1.0
+        finally:
+            client.close()
+            server.stop()
+
+    def test_none_waits_until_update(self):
+        client = SMBClient.in_process(SMBServer(capacity=1 << 20))
+        with client:
+            array = client.create_array("seg", 16)
+            seen = {}
+
+            def waiter():
+                seen["version"] = array.wait_update(version=0, timeout=None)
+
+            thread = threading.Thread(target=waiter, daemon=True)
+            thread.start()
+            time.sleep(0.05)
+            array.write(np.ones(16, dtype=np.float32))
+            thread.join(timeout=5.0)
+            assert not thread.is_alive()
+            assert seen["version"] >= 1
+
+    def test_bounded_timeout_still_times_out(self):
+        client = SMBClient.in_process(SMBServer(capacity=1 << 20))
+        with client:
+            array = client.create_array("seg", 16)
+            with pytest.raises(NotificationTimeout):
+                array.wait_update(version=array.version(), timeout=0.05)
+
+
+# ---------------------------------------------------------------------------
+# Satellite 2: version regression surfaces as a typed error
+# ---------------------------------------------------------------------------
+
+
+class TestVersionRegression:
+    def _snapshot_only_restart(self, tmp_path, writes=3):
+        """Primary at version ``writes``; snapshot taken at version 1;
+        killed; recovered snapshot-only (so the segment regresses)."""
+        first = TcpSMBServer(
+            port=0, capacity=1 << 20, journal_dir=tmp_path,
+            journal_ops=False,
+        ).start()
+        rendezvous = str(tmp_path / RENDEZVOUS_NAME)
+        client = SMBClient.connect(
+            first.address, retry_policy=RECOVERY_RETRY,
+            rendezvous=rendezvous, server_down_grace=20.0,
+        )
+        array = client.create_array("weights", 8)
+        array.write(np.full(8, 1.0, dtype=np.float32))
+        client.request_snapshot()  # durable at version 1
+        for i in range(2, writes + 1):
+            array.write(np.full(8, float(i), dtype=np.float32))
+        assert array.version() == writes
+        first.kill()
+        second = TcpSMBServer(
+            port=0, capacity=1 << 20, journal_dir=tmp_path,
+            journal_ops=False,
+        ).start()
+        return client, array, second
+
+    def test_wait_past_recovered_version_raises(self, tmp_path):
+        client, array, server = self._snapshot_only_restart(tmp_path)
+        try:
+            with pytest.raises(VersionRegressionError) as excinfo:
+                array.wait_update(version=3, timeout=5.0)
+            assert excinfo.value.last_seen == 3
+            assert excinfo.value.current == 1
+            assert excinfo.value.epoch == 1
+        finally:
+            client.close()
+            server.stop()
+
+    def test_resync_clears_the_flag(self, tmp_path):
+        """Waiting from a version the recovered segment covers proves
+        the caller resynced; subsequent waits work normally."""
+        client, array, server = self._snapshot_only_restart(tmp_path)
+        try:
+            with pytest.raises(VersionRegressionError):
+                array.wait_update(version=3, timeout=5.0)
+            recovered = array.version()
+            assert recovered == 1
+            np.testing.assert_array_equal(
+                array.read(), np.full(8, 1.0, dtype=np.float32)
+            )
+            # Waiting from the recovered version is a normal wait again.
+            with pytest.raises(NotificationTimeout):
+                array.wait_update(version=recovered, timeout=0.0)
+            array.write(np.full(8, 9.0, dtype=np.float32))
+            assert array.wait_update(version=recovered, timeout=5.0) == 2
+        finally:
+            client.close()
+            server.stop()
+
+    def test_full_journal_recovery_does_not_regress(self, tmp_path):
+        """With per-op journaling the version continues; no typed error."""
+        first = TcpSMBServer(
+            port=0, capacity=1 << 20, journal_dir=tmp_path
+        ).start()
+        rendezvous = str(tmp_path / RENDEZVOUS_NAME)
+        client = SMBClient.connect(
+            first.address, retry_policy=RECOVERY_RETRY,
+            rendezvous=rendezvous, server_down_grace=20.0,
+        )
+        array = client.create_array("weights", 8)
+        array.write(np.full(8, 1.0, dtype=np.float32))
+        first.kill()
+        second = TcpSMBServer(
+            port=0, capacity=1 << 20, journal_dir=tmp_path
+        ).start()
+        try:
+            array.write(np.full(8, 2.0, dtype=np.float32))
+            assert array.version() == 2
+        finally:
+            client.close()
+            second.stop()
+
+    def test_error_round_trips_the_wire(self):
+        from repro.smb.errors import from_wire, to_wire
+
+        exc = VersionRegressionError(
+            shm_key=0xBEEF, last_seen=9, current=4, epoch=2
+        )
+        rebuilt = from_wire(to_wire(exc))
+        assert isinstance(rebuilt, VersionRegressionError)
+        assert rebuilt.last_seen == 9
+        assert rebuilt.current == 4
+        assert rebuilt.epoch == 2
+
+
+# ---------------------------------------------------------------------------
+# ReadCache + satellite 3: insert strictly by wire version
+# ---------------------------------------------------------------------------
+
+
+class TestReadCache:
+    def test_lru_eviction_by_bytes(self):
+        cache = ReadCache(capacity_bytes=100)
+        cache.put((1, 1, 40), b"a" * 40)
+        cache.put((1, 2, 40), b"b" * 40)
+        cache.put((1, 3, 40), b"c" * 40)  # evicts (1, 1, 40)
+        assert cache.get((1, 1, 40)) is None
+        assert cache.get((1, 2, 40)) == b"b" * 40
+        assert cache.used_bytes == 80
+
+    def test_get_refreshes_recency(self):
+        cache = ReadCache(capacity_bytes=100)
+        cache.put((1, 1, 40), b"a" * 40)
+        cache.put((1, 2, 40), b"b" * 40)
+        assert cache.get((1, 1, 40)) is not None  # now most recent
+        cache.put((1, 3, 40), b"c" * 40)  # evicts (1, 2, 40)
+        assert cache.get((1, 2, 40)) is None
+        assert cache.get((1, 1, 40)) == b"a" * 40
+
+    def test_oversized_entry_not_cached(self):
+        cache = ReadCache(capacity_bytes=10)
+        cache.put((1, 1, 40), b"a" * 40)
+        assert len(cache) == 0
+
+    def test_invalidate_by_segment(self):
+        cache = ReadCache(capacity_bytes=1000)
+        cache.put((1, 1, 4), b"aaaa")
+        cache.put((2, 1, 4), b"bbbb")
+        cache.invalidate(shm_key=1)
+        assert cache.get((1, 1, 4)) is None
+        assert cache.get((2, 1, 4)) == b"bbbb"
+        cache.invalidate()
+        assert len(cache) == 0
+
+    def test_client_cached_read_skips_the_server(self):
+        server = SMBServer(capacity=1 << 20)
+        client = SMBClient.in_process(server, cache=1 << 20)
+        with client:
+            array = client.create_array("seg", 8)
+            array.write(np.arange(8, dtype=np.float32))
+            first = client.read(array.access_key, 32)
+            reads = server.stats.op_counts.get("READ", 0)
+            second = client.read(array.access_key, 32)
+            assert second == first
+            assert server.stats.op_counts.get("READ", 0) == reads
+
+    def test_notify_advance_invalidates_cached_read(self):
+        """The notify channel is the invalidation path: once wait_update
+        reports a new version, the next read misses and refetches."""
+        server = SMBServer(capacity=1 << 20)
+        writer = SMBClient.in_process(server)
+        reader = SMBClient.in_process(server, cache=1 << 20)
+        try:
+            array = writer.create_array("seg", 8)
+            array.write(np.full(8, 1.0, dtype=np.float32))
+            access = reader.attach(array.shm_key, 32)
+            stale = reader.read(access, 32)
+            array.write(np.full(8, 2.0, dtype=np.float32))
+            reader.wait_update(access, 1, timeout=5.0)
+            fresh = reader.read(access, 32)
+            assert np.frombuffer(stale, dtype=np.float32)[0] == 1.0
+            assert np.frombuffer(fresh, dtype=np.float32)[0] == 2.0
+        finally:
+            writer.close()
+            reader.close()
+
+    def test_hammer_inserts_are_keyed_by_wire_version(self):
+        """Satellite 3: two threads hammer read() while a writer mutates.
+        Every cache entry must hold the exact bytes of the version it is
+        keyed under — an insert keyed by 'latest seen' instead of the
+        wire-returned version would alias stale bytes to new versions."""
+        server = SMBServer(capacity=1 << 20)
+        cache = ReadCache(capacity_bytes=1 << 22)
+        writer = SMBClient.in_process(server)
+        readers = [
+            SMBClient.in_process(server, cache=cache) for _ in range(2)
+        ]
+        stop = threading.Event()
+        try:
+            array = writer.create_array("seg", 64)
+            accesses = [r.attach(array.shm_key, 256) for r in readers]
+
+            def write_loop():
+                for i in range(1, 300):
+                    array.write(np.full(64, float(i), dtype=np.float32))
+
+            def read_loop(reader, access):
+                while not stop.is_set():
+                    reader.read(access, 256)
+                    # Advance the attachment's view so later inserts use
+                    # newer versions (poll; never parks).
+                    try:
+                        reader.wait_update(access, 0, timeout=0.0)
+                    except NotificationTimeout:
+                        pass
+
+            writer_thread = threading.Thread(target=write_loop)
+            reader_threads = [
+                threading.Thread(target=read_loop, args=(r, a), daemon=True)
+                for r, a in zip(readers, accesses)
+            ]
+            for thread in reader_threads:
+                thread.start()
+            writer_thread.start()
+            writer_thread.join(timeout=30.0)
+            stop.set()
+            for thread in reader_threads:
+                thread.join(timeout=5.0)
+            # Every cached (shm_key, version, nbytes) must hold that
+            # version's canonical bytes: write v filled the array with v.
+            checked = 0
+            for (shm_key, version, nbytes), data in list(
+                cache._entries.items()
+            ):
+                values = np.frombuffer(data, dtype=np.float32)
+                assert values.shape == (64,)
+                assert np.all(values == float(version)), (
+                    f"cache poisoned: version {version} holds bytes of "
+                    f"write {values[0]:.0f}"
+                )
+                checked += 1
+            assert checked > 0, "hammer never populated the cache"
+        finally:
+            stop.set()
+            writer.close()
+            for reader in readers:
+                reader.close()
+
+
+# ---------------------------------------------------------------------------
+# ReplicaServer: mirroring, the ring, pinned reads
+# ---------------------------------------------------------------------------
+
+
+class TestReplicaServer:
+    def _primary(self, count=256):
+        server = SMBServer(capacity=1 << 22)
+        master = SMBClient.in_process(server)
+        array = master.create_array("W_g", count)
+        array.write(np.full(count, 1.0, dtype=np.float32))
+        return server, master, array
+
+    def test_mirrors_and_tracks_updates(self):
+        server, master, array = self._primary()
+        replica = ReplicaServer(
+            lambda: SMBClient.in_process(server), ["W_g"]
+        ).start()
+        try:
+            assert replica.wait_ready(5.0)
+            version, data = replica.read("W_g")
+            assert version == 1
+            assert np.frombuffer(data, dtype=np.float32)[0] == 1.0
+            array.write(np.full(256, 2.0, dtype=np.float32))
+            assert _wait_for(lambda: replica.version("W_g") >= 2)
+            version, data = replica.read("W_g")
+            assert version == 2
+            assert np.frombuffer(data, dtype=np.float32)[0] == 2.0
+        finally:
+            replica.stop()
+            master.close()
+
+    def test_pinned_read_serves_from_ring(self):
+        server, master, array = self._primary()
+        replica = ReplicaServer(
+            lambda: SMBClient.in_process(server), ["W_g"], ring_depth=4
+        ).start()
+        try:
+            assert replica.wait_ready(5.0)
+            for i in range(2, 5):
+                array.write(np.full(256, float(i), dtype=np.float32))
+                assert _wait_for(
+                    lambda i=i: replica.version("W_g") >= i
+                )
+            # Version 2 is gone from the primary (now at 4) but retained.
+            version, data = replica.read("W_g", version=2)
+            assert version == 2
+            assert np.frombuffer(data, dtype=np.float32)[0] == 2.0
+        finally:
+            replica.stop()
+            master.close()
+
+    def test_aged_out_version_raises(self):
+        server, master, array = self._primary()
+        replica = ReplicaServer(
+            lambda: SMBClient.in_process(server), ["W_g"], ring_depth=2
+        ).start()
+        try:
+            assert replica.wait_ready(5.0)
+            for i in range(2, 7):
+                array.write(np.full(256, float(i), dtype=np.float32))
+                assert _wait_for(
+                    lambda i=i: replica.version("W_g") >= i
+                )
+            with pytest.raises(VersionNotAvailableError):
+                replica.read("W_g", version=1)
+        finally:
+            replica.stop()
+            master.close()
+
+    def test_unknown_segment_rejected(self):
+        server, master, _ = self._primary()
+        replica = ReplicaServer(
+            lambda: SMBClient.in_process(server), ["W_g"]
+        ).start()
+        try:
+            assert replica.wait_ready(5.0)
+            with pytest.raises(UnknownKeyError):
+                replica.read("nope")
+            assert not replica.serves("nope")
+            assert replica.serves("W_g")
+            assert not replica.serves("W_g", tenant="other")
+        finally:
+            replica.stop()
+            master.close()
+
+    def test_tenant_scoped_mirroring(self):
+        server = SMBServer(capacity=1 << 22)
+        server.pool.create_tenant("alice")
+        master = SMBClient.in_process(server, tenant="alice")
+        array = master.create_array("W_g", 64)
+        array.write(np.full(64, 7.0, dtype=np.float32))
+        replica = ReplicaServer(
+            lambda: SMBClient.in_process(server, tenant="alice"),
+            ["W_g"], tenant="alice",
+        ).start()
+        try:
+            assert replica.wait_ready(5.0)
+            version, data = replica.read("W_g", tenant="alice")
+            assert version == 1
+            assert np.frombuffer(data, dtype=np.float32)[0] == 7.0
+        finally:
+            replica.stop()
+            master.close()
+
+
+# ---------------------------------------------------------------------------
+# Satellite 4: primary loss mid-subscription
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.chaos
+class TestReplicaChaos:
+    def test_replica_resyncs_across_journaled_recovery(self, tmp_path):
+        """Kill the primary mid-subscription; the journaled replacement
+        recovers on a new port; the replica reconnects (rendezvous),
+        resumes mirroring, and pre-kill pinned versions still serve."""
+        first = TcpSMBServer(
+            port=0, capacity=1 << 20, journal_dir=tmp_path
+        ).start()
+        rendezvous = str(tmp_path / RENDEZVOUS_NAME)
+        master = SMBClient.connect(
+            first.address, retry_policy=RECOVERY_RETRY,
+            rendezvous=rendezvous, server_down_grace=20.0,
+        )
+        array = master.create_array("W_g", 64)
+        array.write(np.full(64, 1.0, dtype=np.float32))
+
+        def connect():
+            return SMBClient.connect(
+                first.address, retry_policy=RECOVERY_RETRY,
+                rendezvous=rendezvous, server_down_grace=20.0,
+            )
+
+        replica = ReplicaServer(connect, ["W_g"], ring_depth=8).start()
+        second = None
+        try:
+            assert replica.wait_ready(10.0)
+            array.write(np.full(64, 2.0, dtype=np.float32))
+            assert _wait_for(lambda: replica.version("W_g") >= 2)
+            first.kill()
+            second = TcpSMBServer(
+                port=0, capacity=1 << 20, journal_dir=tmp_path
+            ).start()
+            # Full journal: the recovered epoch continues at version 2;
+            # a new write reaches the replica through the re-attach.
+            array.write(np.full(64, 3.0, dtype=np.float32))
+            assert _wait_for(
+                lambda: replica.version("W_g") >= 3, timeout=20.0
+            )
+            version, data = replica.read("W_g")
+            assert version == 3
+            assert np.frombuffer(data, dtype=np.float32)[0] == 3.0
+            # Pinned pre-kill versions still serve from the ring.
+            version, data = replica.read("W_g", version=1)
+            assert np.frombuffer(data, dtype=np.float32)[0] == 1.0
+        finally:
+            replica.stop()
+            master.close()
+            if second is not None:
+                second.stop()
+
+    def test_replica_resyncs_after_snapshot_only_regression(self, tmp_path):
+        """Snapshot-only recovery rolls the primary back; the replica's
+        wait surfaces VersionRegressionError and it force-resyncs to the
+        recovered epoch — keeping its ring, so pinned reads of pre-kill
+        versions still serve."""
+        first = TcpSMBServer(
+            port=0, capacity=1 << 20, journal_dir=tmp_path,
+            journal_ops=False,
+        ).start()
+        rendezvous = str(tmp_path / RENDEZVOUS_NAME)
+        master = SMBClient.connect(
+            first.address, retry_policy=RECOVERY_RETRY,
+            rendezvous=rendezvous, server_down_grace=20.0,
+        )
+        array = master.create_array("W_g", 64)
+        array.write(np.full(64, 1.0, dtype=np.float32))
+        master.request_snapshot()  # durable at version 1
+        array.write(np.full(64, 2.0, dtype=np.float32))
+        array.write(np.full(64, 3.0, dtype=np.float32))
+
+        def connect():
+            return SMBClient.connect(
+                first.address, retry_policy=RECOVERY_RETRY,
+                rendezvous=rendezvous, server_down_grace=20.0,
+            )
+
+        replica = ReplicaServer(connect, ["W_g"], ring_depth=8).start()
+        second = None
+        try:
+            assert replica.wait_ready(10.0)
+            assert replica.version("W_g") == 3
+            first.kill()
+            second = TcpSMBServer(
+                port=0, capacity=1 << 20, journal_dir=tmp_path,
+                journal_ops=False,
+            ).start()
+            # Recovered at version 1 (< last seen 3): the subscription
+            # must resync down instead of parking forever.
+            assert _wait_for(
+                lambda: replica.version("W_g") == 1, timeout=20.0
+            ), "replica never resynced to the regressed primary"
+            info = replica.lag_info()["W_g"]
+            assert info["resyncs"] >= 1
+            version, data = replica.read("W_g")
+            assert version == 1
+            assert np.frombuffer(data, dtype=np.float32)[0] == 1.0
+            # The ring kept the pre-kill snapshots.
+            version, data = replica.read("W_g", version=3)
+            assert np.frombuffer(data, dtype=np.float32)[0] == 3.0
+            # And mirroring continues against the recovered epoch.
+            array.write(np.full(64, 9.0, dtype=np.float32))
+            assert _wait_for(
+                lambda: replica.version("W_g") >= 2
+                and np.frombuffer(
+                    replica.read("W_g")[1], dtype=np.float32
+                )[0] == 9.0,
+                timeout=20.0,
+            )
+        finally:
+            replica.stop()
+            master.close()
+            if second is not None:
+                second.stop()
+
+
+# ---------------------------------------------------------------------------
+# The HTTP gateway
+# ---------------------------------------------------------------------------
+
+
+class TestModelGateway:
+    def _stack(self, count=256):
+        server = SMBServer(capacity=1 << 22)
+        master = SMBClient.in_process(server)
+        array = master.create_array("W_g", count)
+        array.write(np.full(count, 1.0, dtype=np.float32))
+        replica = ReplicaServer(
+            lambda: SMBClient.in_process(server), ["W_g"], name="r0"
+        ).start()
+        assert replica.wait_ready(5.0)
+        gateway = ModelGateway([replica]).start()
+        return server, master, array, replica, gateway
+
+    def test_get_current_with_etag(self):
+        server, master, array, replica, gateway = self._stack()
+        try:
+            status, headers, body = _http_get(
+                gateway.url + "/v1/models/default/W_g"
+            )
+            assert status == 200
+            assert headers["Content-Type"] == "application/octet-stream"
+            assert headers["ETag"] == '"v1"'
+            assert headers["X-SMB-Version"] == "1"
+            assert np.frombuffer(body, dtype=np.float32)[0] == 1.0
+        finally:
+            gateway.stop()
+            replica.stop()
+            master.close()
+
+    def test_if_none_match_returns_304(self):
+        server, master, array, replica, gateway = self._stack()
+        try:
+            status, headers, _ = _http_get(
+                gateway.url + "/v1/models/default/W_g"
+            )
+            status, _, body = _http_get(
+                gateway.url + "/v1/models/default/W_g",
+                headers={"If-None-Match": headers["ETag"]},
+            )
+            assert status == 304
+            assert body == b""
+            # A new version invalidates the conditional request.
+            array.write(np.full(256, 2.0, dtype=np.float32))
+            assert _wait_for(lambda: replica.version("W_g") >= 2)
+            status, headers2, body = _http_get(
+                gateway.url + "/v1/models/default/W_g",
+                headers={"If-None-Match": headers["ETag"]},
+            )
+            assert status == 200
+            assert headers2["ETag"] == '"v2"'
+        finally:
+            gateway.stop()
+            replica.stop()
+            master.close()
+
+    def test_pinned_version_and_errors(self):
+        server, master, array, replica, gateway = self._stack()
+        try:
+            array.write(np.full(256, 2.0, dtype=np.float32))
+            assert _wait_for(lambda: replica.version("W_g") >= 2)
+            status, headers, body = _http_get(
+                gateway.url + "/v1/models/default/W_g?version=1"
+            )
+            assert status == 200
+            assert headers["X-SMB-Version"] == "1"
+            assert np.frombuffer(body, dtype=np.float32)[0] == 1.0
+            status, _, body = _http_get(
+                gateway.url + "/v1/models/default/W_g?version=999"
+            )
+            assert status == 404
+            assert json.loads(body)["error"] == "version not available"
+            status, _, _ = _http_get(
+                gateway.url + "/v1/models/default/nope"
+            )
+            assert status == 404
+            status, _, _ = _http_get(
+                gateway.url + "/v1/models/default/W_g?version=banana"
+            )
+            assert status == 400
+            status, _, _ = _http_get(gateway.url + "/bogus")
+            assert status == 404
+        finally:
+            gateway.stop()
+            replica.stop()
+            master.close()
+
+    def test_healthz_reports_fleet(self):
+        server, master, array, replica, gateway = self._stack()
+        try:
+            status, _, body = _http_get(gateway.url + "/healthz")
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["status"] == "ok"
+            assert doc["replicas"]["r0"]["W_g"]["ready"] is True
+        finally:
+            gateway.stop()
+            replica.stop()
+            master.close()
+
+    def test_placement_spreads_and_fails_over(self):
+        """Two replicas: placement picks one deterministically, and a
+        stopped replica's segments still serve through the other."""
+        server = SMBServer(capacity=1 << 22)
+        master = SMBClient.in_process(server)
+        array = master.create_array("W_g", 64)
+        array.write(np.full(64, 5.0, dtype=np.float32))
+        replicas = [
+            ReplicaServer(
+                lambda: SMBClient.in_process(server), ["W_g"],
+                name=f"r{i}",
+            ).start()
+            for i in range(2)
+        ]
+        for replica in replicas:
+            assert replica.wait_ready(5.0)
+        gateway = ModelGateway(replicas).start()
+        try:
+            version, data = gateway.read("default", "W_g")
+            assert version == 1
+            # Kill the placement pick; the read must fail over.
+            picked = gateway._placement.server_for("default/W_g")
+            {r.name: r for r in replicas}[picked].stop()
+            version, data = gateway.read("default", "W_g")
+            assert version == 1
+            assert np.frombuffer(data, dtype=np.float32)[0] == 5.0
+        finally:
+            gateway.stop()
+            for replica in replicas:
+                replica.stop()
+            master.close()
+
+
+# ---------------------------------------------------------------------------
+# Acceptance: the read-fanout demo
+# ---------------------------------------------------------------------------
+
+
+class TestReadFanoutAcceptance:
+    def test_fanout_never_touches_the_primary_after_warmup(self):
+        """1 primary + 2 replicas + gateway; 16 concurrent HTTP readers
+        of a 16 MiB W_g; zero primary READ ops during the fan-out."""
+        size = 16 << 20
+        count = size // 4
+        primary = TcpSMBServer(capacity=size + (1 << 22)).start()
+        master = SMBClient.connect(primary.address)
+        array = master.create_array("W_g", count)
+        array.write(np.full(count, 1.0, dtype=np.float32))
+
+        def connect():
+            return SMBClient.connect(primary.address)
+
+        replicas = [
+            ReplicaServer(
+                connect, ["W_g"], name=f"r{i}", capacity=size + (1 << 22)
+            ).start()
+            for i in range(2)
+        ]
+        gateway = None
+        try:
+            for replica in replicas:
+                assert replica.wait_ready(30.0)
+            gateway = ModelGateway(replicas).start()
+            # Warm-up is over: the replicas each took their initial READ.
+            reads_after_warmup = primary.core.stats.op_counts.get("READ", 0)
+            assert reads_after_warmup >= 2
+
+            errors = []
+            url = gateway.url + "/v1/models/default/W_g"
+
+            def reader():
+                try:
+                    status, headers, body = _http_get(url)
+                    assert status == 200
+                    assert len(body) == size
+                    assert headers["X-SMB-Version"] == "1"
+                except Exception as exc:  # noqa: BLE001 - collected
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=reader, daemon=True)
+                for _ in range(16)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60.0)
+            assert not errors, errors[0]
+            # The whole fan-out was served by the read tier: not one
+            # primary READ beyond the warm-up mirrors.
+            assert (
+                primary.core.stats.op_counts.get("READ", 0)
+                == reads_after_warmup
+            )
+        finally:
+            if gateway is not None:
+                gateway.stop()
+            for replica in replicas:
+                replica.stop()
+            master.close()
+            primary.stop()
+
+    def test_replica_lag_is_bounded_on_loopback(self):
+        """A primary write reaches the replica well under a second."""
+        primary = TcpSMBServer(capacity=1 << 22).start()
+        master = SMBClient.connect(primary.address)
+        array = master.create_array("W_g", 1024)
+        array.write(np.full(1024, 1.0, dtype=np.float32))
+        replica = ReplicaServer(
+            lambda: SMBClient.connect(primary.address), ["W_g"]
+        ).start()
+        try:
+            assert replica.wait_ready(10.0)
+            begin = time.monotonic()
+            array.write(np.full(1024, 2.0, dtype=np.float32))
+            assert _wait_for(
+                lambda: replica.version("W_g") >= 2, timeout=5.0
+            )
+            lag = time.monotonic() - begin
+            assert lag < 1.0, f"replica lag {lag:.3f}s exceeds 1s bound"
+        finally:
+            replica.stop()
+            master.close()
+            primary.stop()
